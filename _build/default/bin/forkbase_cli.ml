@@ -1,0 +1,499 @@
+(* forkbase — command-line front end (the "Command Line scripting" semantic
+   view of Fig. 1).
+
+   State layout under --root (default ./.forkbase):
+     chunks/    content-addressed chunk files (Fb_chunk.File_store)
+     BRANCHES   serialized branch table (the client-side head record that
+                the tamper-evidence threat model assumes users keep) *)
+
+open Cmdliner
+module FB = Fb_core.Forkbase
+module Value = Fb_types.Value
+module Errors = Fb_core.Errors
+module Branch = Fb_repr.Branch
+module Hash = Fb_hash.Hash
+
+let with_instance root f =
+  match
+    Fb_core.Persistent.with_instance ~root (fun fb -> f fb)
+  with
+  | Ok msg ->
+    print_string msg;
+    `Ok ()
+  | Error e -> `Error (false, Errors.to_string e)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------- common args ------------------------- *)
+
+let root_arg =
+  let doc = "Directory holding the ForkBase store." in
+  Arg.(value & opt string ".forkbase" & info [ "root" ] ~docv:"DIR" ~doc)
+
+let branch_arg =
+  let doc = "Branch to operate on." in
+  Arg.(value & opt string Branch.default_branch & info [ "b"; "branch" ] ~docv:"BRANCH" ~doc)
+
+let user_arg =
+  let doc = "Acting user (for access control and authorship)." in
+  Arg.(value & opt string "anonymous" & info [ "u"; "user" ] ~docv:"USER" ~doc)
+
+let message_arg =
+  let doc = "Commit message." in
+  Arg.(value & opt string "put" & info [ "m"; "message" ] ~docv:"MSG" ~doc)
+
+let key_pos =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY")
+
+let ( let* ) = Result.bind
+
+(* ------------------------- commands ------------------------- *)
+
+let render_value = function
+  | Value.Primitive p -> Fb_types.Primitive.to_string p ^ "\n"
+  | Value.Blob b -> Fb_postree.Pblob.to_string b
+  | Value.Table t -> Fb_types.Table.to_csv t
+  | Value.Map m ->
+    String.concat ""
+      (List.map
+         (fun (k, v) -> Printf.sprintf "%s\t%s\n" k v)
+         (Fb_postree.Pmap.bindings m))
+  | Value.Set s ->
+    String.concat ""
+      (List.map (fun e -> e ^ "\n") (Fb_postree.Pset.elements s))
+  | Value.List l ->
+    String.concat ""
+      (List.map (fun e -> e ^ "\n") (Fb_postree.Plist.to_list l))
+
+let put_cmd =
+  let value_arg =
+    Arg.(value & opt (some string) None
+         & info [ "value" ] ~docv:"STRING" ~doc:"Store a string primitive.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Import $(docv) as a relational table.")
+  in
+  let blob_arg =
+    Arg.(value & opt (some string) None
+         & info [ "blob" ] ~docv:"FILE" ~doc:"Store $(docv)'s bytes as a blob.")
+  in
+  let run root user message branch key value csv blob =
+    with_instance root (fun fb ->
+        let* uid =
+          match value, csv, blob with
+          | Some s, None, None ->
+            FB.put ~user ~message ~branch fb ~key (Value.string s)
+          | None, Some file, None ->
+            FB.import_csv ~user ~message ~branch fb ~key (read_file file)
+          | None, None, Some file ->
+            FB.put ~user ~message ~branch fb ~key
+              (Value.blob_of_string (FB.store fb) (read_file file))
+          | _ ->
+            Errors.invalid "pass exactly one of --value, --csv, --blob"
+        in
+        Ok (Printf.sprintf "%s\n" (FB.version_string uid)))
+  in
+  let info = Cmd.info "put" ~doc:"Append a new version of KEY to a branch." in
+  Cmd.v info
+    Term.(ret (const run $ root_arg $ user_arg $ message_arg $ branch_arg
+               $ key_pos $ value_arg $ csv_arg $ blob_arg))
+
+let get_cmd =
+  let version_arg =
+    Arg.(value & opt (some string) None
+         & info [ "uid" ] ~docv:"UID" ~doc:"Read a specific version instead of a branch head.")
+  in
+  let run root user branch key version =
+    with_instance root (fun fb ->
+        let* value =
+          match version with
+          | None -> FB.get ~user ~branch fb ~key
+          | Some v ->
+            let* uid = FB.parse_version v in
+            FB.get_at ~user fb uid
+        in
+        Ok (render_value value))
+  in
+  let info = Cmd.info "get" ~doc:"Print the value of KEY (head or --version)." in
+  Cmd.v info
+    Term.(ret (const run $ root_arg $ user_arg $ branch_arg $ key_pos
+               $ version_arg))
+
+let head_cmd =
+  let run root user branch key =
+    with_instance root (fun fb ->
+        let* uid = FB.head ~user ~branch fb ~key in
+        Ok (FB.version_string uid ^ "\n"))
+  in
+  Cmd.v (Cmd.info "head" ~doc:"Print the head version of KEY on a branch.")
+    Term.(ret (const run $ root_arg $ user_arg $ branch_arg $ key_pos))
+
+let latest_cmd =
+  let run root user key =
+    with_instance root (fun fb ->
+        let* heads = FB.latest ~user fb ~key in
+        Ok
+          (String.concat ""
+             (List.map
+                (fun (b, uid) ->
+                  Printf.sprintf "%-20s %s\n" b (FB.version_string uid))
+                heads)))
+  in
+  Cmd.v (Cmd.info "latest" ~doc:"List every branch head of KEY.")
+    Term.(ret (const run $ root_arg $ user_arg $ key_pos))
+
+let list_cmd =
+  let run root user =
+    with_instance root (fun fb ->
+        Ok (String.concat "" (List.map (fun k -> k ^ "\n") (FB.list_keys ~user fb))))
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List all keys.")
+    Term.(ret (const run $ root_arg $ user_arg))
+
+let log_cmd =
+  let limit_arg =
+    Arg.(value & opt (some int) None
+         & info [ "n"; "limit" ] ~docv:"N" ~doc:"Show at most $(docv) versions.")
+  in
+  let run root user branch key limit =
+    with_instance root (fun fb ->
+        let* nodes = FB.log ~user ~branch ?limit fb ~key in
+        Ok
+          (String.concat ""
+             (List.map
+                (fun (f : Fb_repr.Fnode.t) ->
+                  Printf.sprintf "%s  seq=%-4d %-12s %s\n"
+                    (FB.version_string (Fb_repr.Fnode.uid f))
+                    f.Fb_repr.Fnode.seq f.Fb_repr.Fnode.author
+                    f.Fb_repr.Fnode.message)
+                nodes)))
+  in
+  Cmd.v (Cmd.info "log" ~doc:"Show the version history of KEY on a branch.")
+    Term.(ret (const run $ root_arg $ user_arg $ branch_arg $ key_pos
+               $ limit_arg))
+
+let meta_cmd =
+  let version_pos =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"UID")
+  in
+  let run root user key version =
+    with_instance root (fun fb ->
+        let* uid = FB.parse_version version in
+        let* f = FB.meta ~user fb uid in
+        if not (String.equal f.Fb_repr.Fnode.key key) then
+          Errors.invalid "version belongs to key %S" f.Fb_repr.Fnode.key
+        else
+          Ok
+            (Printf.sprintf "key: %s\nseq: %d\nauthor: %s\nmessage: %s\nbases:%s\n"
+               f.Fb_repr.Fnode.key f.Fb_repr.Fnode.seq f.Fb_repr.Fnode.author
+               f.Fb_repr.Fnode.message
+               (String.concat ""
+                  (List.map
+                     (fun b -> "\n  " ^ FB.version_string b)
+                     f.Fb_repr.Fnode.bases))))
+  in
+  Cmd.v (Cmd.info "meta" ~doc:"Show metadata of a version of KEY.")
+    Term.(ret (const run $ root_arg $ user_arg $ key_pos $ version_pos))
+
+let branch_cmd =
+  let new_branch_pos =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW-BRANCH")
+  in
+  let from_arg =
+    Arg.(value & opt string Branch.default_branch
+         & info [ "from" ] ~docv:"BRANCH" ~doc:"Branch to fork from.")
+  in
+  let at_arg =
+    Arg.(value & opt (some string) None
+         & info [ "at" ] ~docv:"UID" ~doc:"Fork from a historical version.")
+  in
+  let run root user key new_branch from_branch at =
+    with_instance root (fun fb ->
+        let* uid =
+          match at with
+          | None -> FB.fork ~user ~from_branch fb ~key ~new_branch
+          | Some v ->
+            let* uid = FB.parse_version v in
+            FB.fork_at ~user fb ~key ~new_branch uid
+        in
+        Ok (Printf.sprintf "%s -> %s\n" new_branch (FB.version_string uid)))
+  in
+  Cmd.v
+    (Cmd.info "branch"
+       ~doc:"Create NEW-BRANCH of KEY from a head (or --at a version); O(1), \
+             no data copied.")
+    Term.(ret (const run $ root_arg $ user_arg $ key_pos $ new_branch_pos
+               $ from_arg $ at_arg))
+
+let rename_cmd =
+  let from_pos = Arg.(required & pos 1 (some string) None & info [] ~docv:"FROM") in
+  let to_pos = Arg.(required & pos 2 (some string) None & info [] ~docv:"TO") in
+  let run root user key from_branch to_branch =
+    with_instance root (fun fb ->
+        let* () = FB.rename_branch ~user fb ~key ~from_branch ~to_branch in
+        Ok "")
+  in
+  Cmd.v (Cmd.info "rename" ~doc:"Rename a branch of KEY.")
+    Term.(ret (const run $ root_arg $ user_arg $ key_pos $ from_pos $ to_pos))
+
+let delete_branch_cmd =
+  let run root user branch key =
+    with_instance root (fun fb ->
+        let* () = FB.delete_branch ~user fb ~key ~branch in
+        Ok "")
+  in
+  Cmd.v (Cmd.info "delete-branch" ~doc:"Delete a branch of KEY.")
+    Term.(ret (const run $ root_arg $ user_arg $ branch_arg $ key_pos))
+
+let diff_cmd =
+  let b1_pos = Arg.(required & pos 1 (some string) None & info [] ~docv:"BRANCH1") in
+  let b2_pos = Arg.(required & pos 2 (some string) None & info [] ~docv:"BRANCH2") in
+  let run root user key branch1 branch2 =
+    with_instance root (fun fb ->
+        let* d = FB.diff ~user fb ~key ~branch1 ~branch2 in
+        Ok
+          (Printf.sprintf "%s\n%s" (Fb_core.Diffview.summary d)
+             (Format.asprintf "%a" Fb_core.Diffview.render d)))
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc:"Differential query between two branches of KEY.")
+    Term.(ret (const run $ root_arg $ user_arg $ key_pos $ b1_pos $ b2_pos))
+
+let merge_cmd =
+  let from_pos = Arg.(required & pos 1 (some string) None & info [] ~docv:"FROM") in
+  let into_arg =
+    Arg.(value & opt string Branch.default_branch
+         & info [ "into" ] ~docv:"BRANCH" ~doc:"Branch receiving the merge.")
+  in
+  let strategy_conv =
+    Arg.enum
+      [ ("fail", FB.Fail_on_conflict); ("ours", FB.Prefer_ours);
+        ("theirs", FB.Prefer_theirs) ]
+  in
+  let strategy_arg =
+    Arg.(value & opt strategy_conv FB.Fail_on_conflict
+         & info [ "strategy" ] ~docv:"fail|ours|theirs"
+             ~doc:"Conflict resolution strategy.")
+  in
+  let run root user key from_branch into strategy =
+    with_instance root (fun fb ->
+        let* uid = FB.merge ~user ~strategy fb ~key ~into ~from_branch in
+        Ok (FB.version_string uid ^ "\n"))
+  in
+  Cmd.v
+    (Cmd.info "merge" ~doc:"Three-way merge of FROM into --into (default master).")
+    Term.(ret (const run $ root_arg $ user_arg $ key_pos $ from_pos $ into_arg
+               $ strategy_arg))
+
+let verify_cmd =
+  let version_arg =
+    Arg.(value & opt (some string) None
+         & info [ "uid" ] ~docv:"UID" ~doc:"Verify a specific version.")
+  in
+  let deep_arg =
+    Arg.(value & flag
+         & info [ "deep" ] ~doc:"Also re-hash every historical value.")
+  in
+  let run root user branch key version deep =
+    with_instance root (fun fb ->
+        let* report =
+          match version with
+          | Some v ->
+            let* uid = FB.parse_version v in
+            FB.verify ~user ~check_history_values:deep fb uid
+          | None ->
+            let* uid = FB.head ~user ~branch fb ~key in
+            FB.verify ~user ~check_history_values:deep fb uid
+        in
+        Ok
+          (Printf.sprintf
+             "ok: %d versions and %d value chunks re-hashed and matched\n"
+             report.Fb_repr.Verify.versions_checked
+             report.Fb_repr.Verify.value_chunks))
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Tamper-evidence check: recompute all Merkle hashes of KEY's \
+             head (or --version) and compare with the stored identifiers.")
+    Term.(ret (const run $ root_arg $ user_arg $ branch_arg $ key_pos
+               $ version_arg $ deep_arg))
+
+let export_cmd =
+  let run root user branch key =
+    with_instance root (fun fb ->
+        let* csv = FB.export_csv ~user ~branch fb ~key in
+        Ok csv)
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Export a table-valued KEY as CSV on stdout.")
+    Term.(ret (const run $ root_arg $ user_arg $ branch_arg $ key_pos))
+
+let bundle_cmd =
+  let out_pos = Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE") in
+  let run root user branch key out =
+    with_instance root (fun fb ->
+        let* bundle = FB.export_bundle ~user ~branch fb ~key in
+        let oc = open_out_bin out in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc bundle);
+        Ok (Printf.sprintf "%d bytes written to %s\n" (String.length bundle) out))
+  in
+  Cmd.v
+    (Cmd.info "bundle"
+       ~doc:"Pack KEY's branch head and its full history into FILE for \
+             exchange.")
+    Term.(ret (const run $ root_arg $ user_arg $ branch_arg $ key_pos
+               $ out_pos))
+
+let unbundle_cmd =
+  let in_pos = Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE") in
+  let run root user branch key file =
+    with_instance root (fun fb ->
+        let* uid = FB.import_bundle ~user ~branch fb ~key (read_file file) in
+        Ok (FB.version_string uid ^ "\n"))
+  in
+  Cmd.v
+    (Cmd.info "unbundle"
+       ~doc:"Verify and import a bundle FILE, fast-forwarding KEY's branch.")
+    Term.(ret (const run $ root_arg $ user_arg $ branch_arg $ key_pos
+               $ in_pos))
+
+let stat_cmd =
+  let run root user =
+    with_instance root (fun fb ->
+        ignore user;
+        let s = FB.stats fb in
+        Ok
+          (Format.asprintf
+             "keys: %d@.branches: %d@.versions: %d@.%a@."
+             s.FB.keys s.FB.branches s.FB.versions Fb_chunk.Store.pp_stats
+             s.FB.store))
+  in
+  Cmd.v (Cmd.info "stat" ~doc:"Storage and versioning statistics.")
+    Term.(ret (const run $ root_arg $ user_arg))
+
+let history_cmd =
+  let row_pos = Arg.(required & pos 1 (some string) None & info [] ~docv:"ROW") in
+  let run root user branch key row =
+    with_instance root (fun fb ->
+        let* events = FB.row_history ~user ~branch fb ~key ~row in
+        Ok
+          (String.concat ""
+             (List.map
+                (fun (e : FB.row_event) ->
+                  let what =
+                    match e.FB.change with
+                    | Fb_types.Table.Row_added _ -> "added"
+                    | Fb_types.Table.Row_removed _ -> "removed"
+                    | Fb_types.Table.Row_modified (_, cells) ->
+                      Printf.sprintf "modified (%s)"
+                        (String.concat ", "
+                           (List.map
+                              (fun (c : Fb_types.Table.cell_change) ->
+                                c.Fb_types.Table.column)
+                              cells))
+                  in
+                  Printf.sprintf "%s  seq=%-4d %-10s %-28s %s\n"
+                    (String.sub (FB.version_string e.FB.version) 0 16)
+                    e.FB.seq e.FB.author what e.FB.message)
+                events)))
+  in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:"Provenance of one ROW of a table-valued KEY: every version \
+             that added, removed or modified it (git blame for data).")
+    Term.(ret (const run $ root_arg $ user_arg $ branch_arg $ key_pos
+               $ row_pos))
+
+let tag_cmd =
+  let name_pos = Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME") in
+  let at_arg =
+    Arg.(value & opt (some string) None
+         & info [ "at" ] ~docv:"UID" ~doc:"Tag a specific version (default: the branch head).")
+  in
+  let run root user branch key name at =
+    with_instance root (fun fb ->
+        let* uid =
+          match at with
+          | Some v -> FB.parse_version v
+          | None -> FB.head ~user ~branch fb ~key
+        in
+        let* () = FB.tag ~user fb ~key ~name uid in
+        Ok (Printf.sprintf "%s -> %s\n" name (FB.version_string uid)))
+  in
+  Cmd.v
+    (Cmd.info "tag"
+       ~doc:"Attach an immutable NAME to a version of KEY (a release \
+             pointer; protects it from gc).")
+    Term.(ret (const run $ root_arg $ user_arg $ branch_arg $ key_pos
+               $ name_pos $ at_arg))
+
+let tags_cmd =
+  let run root user key =
+    with_instance root (fun fb ->
+        Ok
+          (String.concat ""
+             (List.map
+                (fun (name, uid) ->
+                  Printf.sprintf "%-20s %s\n" name (FB.version_string uid))
+                (FB.tags ~user fb ~key))))
+  in
+  Cmd.v (Cmd.info "tags" ~doc:"List the tags of KEY.")
+    Term.(ret (const run $ root_arg $ user_arg $ key_pos))
+
+let serve_cmd =
+  let run root user =
+    match Fb_core.Persistent.open_ ~root () with
+    | Error e -> `Error (false, Errors.to_string e)
+    | Ok fb ->
+    (* Line-oriented request/response loop on stdin/stdout — the semantic
+       view a REST gateway would wrap (see Fb_core.Service). *)
+    let rec loop () =
+      match In_channel.input_line stdin with
+      | None -> ()
+      | Some "" -> loop ()
+      | Some line ->
+        print_endline (Fb_core.Service.handle ~user fb line);
+        flush stdout;
+        ignore (Fb_core.Persistent.save ~root fb);
+        loop ()
+    in
+    loop ();
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve the line protocol on stdin/stdout (PUT/GET/DIFF/MERGE/...; \
+             see library docs for the verb list).")
+    Term.(ret (const run $ root_arg $ user_arg))
+
+let gc_cmd =
+  let run root user =
+    with_instance root (fun fb ->
+        ignore user;
+        let r = FB.gc fb in
+        Ok
+          (Printf.sprintf "live: %d chunks; swept: %d chunks (%d bytes)\n"
+             r.Fb_chunk.Gc.live_chunks r.Fb_chunk.Gc.swept_chunks
+             r.Fb_chunk.Gc.swept_bytes))
+  in
+  Cmd.v
+    (Cmd.info "gc" ~doc:"Delete chunks unreachable from any branch head.")
+    Term.(ret (const run $ root_arg $ user_arg))
+
+let main =
+  let doc = "Git-like, tamper-evident storage for branchable applications" in
+  let info = Cmd.info "forkbase" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ put_cmd; get_cmd; head_cmd; latest_cmd; list_cmd; log_cmd; meta_cmd;
+      branch_cmd; rename_cmd; delete_branch_cmd; diff_cmd; merge_cmd;
+      verify_cmd; export_cmd; bundle_cmd; unbundle_cmd; history_cmd;
+      tag_cmd; tags_cmd;
+      serve_cmd; stat_cmd; gc_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/blockchain_state.ml: Fb_chunk Fb_core Fb_postree Fb_repr Fb_types List Option Printf String

@@ -1,0 +1,1 @@
+examples/collaborative_analytics.ml: Fb_chunk Fb_core Fb_repr Fb_types Format List Printf String

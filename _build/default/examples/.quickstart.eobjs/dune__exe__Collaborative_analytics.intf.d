@@ -1,0 +1,1 @@
+examples/collaborative_analytics.mli:

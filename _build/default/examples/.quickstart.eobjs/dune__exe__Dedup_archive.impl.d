@@ -1,0 +1,1 @@
+examples/dedup_archive.ml: Fb_chunk Fb_core Fb_repr Fb_types Fb_workload Int64 List Printf String

@@ -1,0 +1,1 @@
+examples/light_client.ml: Bytes Char Fb_chunk Fb_core Fb_types Fb_workload List Printf Result String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fb_chunk Fb_core Fb_repr Fb_types Format Printf

@@ -1,0 +1,1 @@
+examples/site_sync.ml: Bytes Fb_chunk Fb_core Fb_repr Fb_types List Printf String

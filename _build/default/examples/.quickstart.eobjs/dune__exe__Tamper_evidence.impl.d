@@ -1,0 +1,1 @@
+examples/tamper_evidence.ml: Bytes Char Fb_chunk Fb_core Fb_hash Fb_repr Fb_types List Option Printf

@@ -1,0 +1,1 @@
+examples/tamper_evidence.mli:

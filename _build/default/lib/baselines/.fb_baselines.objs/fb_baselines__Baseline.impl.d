@@ -1,0 +1,1 @@
+lib/baselines/baseline.ml: Fb_codec String

@@ -1,0 +1,1 @@
+lib/baselines/btree_baseline.ml: Fb_codec Fb_hash List String

@@ -1,0 +1,1 @@
+lib/baselines/btree_baseline.mli: Fb_hash

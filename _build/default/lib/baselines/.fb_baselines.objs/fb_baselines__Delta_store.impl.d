@@ -1,0 +1,1 @@
+lib/baselines/delta_store.ml: Baseline Fb_codec List Map String

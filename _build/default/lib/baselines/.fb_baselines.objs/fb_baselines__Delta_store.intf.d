@@ -1,0 +1,1 @@
+lib/baselines/delta_store.mli: Baseline

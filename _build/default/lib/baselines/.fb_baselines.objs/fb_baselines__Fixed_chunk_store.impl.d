@@ -1,0 +1,1 @@
+lib/baselines/fixed_chunk_store.ml: Baseline Buffer Fb_hash List Printf String

@@ -1,0 +1,1 @@
+lib/baselines/fixed_chunk_store.mli: Baseline

@@ -1,0 +1,1 @@
+lib/baselines/gitfile_store.ml: Baseline Fb_hash List String

@@ -1,0 +1,1 @@
+lib/baselines/gitfile_store.mli: Baseline

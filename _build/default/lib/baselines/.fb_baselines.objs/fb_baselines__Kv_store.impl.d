@@ -1,0 +1,1 @@
+lib/baselines/kv_store.ml: Baseline Hashtbl List Map String

@@ -1,0 +1,1 @@
+lib/baselines/kv_store.mli: Baseline

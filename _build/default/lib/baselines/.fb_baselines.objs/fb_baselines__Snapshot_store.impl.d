@@ -1,0 +1,1 @@
+lib/baselines/snapshot_store.ml: Baseline List String

@@ -1,0 +1,1 @@
+lib/baselines/snapshot_store.mli: Baseline

@@ -1,0 +1,39 @@
+module Codec = Fb_codec.Codec
+
+type version = int
+
+type caps = {
+  data_model : string;
+  dedup : string;
+  tamper_evidence : bool;
+  branching : string;
+}
+
+type t = {
+  name : string;
+  caps : caps;
+  commit : (string * string) list -> version;
+  retrieve : version -> (string * string) list;
+  storage_bytes : unit -> int;
+}
+
+let encode_rows rows =
+  Codec.to_string
+    (fun w rows ->
+      Codec.list w
+        (fun w (k, v) ->
+          Codec.bytes w k;
+          Codec.bytes w v)
+        rows)
+    rows
+
+let decode_rows s =
+  Codec.of_string_exn
+    (fun r ->
+      Codec.read_list r (fun r ->
+          let k = Codec.read_bytes r in
+          let v = Codec.read_bytes r in
+          (k, v)))
+    s
+
+let rows_bytes rows = String.length (encode_rows rows)

@@ -1,0 +1,37 @@
+(** Common interface of the comparison systems in Table I.
+
+    Each baseline is a versioned dataset store: it accepts successive full
+    snapshots of a dataset (as sorted key/row-bytes pairs), persists them
+    its own way, and reports how many physical bytes it holds.  The bench
+    harness feeds the same workload to every system — including ForkBase —
+    and prints the measured storage and retrieval characteristics the
+    paper's Table I states qualitatively. *)
+
+type version = int
+
+type caps = {
+  data_model : string;       (** Table I "Data Model" column *)
+  dedup : string;            (** Table I "Deduplication" column *)
+  tamper_evidence : bool;    (** Table I "Tamper Evidence" column *)
+  branching : string;        (** Table I "Branching" column *)
+}
+
+type t = {
+  name : string;
+  caps : caps;
+  commit : (string * string) list -> version;
+      (** Persist the next dataset snapshot (sorted rows); returns its
+          version number (0-based). *)
+  retrieve : version -> (string * string) list;
+      (** Reconstruct a snapshot.  @raise Invalid_argument on bad version. *)
+  storage_bytes : unit -> int;
+      (** Physical bytes currently held. *)
+}
+
+val rows_bytes : (string * string) list -> int
+(** Serialized size of a snapshot (the logical data volume). *)
+
+val encode_rows : (string * string) list -> string
+val decode_rows : string -> (string * string) list
+(** Canonical snapshot serialization shared by the baselines, so storage
+    numbers are comparable. @raise Fb_codec.Codec.Decode_error *)

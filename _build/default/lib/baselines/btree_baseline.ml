@@ -1,0 +1,176 @@
+module Codec = Fb_codec.Codec
+module Hash = Fb_hash.Hash
+
+(* A textbook mutable B+-tree.  Separator keys route lookups: a child is
+   followed when the search key is <= its separator (last child catches the
+   rest). *)
+type node =
+  | Leaf of { mutable entries : (string * string) list }
+  | Node of { mutable keys : string list; mutable children : node list }
+
+type t = {
+  leaf_capacity : int;
+  node_capacity : int;
+  mutable root : node;
+  mutable count : int;
+}
+
+let create ?(leaf_capacity = 32) ?(node_capacity = 32) () =
+  if leaf_capacity < 2 || node_capacity < 2 then
+    invalid_arg "Btree_baseline.create: capacities must be >= 2";
+  { leaf_capacity; node_capacity; root = Leaf { entries = [] }; count = 0 }
+
+let rec find_node node k =
+  match node with
+  | Leaf { entries } -> List.assoc_opt k entries
+  | Node { keys; children } ->
+    let rec route keys children =
+      match keys, children with
+      | [], [ c ] -> find_node c k
+      | key :: krest, c :: crest ->
+        if String.compare k key <= 0 then find_node c k
+        else route krest crest
+      | _ -> invalid_arg "btree: malformed node"
+    in
+    route keys children
+
+let find t k = find_node t.root k
+
+(* Insert into a subtree; if the node overflows it splits and returns the
+   new right sibling with its separator key. *)
+let rec insert_node t node k v =
+  match node with
+  | Leaf leaf ->
+    let rec put = function
+      | [] -> ([ (k, v) ], true)
+      | (k', _) :: rest when String.equal k' k -> ((k, v) :: rest, false)
+      | (k', v') :: rest when String.compare k' k > 0 ->
+        ((k, v) :: (k', v') :: rest, true)
+      | e :: rest ->
+        let rest', added = put rest in
+        (e :: rest', added)
+    in
+    let entries, added = put leaf.entries in
+    if added then t.count <- t.count + 1;
+    if List.length entries <= t.leaf_capacity then begin
+      leaf.entries <- entries;
+      None
+    end
+    else begin
+      let n = List.length entries in
+      let left = List.filteri (fun i _ -> i < n / 2) entries in
+      let right = List.filteri (fun i _ -> i >= n / 2) entries in
+      leaf.entries <- left;
+      let sep = fst (List.nth left (List.length left - 1)) in
+      Some (sep, Leaf { entries = right })
+    end
+  | Node inner ->
+    let rec route i keys children =
+      match keys, children with
+      | [], [ _ ] -> i
+      | key :: krest, _ :: crest ->
+        if String.compare k key <= 0 then i else route (i + 1) krest crest
+      | _ -> invalid_arg "btree: malformed node"
+    in
+    let idx = route 0 inner.keys inner.children in
+    let child = List.nth inner.children idx in
+    (match insert_node t child k v with
+     | None -> None
+     | Some (sep, right) ->
+       (* Splice the new sibling after the split child. *)
+       let children =
+         List.concat
+           (List.mapi
+              (fun i c -> if i = idx then [ c; right ] else [ c ])
+              inner.children)
+       in
+       (* keys has one fewer element than children; the separator for the
+          split child is inserted at position idx. *)
+       let rec ins_at i l =
+         if i = 0 then sep :: l
+         else
+           match l with
+           | [] -> [ sep ]
+           | x :: rest -> x :: ins_at (i - 1) rest
+       in
+       let keys = ins_at idx inner.keys in
+       if List.length children <= t.node_capacity then begin
+         inner.keys <- keys;
+         inner.children <- children;
+         None
+       end
+       else begin
+         let nc = List.length children in
+         let lc = List.filteri (fun i _ -> i < nc / 2) children in
+         let rc = List.filteri (fun i _ -> i >= nc / 2) children in
+         (* keys: nc-1 separators; left gets first nc/2 - 1, the middle one
+            moves up, right gets the rest. *)
+         let lk = List.filteri (fun i _ -> i < (nc / 2) - 1) keys in
+         let mid = List.nth keys ((nc / 2) - 1) in
+         let rk = List.filteri (fun i _ -> i >= nc / 2) keys in
+         inner.keys <- lk;
+         inner.children <- lc;
+         Some (mid, Node { keys = rk; children = rc })
+       end)
+
+let insert t k v =
+  match insert_node t t.root k v with
+  | None -> ()
+  | Some (sep, right) ->
+    t.root <- Node { keys = [ sep ]; children = [ t.root; right ] }
+
+let of_bindings ?leaf_capacity ?node_capacity bs =
+  let t = create ?leaf_capacity ?node_capacity () in
+  List.iter (fun (k, v) -> insert t k v) bs;
+  t
+
+let cardinal t = t.count
+
+let bindings t =
+  let rec go node acc =
+    match node with
+    | Leaf { entries } -> List.rev_append entries acc
+    | Node { children; _ } ->
+      List.fold_left (fun acc c -> go c acc) acc children
+  in
+  List.rev (go t.root [])
+
+(* Merkle-style page hashing: a page's identity covers its content and its
+   children's identities, mirroring how a content-addressed page store
+   would address it. *)
+let rec page_digests node acc =
+  match node with
+  | Leaf { entries } ->
+    let w = Codec.writer () in
+    Codec.u8 w 0;
+    Codec.list w
+      (fun w (k, v) ->
+        Codec.bytes w k;
+        Codec.bytes w v)
+      entries;
+    let payload = Codec.contents w in
+    let h = Hash.of_string payload in
+    ((h, String.length payload) :: acc, h)
+  | Node { keys; children } ->
+    let acc, child_hashes =
+      List.fold_left
+        (fun (acc, hs) c ->
+          let acc, h = page_digests c acc in
+          (acc, h :: hs))
+        (acc, []) children
+    in
+    let w = Codec.writer () in
+    Codec.u8 w 1;
+    Codec.list w Codec.bytes keys;
+    Codec.list w Codec.hash (List.rev child_hashes);
+    let payload = Codec.contents w in
+    let h = Hash.of_string payload in
+    ((h, String.length payload) :: acc, h)
+
+let pages t = fst (page_digests t.root [])
+
+let page_hashes t =
+  List.fold_left (fun s (h, _) -> Hash.Set.add h s) Hash.Set.empty (pages t)
+
+let page_count t = List.length (pages t)
+let total_page_bytes t = List.fold_left (fun a (_, n) -> a + n) 0 (pages t)

@@ -1,0 +1,28 @@
+(** Ordinary B+-tree with content-addressed pages — the non-SIRI strawman.
+
+    Pages split when they overflow a fixed capacity, so the physical layout
+    depends on insertion order and history, not only on content.  Hashing
+    its pages shows why page-level deduplication is ineffective for
+    conventional indexes (paper §II-A): two logically identical instances
+    built differently share few or no pages, where POS-Trees share all. *)
+
+type t
+
+val create : ?leaf_capacity:int -> ?node_capacity:int -> unit -> t
+val insert : t -> string -> string -> unit
+(** Upsert. *)
+
+val of_bindings : ?leaf_capacity:int -> ?node_capacity:int ->
+  (string * string) list -> t
+(** Insert one by one, in the given order. *)
+
+val find : t -> string -> string option
+val cardinal : t -> int
+val bindings : t -> (string * string) list
+(** Sorted. *)
+
+val page_hashes : t -> Fb_hash.Hash.Set.t
+(** Merkle hash of every page (children hashed into parents). *)
+
+val page_count : t -> int
+val total_page_bytes : t -> int

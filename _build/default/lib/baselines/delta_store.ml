@@ -1,0 +1,83 @@
+module Codec = Fb_codec.Codec
+module Smap = Map.Make (String)
+
+type delta = {
+  added : (string * string) list;     (* also covers modified: last wins *)
+  removed : string list;
+}
+
+let encode_delta d =
+  Codec.to_string
+    (fun w d ->
+      Codec.list w
+        (fun w (k, v) ->
+          Codec.bytes w k;
+          Codec.bytes w v)
+        d.added;
+      Codec.list w Codec.bytes d.removed)
+    d
+
+let to_map rows =
+  List.fold_left (fun m (k, v) -> Smap.add k v m) Smap.empty rows
+
+let compute_delta ~parent ~current =
+  let pm = to_map parent and cm = to_map current in
+  let added =
+    Smap.fold
+      (fun k v acc ->
+        match Smap.find_opt k pm with
+        | Some pv when String.equal pv v -> acc
+        | _ -> (k, v) :: acc)
+      cm []
+  in
+  let removed =
+    Smap.fold
+      (fun k _ acc -> if Smap.mem k cm then acc else k :: acc)
+      pm []
+  in
+  { added = List.rev added; removed = List.rev removed }
+
+let apply_delta rows d =
+  let m = to_map rows in
+  let m = List.fold_left (fun m k -> Smap.remove k m) m d.removed in
+  let m = List.fold_left (fun m (k, v) -> Smap.add k v m) m d.added in
+  Smap.bindings m
+
+let create () =
+  (* Version 0 is a full snapshot; deltas follow.  We keep decoded deltas
+     in memory but account storage by their serialized size. *)
+  let base : (string * string) list ref = ref [] in
+  let deltas : delta list ref = ref [] in
+  let nversions = ref 0 in
+  let bytes = ref 0 in
+  let commit rows =
+    (if !nversions = 0 then begin
+       base := rows;
+       bytes := String.length (Baseline.encode_rows rows)
+     end
+     else begin
+       let parent =
+         List.fold_left apply_delta !base (List.rev !deltas)
+       in
+       let d = compute_delta ~parent ~current:rows in
+       deltas := d :: !deltas;
+       bytes := !bytes + String.length (encode_delta d)
+     end);
+    incr nversions;
+    !nversions - 1
+  in
+  let retrieve v =
+    if v < 0 || v >= !nversions then
+      invalid_arg "delta_store: no such version";
+    let ds = List.filteri (fun i _ -> i < v) (List.rev !deltas) in
+    List.fold_left apply_delta !base ds
+  in
+  { Baseline.name = "row delta (OrpheusDB-like)";
+    caps =
+      { data_model = "structured (table), mutable";
+        dedup = "table oriented (row deltas)";
+        tamper_evidence = false;
+        branching = "ad-hoc" };
+    commit;
+    retrieve;
+    storage_bytes = (fun () -> !bytes) }

@@ -1,0 +1,9 @@
+(** Row-level forward-delta versioning (Decibel / OrpheusDB style).
+
+    The first commit stores the full snapshot; each later commit stores the
+    row-level difference against its parent (added / removed / modified
+    rows).  Table-oriented deduplication: effective for small edits, but no
+    cross-version content addressing, no tamper evidence, and retrieval
+    cost grows with chain length. *)
+
+val create : unit -> Baseline.t

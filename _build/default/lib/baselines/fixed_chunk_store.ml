@@ -1,0 +1,43 @@
+module Hash = Fb_hash.Hash
+
+let create ?(chunk_size = 4096) () =
+  if chunk_size < 1 then invalid_arg "fixed_chunk_store: chunk_size";
+  let chunks : string Hash.Tbl.t = Hash.Tbl.create 1024 in
+  let versions : Hash.t list list ref = ref [] in
+  let bytes = ref 0 in
+  let commit rows =
+    let encoded = Baseline.encode_rows rows in
+    let n = String.length encoded in
+    let ids = ref [] in
+    let pos = ref 0 in
+    while !pos < n do
+      let len = min chunk_size (n - !pos) in
+      let piece = String.sub encoded !pos len in
+      let id = Hash.of_string piece in
+      if not (Hash.Tbl.mem chunks id) then begin
+        Hash.Tbl.replace chunks id piece;
+        bytes := !bytes + len
+      end;
+      ids := id :: !ids;
+      pos := !pos + len
+    done;
+    versions := List.rev !ids :: !versions;
+    List.length !versions - 1
+  in
+  let retrieve v =
+    match List.nth_opt (List.rev !versions) v with
+    | None -> invalid_arg "fixed_chunk_store: no such version"
+    | Some ids ->
+      let buf = Buffer.create 4096 in
+      List.iter (fun id -> Buffer.add_string buf (Hash.Tbl.find chunks id)) ids;
+      Baseline.decode_rows (Buffer.contents buf)
+  in
+  { Baseline.name = Printf.sprintf "fixed %dB chunks" chunk_size;
+    caps =
+      { data_model = "unstructured, immutable";
+        dedup = "fixed-size chunk";
+        tamper_evidence = true;
+        branching = "git-like" };
+    commit;
+    retrieve;
+    storage_bytes = (fun () -> !bytes) }

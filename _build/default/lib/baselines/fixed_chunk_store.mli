@@ -1,0 +1,8 @@
+(** Fixed-size chunking with content addressing.
+
+    Snapshots are split at fixed 4 KiB offsets and chunks stored by hash.
+    The ablation for content-defined chunking: an insertion near the front
+    shifts every later boundary, so almost all chunks change even though
+    almost no content did. *)
+
+val create : ?chunk_size:int -> unit -> Baseline.t

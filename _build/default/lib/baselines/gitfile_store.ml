@@ -1,0 +1,30 @@
+module Hash = Fb_hash.Hash
+
+let create () =
+  let blobs : string Hash.Tbl.t = Hash.Tbl.create 64 in
+  let versions : Hash.t list ref = ref [] in
+  let bytes = ref 0 in
+  let commit rows =
+    let encoded = Baseline.encode_rows rows in
+    let id = Hash.of_string encoded in
+    if not (Hash.Tbl.mem blobs id) then begin
+      Hash.Tbl.replace blobs id encoded;
+      bytes := !bytes + String.length encoded
+    end;
+    versions := id :: !versions;
+    List.length !versions - 1
+  in
+  let retrieve v =
+    match List.nth_opt (List.rev !versions) v with
+    | None -> invalid_arg "gitfile_store: no such version"
+    | Some id -> Baseline.decode_rows (Hash.Tbl.find blobs id)
+  in
+  { Baseline.name = "git file-granule";
+    caps =
+      { data_model = "unstructured (file), immutable";
+        dedup = "whole-file";
+        tamper_evidence = true;
+        branching = "git-like" };
+    commit;
+    retrieve;
+    storage_bytes = (fun () -> !bytes) }

@@ -1,0 +1,9 @@
+(** File-granule content-addressed versioning — "the original Git design
+    handles data at the file granule" (paper §I).
+
+    Each snapshot is serialized to one blob and stored under its SHA-256:
+    identical snapshots deduplicate perfectly, but changing one word stores
+    the whole file again.  The comparator the Fig. 4 experiment is aimed
+    at. *)
+
+val create : unit -> Baseline.t

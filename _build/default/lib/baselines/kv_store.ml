@@ -1,0 +1,58 @@
+module Smap = Map.Make (String)
+
+let create () =
+  (* cells: (key, version-written) -> value bytes.
+     manifests: version -> key -> version-written pointer. *)
+  let cells : (string * int, string) Hashtbl.t = Hashtbl.create 1024 in
+  let manifests : int Smap.t list ref = ref [] in
+  let bytes = ref 0 in
+  let manifest_entry_cost key = String.length key + 8 in
+  let commit rows =
+    let v = List.length !manifests in
+    let parent =
+      match !manifests with m :: _ -> m | [] -> Smap.empty
+    in
+    let manifest =
+      List.fold_left
+        (fun acc (k, value) ->
+          let unchanged =
+            match Smap.find_opt k parent with
+            | Some pv -> (
+              match Hashtbl.find_opt cells (k, pv) with
+              | Some old -> String.equal old value
+              | None -> false)
+            | None -> false
+          in
+          if unchanged then Smap.add k (Smap.find k parent) acc
+          else begin
+            Hashtbl.replace cells (k, v) value;
+            bytes := !bytes + String.length value + manifest_entry_cost k;
+            Smap.add k v acc
+          end)
+        Smap.empty rows
+    in
+    (* Every version pays for its manifest entries (pointer table). *)
+    bytes :=
+      !bytes + Smap.fold (fun k _ acc -> acc + manifest_entry_cost k) manifest 0;
+    manifests := manifest :: !manifests;
+    v
+  in
+  let retrieve v =
+    let all = List.rev !manifests in
+    match List.nth_opt all v with
+    | None -> invalid_arg "kv_store: no such version"
+    | Some manifest ->
+      Smap.fold
+        (fun k ptr acc -> (k, Hashtbl.find cells (k, ptr)) :: acc)
+        manifest []
+      |> List.rev
+  in
+  { Baseline.name = "multi-version KV (RStore-like)";
+    caps =
+      { data_model = "unstructured, mutable";
+        dedup = "key-value (changed rows only)";
+        tamper_evidence = false;
+        branching = "ad-hoc" };
+    commit;
+    retrieve;
+    storage_bytes = (fun () -> !bytes) }

@@ -1,0 +1,8 @@
+(** Multi-version key-value store (RStore-style).
+
+    Every changed row value is stored again in full under (key, version);
+    a per-version manifest lists which stored cell each key resolves to.
+    Row-granularity versioning with no content deduplication (two keys with
+    equal values store the bytes twice) and no tamper evidence. *)
+
+val create : unit -> Baseline.t

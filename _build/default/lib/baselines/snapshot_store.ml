@@ -1,0 +1,24 @@
+let create () =
+  let versions : string list ref = ref [] in
+  let bytes = ref 0 in
+  let commit rows =
+    let encoded = Baseline.encode_rows rows in
+    versions := encoded :: !versions;
+    bytes := !bytes + String.length encoded;
+    List.length !versions - 1
+  in
+  let retrieve v =
+    let all = List.rev !versions in
+    match List.nth_opt all v with
+    | Some encoded -> Baseline.decode_rows encoded
+    | None -> invalid_arg "snapshot_store: no such version"
+  in
+  { Baseline.name = "snapshot (MusaeusDB-like)";
+    caps =
+      { data_model = "structured (table), mutable";
+        dedup = "none (full copy)";
+        tamper_evidence = false;
+        branching = "none" };
+    commit;
+    retrieve;
+    storage_bytes = (fun () -> !bytes) }

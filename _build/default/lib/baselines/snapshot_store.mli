@@ -1,0 +1,6 @@
+(** Full-copy snapshot versioning (MusaeusDB-style).
+
+    Every commit stores the complete serialized snapshot; no sharing of any
+    kind.  The floor every dedup scheme is measured against. *)
+
+val create : unit -> Baseline.t

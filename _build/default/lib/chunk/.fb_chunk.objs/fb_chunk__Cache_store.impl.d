@@ -1,0 +1,1 @@
+lib/chunk/cache_store.ml: Chunk Fb_hash Printf Store

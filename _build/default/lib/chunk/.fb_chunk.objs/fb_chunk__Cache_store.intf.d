@@ -1,0 +1,1 @@
+lib/chunk/cache_store.mli: Store

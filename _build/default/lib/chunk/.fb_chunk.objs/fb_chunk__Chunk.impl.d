@@ -1,0 +1,1 @@
+lib/chunk/chunk.ml: Bytes Char Fb_hash Format Printf String

@@ -1,0 +1,1 @@
+lib/chunk/chunk.mli: Fb_hash Format

@@ -1,0 +1,1 @@
+lib/chunk/file_store.ml: Array Chunk Fb_hash Filename Fun Store String Sys Unix

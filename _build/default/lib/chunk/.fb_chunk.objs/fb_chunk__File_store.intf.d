@@ -1,0 +1,1 @@
+lib/chunk/file_store.mli: Store

@@ -1,0 +1,1 @@
+lib/chunk/gc.ml: Fb_hash List Store String

@@ -1,0 +1,1 @@
+lib/chunk/gc.mli: Chunk Fb_hash Store

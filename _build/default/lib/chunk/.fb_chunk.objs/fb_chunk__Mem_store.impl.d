@@ -1,0 +1,1 @@
+lib/chunk/mem_store.ml: Chunk Fb_hash Store String

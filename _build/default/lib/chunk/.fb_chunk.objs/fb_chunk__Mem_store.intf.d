@@ -1,0 +1,1 @@
+lib/chunk/mem_store.mli: Fb_hash Store

@@ -1,0 +1,1 @@
+lib/chunk/pack.ml: Array Bytes Chunk Fb_hash Fun Int64 List Printexc Printf Store String Sys

@@ -1,0 +1,1 @@
+lib/chunk/pack.mli: Fb_hash Store

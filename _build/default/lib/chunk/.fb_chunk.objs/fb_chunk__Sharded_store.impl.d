@@ -1,0 +1,1 @@
+lib/chunk/sharded_store.ml: Array Chunk Fb_hash Hashtbl List Printf Store String

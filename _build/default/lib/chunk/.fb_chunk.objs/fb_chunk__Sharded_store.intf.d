@@ -1,0 +1,1 @@
+lib/chunk/sharded_store.mli: Fb_hash Store

@@ -1,0 +1,1 @@
+lib/chunk/store.ml: Chunk Fb_hash Format

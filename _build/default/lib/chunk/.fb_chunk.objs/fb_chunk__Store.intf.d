@@ -1,0 +1,1 @@
+lib/chunk/store.mli: Chunk Fb_hash Format

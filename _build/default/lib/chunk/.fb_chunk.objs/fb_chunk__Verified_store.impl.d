@@ -1,0 +1,1 @@
+lib/chunk/verified_store.ml: Chunk Fb_hash Store

@@ -1,0 +1,1 @@
+lib/chunk/verified_store.mli: Fb_hash Store

@@ -1,0 +1,117 @@
+module Hash = Fb_hash.Hash
+
+type cache_stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+(* Classic LRU: hashtable to doubly-linked recency list. *)
+type node = {
+  id : Hash.t;
+  encoded : string;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type lru = {
+  capacity : int;
+  tbl : node Hash.Tbl.t;
+  mutable head : node option;  (* most recent *)
+  mutable tail : node option;  (* least recent *)
+  stats : cache_stats;
+}
+
+let unlink lru n =
+  (match n.prev with
+   | Some p -> p.next <- n.next
+   | None -> lru.head <- n.next);
+  (match n.next with
+   | Some s -> s.prev <- n.prev
+   | None -> lru.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front lru n =
+  n.next <- lru.head;
+  n.prev <- None;
+  (match lru.head with Some h -> h.prev <- Some n | None -> ());
+  lru.head <- Some n;
+  if lru.tail = None then lru.tail <- Some n
+
+let touch lru n =
+  if lru.head != Some n then begin
+    unlink lru n;
+    push_front lru n
+  end
+
+let evict_if_full lru =
+  if Hash.Tbl.length lru.tbl > lru.capacity then
+    match lru.tail with
+    | None -> ()
+    | Some n ->
+      unlink lru n;
+      Hash.Tbl.remove lru.tbl n.id;
+      lru.stats.evictions <- lru.stats.evictions + 1
+
+let remember lru id encoded =
+  match Hash.Tbl.find_opt lru.tbl id with
+  | Some n -> touch lru n
+  | None ->
+    let n = { id; encoded; prev = None; next = None } in
+    Hash.Tbl.replace lru.tbl id n;
+    push_front lru n;
+    evict_if_full lru
+
+let forget lru id =
+  match Hash.Tbl.find_opt lru.tbl id with
+  | None -> ()
+  | Some n ->
+    unlink lru n;
+    Hash.Tbl.remove lru.tbl id
+
+let wrap ~capacity (inner : Store.t) =
+  if capacity < 1 then invalid_arg "Cache_store.wrap: capacity must be >= 1";
+  let lru =
+    { capacity;
+      tbl = Hash.Tbl.create (2 * capacity);
+      head = None;
+      tail = None;
+      stats = { hits = 0; misses = 0; evictions = 0 } }
+  in
+  let get_raw id =
+    match Hash.Tbl.find_opt lru.tbl id with
+    | Some n ->
+      lru.stats.hits <- lru.stats.hits + 1;
+      touch lru n;
+      Some n.encoded
+    | None ->
+      lru.stats.misses <- lru.stats.misses + 1;
+      (match inner.Store.get_raw id with
+       | None -> None
+       | Some encoded ->
+         remember lru id encoded;
+         Some encoded)
+  in
+  let get id =
+    match get_raw id with
+    | None -> None
+    | Some encoded -> (
+      match Chunk.decode encoded with Ok c -> Some c | Error _ -> None)
+  in
+  let put chunk =
+    let id = inner.Store.put chunk in
+    remember lru id (Chunk.encode chunk);
+    id
+  in
+  let delete id =
+    forget lru id;
+    inner.Store.delete id
+  in
+  ( { inner with
+      Store.name = Printf.sprintf "lru(%d):%s" capacity inner.Store.name;
+      put;
+      get;
+      get_raw;
+      delete },
+    lru.stats )

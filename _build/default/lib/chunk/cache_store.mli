@@ -1,0 +1,16 @@
+(** LRU read-cache wrapper.
+
+    Chunks are immutable, which makes caching trivially coherent: an entry
+    can never be stale, only evicted.  Useful in front of the directory
+    backend, where hot POS-Tree index nodes are re-read on every descent. *)
+
+type cache_stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+val wrap : capacity:int -> Store.t -> Store.t * cache_stats
+(** Keep up to [capacity] encoded chunks in memory (LRU).  Deletes evict the
+    entry; writes populate it.
+    @raise Invalid_argument if [capacity < 1]. *)

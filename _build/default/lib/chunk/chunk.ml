@@ -1,0 +1,79 @@
+type kind =
+  | Index
+  | Leaf_map
+  | Leaf_set
+  | Leaf_list
+  | Leaf_blob
+  | Seq_index
+  | Fnode
+
+let kind_to_string = function
+  | Index -> "index"
+  | Leaf_map -> "leaf-map"
+  | Leaf_set -> "leaf-set"
+  | Leaf_list -> "leaf-list"
+  | Leaf_blob -> "leaf-blob"
+  | Seq_index -> "seq-index"
+  | Fnode -> "fnode"
+
+let kind_tag = function
+  | Index -> 0
+  | Leaf_map -> 1
+  | Leaf_set -> 2
+  | Leaf_list -> 3
+  | Leaf_blob -> 4
+  | Seq_index -> 5
+  | Fnode -> 6
+
+let kind_of_tag = function
+  | 0 -> Some Index
+  | 1 -> Some Leaf_map
+  | 2 -> Some Leaf_set
+  | 3 -> Some Leaf_list
+  | 4 -> Some Leaf_blob
+  | 5 -> Some Seq_index
+  | 6 -> Some Fnode
+  | _ -> None
+
+let equal_kind a b = kind_tag a = kind_tag b
+let pp_kind fmt k = Format.pp_print_string fmt (kind_to_string k)
+
+type t = { kind : kind; payload : string }
+
+let v kind payload = { kind; payload }
+
+(* 'F' 'B' magic, format version 1, kind tag, payload.  The header is part
+   of the hashed bytes: a chunk reinterpreted under another kind gets a
+   different identity. *)
+let magic0 = 'F'
+let magic1 = 'B'
+let format_version = 1
+let header_size = 4
+
+let encode c =
+  let n = String.length c.payload in
+  let b = Bytes.create (header_size + n) in
+  Bytes.set b 0 magic0;
+  Bytes.set b 1 magic1;
+  Bytes.set b 2 (Char.chr format_version);
+  Bytes.set b 3 (Char.chr (kind_tag c.kind));
+  Bytes.blit_string c.payload 0 b header_size n;
+  Bytes.unsafe_to_string b
+
+let decode s =
+  if String.length s < header_size then Error "chunk: too short"
+  else if s.[0] <> magic0 || s.[1] <> magic1 then Error "chunk: bad magic"
+  else if Char.code s.[2] <> format_version then
+    Error (Printf.sprintf "chunk: unsupported format version %d" (Char.code s.[2]))
+  else
+    match kind_of_tag (Char.code s.[3]) with
+    | None -> Error (Printf.sprintf "chunk: unknown kind tag %d" (Char.code s.[3]))
+    | Some kind ->
+      Ok { kind; payload = String.sub s header_size (String.length s - header_size) }
+
+let hash c = Fb_hash.Hash.of_string (encode c)
+let encoded_size c = header_size + String.length c.payload
+
+let pp fmt c =
+  Format.fprintf fmt "%a[%a, %d bytes]" pp_kind c.kind Fb_hash.Hash.pp (hash c)
+    (String.length c.payload)

@@ -1,0 +1,39 @@
+(** Immutable chunks — the unit of storage and deduplication (paper §II-C).
+
+    A chunk is a kind tag plus an opaque payload.  Its identity is the
+    SHA-256 of its encoded bytes; equal content means equal identity means
+    stored once.  Chunks never change after construction. *)
+
+type kind =
+  | Index        (** POS-Tree internal node: (split key, child id) entries *)
+  | Leaf_map     (** POS-Tree leaf holding sorted (key, value) entries *)
+  | Leaf_set     (** POS-Tree leaf holding sorted keys *)
+  | Leaf_list    (** sequence-tree leaf holding positional elements *)
+  | Leaf_blob    (** raw byte segment of a blob *)
+  | Seq_index    (** sequence-tree internal node: (count, child id) entries *)
+  | Fnode        (** version node of the derivation DAG (paper §II-D) *)
+
+val kind_to_string : kind -> string
+val kind_of_tag : int -> kind option
+val kind_tag : kind -> int
+val equal_kind : kind -> kind -> bool
+val pp_kind : Format.formatter -> kind -> unit
+
+type t = private { kind : kind; payload : string }
+
+val v : kind -> string -> t
+(** Construct a chunk from a kind and an encoded payload. *)
+
+val encode : t -> string
+(** Canonical on-storage bytes: magic, format version, kind tag, payload. *)
+
+val decode : string -> (t, string) result
+(** Inverse of {!encode}; rejects bad magic, unknown versions and kinds. *)
+
+val hash : t -> Fb_hash.Hash.t
+(** Identity: SHA-256 of {!encode}. *)
+
+val encoded_size : t -> int
+(** Byte size of the encoded form (what the store accounts). *)
+
+val pp : Format.formatter -> t -> unit

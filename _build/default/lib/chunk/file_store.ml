@@ -1,0 +1,123 @@
+module Hash = Fb_hash.Hash
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    end
+  in
+  go dir
+
+let path_of root id =
+  let hex = Hash.to_hex id in
+  Filename.concat (Filename.concat root (String.sub hex 0 2))
+    (String.sub hex 2 (String.length hex - 2))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file_atomic path data =
+  mkdir_p (Filename.dirname path);
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc data;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+(* Rebuild physical statistics by scanning the fan-out directories. *)
+let scan root =
+  let chunks = ref 0 and bytes = ref 0 in
+  if Sys.file_exists root && Sys.is_directory root then
+    Array.iter
+      (fun sub ->
+        let dir = Filename.concat root sub in
+        if String.length sub = 2 && Sys.is_directory dir then
+          Array.iter
+            (fun f ->
+              if not (Filename.check_suffix f ".tmp") then begin
+                incr chunks;
+                bytes :=
+                  !bytes + (Unix.stat (Filename.concat dir f)).Unix.st_size
+              end)
+            (Sys.readdir dir))
+      (Sys.readdir root);
+  (!chunks, !bytes)
+
+let create ~root =
+  mkdir_p root;
+  let physical_chunks, physical_bytes = scan root in
+  let stats =
+    ref
+      { Store.empty_stats with physical_chunks; physical_bytes }
+  in
+  let put chunk =
+    let encoded = Chunk.encode chunk in
+    let id = Hash.of_string encoded in
+    let path = path_of root id in
+    let s = !stats in
+    let present = Sys.file_exists path in
+    if not present then write_file_atomic path encoded;
+    stats :=
+      { s with
+        puts = s.puts + 1;
+        logical_bytes = s.logical_bytes + String.length encoded;
+        dedup_hits = (s.dedup_hits + if present then 1 else 0);
+        physical_chunks = (s.physical_chunks + if present then 0 else 1);
+        physical_bytes =
+          (s.physical_bytes + if present then 0 else String.length encoded);
+      };
+    id
+  in
+  let get_raw id =
+    stats := { !stats with gets = !stats.gets + 1 };
+    let path = path_of root id in
+    if Sys.file_exists path then Some (read_file path) else None
+  in
+  let get id =
+    match get_raw id with
+    | None -> None
+    | Some encoded -> (
+      match Chunk.decode encoded with Ok c -> Some c | Error _ -> None)
+  in
+  let mem id = Sys.file_exists (path_of root id) in
+  let iter f =
+    Array.iter
+      (fun sub ->
+        let dir = Filename.concat root sub in
+        if String.length sub = 2 && Sys.is_directory dir then
+          Array.iter
+            (fun file ->
+              if not (Filename.check_suffix file ".tmp") then
+                match Fb_hash.Hex.decode (sub ^ file) with
+                | Error _ -> ()
+                | Ok raw -> (
+                  match Hash.of_raw raw with
+                  | Error _ -> ()
+                  | Ok id -> f id (read_file (Filename.concat dir file))))
+            (Sys.readdir dir))
+      (Sys.readdir root)
+  in
+  let delete id =
+    let path = path_of root id in
+    if Sys.file_exists path then begin
+      let size = (Unix.stat path).Unix.st_size in
+      Sys.remove path;
+      stats :=
+        { !stats with
+          physical_chunks = !stats.physical_chunks - 1;
+          physical_bytes = !stats.physical_bytes - size };
+      true
+    end
+    else false
+  in
+  { Store.name = "file:" ^ root; put; get; get_raw; mem;
+    stats = (fun () -> !stats); iter; delete }

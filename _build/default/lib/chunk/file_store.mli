@@ -1,0 +1,10 @@
+(** Directory-backed chunk store.
+
+    Chunks live as individual files under [root/ab/<hex>] where [ab] is the
+    first hex byte of the identity — the same fan-out layout Git uses for
+    loose objects.  Durable across processes; reopening an existing root
+    recomputes the physical statistics by scanning.  Writes are atomic
+    (write to a temp file, then rename). *)
+
+val create : root:string -> Store.t
+(** Open (or initialize) a store rooted at directory [root]. *)

@@ -1,0 +1,38 @@
+module Hash = Fb_hash.Hash
+
+type result = {
+  live_chunks : int;
+  swept_chunks : int;
+  swept_bytes : int;
+}
+
+let reachable store ~children ~roots =
+  let seen = ref Hash.Set.empty in
+  let rec visit id =
+    if not (Hash.Set.mem id !seen) then begin
+      seen := Hash.Set.add id !seen;
+      match Store.get store id with
+      | None -> ()
+      | Some chunk -> List.iter visit (children chunk)
+    end
+  in
+  List.iter visit roots;
+  !seen
+
+let sweep store ~children ~roots =
+  let live = reachable store ~children ~roots in
+  let dead = ref [] in
+  store.Store.iter (fun id encoded ->
+      if not (Hash.Set.mem id live) then
+        dead := (id, String.length encoded) :: !dead);
+  let swept_bytes = ref 0 and swept_chunks = ref 0 in
+  List.iter
+    (fun (id, size) ->
+      if store.Store.delete id then begin
+        incr swept_chunks;
+        swept_bytes := !swept_bytes + size
+      end)
+    !dead;
+  { live_chunks = Hash.Set.cardinal live;
+    swept_chunks = !swept_chunks;
+    swept_bytes = !swept_bytes }

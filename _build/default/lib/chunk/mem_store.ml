@@ -1,0 +1,64 @@
+module Hash = Fb_hash.Hash
+
+type handle = {
+  tbl : string Hash.Tbl.t;
+  mutable stats : Store.stats;
+}
+
+let create_with_handle ?(name = "mem") () =
+  let h = { tbl = Hash.Tbl.create 4096; stats = Store.empty_stats } in
+  let put chunk =
+    let encoded = Chunk.encode chunk in
+    let id = Hash.of_string encoded in
+    let s = h.stats in
+    let present = Hash.Tbl.mem h.tbl id in
+    if not present then Hash.Tbl.replace h.tbl id encoded;
+    h.stats <-
+      { s with
+        puts = s.puts + 1;
+        logical_bytes = s.logical_bytes + String.length encoded;
+        dedup_hits = (s.dedup_hits + if present then 1 else 0);
+        physical_chunks = (s.physical_chunks + if present then 0 else 1);
+        physical_bytes =
+          (s.physical_bytes + if present then 0 else String.length encoded);
+      };
+    id
+  in
+  let get_raw id =
+    h.stats <- { h.stats with gets = h.stats.gets + 1 };
+    Hash.Tbl.find_opt h.tbl id
+  in
+  let get id =
+    match get_raw id with
+    | None -> None
+    | Some encoded -> (
+      match Chunk.decode encoded with Ok c -> Some c | Error _ -> None)
+  in
+  let mem id = Hash.Tbl.mem h.tbl id in
+  let iter f = Hash.Tbl.iter f h.tbl in
+  let delete id =
+    match Hash.Tbl.find_opt h.tbl id with
+    | None -> false
+    | Some encoded ->
+      Hash.Tbl.remove h.tbl id;
+      let s = h.stats in
+      h.stats <-
+        { s with
+          physical_chunks = s.physical_chunks - 1;
+          physical_bytes = s.physical_bytes - String.length encoded };
+      true
+  in
+  ( { Store.name; put; get; get_raw; mem; stats = (fun () -> h.stats); iter;
+      delete },
+    h )
+
+let create ?name () = fst (create_with_handle ?name ())
+
+let tamper h id ~f =
+  match Hash.Tbl.find_opt h.tbl id with
+  | None -> false
+  | Some encoded ->
+    Hash.Tbl.replace h.tbl id (f encoded);
+    true
+
+let chunk_ids h = Hash.Tbl.fold (fun id _ acc -> id :: acc) h.tbl []

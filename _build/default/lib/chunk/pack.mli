@@ -1,0 +1,35 @@
+(** Pack files: many chunks in one indexed archive.
+
+    The directory backend stores one file per chunk, which is simple but
+    wasteful for cold data (inode per 2 KB page).  A pack freezes a set of
+    chunks into a single file with a sorted index for binary-search lookup
+    — the same role git's packfiles play for loose objects.  Packs are
+    immutable; fresh writes go to an overlay store layered on top with
+    {!with_overlay}. *)
+
+type t
+(** An open pack (index resident, data read on demand). *)
+
+val write_file :
+  path:string -> (Fb_hash.Hash.t * string) list -> (int, string) result
+(** Write a pack holding the given (id, encoded bytes) pairs; returns the
+    chunk count.  Entries whose bytes do not hash to their id are refused —
+    a pack can only hold honest chunks. *)
+
+val pack_store : Store.t -> path:string -> (int, string) result
+(** Freeze every chunk of a store into a pack file. *)
+
+val open_file : path:string -> (t, string) result
+(** Open a pack, loading and sanity-checking its index. *)
+
+val count : t -> int
+val find : t -> Fb_hash.Hash.t -> string option
+val mem : t -> Fb_hash.Hash.t -> bool
+
+val reader : t -> Store.t
+(** Read-only store view of a pack; [put]/[delete] raise [Failure]. *)
+
+val with_overlay : packs:t list -> Store.t -> Store.t
+(** Layered store: reads hit the overlay first, then each pack in order;
+    writes and deletes go to the overlay.  A put whose chunk already lives
+    in a pack is counted as a dedup hit and not duplicated. *)

@@ -1,0 +1,60 @@
+(** Sharded, replicated chunk store — the single-process simulation of
+    ForkBase's distributed deployment (the paper describes ForkBase as "a
+    distributed storage system"; see DESIGN.md substitutions).
+
+    Chunks are placed on a consistent-hash ring of member stores and
+    written to [replicas] consecutive distinct members.  Reads try the
+    owners in order, re-hash what they serve (a remote node is just another
+    untrusted provider), fall back to the other replicas on miss or
+    corruption, and repair the failed owner when a good copy is found.
+    Members can be marked down to simulate failures; writes performed while
+    a member is down land on the next owners, so data stays available as
+    long as any replica of each chunk survives.
+
+    Content addressing makes all of this trivially consistent: replicas
+    can never disagree about a chunk's value, only about its presence. *)
+
+type t
+
+val create :
+  ?replicas:int ->
+  ?virtual_nodes:int ->
+  members:(string * Store.t) list ->
+  unit ->
+  t
+(** A ring over named member stores.  [replicas] (default 2, capped at the
+    member count) copies per chunk; [virtual_nodes] (default 64) ring
+    points per member for placement smoothness.
+    @raise Invalid_argument on an empty member list or non-positive
+    parameters. *)
+
+val store : t -> Store.t
+(** The aggregate viewed as an ordinary chunk store. *)
+
+val owners : t -> Fb_hash.Hash.t -> string list
+(** The member names responsible for a chunk, preference order. *)
+
+val set_down : t -> string -> bool -> unit
+(** Mark a member unavailable/available.
+    @raise Invalid_argument for an unknown member. *)
+
+type health = {
+  member : string;
+  down : bool;
+  chunks : int;
+  bytes : int;
+}
+
+val health : t -> health list
+
+type repair_stats = {
+  mutable fallback_reads : int;  (** reads served by a non-primary replica *)
+  mutable repaired : int;        (** chunks re-replicated during reads *)
+  mutable rejected : int;        (** corrupt copies refused and replaced *)
+}
+
+val repair_stats : t -> repair_stats
+
+val rebalance : t -> int
+(** Re-replicate every chunk to its current owner set (run after membership
+    or availability changes); returns the number of copies written. *)

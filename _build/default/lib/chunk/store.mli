@@ -1,0 +1,57 @@
+(** Content-addressed chunk store.
+
+    The store maps chunk identity (SHA-256 of encoded bytes) to the encoded
+    bytes; writing a chunk whose identity is already present is a no-op that
+    is counted as a {e dedup hit}.  This is where ForkBase's storage savings
+    materialize: POS-Tree pages shared between versions, branches, or whole
+    datasets occupy physical space exactly once (paper §II-C, §III-A).
+
+    Backends are packaged as a record of operations so that higher layers
+    are agnostic to where bytes live (memory, directory of files, or a
+    deliberately malicious wrapper in the tamper-evidence experiments). *)
+
+type stats = {
+  physical_chunks : int;  (** distinct chunks held *)
+  physical_bytes : int;   (** sum of encoded sizes of distinct chunks *)
+  puts : int;             (** put calls *)
+  dedup_hits : int;       (** puts that found the chunk already present *)
+  logical_bytes : int;    (** sum of encoded sizes over all puts *)
+  gets : int;             (** get calls *)
+}
+
+val empty_stats : stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val dedup_ratio : stats -> float
+(** [logical_bytes / physical_bytes], floored at 1.0 — [logical_bytes]
+    only counts the current session's puts, so a freshly reopened durable
+    store reports 1.0 until it writes. *)
+
+type t = {
+  name : string;
+  put : Chunk.t -> Fb_hash.Hash.t;
+  get : Fb_hash.Hash.t -> Chunk.t option;
+  get_raw : Fb_hash.Hash.t -> string option;
+    (** Encoded bytes as stored, {e without} integrity checking — the raw
+        view a malicious provider would serve.  Verification layers hash
+        these bytes themselves. *)
+  mem : Fb_hash.Hash.t -> bool;
+  stats : unit -> stats;
+  iter : (Fb_hash.Hash.t -> string -> unit) -> unit;
+    (** Iterate over (identity, encoded bytes) of every stored chunk. *)
+  delete : Fb_hash.Hash.t -> bool;
+    (** Remove a chunk (garbage collection only); [true] if it existed. *)
+}
+
+val put : t -> Chunk.t -> Fb_hash.Hash.t
+val get : t -> Fb_hash.Hash.t -> Chunk.t option
+
+val get_exn : t -> Fb_hash.Hash.t -> Chunk.t
+(** @raise Not_found if the chunk is absent. *)
+
+val mem : t -> Fb_hash.Hash.t -> bool
+val stats : t -> stats
+
+val physical_bytes : t -> int
+(** Shorthand for [(stats t).physical_bytes] — the quantity whose delta the
+    Fig. 4 experiment reports. *)

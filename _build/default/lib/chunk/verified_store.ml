@@ -1,0 +1,31 @@
+module Hash = Fb_hash.Hash
+
+type violations = {
+  mutable rejected_reads : int;
+  mutable last_offender : Hash.t option;
+}
+
+let wrap (inner : Store.t) =
+  let v = { rejected_reads = 0; last_offender = None } in
+  let checked id =
+    match inner.Store.get_raw id with
+    | None -> None
+    | Some raw ->
+      if Hash.equal (Hash.of_string raw) id then Some raw
+      else begin
+        v.rejected_reads <- v.rejected_reads + 1;
+        v.last_offender <- Some id;
+        None
+      end
+  in
+  let get id =
+    match checked id with
+    | None -> None
+    | Some raw -> (
+      match Chunk.decode raw with Ok c -> Some c | Error _ -> None)
+  in
+  ( { inner with
+      Store.name = "verified:" ^ inner.Store.name;
+      get;
+      get_raw = checked },
+    v )

@@ -1,0 +1,17 @@
+(** Integrity-checking store wrapper — tamper {e rejection} at read time.
+
+    Wraps any backend so that every [get]/[get_raw] re-hashes the served
+    bytes and refuses (returns [None] and counts a violation) anything that
+    does not match the requested identity.  This is the paranoid-client
+    mode: instead of detecting tampering during an explicit [verify] pass,
+    a malicious provider simply cannot get forged bytes past a read. *)
+
+type violations = {
+  mutable rejected_reads : int;
+      (** reads whose bytes did not hash to the requested id *)
+  mutable last_offender : Fb_hash.Hash.t option;
+}
+
+val wrap : Store.t -> Store.t * violations
+(** [wrap inner] — same contents, verified reads.  Writes pass through
+    (they are self-addressed already). *)

@@ -1,0 +1,1 @@
+lib/codec/codec.ml: Buffer Bytes Char Fb_hash Int64 List Printf String Sys

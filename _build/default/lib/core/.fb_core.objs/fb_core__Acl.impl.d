@@ -1,0 +1,1 @@
+lib/core/acl.ml: Errors List Printf String

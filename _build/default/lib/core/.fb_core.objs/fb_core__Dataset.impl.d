@@ -1,0 +1,1 @@
+lib/core/dataset.ml: Errors Fb_hash Fb_types Forkbase List Printf Result String

@@ -1,0 +1,1 @@
+lib/core/dataset.mli: Errors Fb_hash Fb_types Forkbase

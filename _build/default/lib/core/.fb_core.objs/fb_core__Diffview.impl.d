@@ -1,0 +1,1 @@
+lib/core/diffview.ml: Errors Fb_postree Fb_types Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/diffview.mli: Errors Fb_postree Fb_types Format

@@ -1,0 +1,1 @@
+lib/core/forkbase.ml: Acl Diffview Errors Fb_chunk Fb_codec Fb_hash Fb_postree Fb_repr Fb_types List Option Printf Result String

@@ -1,0 +1,1 @@
+lib/core/forkbase.mli: Acl Diffview Errors Fb_chunk Fb_hash Fb_repr Fb_types

@@ -1,0 +1,1 @@
+lib/core/indexer.ml: Errors Fb_hash Fb_repr Fb_types Forkbase Result

@@ -1,0 +1,1 @@
+lib/core/indexer.mli: Errors Fb_types Forkbase

@@ -1,0 +1,1 @@
+lib/core/patch.ml: Errors Fb_codec Fb_hash Fb_postree Fb_types Forkbase List Printf Result String

@@ -1,0 +1,1 @@
+lib/core/patch.mli: Errors Forkbase

@@ -1,0 +1,1 @@
+lib/core/persistent.ml: Errors Fb_chunk Fb_repr Filename Forkbase Fun List Result Sys

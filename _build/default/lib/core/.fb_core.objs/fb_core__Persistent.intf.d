@@ -1,0 +1,1 @@
+lib/core/persistent.mli: Acl Errors Forkbase

@@ -1,0 +1,1 @@
+lib/core/service.ml: Buffer Diffview Errors Fb_chunk Fb_hash Fb_postree Fb_repr Fb_types Forkbase Format List Printf Result String Webview

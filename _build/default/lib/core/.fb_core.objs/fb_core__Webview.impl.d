@@ -1,0 +1,1 @@
+lib/core/webview.ml: Diffview Fb_chunk Fb_hash Fb_postree Fb_repr Fb_types Forkbase Int64 List

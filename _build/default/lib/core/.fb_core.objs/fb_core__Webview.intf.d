@@ -1,0 +1,1 @@
+lib/core/webview.mli: Diffview Fb_repr Fb_types Forkbase

@@ -1,0 +1,72 @@
+type level = Read | Write | Admin
+
+let level_to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Admin -> "admin"
+
+let level_of_string = function
+  | "read" -> Some Read
+  | "write" -> Some Write
+  | "admin" -> Some Admin
+  | _ -> None
+
+let rank = function Read -> 0 | Write -> 1 | Admin -> 2
+let implies granted needed = rank granted >= rank needed
+
+type t = {
+  default_level : level option;
+  (* (user, key-pattern, branch-pattern) -> level; patterns are literal or
+     "*".  Few grants are expected, so a scan is fine and keeps wildcard
+     semantics obvious. *)
+  mutable rules : (string * string * string * level) list;
+}
+
+let create ?(default_level = None) () = { default_level; rules = [] }
+let open_instance () = create ~default_level:(Some Admin) ()
+
+let matches pattern s = String.equal pattern "*" || String.equal pattern s
+
+let grant t ~user ~key ~branch level =
+  (* Re-granting replaces the previous level for the same triple. *)
+  t.rules <-
+    (user, key, branch, level)
+    :: List.filter
+         (fun (u, k, b, _) ->
+           not (String.equal u user && String.equal k key && String.equal b branch))
+         t.rules
+
+let revoke t ~user ~key ~branch =
+  t.rules <-
+    List.filter
+      (fun (u, k, b, _) ->
+        not (String.equal u user && String.equal k key && String.equal b branch))
+      t.rules
+
+let best_level t ~user ~key ~branch =
+  List.fold_left
+    (fun acc (u, k, b, level) ->
+      if matches u user && matches k key && matches b branch then
+        match acc with
+        | Some best when rank best >= rank level -> acc
+        | _ -> Some level
+      else acc)
+    t.default_level t.rules
+
+let allowed t ~user ~key ~branch needed =
+  match best_level t ~user ~key ~branch with
+  | None -> false
+  | Some granted -> implies granted needed
+
+let check t ~user ~key ~branch needed =
+  if allowed t ~user ~key ~branch needed then Ok ()
+  else
+    Error
+      (Errors.Permission_denied
+         { user;
+           action =
+             Printf.sprintf "%s key %S branch %S" (level_to_string needed) key
+               branch })
+
+let grants t =
+  List.sort compare t.rules

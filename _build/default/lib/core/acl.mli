@@ -1,0 +1,37 @@
+(** Branch-based access control (Fig. 1: Admin A / Admin B).
+
+    Grants attach a permission level to a (user, key, branch) triple; [key]
+    and [branch] accept the ["*"] wildcard.  Levels are ordered
+    [Read < Write < Admin]: a grant implies every lower level.  Admins of a
+    branch may create branches from it, merge into it, rename and delete
+    it; writers may Put; readers may Get/Diff/Export. *)
+
+type level = Read | Write | Admin
+
+val level_to_string : level -> string
+val level_of_string : string -> level option
+val implies : level -> level -> bool
+(** [implies granted needed]. *)
+
+type t
+
+val create : ?default_level:level option -> unit -> t
+(** [default_level] applies to users with no matching grant; [None]
+    (the default... of the default) denies them everything.  Pass
+    [Some Admin] for an open instance — what a single-tenant deployment
+    wants. *)
+
+val open_instance : unit -> t
+(** Everyone may do everything; the default for embedded use. *)
+
+val grant : t -> user:string -> key:string -> branch:string -> level -> unit
+val revoke : t -> user:string -> key:string -> branch:string -> unit
+
+val check :
+  t -> user:string -> key:string -> branch:string -> level ->
+  (unit, Errors.t) result
+
+val allowed : t -> user:string -> key:string -> branch:string -> level -> bool
+
+val grants : t -> (string * string * string * level) list
+(** All explicit grants as (user, key, branch, level), sorted. *)

@@ -1,0 +1,83 @@
+module Table = Fb_types.Table
+module Schema = Fb_types.Schema
+module Value = Fb_types.Value
+module Primitive = Fb_types.Primitive
+
+type uid = Fb_hash.Hash.t
+
+let ( let* ) = Result.bind
+
+let get_table ?user ?branch fb ~key =
+  let* value = Forkbase.get ?user ?branch fb ~key in
+  match Value.to_table value with
+  | Some table -> Ok table
+  | None ->
+    Error
+      (Errors.Type_mismatch
+         { expected = "table"; got = Value.type_name value })
+
+let commit ?user ?message ?branch fb ~key table =
+  Forkbase.put ?user ?message ?branch fb ~key (Value.Table table)
+
+let create ?user ?(message = "create dataset") ?branch fb ~key schema =
+  commit ?user ~message ?branch fb ~key
+    (Table.create (Forkbase.store fb) schema)
+
+let insert_rows ?user ?message ?branch fb ~key rows =
+  let* table = get_table ?user ?branch fb ~key in
+  match Table.insert_many table rows with
+  | Error e -> Error (Errors.Invalid e)
+  | Ok table ->
+    let message =
+      match message with
+      | Some m -> m
+      | None -> Printf.sprintf "insert %d rows" (List.length rows)
+    in
+    commit ?user ~message ?branch fb ~key table
+
+let delete_rows ?user ?message ?branch fb ~key row_keys =
+  let* table = get_table ?user ?branch fb ~key in
+  let table = List.fold_left Table.delete table row_keys in
+  let message =
+    match message with
+    | Some m -> m
+    | None -> Printf.sprintf "delete %d rows" (List.length row_keys)
+  in
+  commit ?user ~message ?branch fb ~key table
+
+let update_cell ?user ?message ?branch fb ~key ~row ~column value =
+  let* table = get_table ?user ?branch fb ~key in
+  let schema = Table.schema table in
+  match Schema.column_index schema column with
+  | None -> Errors.invalid "no column %S" column
+  | Some idx -> (
+    match Table.find table row with
+    | None -> Errors.invalid "no row %S" row
+    | Some cells ->
+      let cells' = List.mapi (fun i c -> if i = idx then value else c) cells in
+      (* Editing the key cell moves the row: drop the old key first. *)
+      let table =
+        if String.equal (Table.key_of_row schema cells') row then table
+        else Table.delete table row
+      in
+      match Table.insert table cells' with
+      | Error e -> Error (Errors.Invalid e)
+      | Ok table ->
+        let message =
+          match message with
+          | Some m -> m
+          | None -> Printf.sprintf "update %s of row %s" column row
+        in
+        commit ?user ~message ?branch fb ~key table)
+
+let row_count ?user ?branch fb ~key =
+  let* table = get_table ?user ?branch fb ~key in
+  Ok (Table.cardinal table)
+
+let get_row ?user ?branch fb ~key ~row =
+  let* table = get_table ?user ?branch fb ~key in
+  Ok (Table.find table row)
+
+let schema ?user ?branch fb ~key =
+  let* table = get_table ?user ?branch fb ~key in
+  Ok (Table.schema table)

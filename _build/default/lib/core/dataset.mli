@@ -1,0 +1,46 @@
+(** Dataset management: row-level operations on table-valued keys.
+
+    The demo's "Dataset Management" view (Fig. 1): a dataset is a relational
+    table stored under a key, and day-to-day edits are row-granular — which
+    POS-Trees make cheap, since a few-row change re-chunks a few pages
+    instead of reloading the CSV.  Every operation commits a new
+    tamper-evident version on the chosen branch. *)
+
+type uid = Fb_hash.Hash.t
+
+val create :
+  ?user:string -> ?message:string -> ?branch:string ->
+  Forkbase.t -> key:string -> Fb_types.Schema.t ->
+  (uid, Errors.t) result
+(** Commit an empty table with the given schema. *)
+
+val insert_rows :
+  ?user:string -> ?message:string -> ?branch:string ->
+  Forkbase.t -> key:string -> Fb_types.Table.row list ->
+  (uid, Errors.t) result
+(** Upsert rows (validated against the schema) and commit. *)
+
+val delete_rows :
+  ?user:string -> ?message:string -> ?branch:string ->
+  Forkbase.t -> key:string -> string list ->
+  (uid, Errors.t) result
+(** Delete rows by key-cell rendering; absent keys are no-ops. *)
+
+val update_cell :
+  ?user:string -> ?message:string -> ?branch:string ->
+  Forkbase.t -> key:string -> row:string -> column:string ->
+  Fb_types.Primitive.t ->
+  (uid, Errors.t) result
+(** Overwrite one cell of one row and commit. *)
+
+val row_count :
+  ?user:string -> ?branch:string -> Forkbase.t -> key:string ->
+  (int, Errors.t) result
+
+val get_row :
+  ?user:string -> ?branch:string -> Forkbase.t -> key:string -> row:string ->
+  (Fb_types.Table.row option, Errors.t) result
+
+val schema :
+  ?user:string -> ?branch:string -> Forkbase.t -> key:string ->
+  (Fb_types.Schema.t, Errors.t) result

@@ -1,0 +1,29 @@
+type t =
+  | Key_not_found of string
+  | Branch_not_found of { key : string; branch : string }
+  | Version_not_found of string
+  | Permission_denied of { user : string; action : string }
+  | Merge_conflict of { key : string; details : string list }
+  | Type_mismatch of { expected : string; got : string }
+  | Corrupt of string
+  | Invalid of string
+
+let to_string = function
+  | Key_not_found k -> Printf.sprintf "key not found: %S" k
+  | Branch_not_found { key; branch } ->
+    Printf.sprintf "branch %S not found for key %S" branch key
+  | Version_not_found v -> Printf.sprintf "version not found: %s" v
+  | Permission_denied { user; action } ->
+    Printf.sprintf "permission denied: user %S may not %s" user action
+  | Merge_conflict { key; details } ->
+    Printf.sprintf "merge conflict on key %S: %s" key
+      (String.concat "; " details)
+  | Type_mismatch { expected; got } ->
+    Printf.sprintf "type mismatch: expected %s, got %s" expected got
+  | Corrupt msg -> "integrity violation: " ^ msg
+  | Invalid msg -> "invalid request: " ^ msg
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let invalid fmt = Printf.ksprintf (fun s -> Error (Invalid s)) fmt
+let corrupt fmt = Printf.ksprintf (fun s -> Error (Corrupt s)) fmt

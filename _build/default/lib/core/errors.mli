@@ -1,0 +1,22 @@
+(** Typed errors of the public ForkBase API.
+
+    The API never raises across its boundary: storage corruption, missing
+    keys, permission failures and merge conflicts all surface as values. *)
+
+type t =
+  | Key_not_found of string
+  | Branch_not_found of { key : string; branch : string }
+  | Version_not_found of string            (** hex uid *)
+  | Permission_denied of { user : string; action : string }
+  | Merge_conflict of { key : string; details : string list }
+  | Type_mismatch of { expected : string; got : string }
+  | Corrupt of string                       (** failed integrity check *)
+  | Invalid of string                       (** bad argument / malformed input *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val invalid : ('a, unit, string, ('b, t) result) format4 -> 'a
+(** [invalid fmt ...] is [Error (Invalid msg)]. *)
+
+val corrupt : ('a, unit, string, ('b, t) result) format4 -> 'a

@@ -1,0 +1,315 @@
+(** ForkBase — the public API (Fig. 1: Put, Get, List, Branch, Merge,
+    Select, Stat, Export, Diff, Head, Rename, Latest, Meta).
+
+    An instance wraps a content-addressed chunk store, a branch table and an
+    access-control list.  Objects are identified by string keys; each key
+    carries one or more branches; every Put appends a tamper-evident
+    version (uid = Merkle root hash of the FNode, rendered to users in RFC
+    4648 Base32).  All operations return typed results — nothing raises
+    across this boundary. *)
+
+type t
+
+type uid = Fb_hash.Hash.t
+
+(** {1 Instances} *)
+
+val create : ?acl:Acl.t -> Fb_chunk.Store.t -> t
+(** New instance over [store]; the default ACL is {!Acl.open_instance}. *)
+
+val store : t -> Fb_chunk.Store.t
+val acl : t -> Acl.t
+val branch_table : t -> Fb_repr.Branch.t
+
+(** {1 Change notification}
+
+    In-process observers for collaborative tooling (the Web UI's live
+    panes): a callback fires after any operation moves a branch head —
+    Put, CAS, atomic batch, merge, fork, and bundle import.  Callbacks
+    run synchronously on the mutating caller; exceptions they raise are
+    swallowed. *)
+
+type watch
+
+type head_event = {
+  key : string;
+  branch : string;
+  new_head : uid;
+  old_head : uid option;  (** [None] when the branch was created *)
+}
+
+val watch :
+  ?key:string -> ?branch:string -> t -> (head_event -> unit) -> watch
+(** Observe head movements, optionally filtered to one key and/or branch
+    name. *)
+
+val unwatch : t -> watch -> unit
+
+(** {1 Writing} *)
+
+val put :
+  ?user:string ->
+  ?message:string ->
+  ?branch:string ->
+  t ->
+  key:string ->
+  Fb_types.Value.t ->
+  (uid, Errors.t) result
+(** Append a version to [branch] (default ["master"], created on first
+    Put).  [user] (default ["anonymous"]) needs [Write] on the branch. *)
+
+val put_cas :
+  ?user:string ->
+  ?message:string ->
+  ?branch:string ->
+  t ->
+  key:string ->
+  expected_head:uid option ->
+  Fb_types.Value.t ->
+  (uid, Errors.t) result
+(** Compare-and-swap Put for optimistic concurrency between writers
+    sharing a branch: commits only if the branch head still equals
+    [expected_head] ([None] = the branch must not exist yet); otherwise
+    returns [Error (Merge_conflict _)] and the caller re-reads, re-applies
+    and retries — no lost updates. *)
+
+val put_all :
+  ?user:string ->
+  ?message:string ->
+  ?branch:string ->
+  t ->
+  (string * Fb_types.Value.t) list ->
+  ((string * uid) list, Errors.t) result
+(** Atomic multi-key Put: commit a version for every (key, value) pair and
+    move all the branch heads together, or — on any permission or argument
+    failure — move none.  Keys must be distinct.  Orphaned chunks from a
+    failed attempt are reclaimed by {!gc}. *)
+
+(** {1 Reading} *)
+
+val get :
+  ?user:string -> ?branch:string -> t -> key:string ->
+  (Fb_types.Value.t, Errors.t) result
+
+val get_at : ?user:string -> t -> uid -> (Fb_types.Value.t, Errors.t) result
+(** Retrieve a historical version by uid. *)
+
+val head : ?user:string -> ?branch:string -> t -> key:string ->
+  (uid, Errors.t) result
+
+val latest : ?user:string -> t -> key:string ->
+  ((string * uid) list, Errors.t) result
+(** All branch heads of a key — branch name and uid, sorted by name. *)
+
+val meta : ?user:string -> t -> uid -> (Fb_repr.Fnode.t, Errors.t) result
+(** Version metadata: key, bases, author, message, logical clock. *)
+
+val get_as_of :
+  ?user:string -> ?branch:string -> t -> key:string -> seq:int ->
+  (Fb_types.Value.t, Errors.t) result
+(** Time travel: the value of the newest version on the branch whose
+    logical clock is <= [seq].  Errors if the branch has no version that
+    old. *)
+
+val list_keys : ?user:string -> t -> string list
+(** Keys with at least one branch the user can read. *)
+
+val log :
+  ?user:string -> ?branch:string -> ?limit:int -> t -> key:string ->
+  (Fb_repr.Fnode.t list, Errors.t) result
+(** History of a branch head, newest first. *)
+
+(** {1 Branching} *)
+
+val fork :
+  ?user:string -> ?from_branch:string -> t -> key:string ->
+  new_branch:string -> (uid, Errors.t) result
+(** Create [new_branch] pointing at [from_branch]'s head.  O(1): no data is
+    copied, the new branch shares every chunk. *)
+
+val fork_at :
+  ?user:string -> t -> key:string -> new_branch:string -> uid ->
+  (uid, Errors.t) result
+(** Branch from a historical version. *)
+
+val rename_branch :
+  ?user:string -> t -> key:string -> from_branch:string -> to_branch:string ->
+  (unit, Errors.t) result
+
+val delete_branch :
+  ?user:string -> t -> key:string -> branch:string -> (unit, Errors.t) result
+
+(** {1 Tags}
+
+    Named, immutable pointers to versions (the [git tag] analogue):
+    released dataset editions, audit snapshots.  Unlike branch heads they
+    never move — retagging a name fails — and they are GC roots. *)
+
+val tag :
+  ?user:string -> t -> key:string -> name:string -> uid ->
+  (unit, Errors.t) result
+(** Requires [Admin] on the key; the version must exist and belong to
+    [key]; the name must be fresh. *)
+
+val tags : ?user:string -> t -> key:string -> (string * uid) list
+(** Tags of a key the user may read, sorted by name. *)
+
+val tag_lookup :
+  ?user:string -> t -> key:string -> name:string -> (uid, Errors.t) result
+
+val delete_tag :
+  ?user:string -> t -> key:string -> name:string -> (unit, Errors.t) result
+
+val tag_table : t -> Fb_repr.Branch.t
+(** The underlying name→uid table (persistence, like {!branch_table}). *)
+
+(** {1 Diff and merge} *)
+
+val diff :
+  ?user:string -> t -> key:string -> branch1:string -> branch2:string ->
+  (Diffview.t, Errors.t) result
+(** Differential query between two branch heads (paper §III-B). *)
+
+val diff_versions :
+  ?user:string -> t -> uid -> uid -> (Diffview.t, Errors.t) result
+
+type merge_strategy =
+  | Fail_on_conflict  (** report conflicts, merge nothing *)
+  | Prefer_ours       (** conflicting entries keep [into]'s side *)
+  | Prefer_theirs     (** conflicting entries take [from]'s side *)
+
+val merge :
+  ?user:string ->
+  ?message:string ->
+  ?strategy:merge_strategy ->
+  t ->
+  key:string ->
+  into:string ->
+  from_branch:string ->
+  (uid, Errors.t) result
+(** Three-way merge of [from_branch] into [into] (paper §II-B): the base is
+    the deepest common ancestor in the derivation DAG; fast-forwards are
+    detected; structured values (map, set, table with equal schemas) merge
+    at sub-tree level, reusing disjointly-modified pages (Fig. 3).  The
+    merge FNode carries both heads as bases. *)
+
+val merge_preview :
+  ?user:string -> t -> key:string -> into:string -> from_branch:string ->
+  ([ `Fast_forward | `Already_merged | `Clean | `Conflicts of string list ],
+   Errors.t) result
+(** Dry-run merge classification — nothing is committed and no head moves:
+    what {!merge} with the default strategy would do. *)
+
+(** {1 Dataset conveniences (Select / Export)} *)
+
+val select :
+  ?user:string -> ?branch:string -> t -> key:string ->
+  (Fb_types.Table.row -> bool) ->
+  (Fb_types.Table.row list, Errors.t) result
+(** Filter rows of a table-valued key. *)
+
+val table_stat :
+  ?user:string -> ?branch:string -> t -> key:string ->
+  (Fb_types.Table.col_stat list, Errors.t) result
+
+type row_event = {
+  version : uid;
+  author : string;
+  message : string;
+  seq : int;
+  change : Fb_types.Table.row_change;
+}
+
+val row_history :
+  ?user:string -> ?branch:string -> ?limit:int -> t -> key:string ->
+  row:string -> (row_event list, Errors.t) result
+(** Provenance of one row of a table-valued key — the [git blame]/[git log
+    -p] analogue: every version along the branch history where the row was
+    added, removed or modified, newest first.  POS-Tree diffs make each
+    step O(D log N), so auditing one row of a large dataset does not scan
+    it.  [limit] caps the number of {e versions} examined. *)
+
+val export_csv :
+  ?user:string -> ?branch:string -> t -> key:string ->
+  (string, Errors.t) result
+
+val import_csv :
+  ?user:string -> ?message:string -> ?branch:string -> ?key_column:int ->
+  t -> key:string -> string -> (uid, Errors.t) result
+(** Parse CSV (header + rows) into a table value and Put it. *)
+
+(** {1 Verification (paper §III-C)} *)
+
+val verify :
+  ?user:string -> ?check_history:bool -> ?check_history_values:bool ->
+  t -> uid -> (Fb_repr.Verify.report, Errors.t) result
+(** Recompute every Merkle hash on the spot and compare with the uid — the
+    client-side check against a malicious storage provider. *)
+
+val verify_branch :
+  ?user:string -> t -> key:string -> branch:string ->
+  (Fb_repr.Verify.report, Errors.t) result
+
+(** {1 Entry proofs (light clients)}
+
+    A light client that trusts only a version uid can audit a single entry
+    of a map- or table-valued version without fetching the value: the proof
+    carries the FNode bytes (which hash to the uid) plus the O(log N)
+    POS-Tree chunk path to the responsible leaf.  Verification is pure —
+    no store, no trust in the prover. *)
+
+type entry_proof
+
+val encode_entry_proof : entry_proof -> string
+val decode_entry_proof : string -> (entry_proof, Errors.t) result
+
+val prove_entry :
+  ?user:string -> ?branch:string -> t -> key:string -> entry_key:string ->
+  (entry_proof, Errors.t) result
+(** Proof for the entry under [entry_key] (a map key, or a table row key)
+    in [key]'s branch head — covering presence or absence. *)
+
+val verify_entry_proof :
+  uid:uid -> key:string -> entry_key:string -> entry_proof ->
+  (string option, Errors.t) result
+(** Pure check against the trusted [uid].  [Ok (Some bytes)]: the version
+    provably maps [entry_key] to [bytes] (a raw map value, or an encoded
+    table row for {!Fb_types.Table.decode_row}).  [Ok None]: provably
+    absent.  [Error _]: the proof does not authenticate. *)
+
+(** {1 Bundles (data exchange)} *)
+
+val export_bundle :
+  ?user:string -> ?branch:string -> t -> key:string ->
+  (string, Errors.t) result
+(** Pack a branch head and its full history closure into a self-contained
+    byte string — the data-exchange counterpart of [git bundle]. *)
+
+val import_bundle :
+  ?user:string -> ?branch:string -> t -> key:string -> string ->
+  (uid, Errors.t) result
+(** Unpack a bundle and point [branch] of [key] at its root.  The bundle is
+    fully re-hashed and closure-checked before anything is stored; the root
+    must belong to [key]; an existing branch head must be an ancestor of
+    the incoming root (fast-forward only — merge divergent histories with
+    {!merge} after importing to a side branch). *)
+
+(** {1 Stat and maintenance} *)
+
+type stats = {
+  keys : int;
+  branches : int;             (** across all keys *)
+  versions : int;             (** distinct reachable FNodes *)
+  store : Fb_chunk.Store.stats;
+}
+
+val stats : t -> stats
+
+val version_string : uid -> string
+(** The user-facing Base32 rendering of a version (Fig. 6). *)
+
+val parse_version : string -> (uid, Errors.t) result
+(** Accepts Base32 (canonical) or hex. *)
+
+val gc : t -> Fb_chunk.Gc.result
+(** Drop chunks unreachable from any branch head. *)

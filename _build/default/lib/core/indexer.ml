@@ -1,0 +1,75 @@
+module Table = Fb_types.Table
+module Table_index = Fb_types.Table_index
+module Value = Fb_types.Value
+module Hash = Fb_hash.Hash
+
+let ( let* ) = Result.bind
+
+type state = {
+  mutable index : Table_index.t;
+  mutable at : Hash.t;        (* the head the index reflects *)
+  mutable broken : string option;
+}
+
+type t = {
+  key : string;
+  branch : string;
+  state : state;
+  watch : Forkbase.watch;
+}
+
+let table_at fb uid =
+  let* value = Forkbase.get_at fb uid in
+  match Value.to_table value with
+  | Some table -> Ok table
+  | None ->
+    Error
+      (Errors.Type_mismatch
+         { expected = "table"; got = Value.type_name value })
+
+let advance fb state new_head =
+  match
+    let* old_table = table_at fb state.at in
+    let* new_table = table_at fb new_head in
+    let* changes =
+      match Table.diff old_table new_table with
+      | Ok c -> Ok c
+      | Error e -> Error (Errors.Invalid e)
+    in
+    match Table_index.apply_changes state.index new_table changes with
+    | Ok index -> Ok index
+    | Error e -> Error (Errors.Invalid e)
+  with
+  | Ok index ->
+    state.index <- index;
+    state.at <- new_head
+  | Error e -> state.broken <- Some (Errors.to_string e)
+
+let attach ?(branch = Fb_repr.Branch.default_branch) fb ~key ~column =
+  let* head = Forkbase.head ~branch fb ~key in
+  let* table = table_at fb head in
+  let* index =
+    match Table_index.build table ~column with
+    | Ok i -> Ok i
+    | Error e -> Error (Errors.Invalid e)
+  in
+  let state = { index; at = head; broken = None } in
+  let watch =
+    Forkbase.watch ~key ~branch fb (fun event ->
+        if state.broken = None then
+          advance fb state event.Forkbase.new_head)
+  in
+  Ok { key; branch; state; watch }
+
+let detach fb t = Forkbase.unwatch fb t.watch
+
+let lookup fb t value =
+  match t.state.broken with
+  | Some e -> Error (Errors.Invalid ("index broken: " ^ e))
+  | None ->
+    let* table = table_at fb t.state.at in
+    Ok (Table_index.lookup t.state.index table value)
+
+let count t value = Table_index.count t.state.index value
+
+let healthy t = t.state.broken = None

@@ -1,0 +1,30 @@
+(** Auto-maintained secondary indexes.
+
+    Attach an index to a (key, branch, column) and it follows the branch:
+    every head movement triggers an incremental {!Fb_types.Table_index}
+    update computed from the table diff between the old and new heads —
+    O(changed rows), not O(table).  The moment a lookup runs, the index is
+    guaranteed current with the branch head it observed last. *)
+
+type t
+
+val attach :
+  ?branch:string -> Forkbase.t -> key:string -> column:string ->
+  (t, Errors.t) result
+(** Build the initial index from the current head (the key must hold a
+    table with that column) and subscribe to the branch. *)
+
+val detach : Forkbase.t -> t -> unit
+(** Unsubscribe; the index stops following (its last state remains
+    queryable). *)
+
+val lookup :
+  Forkbase.t -> t -> Fb_types.Primitive.t ->
+  (Fb_types.Table.row list, Errors.t) result
+(** Rows whose indexed column equals the value, at the followed head. *)
+
+val count : t -> Fb_types.Primitive.t -> int
+
+val healthy : t -> bool
+(** [false] if an update could not be applied (e.g. the key stopped being
+    a table, or its schema dropped the column); lookups then fail. *)

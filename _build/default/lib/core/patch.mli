@@ -1,0 +1,32 @@
+(** Binary patches: ship a differential query's result and replay it.
+
+    The offline counterpart of {!Forkbase.merge} for loosely-coupled
+    collaborators: site A exports the delta between two of its versions as
+    a compact byte string; site B applies it to its own branch — far
+    smaller than a bundle when histories already mostly agree.  Patches
+    carry the base and target uids, so application is checked: by default a
+    patch only applies to a branch whose head {e is} the base version
+    (three-way drift is what {!Forkbase.merge} is for). *)
+
+type t
+
+val encode : t -> string
+val decode : string -> (t, Errors.t) result
+
+val base_uid : t -> Forkbase.uid
+val target_uid : t -> Forkbase.uid
+
+val diff :
+  ?user:string -> Forkbase.t -> key:string -> from_uid:Forkbase.uid ->
+  to_uid:Forkbase.uid -> (t, Errors.t) result
+(** Patch turning [from_uid]'s value into [to_uid]'s.  Supported for map-
+    and table-valued versions (entry-level deltas). *)
+
+val apply :
+  ?user:string -> ?message:string -> ?branch:string -> ?force:bool ->
+  Forkbase.t -> key:string -> t -> (Forkbase.uid, Errors.t) result
+(** Apply to [branch]'s head and commit.  Unless [force], the head must
+    equal the patch's base uid; the committed version's value is then
+    bit-identical to the patch's target (structural invariance), though its
+    uid differs when histories differ.  With [force], entry edits are
+    replayed onto whatever the head is (last-writer-wins per entry). *)

@@ -1,0 +1,65 @@
+module Branch = Fb_repr.Branch
+
+let ( let* ) = Result.bind
+
+let branches_file root = Filename.concat root "BRANCHES"
+let tags_file root = Filename.concat root "TAGS"
+
+let read_table path =
+  if not (Sys.file_exists path) then Ok (Branch.create ())
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | content -> (
+      match Branch.deserialize content with
+      | Ok t -> Ok t
+      | Error e -> Errors.corrupt "%s: %s" path e)
+    | exception Sys_error e -> Errors.corrupt "%s: %s" path e
+
+let copy_table ~into src =
+  List.iter
+    (fun key ->
+      List.iter
+        (fun (branch, uid) -> Branch.set_head into ~key ~branch uid)
+        (Branch.branches src ~key))
+    (Branch.keys src)
+
+let write_table path table =
+  match
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc (Branch.serialize table);
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    Sys.rename tmp path
+  with
+  | () -> Ok ()
+  | exception Sys_error e -> Errors.corrupt "writing %s: %s" path e
+
+let open_ ?acl ~root () =
+  match Fb_chunk.File_store.create ~root:(Filename.concat root "chunks") with
+  | store ->
+    let fb = Forkbase.create ?acl store in
+    let* branches = read_table (branches_file root) in
+    copy_table ~into:(Forkbase.branch_table fb) branches;
+    let* tags = read_table (tags_file root) in
+    copy_table ~into:(Forkbase.tag_table fb) tags;
+    Ok fb
+  | exception Sys_error e -> Errors.corrupt "opening %s: %s" root e
+
+let save ~root fb =
+  let* () = write_table (branches_file root) (Forkbase.branch_table fb) in
+  write_table (tags_file root) (Forkbase.tag_table fb)
+
+let with_instance ?acl ~root f =
+  let* fb = open_ ?acl ~root () in
+  let* result = f fb in
+  let* () = save ~root fb in
+  Ok result

@@ -1,0 +1,27 @@
+(** Durable ForkBase instances on a directory.
+
+    Bundles the pieces a durable deployment needs: the directory-backed
+    chunk store under [root/chunks], plus the branch and tag tables
+    serialized to [root/BRANCHES] and [root/TAGS].  Mutating table state is
+    only durable after {!save} (the CLI saves after every command); chunk
+    writes are durable immediately.
+
+    Layout:
+    {v
+    root/
+      chunks/ab/<hex>   content-addressed chunks
+      BRANCHES          serialized branch table
+      TAGS              serialized tag table
+    v} *)
+
+val open_ : ?acl:Acl.t -> root:string -> unit -> (Forkbase.t, Errors.t) result
+(** Open (creating directories as needed) an instance rooted at [root];
+    fails on unreadable or corrupt table files. *)
+
+val save : root:string -> Forkbase.t -> (unit, Errors.t) result
+(** Persist the branch and tag tables (atomically: temp file + rename). *)
+
+val with_instance :
+  ?acl:Acl.t -> root:string -> (Forkbase.t -> ('a, Errors.t) result) ->
+  ('a, Errors.t) result
+(** Open, run, save on success. *)

@@ -1,0 +1,148 @@
+module Value = Fb_types.Value
+module Hash = Fb_hash.Hash
+
+let tokenize line =
+  let n = String.length line in
+  let tokens = ref [] and buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  let rec plain i =
+    if i >= n then (flush (); Ok ())
+    else
+      match line.[i] with
+      | ' ' | '\t' -> (flush (); plain (i + 1))
+      | '"' -> quoted (i + 1)
+      | c -> (Buffer.add_char buf c; plain (i + 1))
+  and quoted i =
+    if i >= n then Error "unterminated quote"
+    else
+      match line.[i] with
+      | '"' ->
+        (* Token boundary even if empty: "" is an empty argument. *)
+        tokens := Buffer.contents buf :: !tokens;
+        Buffer.clear buf;
+        plain (i + 1)
+      | '\\' when i + 1 < n && line.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | c -> (Buffer.add_char buf c; quoted (i + 1))
+  in
+  match plain 0 with
+  | Ok () -> Ok (List.rev !tokens)
+  | Error _ as e -> e
+
+let render_value = function
+  | Value.Primitive p -> Fb_types.Primitive.to_string p
+  | Value.Table t -> Fb_types.Table.to_csv t
+  | Value.Blob b -> Fb_postree.Pblob.to_string b
+  | Value.Map m ->
+    String.concat "\n"
+      (List.map
+         (fun (k, v) -> Printf.sprintf "%s=%s" k v)
+         (Fb_postree.Pmap.bindings m))
+  | Value.Set s -> String.concat "\n" (Fb_postree.Pset.elements s)
+  | Value.List l -> String.concat "\n" (Fb_postree.Plist.to_list l)
+
+let handle ?user fb line =
+  let ( let* ) = Result.bind in
+  let reply = function
+    | Ok "" -> "OK"
+    | Ok payload -> "OK " ^ payload
+    | Error e -> "ERR " ^ Errors.to_string e
+  in
+  let run tokens =
+    match List.map String.lowercase_ascii [ List.nth tokens 0 ] with
+    | exception _ -> Error (Errors.Invalid "empty request")
+    | [ verb ] -> (
+      match verb, List.tl tokens with
+      | "put", [ key; branch; value ] ->
+        let* uid = Forkbase.put ?user ~branch fb ~key (Value.string value) in
+        Ok (Forkbase.version_string uid)
+      | "put-csv", [ key; branch; csv ] ->
+        let* uid = Forkbase.import_csv ?user ~branch fb ~key csv in
+        Ok (Forkbase.version_string uid)
+      | "get", [ key; branch ] ->
+        let* value = Forkbase.get ?user ~branch fb ~key in
+        Ok (render_value value)
+      | "get-at", [ uid ] ->
+        let* uid = Forkbase.parse_version uid in
+        let* value = Forkbase.get_at ?user fb uid in
+        Ok (render_value value)
+      | "head", [ key; branch ] ->
+        let* uid = Forkbase.head ?user ~branch fb ~key in
+        Ok (Forkbase.version_string uid)
+      | "latest", [ key ] ->
+        let* heads = Forkbase.latest ?user fb ~key in
+        Ok
+          (String.concat "\n"
+             (List.map
+                (fun (b, uid) ->
+                  Printf.sprintf "%s %s" b (Forkbase.version_string uid))
+                heads))
+      | "list", [] -> Ok (String.concat "\n" (Forkbase.list_keys ?user fb))
+      | "log", [ key; branch ] ->
+        let* nodes = Forkbase.log ?user ~branch fb ~key in
+        Ok
+          (String.concat "\n"
+             (List.map
+                (fun (f : Fb_repr.Fnode.t) ->
+                  Printf.sprintf "%s %d %s %s"
+                    (Forkbase.version_string (Fb_repr.Fnode.uid f))
+                    f.Fb_repr.Fnode.seq f.Fb_repr.Fnode.author
+                    f.Fb_repr.Fnode.message)
+                nodes))
+      | "branch", [ key; from_branch; new_branch ] ->
+        let* uid = Forkbase.fork ?user ~from_branch fb ~key ~new_branch in
+        Ok (Forkbase.version_string uid)
+      | "diff", [ key; branch1; branch2 ] ->
+        let* d = Forkbase.diff ?user fb ~key ~branch1 ~branch2 in
+        Ok
+          (Diffview.summary d ^ "\n"
+           ^ Format.asprintf "%a" Diffview.render d)
+      | "merge", [ key; into; from_branch ] ->
+        let* uid = Forkbase.merge ?user fb ~key ~into ~from_branch in
+        Ok (Forkbase.version_string uid)
+      | "verify", [ key; branch ] ->
+        let* report = Forkbase.verify_branch ?user fb ~key ~branch in
+        Ok
+          (Printf.sprintf "%d versions %d chunks"
+             report.Fb_repr.Verify.versions_checked
+             report.Fb_repr.Verify.value_chunks)
+      | "stat", [] ->
+        let s = Forkbase.stats fb in
+        Ok
+          (Printf.sprintf "keys=%d branches=%d versions=%d physical=%d"
+             s.Forkbase.keys s.Forkbase.branches s.Forkbase.versions
+             s.Forkbase.store.Fb_chunk.Store.physical_bytes)
+      (* JSON variants: the bodies a REST gateway returns verbatim. *)
+      | "get-json", [ key; branch ] ->
+        let* value = Forkbase.get ?user ~branch fb ~key in
+        Ok (Fb_types.Json.to_string (Webview.value_json value))
+      | "diff-json", [ key; branch1; branch2 ] ->
+        let* d = Forkbase.diff ?user fb ~key ~branch1 ~branch2 in
+        Ok (Fb_types.Json.to_string (Webview.diff_json d))
+      | "log-json", [ key; branch ] ->
+        let* nodes = Forkbase.log ?user ~branch fb ~key in
+        Ok (Fb_types.Json.to_string (Webview.log_json nodes))
+      | "stat-json", [] ->
+        Ok (Fb_types.Json.to_string (Webview.stats_json (Forkbase.stats fb)))
+      | "latest-json", [ key ] ->
+        let* heads = Forkbase.latest ?user fb ~key in
+        Ok (Fb_types.Json.to_string (Webview.branches_json heads))
+      | "prove", [ key; branch; entry_key ] ->
+        (* Hex-encoded entry proof a light client verifies offline against
+           the branch head uid. *)
+        let* proof = Forkbase.prove_entry ?user ~branch fb ~key ~entry_key in
+        Ok (Fb_hash.Hex.encode (Forkbase.encode_entry_proof proof))
+      | verb, args ->
+        Errors.invalid "bad request: %s/%d arguments" verb (List.length args))
+    | _ -> assert false
+  in
+  match tokenize line with
+  | Error e -> "ERR " ^ Errors.to_string (Errors.Invalid e)
+  | Ok [] -> "ERR " ^ Errors.to_string (Errors.Invalid "empty request")
+  | Ok tokens -> reply (run tokens)

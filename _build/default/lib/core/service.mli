@@ -1,0 +1,37 @@
+(** Request/response semantic view — the transport-agnostic core of the
+    paper's "RESTful" API layer (Fig. 1).
+
+    Requests are single lines: a verb followed by arguments, with shell-like
+    double quoting for arguments containing spaces.  Responses start with
+    [OK] or [ERR].  A REST gateway (or any other transport) maps its routes
+    onto these verbs one-to-one; keeping the layer in-process makes the
+    whole surface testable without a network stack.
+
+    Verbs (case-insensitive):
+    {v
+    PUT <key> <branch> <value>          store a string primitive
+    PUT-CSV <key> <branch> <csv>        store a relational table
+    GET <key> <branch>                  render the head value
+    GET-AT <uid>                        render a version by uid
+    HEAD <key> <branch>                 head uid
+    LATEST <key>                        branch -> uid lines
+    LIST                                keys
+    LOG <key> <branch>                  history lines
+    BRANCH <key> <from> <new>           fork
+    DIFF <key> <branch1> <branch2>      differential query
+    MERGE <key> <into> <from>           three-way merge
+    VERIFY <key> <branch>               tamper check
+    STAT                                instance statistics
+    GET-JSON / DIFF-JSON / LOG-JSON / STAT-JSON / LATEST-JSON
+                                        same queries with JSON bodies
+                                        (see {!Webview})
+    PROVE <key> <branch> <entry-key>    hex entry proof for light clients
+    v} *)
+
+val tokenize : string -> (string list, string) result
+(** Split a request line on blanks; double quotes group, and a backslash
+    escapes a quote inside quotes. *)
+
+val handle : ?user:string -> Forkbase.t -> string -> string
+(** Process one request line; never raises.  The response is ["OK"] or
+    ["OK <payload>"] (payload possibly multi-line) or ["ERR <reason>"]. *)

@@ -1,0 +1,28 @@
+(** JSON views for data exploration — what the demo's Web UI renders
+    (Fig. 1 top layer; Figs. 4–6 screenshots).
+
+    Pure value→JSON projections over the public API's results; a web
+    gateway serializes these straight to the browser.  Version identifiers
+    appear in their user-facing Base32 form throughout. *)
+
+module Json = Fb_types.Json
+
+val version_json : Forkbase.uid -> Json.t
+(** [{"uid": <base32>, "short": <12 hex chars>}] *)
+
+val value_json : ?preview_rows:int -> Fb_types.Value.t -> Json.t
+(** Type-tagged value rendering; tables and collections include up to
+    [preview_rows] (default 20) leading entries plus totals — the dataset
+    preview pane. *)
+
+val diff_json : Diffview.t -> Json.t
+(** The differential-query pane: summary plus per-row/cell (or range)
+    detail. *)
+
+val log_json : Fb_repr.Fnode.t list -> Json.t
+(** The version-list pane of Fig. 6: uid, author, message, logical time,
+    bases per entry. *)
+
+val stats_json : Forkbase.stats -> Json.t
+
+val branches_json : (string * Forkbase.uid) list -> Json.t

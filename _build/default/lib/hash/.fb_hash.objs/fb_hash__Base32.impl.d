@@ -1,0 +1,1 @@
+lib/hash/base32.ml: Buffer Char Printf String

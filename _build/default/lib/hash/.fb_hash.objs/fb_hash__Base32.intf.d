@@ -1,0 +1,1 @@
+lib/hash/base32.mli:

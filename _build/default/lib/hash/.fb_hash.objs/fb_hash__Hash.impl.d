@@ -1,0 +1,1 @@
+lib/hash/hash.ml: Base32 Format Hashtbl Hex Int64 Map Printf Set Sha256 String

@@ -1,0 +1,1 @@
+lib/hash/hash.mli: Format Hashtbl Map Set

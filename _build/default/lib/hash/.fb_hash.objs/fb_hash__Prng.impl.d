@@ -1,0 +1,1 @@
+lib/hash/prng.ml: Int64

@@ -1,0 +1,1 @@
+lib/hash/rolling.ml: Array Bytes Char Int64 List Prng String

@@ -1,0 +1,1 @@
+lib/hash/sha256.ml: Array Bytes Int32 Int64 List String

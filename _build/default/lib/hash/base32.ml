@@ -1,0 +1,65 @@
+let alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ234567"
+
+let encode ?(pad = true) s =
+  let n = String.length s in
+  let buf = Buffer.create ((n * 8 / 5) + 8) in
+  (* Accumulate bits MSB-first and drain 5 at a time. *)
+  let acc = ref 0 and bits = ref 0 in
+  for i = 0 to n - 1 do
+    acc := (!acc lsl 8) lor Char.code s.[i];
+    bits := !bits + 8;
+    while !bits >= 5 do
+      bits := !bits - 5;
+      Buffer.add_char buf alphabet.[(!acc lsr !bits) land 31]
+    done
+  done;
+  if !bits > 0 then
+    Buffer.add_char buf alphabet.[(!acc lsl (5 - !bits)) land 31];
+  if pad then begin
+    let rem = Buffer.length buf mod 8 in
+    if rem <> 0 then Buffer.add_string buf (String.make (8 - rem) '=')
+  end;
+  Buffer.contents buf
+
+let value c =
+  match c with
+  | 'A' .. 'Z' -> Char.code c - Char.code 'A'
+  | 'a' .. 'z' -> Char.code c - Char.code 'a'
+  | '2' .. '7' -> Char.code c - Char.code '2' + 26
+  | _ -> -1
+
+let decode s =
+  (* Strip padding, then reverse the bit-packing. *)
+  let stop =
+    let i = ref (String.length s) in
+    while !i > 0 && s.[!i - 1] = '=' do decr i done;
+    !i
+  in
+  let buf = Buffer.create ((stop * 5 / 8) + 1) in
+  let acc = ref 0 and bits = ref 0 in
+  let err = ref None in
+  (try
+     for i = 0 to stop - 1 do
+       let v = value s.[i] in
+       if v < 0 then begin
+         err := Some (Printf.sprintf "base32: invalid character %C at %d" s.[i] i);
+         raise Exit
+       end;
+       acc := (!acc lsl 5) lor v;
+       bits := !bits + 5;
+       if !bits >= 8 then begin
+         bits := !bits - 8;
+         Buffer.add_char buf (Char.chr ((!acc lsr !bits) land 0xff))
+       end
+     done
+   with Exit -> ());
+  match !err with
+  | Some e -> Error e
+  | None ->
+    if !bits >= 5 then Error "base32: truncated input"
+    else if !acc land ((1 lsl !bits) - 1) <> 0 then
+      Error "base32: non-canonical trailing bits"
+    else Ok (Buffer.contents buf)
+
+let decode_exn s =
+  match decode s with Ok v -> v | Error e -> invalid_arg e

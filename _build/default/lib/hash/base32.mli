@@ -1,0 +1,17 @@
+(** RFC 4648 Base32 encoding.
+
+    ForkBase stamps every version with the Merkle root hash encoded in the
+    RFC 4648 Base32 alphabet (paper §III-C, ref [9]).  Padding with ['='] is
+    emitted by default and tolerated on decode. *)
+
+val encode : ?pad:bool -> string -> string
+(** [encode s] encodes binary [s]; [pad] (default [true]) appends ['='] to a
+    multiple of 8 characters. *)
+
+val decode : string -> (string, string) result
+(** Inverse of {!encode}.  Accepts lowercase letters and missing padding;
+    rejects characters outside the alphabet and non-canonical trailing
+    bits. *)
+
+val decode_exn : string -> string
+(** @raise Invalid_argument on malformed input. *)

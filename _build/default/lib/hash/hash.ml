@@ -1,0 +1,56 @@
+type t = string
+
+let size = 32
+
+let of_string s = Sha256.digest s
+let of_strings ss = Sha256.digest_strings ss
+
+let of_raw s =
+  if String.length s = size then Ok s
+  else
+    Error
+      (Printf.sprintf "hash: expected %d raw bytes, got %d" size
+         (String.length s))
+
+let of_raw_exn s =
+  match of_raw s with Ok h -> h | Error e -> invalid_arg e
+
+let to_raw h = h
+let to_hex = Hex.encode
+
+let of_hex s =
+  match Hex.decode s with
+  | Error _ as e -> e
+  | Ok raw -> of_raw raw
+
+let to_base32 h = Base32.encode h
+
+let of_base32 s =
+  match Base32.decode s with
+  | Error _ as e -> e
+  | Ok raw -> of_raw raw
+
+let equal = String.equal
+let compare = String.compare
+let short h = String.sub (to_hex h) 0 12
+let pp fmt h = Format.pp_print_string fmt (short h)
+let pp_full fmt h = Format.pp_print_string fmt (to_hex h)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+
+  (* Digests are uniform: the leading bytes are already a good bucket
+     hash. *)
+  let hash h = Int64.to_int (String.get_int64_be h 0) land max_int
+end)

@@ -1,0 +1,52 @@
+(** Content hashes (chunk identifiers).
+
+    Every chunk is identified by the SHA-256 of its encoded bytes; the
+    mapping from identifier to storage location is maintained externally by
+    the chunk store (paper §II-A).  Versions shown to users are the same
+    digests rendered in RFC 4648 Base32 (§III-C). *)
+
+type t = private string
+(** A 32-byte SHA-256 digest.  [private] so only this module mints them. *)
+
+val size : int
+(** Digest length in bytes (32). *)
+
+val of_string : string -> t
+(** Hash arbitrary bytes. *)
+
+val of_strings : string list -> t
+(** Hash the concatenation of the given strings. *)
+
+val of_raw : string -> (t, string) result
+(** Adopt an existing 32-byte digest (e.g. read back from disk). *)
+
+val of_raw_exn : string -> t
+(** @raise Invalid_argument if not exactly 32 bytes. *)
+
+val to_raw : t -> string
+(** The 32 raw bytes. *)
+
+val to_hex : t -> string
+val of_hex : string -> (t, string) result
+
+val to_base32 : t -> string
+(** RFC 4648 Base32, the user-facing version-stamp rendering. *)
+
+val of_base32 : string -> (t, string) result
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+(** Prints the first 12 hex characters — enough to eyeball identity. *)
+
+val pp_full : Format.formatter -> t -> unit
+
+val short : t -> string
+(** First 12 hex characters. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+module Tbl : Hashtbl.S with type key = t
+(** Hashtable keyed by digest (uses the first 8 bytes as the bucket hash —
+    digests are uniformly distributed already). *)

@@ -1,0 +1,42 @@
+let alphabet = "0123456789abcdef"
+
+let encode s =
+  let n = String.length s in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let b = Char.code s.[i] in
+    Bytes.set out (2 * i) alphabet.[b lsr 4];
+    Bytes.set out ((2 * i) + 1) alphabet.[b land 0xf]
+  done;
+  Bytes.unsafe_to_string out
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
+let decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then Error "hex: odd length"
+  else begin
+    let out = Bytes.create (n / 2) in
+    let bad = ref None in
+    (try
+       for i = 0 to (n / 2) - 1 do
+         let hi = nibble s.[2 * i] and lo = nibble s.[(2 * i) + 1] in
+         if hi < 0 || lo < 0 then begin
+           bad := Some (2 * i);
+           raise Exit
+         end;
+         Bytes.set out i (Char.chr ((hi lsl 4) lor lo))
+       done
+     with Exit -> ());
+    match !bad with
+    | Some i -> Error (Printf.sprintf "hex: invalid character at offset %d" i)
+    | None -> Ok (Bytes.unsafe_to_string out)
+  end
+
+let decode_exn s =
+  match decode s with Ok v -> v | Error e -> invalid_arg e

@@ -1,0 +1,11 @@
+(** Lowercase hexadecimal encoding of binary strings. *)
+
+val encode : string -> string
+(** [encode s] is the lowercase hex rendering of [s], twice its length. *)
+
+val decode : string -> (string, string) result
+(** Inverse of {!encode}; accepts upper- and lowercase digits.
+    Errors on odd length or non-hex characters. *)
+
+val decode_exn : string -> string
+(** @raise Invalid_argument on malformed input. *)

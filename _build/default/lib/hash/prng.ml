@@ -1,0 +1,34 @@
+(* SplitMix64 (Steele, Lea & Flood 2014). *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9e3779b97f4a7c15L
+
+let create seed = { state = seed }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let next_int t bound =
+  if bound <= 0 then invalid_arg "Prng.next_int: bound must be positive";
+  (* Rejection-free for practical purposes: 62 random bits mod bound.  The
+     bias is < bound / 2^62, irrelevant for workload generation. *)
+  let v = Int64.to_int (next_int64 t) land max_int in
+  v mod bound
+
+let next_float t =
+  (* 53 top bits -> [0,1). *)
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  v /. 9007199254740992.0
+
+let next_bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let split t = { state = next_int64 t }

@@ -1,0 +1,26 @@
+(** SplitMix64 deterministic pseudo-random generator.
+
+    Used wherever ForkBase needs reproducible pseudo-randomness: the Γ byte
+    table of the rolling hash, and the synthetic workload generators.  The
+    sequence for a given seed is fixed forever — chunk boundaries depend on
+    it, so changing it would change every stored hash. *)
+
+type t
+
+val create : int64 -> t
+(** Generator seeded with the given value. *)
+
+val next_int64 : t -> int64
+(** Next 64-bit output. *)
+
+val next_int : t -> int -> int
+(** [next_int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val next_float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val next_bool : t -> bool
+
+val split : t -> t
+(** Derive an independent generator; the parent advances. *)

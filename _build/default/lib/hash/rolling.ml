@@ -1,0 +1,75 @@
+type params = { window : int; q : int }
+
+let default_node_params = { window = 32; q = 11 }
+let default_blob_params = { window = 48; q = 12 }
+
+(* Γ: one fixed pseudo-random table per q, derived from a pinned SplitMix64
+   seed.  Chunk boundaries — and hence every stored hash — depend on this
+   table, so the seed must never change. *)
+let gamma_seed = 0x666f726b62617365L (* "forkbase" *)
+
+let gamma_table q =
+  let rng = Prng.create gamma_seed in
+  let mask = (1 lsl q) - 1 in
+  Array.init 256 (fun _ -> Int64.to_int (Prng.next_int64 rng) land mask)
+
+type t = {
+  params : params;
+  table : int array;
+  mask : int;
+  rot_k : int;              (* k mod q, for removing the outgoing byte *)
+  ring : Bytes.t;           (* last [window] bytes *)
+  mutable pos : int;        (* ring cursor *)
+  mutable count : int;      (* bytes absorbed since reset, saturates *)
+  mutable state : int;      (* Φ over the current window, q bits *)
+}
+
+let create params =
+  if params.window < 1 then invalid_arg "Rolling.create: window must be >= 1";
+  if params.q < 1 || params.q > 30 then
+    invalid_arg "Rolling.create: q must be in [1, 30]";
+  { params;
+    table = gamma_table params.q;
+    mask = (1 lsl params.q) - 1;
+    rot_k = params.window mod params.q;
+    ring = Bytes.make params.window '\x00';
+    pos = 0;
+    count = 0;
+    state = 0 }
+
+let reset t =
+  t.pos <- 0;
+  t.count <- 0;
+  t.state <- 0
+  (* The ring need not be cleared: bytes are only consulted once the window
+     has refilled past them. *)
+
+let rotl t v n =
+  let n = n mod t.params.q in
+  if n = 0 then v
+  else ((v lsl n) lor (v lsr (t.params.q - n))) land t.mask
+
+let feed t c =
+  let k = t.params.window in
+  let incoming = t.table.(Char.code c) in
+  if t.count >= k then begin
+    (* δ(Φ) ⊕ δ^k(Γ(out)) ⊕ Γ(in) *)
+    let outgoing = t.table.(Char.code (Bytes.get t.ring t.pos)) in
+    t.state <- rotl t t.state 1 lxor rotl t outgoing t.rot_k lxor incoming
+  end else
+    t.state <- rotl t t.state 1 lxor incoming;
+  Bytes.set t.ring t.pos c;
+  t.pos <- (t.pos + 1) mod k;
+  if t.count < k then t.count <- t.count + 1;
+  t.count >= k && t.state = 0
+
+let feed_string t s =
+  let hit = ref false in
+  String.iter (fun c -> if feed t c then hit := true) s;
+  !hit
+
+let hits_in params s =
+  let t = create params in
+  let acc = ref [] in
+  String.iteri (fun i c -> if feed t c then acc := i :: !acc) s;
+  List.rev !acc

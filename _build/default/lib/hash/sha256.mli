@@ -1,0 +1,33 @@
+(** Pure-OCaml SHA-256 (FIPS 180-4).
+
+    The sealed build environment ships no digest library, so ForkBase carries
+    its own implementation.  It is validated against the NIST test vectors in
+    the test suite.  The incremental interface mirrors the usual
+    [init]/[update]/[finalize] shape so large values can be hashed without
+    concatenating their serialized form. *)
+
+type ctx
+(** Mutable hashing context. *)
+
+val init : unit -> ctx
+(** Fresh context. *)
+
+val update : ctx -> string -> unit
+(** Absorb a whole string. *)
+
+val update_sub : ctx -> string -> pos:int -> len:int -> unit
+(** Absorb [len] bytes of [s] starting at [pos].
+    @raise Invalid_argument if the range is out of bounds. *)
+
+val update_char : ctx -> char -> unit
+(** Absorb a single byte. *)
+
+val finalize : ctx -> string
+(** Produce the 32-byte digest.  The context must not be reused. *)
+
+val digest : string -> string
+(** [digest s] is the 32-byte SHA-256 digest of [s]. *)
+
+val digest_strings : string list -> string
+(** Digest of the concatenation of the given strings, without building the
+    concatenation. *)

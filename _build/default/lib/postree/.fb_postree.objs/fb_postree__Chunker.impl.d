@@ -1,0 +1,1 @@
+lib/postree/chunker.ml: Fb_hash List String

@@ -1,0 +1,1 @@
+lib/postree/chunker.mli: Fb_hash

@@ -1,0 +1,1 @@
+lib/postree/pblob.mli: Fb_chunk Fb_hash Format

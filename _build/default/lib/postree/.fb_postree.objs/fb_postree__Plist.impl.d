@@ -1,0 +1,1 @@
+lib/postree/plist.ml: Array Chunker Fb_chunk Fb_codec Fb_hash Format List Option Postree Printf Result Seqtree String

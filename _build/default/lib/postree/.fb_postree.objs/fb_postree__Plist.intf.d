@@ -1,0 +1,1 @@
+lib/postree/plist.mli: Fb_chunk Fb_hash Format

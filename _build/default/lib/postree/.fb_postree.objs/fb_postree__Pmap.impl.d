@@ -1,0 +1,1 @@
+lib/postree/pmap.ml: Fb_chunk Fb_codec Format List Option Postree String

@@ -1,0 +1,1 @@
+lib/postree/pmap.mli: Fb_chunk Postree

@@ -1,0 +1,1 @@
+lib/postree/postree.ml: Chunker Fb_chunk Fb_codec Fb_hash Format List Postree_intf Printf Result Seq

@@ -1,0 +1,1 @@
+lib/postree/postree.mli: Postree_intf

@@ -1,0 +1,1 @@
+lib/postree/postree_intf.ml: Fb_chunk Fb_codec Fb_hash Format Seq

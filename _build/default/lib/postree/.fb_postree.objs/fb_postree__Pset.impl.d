@@ -1,0 +1,1 @@
+lib/postree/pset.ml: Fb_chunk Fb_codec Format Postree String

@@ -1,0 +1,1 @@
+lib/postree/pset.mli: Fb_chunk Postree

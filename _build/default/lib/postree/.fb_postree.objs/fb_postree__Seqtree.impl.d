@@ -1,0 +1,1 @@
+lib/postree/seqtree.ml: Chunker Fb_chunk Fb_codec Fb_hash List Postree Printf

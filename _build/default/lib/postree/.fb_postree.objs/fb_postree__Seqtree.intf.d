@@ -1,0 +1,1 @@
+lib/postree/seqtree.mli: Fb_chunk Fb_codec Fb_hash

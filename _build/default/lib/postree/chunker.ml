@@ -1,0 +1,34 @@
+type 'a t = {
+  rolling : Fb_hash.Rolling.t;
+  max_bytes : int;
+  emit : 'a list -> unit;
+  mutable items : 'a list;      (* current node's items, reversed *)
+  mutable bytes : int;          (* current node's byte size *)
+}
+
+let create ?(params = Fb_hash.Rolling.default_node_params) ?max_bytes ~emit ()
+    =
+  let max_bytes =
+    match max_bytes with Some m -> m | None -> 16 * (1 lsl params.q)
+  in
+  if max_bytes < 1 then invalid_arg "Chunker.create: max_bytes must be >= 1";
+  { rolling = Fb_hash.Rolling.create params;
+    max_bytes;
+    emit;
+    items = [];
+    bytes = 0 }
+
+let boundary t =
+  t.emit (List.rev t.items);
+  t.items <- [];
+  t.bytes <- 0;
+  Fb_hash.Rolling.reset t.rolling
+
+let add t item encoded =
+  let hit = Fb_hash.Rolling.feed_string t.rolling encoded in
+  t.items <- item :: t.items;
+  t.bytes <- t.bytes + String.length encoded;
+  if hit || t.bytes >= t.max_bytes then boundary t
+
+let pending t = t.items <> []
+let finish t = if pending t then boundary t

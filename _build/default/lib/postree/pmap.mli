@@ -1,0 +1,16 @@
+(** POS-Tree map: sorted string keys to opaque string values.
+
+    The workhorse structure: ForkBase maps, relational tables (row key →
+    encoded row) and dataset directories are all Pmaps.  See {!Postree.Make}
+    for the semantics of every operation. *)
+
+type binding = { key : string; value : string }
+
+val binding : string -> string -> binding
+
+include Postree.S with type entry := binding and type key := string
+
+val find_value : t -> string -> string option
+val bindings : t -> (string * string) list
+val of_bindings : Fb_chunk.Store.t -> (string * string) list -> t
+val put : t -> string -> string -> t

@@ -1,0 +1,31 @@
+(** Pattern-Oriented-Split Tree — a structurally invariant Merkle B+-tree
+    (paper §II-A/B, Figs. 2-3).
+
+    A POS-Tree instance over a set of records has exactly one physical shape
+    regardless of the order or batching of the operations that produced it
+    (SIRI Property 1): node boundaries are decided by a rolling-hash pattern
+    over entry content, and child pointers are the cryptographic hashes of
+    child chunks.  Consequences:
+
+    - logically equal trees share {e all} pages, so the chunk store
+      deduplicates them to a single copy;
+    - [diff] prunes identical sub-trees by id and runs in O(D log N);
+    - three-way [merge] splices disjointly-modified sub-trees, reusing
+      untouched pages;
+    - the root hash authenticates the entire content (tamper evidence).
+
+    The functor is instantiated for maps ({!Pmap}) and sets ({!Pset});
+    sequences use {!Seqtree}. *)
+
+exception Corrupt of string
+(** Raised when the chunk store returns missing or undecodable chunks while
+    navigating a tree.  Use [validate] (or [Forkbase.verify]) for a
+    non-raising integrity check. *)
+
+module type ENTRY = Postree_intf.ENTRY
+(** Serialized-entry interface a POS-Tree is built over. *)
+
+module type S = Postree_intf.S
+(** Output signature of {!Make}. *)
+
+module Make (E : ENTRY) : S with type entry = E.t and type key = E.key

@@ -1,0 +1,7 @@
+(** POS-Tree set of strings.  See {!Postree.S}. *)
+
+include Postree.S with type entry := string and type key := string
+
+val elements : t -> string list
+val of_elements : Fb_chunk.Store.t -> string list -> t
+val add : t -> string -> t

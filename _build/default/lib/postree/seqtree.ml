@@ -1,0 +1,93 @@
+module Codec = Fb_codec.Codec
+module Chunk = Fb_chunk.Chunk
+module Store = Fb_chunk.Store
+module Hash = Fb_hash.Hash
+
+type index_entry = { child : Hash.t; count : int }
+
+let encode_index_entry w ie =
+  Codec.hash w ie.child;
+  Codec.varint w ie.count
+
+let decode_index_entry r =
+  let child = Codec.read_hash r in
+  let count = Codec.read_varint r in
+  { child; count }
+
+let index_chunk ies =
+  let w = Codec.writer () in
+  Codec.varint w (List.length ies);
+  List.iter (encode_index_entry w) ies;
+  Chunk.v Chunk.Seq_index (Codec.contents w)
+
+let decode_index chunk =
+  match chunk.Chunk.kind with
+  | Chunk.Seq_index ->
+    Codec.of_string (fun r -> Codec.read_list r decode_index_entry)
+      chunk.Chunk.payload
+  | k ->
+    Error
+      (Printf.sprintf "expected seq-index chunk, got %s"
+         (Chunk.kind_to_string k))
+
+let read_chunk store h =
+  match Store.get store h with
+  | Some c -> c
+  | None ->
+    raise (Postree.Corrupt ("missing chunk " ^ Hash.to_hex h))
+
+let decode_index_exn chunk =
+  match decode_index chunk with
+  | Ok ies -> ies
+  | Error e -> raise (Postree.Corrupt e)
+
+let params = Fb_hash.Rolling.default_node_params
+let max_node_bytes = 16 * (1 lsl params.q)
+
+let chunk_index_level store ies =
+  let out = ref [] in
+  let emit items =
+    let chunk = index_chunk items in
+    let id = Store.put store chunk in
+    let count = List.fold_left (fun a ie -> a + ie.count) 0 items in
+    out := { child = id; count } :: !out
+  in
+  let ch = Chunker.create ~params ~max_bytes:max_node_bytes ~emit () in
+  List.iter
+    (fun ie -> Chunker.add ch ie (Codec.to_string encode_index_entry ie))
+    ies;
+  Chunker.finish ch;
+  List.rev !out
+
+let rec build_up store row =
+  match row with
+  | [] -> None
+  | [ ie ] -> Some ie.child
+  | _ -> build_up store (chunk_index_level store row)
+
+let leaf_row store root ~leaf_count =
+  let rec rows h =
+    let chunk = read_chunk store h in
+    match chunk.Chunk.kind with
+    | Chunk.Seq_index -> (
+      let ies = decode_index_exn chunk in
+      match ies with
+      | [] -> []
+      | first :: _ ->
+        let first_chunk = read_chunk store first.child in
+        (match first_chunk.Chunk.kind with
+         | Chunk.Seq_index -> List.concat_map (fun ie -> rows ie.child) ies
+         | _ -> ies))
+    | _ -> [ { child = h; count = leaf_count chunk } ]
+  in
+  match root with None -> [] | Some h -> rows h
+
+let total_count store root ~leaf_count =
+  match root with
+  | None -> 0
+  | Some h -> (
+    let chunk = read_chunk store h in
+    match chunk.Chunk.kind with
+    | Chunk.Seq_index ->
+      List.fold_left (fun a ie -> a + ie.count) 0 (decode_index_exn chunk)
+    | _ -> leaf_count chunk)

@@ -1,0 +1,40 @@
+(** Shared internals of the positional POS-Trees ({!Pblob}, {!Plist}).
+
+    Sequence trees index by position instead of key: an internal node entry
+    carries the element count of its child sub-tree, so the n-th element is
+    found by walking cumulative counts.  Node boundaries are pattern-defined
+    exactly as in the keyed tree, giving the same structural invariance and
+    page sharing. *)
+
+type index_entry = { child : Fb_hash.Hash.t; count : int }
+
+val encode_index_entry : Fb_codec.Codec.writer -> index_entry -> unit
+val decode_index_entry : Fb_codec.Codec.reader -> index_entry
+
+val index_chunk : index_entry list -> Fb_chunk.Chunk.t
+
+val decode_index : Fb_chunk.Chunk.t -> (index_entry list, string) result
+(** Decode a [Seq_index] chunk. *)
+
+val chunk_index_level :
+  Fb_chunk.Store.t -> index_entry list -> index_entry list
+(** Pattern-chunk a row of index entries into [Seq_index] nodes, returning
+    the parent row. *)
+
+val build_up : Fb_chunk.Store.t -> index_entry list -> Fb_hash.Hash.t option
+(** Collapse rows upward until a single root remains ([None] for empty). *)
+
+val leaf_row :
+  Fb_chunk.Store.t ->
+  Fb_hash.Hash.t option ->
+  leaf_count:(Fb_chunk.Chunk.t -> int) ->
+  index_entry list
+(** The leaf level as index entries; [leaf_count] measures a leaf chunk
+    (bytes for blobs, items for lists).
+    @raise Postree.Corrupt on missing or undecodable chunks. *)
+
+val total_count : Fb_chunk.Store.t -> Fb_hash.Hash.t option ->
+  leaf_count:(Fb_chunk.Chunk.t -> int) -> int
+
+val read_chunk : Fb_chunk.Store.t -> Fb_hash.Hash.t -> Fb_chunk.Chunk.t
+(** @raise Postree.Corrupt if absent. *)

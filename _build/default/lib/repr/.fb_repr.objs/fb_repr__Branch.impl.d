@@ -1,0 +1,1 @@
+lib/repr/branch.ml: Fb_codec Fb_hash Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/repr/branch.mli: Fb_hash

@@ -1,0 +1,1 @@
+lib/repr/bundle.ml: Dag Fb_chunk Fb_codec Fb_hash List Printf Result String

@@ -1,0 +1,1 @@
+lib/repr/bundle.mli: Fb_chunk Fb_hash

@@ -1,0 +1,1 @@
+lib/repr/dag.ml: Fb_chunk Fb_codec Fb_hash Fb_types Fnode Int List Result

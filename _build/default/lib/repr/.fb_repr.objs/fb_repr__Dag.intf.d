@@ -1,0 +1,1 @@
+lib/repr/dag.mli: Fb_chunk Fb_hash Fnode

@@ -1,0 +1,1 @@
+lib/repr/fnode.ml: Fb_chunk Fb_codec Fb_hash Fb_types Format List Printf

@@ -1,0 +1,1 @@
+lib/repr/fnode.mli: Fb_chunk Fb_hash Fb_types Format

@@ -1,0 +1,1 @@
+lib/repr/verify.ml: Fb_chunk Fb_hash Fb_postree Fb_types Fnode List Printf Result String

@@ -1,0 +1,1 @@
+lib/repr/verify.mli: Fb_chunk Fb_hash Fb_types

@@ -1,0 +1,93 @@
+module Codec = Fb_codec.Codec
+module Hash = Fb_hash.Hash
+
+let default_branch = "master"
+
+(* key -> branch name -> head uid *)
+type t = (string, (string, Hash.t) Hashtbl.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let head t ~key ~branch =
+  match Hashtbl.find_opt t key with
+  | None -> None
+  | Some branches -> Hashtbl.find_opt branches branch
+
+let set_head t ~key ~branch uid =
+  let branches =
+    match Hashtbl.find_opt t key with
+    | Some b -> b
+    | None ->
+      let b = Hashtbl.create 4 in
+      Hashtbl.replace t key b;
+      b
+  in
+  Hashtbl.replace branches branch uid
+
+let branches t ~key =
+  match Hashtbl.find_opt t key with
+  | None -> []
+  | Some b ->
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Hashtbl.fold (fun name uid acc -> (name, uid) :: acc) b [])
+
+let keys t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+
+let exists t ~key ~branch = head t ~key ~branch <> None
+
+let remove t ~key ~branch =
+  match Hashtbl.find_opt t key with
+  | None -> false
+  | Some b ->
+    let existed = Hashtbl.mem b branch in
+    Hashtbl.remove b branch;
+    if Hashtbl.length b = 0 then Hashtbl.remove t key;
+    existed
+
+let rename t ~key ~from_branch ~to_branch =
+  match head t ~key ~branch:from_branch with
+  | None -> Error (Printf.sprintf "no branch %S for key %S" from_branch key)
+  | Some uid ->
+    if exists t ~key ~branch:to_branch then
+      Error (Printf.sprintf "branch %S already exists for key %S" to_branch key)
+    else begin
+      ignore (remove t ~key ~branch:from_branch);
+      set_head t ~key ~branch:to_branch uid;
+      Ok ()
+    end
+
+let serialize t =
+  let w = Codec.writer () in
+  let ks = keys t in
+  Codec.varint w (List.length ks);
+  List.iter
+    (fun key ->
+      Codec.bytes w key;
+      let bs = branches t ~key in
+      Codec.varint w (List.length bs);
+      List.iter
+        (fun (name, uid) ->
+          Codec.bytes w name;
+          Codec.hash w uid)
+        bs)
+    ks;
+  Codec.contents w
+
+let deserialize s =
+  Codec.of_string
+    (fun r ->
+      let t = create () in
+      let nkeys = Codec.read_varint r in
+      for _ = 1 to nkeys do
+        let key = Codec.read_bytes r in
+        let nbranches = Codec.read_varint r in
+        for _ = 1 to nbranches do
+          let branch = Codec.read_bytes r in
+          let uid = Codec.read_hash r in
+          set_head t ~key ~branch uid
+        done
+      done;
+      t)
+    s

@@ -1,0 +1,36 @@
+(** Branch table: per-key branch heads.
+
+    In ForkBase every object key may carry multiple named branches (paper
+    §II-D).  Heads are the one piece of mutable state in the system; under
+    the tamper-evidence threat model they are what "the users keep track
+    of", so the table lives {e outside} the (possibly malicious) chunk
+    store.  [serialize]/[deserialize] let a CLI persist it locally. *)
+
+type t
+
+val default_branch : string
+(** ["master"], the branch a key's first Put creates. *)
+
+val create : unit -> t
+
+val head : t -> key:string -> branch:string -> Fb_hash.Hash.t option
+val set_head : t -> key:string -> branch:string -> Fb_hash.Hash.t -> unit
+
+val branches : t -> key:string -> (string * Fb_hash.Hash.t) list
+(** Branch names and heads of a key, sorted by name. *)
+
+val keys : t -> string list
+(** All keys with at least one branch, sorted. *)
+
+val exists : t -> key:string -> branch:string -> bool
+
+val remove : t -> key:string -> branch:string -> bool
+(** [true] if the branch existed. *)
+
+val rename :
+  t -> key:string -> from_branch:string -> to_branch:string ->
+  (unit, string) result
+(** Fails if [from_branch] is missing or [to_branch] exists. *)
+
+val serialize : t -> string
+val deserialize : string -> (t, string) result

@@ -1,0 +1,93 @@
+module Codec = Fb_codec.Codec
+module Chunk = Fb_chunk.Chunk
+module Store = Fb_chunk.Store
+module Hash = Fb_hash.Hash
+
+let magic = "FBBUNDLE1"
+
+let export store ~roots =
+  (* Deterministic order: sorted ids make equal closures equal bundles. *)
+  let closure =
+    Fb_chunk.Gc.reachable store ~children:Dag.fnode_children ~roots
+  in
+  let ids = Hash.Set.elements closure in
+  let missing =
+    List.filter (fun id -> not (Store.mem store id)) ids
+    @ List.filter (fun id -> not (Store.mem store id)) roots
+  in
+  match missing with
+  | id :: _ ->
+    Error (Printf.sprintf "bundle export: missing chunk %s" (Hash.to_hex id))
+  | [] ->
+    let w = Codec.writer ~initial_size:65536 () in
+    Codec.raw w magic;
+    Codec.list w Codec.hash roots;
+    Codec.varint w (List.length ids);
+    List.iter
+      (fun id ->
+        match store.Store.get_raw id with
+        | Some encoded -> Codec.bytes w encoded
+        | None -> assert false (* checked above *))
+      ids;
+    Ok (Codec.contents w)
+
+let import store bundle =
+  let decode r =
+    let m = Codec.read_raw r (String.length magic) in
+    if not (String.equal m magic) then
+      raise (Codec.Decode_error "bundle: bad magic");
+    let roots = Codec.read_list r Codec.read_hash in
+    let n = Codec.read_varint r in
+    let chunks = List.init n (fun _ -> Codec.read_bytes r) in
+    (roots, chunks)
+  in
+  match Codec.of_string decode bundle with
+  | Error e -> Error ("bundle: " ^ e)
+  | Ok (roots, encoded_chunks) ->
+    (* Stage and verify everything before touching the store. *)
+    let staged = Hash.Tbl.create (List.length encoded_chunks) in
+    let rec stage = function
+      | [] -> Ok ()
+      | encoded :: rest -> (
+        match Chunk.decode encoded with
+        | Error e -> Error ("bundle: " ^ e)
+        | Ok chunk ->
+          Hash.Tbl.replace staged (Chunk.hash chunk) chunk;
+          stage rest)
+    in
+    let ( let* ) = Result.bind in
+    let* () = stage encoded_chunks in
+    (* Closure completeness: every child of every staged chunk must be
+       staged or already present locally. *)
+    let available id = Hash.Tbl.mem staged id || Store.mem store id in
+    let* () =
+      Hash.Tbl.fold
+        (fun id chunk acc ->
+          let* () = acc in
+          match
+            List.find_opt
+              (fun child -> not (available child))
+              (Dag.fnode_children chunk)
+          with
+          | Some child ->
+            Error
+              (Printf.sprintf "bundle: chunk %s references missing %s"
+                 (Hash.to_hex id) (Hash.to_hex child))
+          | None -> Ok ())
+        staged (Ok ())
+    in
+    let* () =
+      match List.find_opt (fun r -> not (available r)) roots with
+      | Some r ->
+        Error (Printf.sprintf "bundle: root %s not included" (Hash.to_hex r))
+      | None -> Ok ()
+    in
+    let fresh = ref 0 in
+    Hash.Tbl.iter
+      (fun id chunk ->
+        if not (Store.mem store id) then begin
+          ignore (Store.put store chunk);
+          incr fresh
+        end)
+      staged;
+    Ok (roots, !fresh)

@@ -1,0 +1,20 @@
+(** Version bundles — self-contained exchange of a version's chunk closure
+    (the moral equivalent of [git bundle] for ForkBase data).
+
+    A bundle packs the root uids plus every chunk reachable from them.
+    Because chunks are self-addressed, the receiver re-derives every id
+    from the bytes: a bundle cannot smuggle content under a false identity,
+    and [import] additionally checks that the closure is complete, so a
+    successfully imported version is immediately verifiable. *)
+
+val export :
+  Fb_chunk.Store.t -> roots:Fb_hash.Hash.t list -> (string, string) result
+(** Serialize [roots] and their reachable closure.  Fails if any reachable
+    chunk is missing from the store. *)
+
+val import :
+  Fb_chunk.Store.t -> string ->
+  (Fb_hash.Hash.t list * int, string) result
+(** Unpack into the store; returns the bundle's roots and how many chunks
+    were new to the store.  Fails (storing nothing) on malformed framing,
+    undecodable chunks, or an incomplete closure. *)

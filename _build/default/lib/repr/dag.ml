@@ -1,0 +1,104 @@
+module Codec = Fb_codec.Codec
+module Chunk = Fb_chunk.Chunk
+module Store = Fb_chunk.Store
+module Hash = Fb_hash.Hash
+
+let ( let* ) = Result.bind
+
+let parents store id =
+  let* fnode = Fnode.load store id in
+  Ok fnode.Fnode.bases
+
+(* Walk ancestors breadth-first; visits each uid once. *)
+let fold_ancestors store start ~init ~f =
+  let rec go seen frontier acc =
+    match frontier with
+    | [] -> Ok acc
+    | id :: rest ->
+      if Hash.Set.mem id seen then go seen rest acc
+      else
+        let* fnode = Fnode.load store id in
+        let* acc = f acc id fnode in
+        go (Hash.Set.add id seen) (fnode.Fnode.bases @ rest) acc
+  in
+  go Hash.Set.empty [ start ] init
+
+let history ?limit store id =
+  let* nodes =
+    fold_ancestors store id ~init:[] ~f:(fun acc _ fnode -> Ok (fnode :: acc))
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match Int.compare b.Fnode.seq a.Fnode.seq with
+        | 0 -> Hash.compare (Fnode.uid a) (Fnode.uid b)
+        | c -> c)
+      nodes
+  in
+  Ok
+    (match limit with
+     | None -> sorted
+     | Some n -> List.filteri (fun i _ -> i < n) sorted)
+
+let ancestors store id =
+  fold_ancestors store id ~init:Hash.Set.empty ~f:(fun acc uid _ ->
+      Ok (Hash.Set.add uid acc))
+
+let is_ancestor store ~ancestor id =
+  let* set = ancestors store id in
+  Ok (Hash.Set.mem ancestor set)
+
+let merge_base store a b =
+  let* ancestors_a = ancestors store a in
+  let* common =
+    fold_ancestors store b ~init:[] ~f:(fun acc uid fnode ->
+        if Hash.Set.mem uid ancestors_a then Ok ((uid, fnode.Fnode.seq) :: acc)
+        else Ok acc)
+  in
+  match common with
+  | [] -> Ok None
+  | _ ->
+    let best =
+      List.fold_left
+        (fun (bu, bs) (u, s) ->
+          if s > bs || (s = bs && Hash.compare u bu < 0) then (u, s)
+          else (bu, bs))
+        (List.hd common) (List.tl common)
+    in
+    Ok (Some (fst best))
+
+(* Chunk-level child extraction for GC.  Keyed POS-Tree index chunks encode
+   split keys as length-prefixed bytes (all shipped instantiations use
+   string keys), so their layout is parseable without the entry functor. *)
+let fnode_children chunk =
+  let or_empty = function Ok l -> l | Error _ -> [] in
+  match chunk.Chunk.kind with
+  | Chunk.Fnode ->
+    (match Fnode.of_chunk chunk with
+     | Error _ -> []
+     | Ok fnode ->
+       let value_roots =
+         or_empty
+           (Fb_types.Value.roots_of_descriptor fnode.Fnode.value_descriptor)
+       in
+       value_roots @ fnode.Fnode.bases)
+  | Chunk.Index ->
+    or_empty
+      (Codec.of_string
+         (fun r ->
+           Codec.read_list r (fun r ->
+               let _split = Codec.read_bytes r in
+               let child = Codec.read_hash r in
+               let _count = Codec.read_varint r in
+               child))
+         chunk.Chunk.payload)
+  | Chunk.Seq_index ->
+    or_empty
+      (Codec.of_string
+         (fun r ->
+           Codec.read_list r (fun r ->
+               let child = Codec.read_hash r in
+               let _count = Codec.read_varint r in
+               child))
+         chunk.Chunk.payload)
+  | Chunk.Leaf_map | Chunk.Leaf_set | Chunk.Leaf_list | Chunk.Leaf_blob -> []

@@ -1,0 +1,33 @@
+(** Navigation over the version derivation DAG.
+
+    Versions form a directed acyclic graph through their [bases] links;
+    these helpers walk it for history listing, ancestry tests and the
+    common-base computation three-way merge needs. *)
+
+val parents :
+  Fb_chunk.Store.t -> Fb_hash.Hash.t -> (Fb_hash.Hash.t list, string) result
+
+val history :
+  ?limit:int -> Fb_chunk.Store.t -> Fb_hash.Hash.t ->
+  (Fnode.t list, string) result
+(** Ancestors of (and including) the given version, in decreasing [seq]
+    order — the [git log] view.  [limit] caps the count. *)
+
+val ancestors :
+  Fb_chunk.Store.t -> Fb_hash.Hash.t -> (Fb_hash.Hash.Set.t, string) result
+(** All reachable uids, including the start. *)
+
+val is_ancestor :
+  Fb_chunk.Store.t -> ancestor:Fb_hash.Hash.t -> Fb_hash.Hash.t ->
+  (bool, string) result
+
+val merge_base :
+  Fb_chunk.Store.t -> Fb_hash.Hash.t -> Fb_hash.Hash.t ->
+  (Fb_hash.Hash.t option, string) result
+(** Deepest common ancestor (max [seq]; ties broken by uid) — the base of a
+    three-way merge.  [None] when the histories are unrelated. *)
+
+val fnode_children : Fb_chunk.Chunk.t -> Fb_hash.Hash.t list
+(** Chunk-child relation for GC: an FNode chunk references its value roots
+    and its bases; POS-Tree index chunks reference their children; leaves
+    reference nothing.  Works for every ForkBase chunk kind. *)

@@ -1,0 +1,59 @@
+module Codec = Fb_codec.Codec
+module Chunk = Fb_chunk.Chunk
+module Store = Fb_chunk.Store
+module Hash = Fb_hash.Hash
+
+type t = {
+  key : string;
+  value_descriptor : string;
+  bases : Hash.t list;
+  author : string;
+  message : string;
+  seq : int;
+}
+
+let v ~key ~value_descriptor ~bases ~author ~message ~seq =
+  (* Bases are sorted so that logically identical derivations (e.g. the two
+     orders of naming merge parents) canonicalize to one uid. *)
+  let bases = List.sort_uniq Hash.compare bases in
+  { key; value_descriptor; bases; author; message; seq }
+
+let encode w t =
+  Codec.bytes w t.key;
+  Codec.bytes w t.value_descriptor;
+  Codec.list w Codec.hash t.bases;
+  Codec.bytes w t.author;
+  Codec.bytes w t.message;
+  Codec.varint w t.seq
+
+let decode r =
+  let key = Codec.read_bytes r in
+  let value_descriptor = Codec.read_bytes r in
+  let bases = Codec.read_list r Codec.read_hash in
+  let author = Codec.read_bytes r in
+  let message = Codec.read_bytes r in
+  let seq = Codec.read_varint r in
+  { key; value_descriptor; bases; author; message; seq }
+
+let to_chunk t = Chunk.v Chunk.Fnode (Codec.to_string encode t)
+
+let of_chunk chunk =
+  match chunk.Chunk.kind with
+  | Chunk.Fnode -> Codec.of_string decode chunk.Chunk.payload
+  | k ->
+    Error (Printf.sprintf "expected fnode chunk, got %s" (Chunk.kind_to_string k))
+
+let uid t = Chunk.hash (to_chunk t)
+let store st t = Store.put st (to_chunk t)
+
+let load st id =
+  match Store.get st id with
+  | None -> Error (Printf.sprintf "no such version %s" (Hash.to_hex id))
+  | Some chunk -> of_chunk chunk
+
+let value st t = Fb_types.Value.of_descriptor st t.value_descriptor
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>version %s@ key: %S@ seq: %d@ author: %s@ %s@]"
+    (Hash.to_base32 (uid t))
+    t.key t.seq t.author t.message

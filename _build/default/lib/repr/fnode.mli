@@ -1,0 +1,48 @@
+(** FNode — a node of the version derivation graph (paper §II-D).
+
+    An FNode binds an object key to a value descriptor and to the uids of
+    the versions it was derived from ([bases]).  FNodes are stored as
+    chunks, so a version's {e uid is the hash of its FNode chunk}: it
+    uniquely identifies both the value (through the POS-Tree Merkle root in
+    the descriptor) and the full derivation history (through the hash chain
+    of bases).  Two FNodes are equal — same uid — iff value and history
+    are identical. *)
+
+type t = private {
+  key : string;             (** object key this version belongs to *)
+  value_descriptor : string; (** {!Fb_types.Value.descriptor} bytes *)
+  bases : Fb_hash.Hash.t list;
+      (** parent version uids: one for an ordinary Put, two for a merge,
+          none for an initial version *)
+  author : string;
+  message : string;
+  seq : int;
+      (** logical timestamp: 1 + max of the bases' [seq]; gives a
+          deterministic topological order without wall clocks *)
+}
+
+val v :
+  key:string ->
+  value_descriptor:string ->
+  bases:Fb_hash.Hash.t list ->
+  author:string ->
+  message:string ->
+  seq:int ->
+  t
+
+val to_chunk : t -> Fb_chunk.Chunk.t
+val of_chunk : Fb_chunk.Chunk.t -> (t, string) result
+
+val uid : t -> Fb_hash.Hash.t
+(** The version identifier: hash of the encoded FNode chunk. *)
+
+val store : Fb_chunk.Store.t -> t -> Fb_hash.Hash.t
+(** Persist and return the uid. *)
+
+val load : Fb_chunk.Store.t -> Fb_hash.Hash.t -> (t, string) result
+(** Fetch by uid.  Does {e not} re-check integrity; see {!Verify}. *)
+
+val value : Fb_chunk.Store.t -> t -> (Fb_types.Value.t, string) result
+(** Re-attach the value from the descriptor. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,116 @@
+module Store = Fb_chunk.Store
+module Hash = Fb_hash.Hash
+module Value = Fb_types.Value
+module Pmap = Fb_postree.Pmap
+module Pset = Fb_postree.Pset
+module Plist = Fb_postree.Plist
+module Pblob = Fb_postree.Pblob
+
+type report = {
+  versions_checked : int;
+  value_chunks : int;
+}
+
+let ( let* ) = Result.bind
+
+let verify_value _store value =
+  (* [hashes] is a thunk: traversal is only safe once validation passed. *)
+  let count_after validate hashes =
+    let* () = validate in
+    Ok (List.length (hashes ()))
+  in
+  match (value : Value.t) with
+  | Value.Primitive _ -> Ok 0
+  | Value.Blob b ->
+    count_after (Pblob.validate b) (fun () -> Pblob.node_hashes b)
+  | Value.Map m ->
+    count_after (Pmap.validate m) (fun () -> Pmap.node_hashes m)
+  | Value.Set s ->
+    count_after (Pset.validate s) (fun () -> Pset.node_hashes s)
+  | Value.List l ->
+    count_after (Plist.validate l) (fun () -> Plist.node_hashes l)
+  | Value.Table t ->
+    let rows = Fb_types.Table.rows_map t in
+    let* () = Pmap.validate rows in
+    (* Every row must decode and conform to the schema. *)
+    let schema = Fb_types.Table.schema t in
+    let* () =
+      Pmap.fold
+        (fun acc (b : Pmap.binding) ->
+          let* () = acc in
+          match Fb_types.Table.decode_row b.value with
+          | Error e -> Error (Printf.sprintf "row %S: %s" b.key e)
+          | Ok row -> (
+            match Fb_types.Schema.check_row schema row with
+            | Error e -> Error (Printf.sprintf "row %S: %s" b.key e)
+            | Ok () ->
+              if
+                String.equal (Fb_types.Table.key_of_row schema row) b.key
+              then Ok ()
+              else Error (Printf.sprintf "row %S: key cell mismatch" b.key)))
+        (Ok ()) rows
+    in
+    Ok (List.length (Pmap.node_hashes rows))
+
+(* The FNode chunk itself must re-hash to the uid it was requested by. *)
+let verify_fnode store uid =
+  match store.Store.get_raw uid with
+  | None -> Error (Printf.sprintf "no such version %s" (Hash.to_hex uid))
+  | Some raw ->
+    if not (Hash.equal (Hash.of_string raw) uid) then
+      Error
+        (Printf.sprintf "version %s: stored bytes hash to %s (tampered)"
+           (Hash.to_hex uid)
+           (Hash.to_hex (Hash.of_string raw)))
+    else
+      let* chunk = Fb_chunk.Chunk.decode raw in
+      let* fnode = Fnode.of_chunk chunk in
+      (* seq must strictly dominate all bases: the hash chain's clock. *)
+      Ok fnode
+
+let verify ?(check_history = true) ?(check_history_values = false) store uid =
+  let rec go seen frontier report ~first =
+    match frontier with
+    | [] -> Ok report
+    | id :: rest ->
+      if Hash.Set.mem id seen then go seen rest report ~first:false
+      else
+        let* fnode = verify_fnode store id in
+        let* value_chunks =
+          if first || check_history_values then
+            let* value = Value.of_descriptor store fnode.Fnode.value_descriptor in
+            verify_value store value
+          else Ok 0
+        in
+        let* () =
+          (* Bases must exist (when history checking) and carry smaller
+             logical clocks — a cycle would violate this immediately. *)
+          List.fold_left
+            (fun acc base ->
+              let* () = acc in
+              match Fnode.load store base with
+              | Error e -> Error e
+              | Ok parent ->
+                if parent.Fnode.seq >= fnode.Fnode.seq then
+                  Error
+                    (Printf.sprintf
+                       "version %s: base %s has seq %d >= %d (cycle or forged \
+                        clock)"
+                       (Hash.to_hex id) (Hash.to_hex base) parent.Fnode.seq
+                       fnode.Fnode.seq)
+                else Ok ())
+            (Ok ())
+            (if check_history then fnode.Fnode.bases else [])
+        in
+        let report =
+          { versions_checked = report.versions_checked + 1;
+            value_chunks = report.value_chunks + value_chunks }
+        in
+        let frontier =
+          if check_history then fnode.Fnode.bases @ rest else rest
+        in
+        go (Hash.Set.add id seen) frontier report ~first:false
+  in
+  go Hash.Set.empty [ uid ]
+    { versions_checked = 0; value_chunks = 0 }
+    ~first:true

@@ -1,0 +1,27 @@
+(** Tamper-evident verification (paper §II-D, §III-C).
+
+    Threat model: the chunk store is malicious; the user holds the latest
+    uid of every branch they committed.  Given a uid, verification
+    recomputes every hash on the spot — the FNode chunk, every POS-Tree
+    node of the value, and (optionally) the whole derivation chain — and
+    compares against the ids the data is served under.  Any altered,
+    truncated or substituted byte changes some hash and is reported. *)
+
+type report = {
+  versions_checked : int;  (** FNodes walked *)
+  value_chunks : int;      (** POS-Tree chunks re-hashed *)
+}
+
+val verify :
+  ?check_history:bool ->
+  ?check_history_values:bool ->
+  Fb_chunk.Store.t ->
+  Fb_hash.Hash.t ->
+  (report, string) result
+(** [verify store uid] — re-hash the FNode at [uid] and fully validate its
+    value.  [check_history] (default [true]) walks and re-hashes every
+    ancestor FNode; [check_history_values] (default [false]) additionally
+    validates every historical value's POS-Tree. *)
+
+val verify_value : Fb_chunk.Store.t -> Fb_types.Value.t -> (int, string) result
+(** Validate one value's POS-Tree; returns the number of chunks checked. *)

@@ -1,0 +1,1 @@
+lib/types/csv.ml: Buffer List Printf String

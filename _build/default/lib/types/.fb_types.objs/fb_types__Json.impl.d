@@ -1,0 +1,1 @@
+lib/types/json.ml: Buffer Char Float List Printf String

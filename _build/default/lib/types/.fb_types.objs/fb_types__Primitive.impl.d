@@ -1,0 +1,1 @@
+lib/types/primitive.ml: Bool Buffer Fb_codec Float Format Int Int64 Printf String

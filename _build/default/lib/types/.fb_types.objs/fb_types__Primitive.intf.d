@@ -1,0 +1,1 @@
+lib/types/primitive.mli: Fb_codec Format

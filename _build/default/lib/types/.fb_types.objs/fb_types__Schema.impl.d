@@ -1,0 +1,1 @@
+lib/types/schema.ml: Array Fb_codec Format List Option Primitive Printf String

@@ -1,0 +1,1 @@
+lib/types/schema.mli: Fb_codec Format Primitive

@@ -1,0 +1,1 @@
+lib/types/table.ml: Array Csv Fb_codec Fb_postree Format Fun Int64 List Map Option Primitive Printf Result Schema Set

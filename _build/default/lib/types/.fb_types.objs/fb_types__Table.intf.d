@@ -1,0 +1,1 @@
+lib/types/table.mli: Fb_chunk Fb_hash Fb_postree Format Primitive Schema

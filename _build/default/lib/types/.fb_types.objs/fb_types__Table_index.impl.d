@@ -1,0 +1,1 @@
+lib/types/table_index.ml: Buffer Fb_codec Fb_hash Fb_postree List Option Primitive Printf Result Schema String Table

@@ -1,0 +1,1 @@
+lib/types/table_index.mli: Fb_chunk Fb_hash Fb_postree Primitive Table

@@ -1,0 +1,1 @@
+lib/types/value.ml: Fb_codec Fb_hash Fb_postree Int64 Option Primitive Printf Schema String Table

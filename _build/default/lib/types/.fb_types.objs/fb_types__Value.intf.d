@@ -1,0 +1,1 @@
+lib/types/value.mli: Fb_chunk Fb_hash Fb_postree Format Primitive Table

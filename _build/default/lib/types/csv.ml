@@ -1,0 +1,96 @@
+let parse s =
+  let n = String.length s in
+  let rows = ref [] and row = ref [] in
+  let cell = Buffer.create 64 in
+  let flush_cell () =
+    row := Buffer.contents cell :: !row;
+    Buffer.clear cell
+  in
+  let flush_row () =
+    flush_cell ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  (* States: Start of cell / unquoted / quoted / after closing quote. *)
+  let rec start i =
+    if i >= n then finish_at_end ~had_cell:false
+    else
+      match s.[i] with
+      | '"' -> quoted (i + 1)
+      | ',' -> (flush_cell (); start (i + 1))
+      | '\n' -> (flush_row (); start (i + 1))
+      | '\r' when i + 1 < n && s.[i + 1] = '\n' -> (flush_row (); start (i + 2))
+      | c -> (Buffer.add_char cell c; unquoted (i + 1))
+  and unquoted i =
+    if i >= n then finish_at_end ~had_cell:true
+    else
+      match s.[i] with
+      | ',' -> (flush_cell (); start (i + 1))
+      | '\n' -> (flush_row (); start (i + 1))
+      | '\r' when i + 1 < n && s.[i + 1] = '\n' -> (flush_row (); start (i + 2))
+      | '"' -> Error (Printf.sprintf "csv: stray quote at offset %d" i)
+      | c -> (Buffer.add_char cell c; unquoted (i + 1))
+  and quoted i =
+    if i >= n then Error "csv: unterminated quoted field"
+    else
+      match s.[i] with
+      | '"' ->
+        if i + 1 < n && s.[i + 1] = '"' then (Buffer.add_char cell '"'; quoted (i + 2))
+        else after_quote (i + 1)
+      | c -> (Buffer.add_char cell c; quoted (i + 1))
+  and after_quote i =
+    if i >= n then finish_at_end ~had_cell:true
+    else
+      match s.[i] with
+      | ',' -> (flush_cell (); start (i + 1))
+      | '\n' -> (flush_row (); start (i + 1))
+      | '\r' when i + 1 < n && s.[i + 1] = '\n' -> (flush_row (); start (i + 2))
+      | c ->
+        Error (Printf.sprintf "csv: unexpected %C after closing quote at %d" c i)
+  and finish_at_end ~had_cell =
+    (* A pending cell, or a pending row with cells, terminates the last
+       row; bare EOF after a newline does not create an empty row. *)
+    if had_cell || !row <> [] || Buffer.length cell > 0 then flush_row ();
+    Ok (List.rev !rows)
+  in
+  start 0
+
+let parse_exn s =
+  match parse s with Ok rows -> rows | Error e -> invalid_arg e
+
+let needs_quoting cell =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') cell
+
+let render_cell buf cell =
+  if needs_quoting cell then begin
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"'
+  end
+  else Buffer.add_string buf cell
+
+let render_row row =
+  let buf = Buffer.create 128 in
+  List.iteri
+    (fun i cell ->
+      if i > 0 then Buffer.add_char buf ',';
+      render_cell buf cell)
+    row;
+  Buffer.contents buf
+
+let render rows =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i > 0 then Buffer.add_char buf ',';
+          render_cell buf cell)
+        row;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** RFC 4180-style CSV reading and writing.
+
+    Supports quoted fields with embedded commas, quotes (doubled) and
+    newlines; both LF and CRLF row separators.  This is the import/export
+    format of the demo's dataset experiments (paper §III-A). *)
+
+val parse : string -> (string list list, string) result
+(** Parse a whole document into rows of cells.  A trailing newline does not
+    produce an empty row.  Errors on unterminated quotes or stray quote
+    characters. *)
+
+val parse_exn : string -> string list list
+(** @raise Invalid_argument on malformed input. *)
+
+val render : string list list -> string
+(** Render rows, quoting only cells that need it.  Inverse of {!parse}. *)
+
+val render_row : string list -> string

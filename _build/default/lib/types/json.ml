@@ -1,0 +1,311 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = { src : string; mutable pos : int }
+
+let peek s = if s.pos < String.length s.src then Some s.src.[s.pos] else None
+
+let advance s = s.pos <- s.pos + 1
+
+let expect s c =
+  match peek s with
+  | Some c' when c' = c -> advance s
+  | Some c' -> fail "expected %C at %d, found %C" c s.pos c'
+  | None -> fail "expected %C at %d, found end of input" c s.pos
+
+let rec skip_ws s =
+  match peek s with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance s;
+    skip_ws s
+  | _ -> ()
+
+let expect_word s word value =
+  if
+    s.pos + String.length word <= String.length s.src
+    && String.sub s.src s.pos (String.length word) = word
+  then begin
+    s.pos <- s.pos + String.length word;
+    value
+  end
+  else fail "invalid literal at %d" s.pos
+
+(* Encode a Unicode scalar value as UTF-8. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+
+let hex4 s =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    let d =
+      match peek s with
+      | Some ('0' .. '9' as c) -> Char.code c - Char.code '0'
+      | Some ('a' .. 'f' as c) -> Char.code c - Char.code 'a' + 10
+      | Some ('A' .. 'F' as c) -> Char.code c - Char.code 'A' + 10
+      | _ -> fail "bad \\u escape at %d" s.pos
+    in
+    advance s;
+    v := (!v lsl 4) lor d
+  done;
+  !v
+
+let parse_string_body s =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek s with
+    | None -> fail "unterminated string"
+    | Some '"' ->
+      advance s;
+      Buffer.contents buf
+    | Some '\\' -> (
+      advance s;
+      match peek s with
+      | Some 'n' -> advance s; Buffer.add_char buf '\n'; go ()
+      | Some 't' -> advance s; Buffer.add_char buf '\t'; go ()
+      | Some 'r' -> advance s; Buffer.add_char buf '\r'; go ()
+      | Some 'b' -> advance s; Buffer.add_char buf '\b'; go ()
+      | Some 'f' -> advance s; Buffer.add_char buf '\012'; go ()
+      | Some '"' -> advance s; Buffer.add_char buf '"'; go ()
+      | Some '\\' -> advance s; Buffer.add_char buf '\\'; go ()
+      | Some '/' -> advance s; Buffer.add_char buf '/'; go ()
+      | Some 'u' ->
+        advance s;
+        let cp = hex4 s in
+        let cp =
+          (* Surrogate pair? *)
+          if cp >= 0xd800 && cp <= 0xdbff then begin
+            expect s '\\';
+            expect s 'u';
+            let lo = hex4 s in
+            if lo < 0xdc00 || lo > 0xdfff then fail "lone high surrogate"
+            else 0x10000 + ((cp - 0xd800) lsl 10) + (lo - 0xdc00)
+          end
+          else if cp >= 0xdc00 && cp <= 0xdfff then fail "lone low surrogate"
+          else cp
+        in
+        add_utf8 buf cp;
+        go ()
+      | _ -> fail "bad escape at %d" s.pos)
+    | Some c when Char.code c < 0x20 ->
+      fail "unescaped control character at %d" s.pos
+    | Some c ->
+      advance s;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let parse_number s =
+  let start = s.pos in
+  let consume pred =
+    let any = ref false in
+    let rec go () =
+      match peek s with
+      | Some c when pred c ->
+        advance s;
+        any := true;
+        go ()
+      | _ -> !any
+    in
+    go ()
+  in
+  let digit c = c >= '0' && c <= '9' in
+  ignore (match peek s with Some '-' -> advance s; true | _ -> false);
+  (* RFC 8259: the integer part is "0" or a nonzero digit followed by
+     digits — no leading zeros. *)
+  (match peek s with
+   | Some '0' -> (
+     advance s;
+     match peek s with
+     | Some c when digit c -> fail "leading zero at %d" start
+     | _ -> ())
+   | Some c when digit c -> ignore (consume digit)
+   | _ -> fail "bad number at %d" start);
+  (match peek s with
+   | Some '.' ->
+     advance s;
+     if not (consume digit) then fail "bad fraction at %d" s.pos
+   | _ -> ());
+  (match peek s with
+   | Some ('e' | 'E') ->
+     advance s;
+     (match peek s with Some ('+' | '-') -> advance s | _ -> ());
+     if not (consume digit) then fail "bad exponent at %d" s.pos
+   | _ -> ());
+  let text = String.sub s.src start (s.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> f
+  | None -> fail "unparsable number %S" text
+
+let rec parse_value s =
+  skip_ws s;
+  match peek s with
+  | None -> fail "unexpected end of input"
+  | Some 'n' -> expect_word s "null" Null
+  | Some 't' -> expect_word s "true" (Bool true)
+  | Some 'f' -> expect_word s "false" (Bool false)
+  | Some '"' ->
+    advance s;
+    String (parse_string_body s)
+  | Some '[' ->
+    advance s;
+    skip_ws s;
+    if peek s = Some ']' then (advance s; Array [])
+    else begin
+      let rec items acc =
+        let v = parse_value s in
+        skip_ws s;
+        match peek s with
+        | Some ',' -> advance s; items (v :: acc)
+        | Some ']' -> advance s; List.rev (v :: acc)
+        | _ -> fail "expected ',' or ']' at %d" s.pos
+      in
+      Array (items [])
+    end
+  | Some '{' ->
+    advance s;
+    skip_ws s;
+    if peek s = Some '}' then (advance s; Object [])
+    else begin
+      let member () =
+        skip_ws s;
+        expect s '"';
+        let name = parse_string_body s in
+        skip_ws s;
+        expect s ':';
+        let v = parse_value s in
+        (name, v)
+      in
+      let rec members acc =
+        let m = member () in
+        skip_ws s;
+        match peek s with
+        | Some ',' -> advance s; members (m :: acc)
+        | Some '}' -> advance s; List.rev (m :: acc)
+        | _ -> fail "expected ',' or '}' at %d" s.pos
+      in
+      Object (members [])
+    end
+  | Some ('-' | '0' .. '9') -> Number (parse_number s)
+  | Some c -> fail "unexpected %C at %d" c s.pos
+
+let parse src =
+  let s = { src; pos = 0 } in
+  match
+    let v = parse_value s in
+    skip_ws s;
+    if s.pos <> String.length src then fail "trailing garbage at %d" s.pos;
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error e -> Error e
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let render_number f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let to_string ?(pretty = false) v =
+  let buf = Buffer.create 256 in
+  let indent depth = if pretty then Buffer.add_string buf (String.make (2 * depth) ' ') in
+  let newline () = if pretty then Buffer.add_char buf '\n' in
+  let rec go depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Number f -> Buffer.add_string buf (render_number f)
+    | String s ->
+      Buffer.add_char buf '"';
+      escape_into buf s;
+      Buffer.add_char buf '"'
+    | Array [] -> Buffer.add_string buf "[]"
+    | Array items ->
+      Buffer.add_char buf '[';
+      newline ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then (Buffer.add_char buf ','; newline ());
+          indent (depth + 1);
+          go (depth + 1) item)
+        items;
+      newline ();
+      indent depth;
+      Buffer.add_char buf ']'
+    | Object [] -> Buffer.add_string buf "{}"
+    | Object members ->
+      Buffer.add_char buf '{';
+      newline ();
+      List.iteri
+        (fun i (name, item) ->
+          if i > 0 then (Buffer.add_char buf ','; newline ());
+          indent (depth + 1);
+          Buffer.add_char buf '"';
+          escape_into buf name;
+          Buffer.add_string buf (if pretty then "\": " else "\":");
+          go (depth + 1) item)
+        members;
+      newline ();
+      indent depth;
+      Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
+let rec equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Number x, Number y -> x = y
+  | String x, String y -> String.equal x y
+  | Array x, Array y -> List.length x = List.length y && List.for_all2 equal x y
+  | Object x, Object y ->
+    List.length x = List.length y
+    && List.for_all2
+         (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && equal v1 v2)
+         x y
+  | (Null | Bool _ | Number _ | String _ | Array _ | Object _), _ -> false
+
+let int i = Number (float_of_int i)
+
+let member name = function
+  | Object members -> List.assoc_opt name members
+  | _ -> None

@@ -1,0 +1,32 @@
+(** Minimal JSON (RFC 8259) — the wire format of the Web-UI/REST semantic
+    view (see DESIGN.md substitutions).  Implemented here because the
+    sealed build environment ships no JSON library.
+
+    Numbers are carried as [float] (JSON's own model); object member order
+    is preserved; duplicate member names are kept as parsed. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete document.  Rejects trailing garbage,
+    unterminated constructs, bad escapes and malformed numbers.  [\uXXXX]
+    escapes (including surrogate pairs) decode to UTF-8. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Render; [pretty] (default [false]) adds newlines and two-space
+    indentation.  Strings are escaped minimally (control characters,
+    quotes, backslashes). *)
+
+val equal : t -> t -> bool
+
+(** {1 Construction helpers} *)
+
+val int : int -> t
+val member : string -> t -> t option
+(** Object member lookup (first match). *)

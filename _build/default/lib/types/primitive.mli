@@ -1,0 +1,36 @@
+(** Primitive values: string, number (int/float), boolean, null.
+
+    These are the scalar leaves of the ForkBase data model (paper §II
+    overview); they appear as standalone object values and as relational
+    table cells. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int64
+  | Float of float
+  | String of string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val encode : Fb_codec.Codec.writer -> t -> unit
+val decode : Fb_codec.Codec.reader -> t
+
+val to_string : t -> string
+(** Human rendering (CSV cell form): [Null] is the empty string, booleans
+    are [true]/[false], floats use shortest round-trip notation. *)
+
+val parse : string -> t
+(** Inverse-ish of {!to_string} with inference: empty → [Null], [true]/
+    [false] → [Bool], integer syntax → [Int], float syntax → [Float],
+    anything else → [String]. *)
+
+val sortable_key : t -> string
+(** An order-preserving byte rendering: comparing [sortable_key a] and
+    [sortable_key b] as strings agrees with {!compare} (for floats, modulo
+    NaN, which sorts above every number here).  Used to key secondary
+    indexes so that POS-Tree range scans deliver ordered column access. *)
+
+val type_name : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+(** Secondary indexes over table columns.
+
+    An index is itself a POS-Tree map whose keys concatenate an
+    order-preserving rendering of the column value with the row key
+    ({!Primitive.sortable_key} + separator + row key), so
+
+    - equality lookups are a prefix range scan,
+    - ordered and range scans over the column come for free,
+    - the index enjoys the same structural invariance and page sharing as
+      the table: two versions of a table with few changed rows have two
+      index versions sharing almost all pages.
+
+    Indexes are derived data: build one from a table, then keep it current
+    with {!apply_changes} fed from {!Table.diff} — O(changes), not
+    O(table). *)
+
+type t
+
+val column : t -> string
+val map : t -> Fb_postree.Pmap.t
+val root : t -> Fb_hash.Hash.t option
+
+val build : Table.t -> column:string -> (t, string) result
+(** Scan the table once and index the given column.  Null cells are
+    indexed too (as the Null sortable key). *)
+
+val of_root :
+  Fb_chunk.Store.t -> column:string -> Fb_hash.Hash.t option -> t
+
+val apply_changes : t -> Table.t -> Table.row_change list -> (t, string) result
+(** Maintain the index across a batch of row changes ([Table.diff] output
+    between the indexed version and the new one).  The second argument is
+    the {e new} table version (used to resolve schema positions). *)
+
+val lookup_keys : t -> Primitive.t -> string list
+(** Row keys whose indexed column equals the value, in row-key order. *)
+
+val lookup : t -> Table.t -> Primitive.t -> Table.row list
+(** The matching rows, fetched from the table. *)
+
+val count : t -> Primitive.t -> int
+(** Matching-row count straight from index statistics. *)
+
+val range_keys :
+  ?lo:Primitive.t -> ?hi:Primitive.t -> t -> (Primitive.t * string) list
+(** (column value, row key) pairs with the column value in [lo, hi]
+    (inclusive; [None] = unbounded), ordered by column value then row
+    key. *)
+
+val cardinal : t -> int
+val validate : t -> (unit, string) result

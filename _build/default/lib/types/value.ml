@@ -1,0 +1,132 @@
+module Codec = Fb_codec.Codec
+module Hash = Fb_hash.Hash
+module Pblob = Fb_postree.Pblob
+module Pmap = Fb_postree.Pmap
+module Pset = Fb_postree.Pset
+module Plist = Fb_postree.Plist
+
+type t =
+  | Primitive of Primitive.t
+  | Blob of Pblob.t
+  | Map of Pmap.t
+  | Set of Pset.t
+  | List of Plist.t
+  | Table of Table.t
+
+type kind = K_primitive | K_blob | K_map | K_set | K_list | K_table
+
+let kind = function
+  | Primitive _ -> K_primitive
+  | Blob _ -> K_blob
+  | Map _ -> K_map
+  | Set _ -> K_set
+  | List _ -> K_list
+  | Table _ -> K_table
+
+let kind_name = function
+  | K_primitive -> "primitive"
+  | K_blob -> "blob"
+  | K_map -> "map"
+  | K_set -> "set"
+  | K_list -> "list"
+  | K_table -> "table"
+
+let equal_kind a b = a = b
+
+let kind_tag = function
+  | K_primitive -> 0
+  | K_blob -> 1
+  | K_map -> 2
+  | K_set -> 3
+  | K_list -> 4
+  | K_table -> 5
+
+let encode_root w = function
+  | None -> Codec.bool w false
+  | Some h ->
+    Codec.bool w true;
+    Codec.hash w h
+
+let decode_root r =
+  if Codec.read_bool r then Some (Codec.read_hash r) else None
+
+let descriptor v =
+  let w = Codec.writer () in
+  Codec.u8 w (kind_tag (kind v));
+  (match v with
+   | Primitive p -> Primitive.encode w p
+   | Blob b -> encode_root w (Pblob.root b)
+   | Map m -> encode_root w (Pmap.root m)
+   | Set s -> encode_root w (Pset.root s)
+   | List l -> encode_root w (Plist.root l)
+   | Table t ->
+     Schema.encode w (Table.schema t);
+     encode_root w (Table.rows_root t));
+  Codec.contents w
+
+let of_descriptor store s =
+  Codec.of_string
+    (fun r ->
+      match Codec.read_u8 r with
+      | 0 -> Primitive (Primitive.decode r)
+      | 1 -> Blob (Pblob.of_root store (decode_root r))
+      | 2 -> Map (Pmap.of_root store (decode_root r))
+      | 3 -> Set (Pset.of_root store (decode_root r))
+      | 4 -> List (Plist.of_root store (decode_root r))
+      | 5 ->
+        let schema = Schema.decode r in
+        Table (Table.of_rows_root store schema (decode_root r))
+      | t ->
+        raise (Codec.Decode_error (Printf.sprintf "bad value kind tag %d" t)))
+    s
+
+let equal a b = String.equal (descriptor a) (descriptor b)
+
+let roots = function
+  | Primitive _ -> []
+  | Blob b -> Option.to_list (Pblob.root b)
+  | Map m -> Option.to_list (Pmap.root m)
+  | Set s -> Option.to_list (Pset.root s)
+  | List l -> Option.to_list (Plist.root l)
+  | Table t -> Option.to_list (Table.rows_root t)
+
+let roots_of_descriptor s =
+  Codec.of_string
+    (fun r ->
+      match Codec.read_u8 r with
+      | 0 ->
+        let _ = Primitive.decode r in
+        []
+      | 1 | 2 | 3 | 4 -> Option.to_list (decode_root r)
+      | 5 ->
+        let _ = Schema.decode r in
+        Option.to_list (decode_root r)
+      | t ->
+        raise (Codec.Decode_error (Printf.sprintf "bad value kind tag %d" t)))
+    s
+
+let type_name v = kind_name (kind v)
+
+let pp fmt = function
+  | Primitive p -> Primitive.pp fmt p
+  | Blob b -> Pblob.pp fmt b
+  | Map m -> Pmap.pp fmt m
+  | Set s -> Pset.pp fmt s
+  | List l -> Plist.pp fmt l
+  | Table t -> Table.pp fmt t
+
+let string s = Primitive (Primitive.String s)
+let int i = Primitive (Primitive.Int (Int64.of_int i))
+let bool b = Primitive (Primitive.Bool b)
+let float f = Primitive (Primitive.Float f)
+let blob_of_string store s = Blob (Pblob.of_string store s)
+let map_of_bindings store bs = Map (Pmap.of_bindings store bs)
+let set_of_elements store es = Set (Pset.of_elements store es)
+let list_of_strings store xs = List (Plist.of_list store xs)
+
+let to_primitive = function Primitive p -> Some p | _ -> None
+let to_blob = function Blob b -> Some b | _ -> None
+let to_map = function Map m -> Some m | _ -> None
+let to_set = function Set s -> Some s | _ -> None
+let to_list = function List l -> Some l | _ -> None
+let to_table = function Table t -> Some t | _ -> None

@@ -1,0 +1,1 @@
+lib/workload/csvgen.ml: Array Fb_hash Fb_types List Printf String

@@ -1,0 +1,1 @@
+lib/workload/csvgen.mli:

@@ -1,0 +1,1 @@
+lib/workload/edits.ml: Array Fb_hash Fb_types Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/workload/zipf.ml: Array Fb_hash Float

@@ -1,0 +1,54 @@
+module Prng = Fb_hash.Prng
+
+type spec = {
+  rows : int;
+  string_columns : int;
+  int_columns : int;
+  seed : int64;
+}
+
+let default_word_pool =
+  [| "alpha"; "bravo"; "charlie"; "delta"; "echo"; "foxtrot"; "golf";
+     "hotel"; "india"; "juliet"; "kilo"; "lima"; "mike"; "november";
+     "oscar"; "papa"; "quebec"; "romeo"; "sierra"; "tango"; "uniform";
+     "victor"; "whiskey"; "xray"; "yankee"; "zulu"; "amber"; "basil";
+     "cedar"; "dahlia"; "elm"; "fern"; "ginger"; "hazel"; "iris"; "jade" |]
+
+let generate_rows spec =
+  let rng = Prng.create spec.seed in
+  let header =
+    "id"
+    :: List.init spec.string_columns (Printf.sprintf "s%d")
+    @ List.init spec.int_columns (Printf.sprintf "n%d")
+  in
+  let data =
+    List.init spec.rows (fun i ->
+        let id = Printf.sprintf "r%08d" i in
+        let strings =
+          List.init spec.string_columns (fun _ ->
+              let a = default_word_pool.(Prng.next_int rng (Array.length default_word_pool)) in
+              let b = default_word_pool.(Prng.next_int rng (Array.length default_word_pool)) in
+              a ^ "-" ^ b)
+        in
+        let ints =
+          List.init spec.int_columns (fun _ ->
+              string_of_int (Prng.next_int rng 1_000_000))
+        in
+        (id :: strings) @ ints)
+  in
+  header :: data
+
+let generate spec = Fb_types.Csv.render (generate_rows spec)
+
+let generate_of_size ?(seed = 42L) ~target_bytes () =
+  (* Estimate bytes per row from a sample, then generate and trim. *)
+  let sample = { rows = 64; string_columns = 3; int_columns = 2; seed } in
+  let sample_csv = generate sample in
+  let header_len = String.index sample_csv '\n' + 1 in
+  let per_row =
+    float_of_int (String.length sample_csv - header_len) /. 64.0
+  in
+  let rows =
+    max 1 (int_of_float (float_of_int (target_bytes - header_len) /. per_row))
+  in
+  generate { rows; string_columns = 3; int_columns = 2; seed }

@@ -1,0 +1,25 @@
+(** Deterministic synthetic CSV datasets.
+
+    Stand-in for the external CSV files of the demo (paper §III-A): the
+    Fig. 4 experiment needs a ~340 KB CSV and a copy of it differing in a
+    single word, which [generate] and {!Edits} provide reproducibly. *)
+
+type spec = {
+  rows : int;
+  string_columns : int;   (** word-pool text columns *)
+  int_columns : int;
+  seed : int64;
+}
+
+val default_word_pool : string array
+
+val generate : spec -> string
+(** CSV document: header ["id,s0..,n0.."] then [rows] data lines; the [id]
+    column is a unique zero-padded key. *)
+
+val generate_rows : spec -> string list list
+(** Same data as cell lists (header first). *)
+
+val generate_of_size : ?seed:int64 -> target_bytes:int -> unit -> string
+(** A CSV of approximately (within a couple of rows of) the requested
+    size — e.g. the 338.54 KB dataset of Fig. 4. *)

@@ -1,0 +1,72 @@
+module Prng = Fb_hash.Prng
+
+let change_one_word ?(seed = 7L) csv =
+  let rng = Prng.create seed in
+  match Fb_types.Csv.parse csv with
+  | Error e -> invalid_arg ("change_one_word: " ^ e)
+  | Ok [] -> invalid_arg "change_one_word: empty document"
+  | Ok (header :: data) ->
+    if data = [] then invalid_arg "change_one_word: no data rows";
+    let r = Prng.next_int rng (List.length data) in
+    let width = List.length header in
+    (* Avoid column 0, the key, so the edit is an in-place cell change. *)
+    let c = if width > 1 then 1 + Prng.next_int rng (width - 1) else 0 in
+    let data =
+      List.mapi
+        (fun i row ->
+          if i <> r then row
+          else List.mapi (fun j cell -> if j = c then "CHANGED" else cell) row)
+        data
+    in
+    Fb_types.Csv.render (header :: data)
+
+let point_edit_cells ?(seed = 11L) ~cells rows =
+  match rows with
+  | [] -> []
+  | header :: data ->
+    let rng = Prng.create seed in
+    let arr = Array.of_list (List.map Array.of_list data) in
+    let width = List.length header in
+    if Array.length arr > 0 && width > 1 then
+      for _ = 1 to cells do
+        let r = Prng.next_int rng (Array.length arr) in
+        let c = 1 + Prng.next_int rng (width - 1) in
+        arr.(r).(c) <- Printf.sprintf "edit%d" (Prng.next_int rng 1_000_000)
+      done;
+    header :: List.map Array.to_list (Array.to_list arr)
+
+let append_rows ?(seed = 13L) ~rows:n rows =
+  match rows with
+  | [] -> []
+  | header :: data ->
+    let rng = Prng.create seed in
+    let width = List.length header in
+    let start = List.length data in
+    let fresh =
+      List.init n (fun i ->
+          Printf.sprintf "r%08d" (start + i)
+          :: List.init (width - 1) (fun _ ->
+                 Printf.sprintf "new%d" (Prng.next_int rng 1_000_000)))
+    in
+    header :: (data @ fresh)
+
+let delete_rows ?(seed = 17L) ~rows:n rows =
+  match rows with
+  | [] -> []
+  | header :: data ->
+    let rng = Prng.create seed in
+    let len = List.length data in
+    let n = min n len in
+    let victims = Hashtbl.create n in
+    let rec pick remaining =
+      if remaining > 0 then begin
+        let i = Prng.next_int rng len in
+        if Hashtbl.mem victims i then pick remaining
+        else begin
+          Hashtbl.replace victims i ();
+          pick (remaining - 1)
+        end
+      end
+    in
+    pick n;
+    header :: List.filteri (fun i _ -> not (Hashtbl.mem victims i)) data

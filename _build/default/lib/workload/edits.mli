@@ -1,0 +1,17 @@
+(** Edit scripts over CSV documents and row sets — the version-to-version
+    mutations of the benchmark workloads. *)
+
+val change_one_word : ?seed:int64 -> string -> string
+(** Replace a single word of a CSV document with ["CHANGED"] (the exact
+    Fig. 4 manipulation: "two external CSV datasets with a single-word
+    difference").  Header line is left intact. *)
+
+val point_edit_cells :
+  ?seed:int64 -> cells:int -> string list list -> string list list
+(** Overwrite [cells] random non-header, non-key cells with fresh values. *)
+
+val append_rows : ?seed:int64 -> rows:int -> string list list -> string list list
+(** Append synthetic rows continuing the id sequence. *)
+
+val delete_rows : ?seed:int64 -> rows:int -> string list list -> string list list
+(** Drop [rows] random data rows. *)

@@ -1,0 +1,10 @@
+(** Zipfian key selection for skewed update workloads. *)
+
+type t
+
+val create : ?theta:float -> Fb_hash.Prng.t -> n:int -> t
+(** Zipf(θ) over ranks [0..n-1]; default skew θ = 0.99 (the YCSB
+    constant). *)
+
+val next : t -> int
+(** Sample a rank; rank 0 is the hottest. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Fb_baselines Fb_hash List Printf String

@@ -1,0 +1,1 @@
+test/test_chunk.ml: Alcotest Cache_store Chunk Fb_chunk Fb_hash Fb_postree File_store Filename Fun Gc List Mem_store Printf Random Result Store String Sys Unix Verified_store

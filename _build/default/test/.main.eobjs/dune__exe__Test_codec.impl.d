@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Codec Fb_codec Fb_hash Float Gen Int64 List QCheck QCheck_alcotest Result String Test

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bytes Fb_chunk Fb_core Fb_hash Fb_postree Fb_repr Fb_types Format Int64 List Option Printf Result String Tutil

@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Fb_chunk Fb_core Fb_types Int64 List Printf Result

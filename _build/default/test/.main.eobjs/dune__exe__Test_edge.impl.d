@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Char Fb_chunk Fb_core Fb_hash Fb_postree Fb_types List Option Printf Result String Tutil

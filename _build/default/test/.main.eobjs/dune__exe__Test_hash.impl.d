@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Base32 Char Fb_hash Gen Hash Hex List Printf Prng QCheck QCheck_alcotest Result Rolling Sha256 String Test

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Fb_chunk Fb_hash Fb_types Float Format Gen Int64 List Option Printf QCheck QCheck_alcotest Result Test

@@ -1,0 +1,1 @@
+test/test_indexer.ml: Alcotest Fb_chunk Fb_core Fb_types List Result

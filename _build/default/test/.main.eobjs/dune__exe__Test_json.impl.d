@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Fb_chunk Fb_core Fb_types Gen List Printf QCheck QCheck_alcotest Result Test

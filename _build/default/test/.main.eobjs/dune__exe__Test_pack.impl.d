@@ -1,0 +1,1 @@
+test/test_pack.ml: Alcotest Fb_chunk Fb_core Fb_hash Filename Fun List Printf Random Result String Sys Unix

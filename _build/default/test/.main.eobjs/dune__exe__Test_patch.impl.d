@@ -1,0 +1,1 @@
+test/test_patch.ml: Alcotest Fb_chunk Fb_core Fb_hash Fb_postree Fb_types List Option Result String

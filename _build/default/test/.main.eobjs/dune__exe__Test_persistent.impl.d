@@ -1,0 +1,1 @@
+test/test_persistent.ml: Alcotest Fb_chunk Fb_core Fb_hash Fb_types Filename Fun List Printf Random Result Sys Unix

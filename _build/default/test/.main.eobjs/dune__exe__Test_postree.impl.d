@@ -1,0 +1,1 @@
+test/test_postree.ml: Alcotest Array Bytes Char Fb_chunk Fb_hash Fb_postree Gen Hashtbl List Option Printf QCheck QCheck_alcotest Result Seq String Test

@@ -1,0 +1,1 @@
+test/test_proof.ml: Alcotest Bytes Char Fb_chunk Fb_core Fb_hash Fb_postree Fb_types Gen List Option Printf QCheck QCheck_alcotest Result String Test

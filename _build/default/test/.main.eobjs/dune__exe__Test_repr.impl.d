@@ -1,0 +1,1 @@
+test/test_repr.ml: Alcotest Bytes Char Fb_chunk Fb_hash Fb_postree Fb_repr Fb_types List Option Printf Result String

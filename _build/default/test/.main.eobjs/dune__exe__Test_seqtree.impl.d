@@ -1,0 +1,1 @@
+test/test_seqtree.ml: Alcotest Bytes Char Fb_chunk Fb_hash Fb_postree Gen Int64 List Option Printf QCheck QCheck_alcotest Result String Test

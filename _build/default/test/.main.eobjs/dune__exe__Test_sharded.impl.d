@@ -1,0 +1,1 @@
+test/test_sharded.ml: Alcotest Fb_chunk Fb_core Fb_hash Fb_types List Printf Result

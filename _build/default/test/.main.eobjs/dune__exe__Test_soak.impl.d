@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Fb_chunk Fb_core Fb_hash Fb_postree Fb_types Hashtbl List Map Option Printf Result String

@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Fb_chunk Fb_codec Fb_hash Fb_types Gen Int64 List Option QCheck QCheck_alcotest Result String Test

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fb_hash Fb_types Fb_workload List Printf String

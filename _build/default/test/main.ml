@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "forkbase"
+    [ ("hash", Test_hash.suite);
+      ("codec", Test_codec.suite);
+      ("chunk", Test_chunk.suite);
+      ("postree", Test_postree.suite);
+      ("seqtree", Test_seqtree.suite);
+      ("types", Test_types.suite);
+      ("repr", Test_repr.suite);
+      ("core", Test_core.suite);
+      ("dataset", Test_dataset.suite);
+      ("service", Test_service.suite);
+      ("sharded", Test_sharded.suite);
+      ("pack", Test_pack.suite);
+      ("index", Test_index.suite);
+      ("proof", Test_proof.suite);
+      ("json", Test_json.suite);
+      ("persistent", Test_persistent.suite);
+      ("soak", Test_soak.suite);
+      ("edge", Test_edge.suite);
+      ("patch", Test_patch.suite);
+      ("indexer", Test_indexer.suite);
+      ("baselines", Test_baselines.suite);
+      ("workload", Test_workload.suite) ]

@@ -1,0 +1,180 @@
+(* Baseline comparison systems: correctness of commit/retrieve and the
+   storage characteristics Table I claims. *)
+
+module Baseline = Fb_baselines.Baseline
+module Btree = Fb_baselines.Btree_baseline
+module Hash = Fb_hash.Hash
+module Prng = Fb_hash.Prng
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+let mk_rows ?(seed = 21L) n =
+  let rng = Prng.create seed in
+  List.init n (fun i ->
+      ( Printf.sprintf "row-%06d" i,
+        Printf.sprintf "payload-%Ld-%d" (Prng.next_int64 rng) i ))
+
+let edit_one rows =
+  List.map
+    (fun (k, v) -> if k = "row-000100" then (k, "EDITED") else (k, v))
+    rows
+
+let all_baselines () =
+  [ Fb_baselines.Snapshot_store.create ();
+    Fb_baselines.Delta_store.create ();
+    Fb_baselines.Kv_store.create ();
+    Fb_baselines.Gitfile_store.create ();
+    Fb_baselines.Fixed_chunk_store.create () ]
+
+let test_commit_retrieve_roundtrip () =
+  let v0 = mk_rows 500 in
+  let v1 = edit_one v0 in
+  let v2 = List.filteri (fun i _ -> i < 400) v1 in
+  List.iter
+    (fun (b : Baseline.t) ->
+      let i0 = b.commit v0 in
+      let i1 = b.commit v1 in
+      let i2 = b.commit v2 in
+      check int_ (b.name ^ " v0") 0 i0;
+      check int_ (b.name ^ " v2") 2 i2;
+      check bool_ (b.name ^ " retrieve v0") true (b.retrieve i0 = v0);
+      check bool_ (b.name ^ " retrieve v1") true (b.retrieve i1 = v1);
+      check bool_ (b.name ^ " retrieve v2") true (b.retrieve i2 = v2);
+      check bool_ (b.name ^ " bad version") true
+        (try
+           ignore (b.retrieve 99);
+           false
+         with Invalid_argument _ -> true))
+    (all_baselines ())
+
+let test_snapshot_grows_linearly () =
+  let b = Fb_baselines.Snapshot_store.create () in
+  let rows = mk_rows 1000 in
+  ignore (b.commit rows);
+  let one = b.storage_bytes () in
+  ignore (b.commit rows);
+  ignore (b.commit rows);
+  check int_ "3x" (3 * one) (b.storage_bytes ())
+
+let test_delta_small_for_small_edits () =
+  let b = Fb_baselines.Delta_store.create () in
+  let rows = mk_rows 2000 in
+  ignore (b.commit rows);
+  let base = b.storage_bytes () in
+  ignore (b.commit (edit_one rows));
+  let delta = b.storage_bytes () - base in
+  check bool_ (Printf.sprintf "delta %d << base %d" delta base) true
+    (delta * 20 < base)
+
+let test_gitfile_dedups_identical_only () =
+  let b = Fb_baselines.Gitfile_store.create () in
+  let rows = mk_rows 2000 in
+  ignore (b.commit rows);
+  let one = b.storage_bytes () in
+  (* Identical snapshot: free. *)
+  ignore (b.commit rows);
+  check int_ "identical free" one (b.storage_bytes ());
+  (* One-word edit: pays the full file again. *)
+  ignore (b.commit (edit_one rows));
+  check bool_ "edit pays full" true (b.storage_bytes () >= 2 * one - 100)
+
+let test_kv_stores_changed_rows_only () =
+  let b = Fb_baselines.Kv_store.create () in
+  let rows = mk_rows 2000 in
+  ignore (b.commit rows);
+  let base = b.storage_bytes () in
+  ignore (b.commit (edit_one rows));
+  let delta = b.storage_bytes () - base in
+  (* Changed row + per-version manifest, well below a full copy. *)
+  check bool_ (Printf.sprintf "delta %d < base %d" delta base) true
+    (delta < base)
+
+let test_fixed_chunks_suffer_from_shift () =
+  let b = Fb_baselines.Fixed_chunk_store.create ~chunk_size:1024 () in
+  let rows = mk_rows 2000 in
+  ignore (b.commit rows);
+  let base = b.storage_bytes () in
+  (* Insert one row near the front: fixed-offset chunking shifts every
+     boundary after it, so most chunks are new. *)
+  let shifted = ("row-0000005x", "INSERTED") :: rows in
+  let shifted =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) shifted
+  in
+  ignore (b.commit shifted);
+  let delta = b.storage_bytes () - base in
+  check bool_ (Printf.sprintf "shift hurts: %d > 0.5*%d" delta base) true
+    (2 * delta > base)
+
+let test_caps_populated () =
+  List.iter
+    (fun (b : Baseline.t) ->
+      check bool_ (b.name ^ " caps") true
+        (String.length b.caps.Baseline.data_model > 0
+         && String.length b.caps.Baseline.dedup > 0
+         && String.length b.caps.Baseline.branching > 0))
+    (all_baselines ())
+
+(* ---------------- B+-tree strawman ---------------- *)
+
+let test_btree_correctness () =
+  let entries = List.init 2000 (fun i -> (Printf.sprintf "k%05d" i, string_of_int i)) in
+  let t = Btree.of_bindings entries in
+  check int_ "cardinal" 2000 (Btree.cardinal t);
+  check bool_ "sorted" true (Btree.bindings t = entries);
+  check bool_ "find" true (Btree.find t "k01000" = Some "1000");
+  check bool_ "find missing" true (Btree.find t "zz" = None);
+  (* Upsert does not change cardinality. *)
+  Btree.insert t "k01000" "updated";
+  check int_ "upsert" 2000 (Btree.cardinal t);
+  check bool_ "updated" true (Btree.find t "k01000" = Some "updated")
+
+let test_btree_random_order_correctness () =
+  let entries = List.init 1000 (fun i -> (Printf.sprintf "k%05d" i, string_of_int i)) in
+  let rng = Prng.create 4L in
+  let arr = Array.of_list entries in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Prng.next_int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  let t = Btree.of_bindings (Array.to_list arr) in
+  check bool_ "content independent of order" true (Btree.bindings t = entries)
+
+let test_btree_not_structurally_invariant () =
+  (* The point of the strawman: same content, different build order, almost
+     no page sharing — violating SIRI Property 1. *)
+  let entries = List.init 3000 (fun i -> (Printf.sprintf "k%05d" i, "v")) in
+  let t1 = Btree.of_bindings entries in
+  let t2 = Btree.of_bindings (List.rev entries) in
+  check bool_ "same records" true (Btree.bindings t1 = Btree.bindings t2);
+  let shared =
+    Hash.Set.cardinal (Hash.Set.inter (Btree.page_hashes t1) (Btree.page_hashes t2))
+  in
+  let total = Btree.page_count t1 in
+  check bool_
+    (Printf.sprintf "shared %d / %d pages" shared total)
+    true
+    (float_of_int shared < 0.2 *. float_of_int total)
+
+let suite =
+  [ Alcotest.test_case "commit/retrieve roundtrip" `Quick
+      test_commit_retrieve_roundtrip;
+    Alcotest.test_case "snapshot grows linearly" `Quick
+      test_snapshot_grows_linearly;
+    Alcotest.test_case "delta small for small edits" `Quick
+      test_delta_small_for_small_edits;
+    Alcotest.test_case "gitfile dedups identical only" `Quick
+      test_gitfile_dedups_identical_only;
+    Alcotest.test_case "kv stores changed rows only" `Quick
+      test_kv_stores_changed_rows_only;
+    Alcotest.test_case "fixed chunks suffer from shift" `Quick
+      test_fixed_chunks_suffer_from_shift;
+    Alcotest.test_case "caps populated" `Quick test_caps_populated;
+    Alcotest.test_case "btree correctness" `Quick test_btree_correctness;
+    Alcotest.test_case "btree random order" `Quick
+      test_btree_random_order_correctness;
+    Alcotest.test_case "btree lacks structural invariance" `Quick
+      test_btree_not_structurally_invariant ]

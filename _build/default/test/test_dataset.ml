@@ -1,0 +1,135 @@
+(* Dataset layer: row-level operations committing tamper-evident versions. *)
+
+module FB = Fb_core.Forkbase
+module Dataset = Fb_core.Dataset
+module Errors = Fb_core.Errors
+module Schema = Fb_types.Schema
+module Primitive = Fb_types.Primitive
+module Store = Fb_chunk.Store
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Errors.to_string e)
+
+let col name ty = { Schema.name; ty }
+
+let sample_schema () =
+  Schema.v_exn
+    [ col "id" Schema.T_int; col "name" Schema.T_string;
+      col "qty" Schema.T_int ]
+
+let row id name qty =
+  [ Primitive.Int (Int64.of_int id); Primitive.String name;
+    Primitive.Int (Int64.of_int qty) ]
+
+let fresh_with_dataset () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  ignore (ok (Dataset.create fb ~key:"inv" (sample_schema ())));
+  ignore
+    (ok
+       (Dataset.insert_rows fb ~key:"inv"
+          [ row 1 "apple" 10; row 2 "banana" 20; row 3 "cherry" 30 ]));
+  fb
+
+let test_create_and_insert () =
+  let fb = fresh_with_dataset () in
+  check int_ "rows" 3 (ok (Dataset.row_count fb ~key:"inv"));
+  check bool_ "get_row" true
+    (ok (Dataset.get_row fb ~key:"inv" ~row:"2") = Some (row 2 "banana" 20));
+  check bool_ "schema" true
+    (Schema.equal (ok (Dataset.schema fb ~key:"inv")) (sample_schema ()));
+  (* Each operation was a version. *)
+  check int_ "two versions" 2 (List.length (ok (FB.log fb ~key:"inv")))
+
+let test_delete_rows () =
+  let fb = fresh_with_dataset () in
+  ignore (ok (Dataset.delete_rows fb ~key:"inv" [ "1"; "nope" ]));
+  check int_ "rows" 2 (ok (Dataset.row_count fb ~key:"inv"));
+  check bool_ "gone" true (ok (Dataset.get_row fb ~key:"inv" ~row:"1") = None)
+
+let test_update_cell () =
+  let fb = fresh_with_dataset () in
+  ignore
+    (ok
+       (Dataset.update_cell fb ~key:"inv" ~row:"2" ~column:"qty"
+          (Primitive.Int 99L)));
+  check bool_ "updated" true
+    (ok (Dataset.get_row fb ~key:"inv" ~row:"2") = Some (row 2 "banana" 99));
+  check int_ "count unchanged" 3 (ok (Dataset.row_count fb ~key:"inv"));
+  (* Bad column / row / type. *)
+  check bool_ "bad column" true
+    (Result.is_error
+       (Dataset.update_cell fb ~key:"inv" ~row:"2" ~column:"zz"
+          (Primitive.Int 1L)));
+  check bool_ "bad row" true
+    (Result.is_error
+       (Dataset.update_cell fb ~key:"inv" ~row:"9" ~column:"qty"
+          (Primitive.Int 1L)));
+  check bool_ "bad type" true
+    (Result.is_error
+       (Dataset.update_cell fb ~key:"inv" ~row:"2" ~column:"qty"
+          (Primitive.String "lots")))
+
+let test_update_key_cell_moves_row () =
+  let fb = fresh_with_dataset () in
+  ignore
+    (ok
+       (Dataset.update_cell fb ~key:"inv" ~row:"3" ~column:"id"
+          (Primitive.Int 7L)));
+  check int_ "no duplicate" 3 (ok (Dataset.row_count fb ~key:"inv"));
+  check bool_ "old gone" true (ok (Dataset.get_row fb ~key:"inv" ~row:"3") = None);
+  check bool_ "new present" true
+    (ok (Dataset.get_row fb ~key:"inv" ~row:"7") = Some (row 7 "cherry" 30))
+
+let test_row_edits_are_page_local () =
+  (* The point of datasets-on-POS-Trees: editing one row of a large table
+     stores only a few fresh chunks, not a new table. *)
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  ignore (ok (Dataset.create fb ~key:"big" (sample_schema ())));
+  ignore
+    (ok
+       (Dataset.insert_rows fb ~key:"big"
+          (List.init 20_000 (fun i -> row i "bulk" i))));
+  let before = (FB.stats fb).FB.store.Store.physical_chunks in
+  ignore
+    (ok
+       (Dataset.update_cell fb ~key:"big" ~row:"10000" ~column:"qty"
+          (Primitive.Int 0L)));
+  let fresh = (FB.stats fb).FB.store.Store.physical_chunks - before in
+  check bool_ (Printf.sprintf "fresh chunks %d <= 15" fresh) true (fresh <= 15)
+
+let test_dataset_type_mismatch () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  ignore (ok (FB.put fb ~key:"s" (Fb_types.Value.string "not a table")));
+  match Dataset.row_count fb ~key:"s" with
+  | Error (Errors.Type_mismatch _) -> ()
+  | _ -> Alcotest.fail "expected type mismatch"
+
+let test_dataset_branches () =
+  let fb = fresh_with_dataset () in
+  ignore (ok (FB.fork fb ~key:"inv" ~new_branch:"audit"));
+  ignore
+    (ok
+       (Dataset.update_cell fb ~key:"inv" ~branch:"audit" ~row:"1"
+          ~column:"qty" (Primitive.Int 0L)));
+  (* Master untouched. *)
+  check bool_ "master isolated" true
+    (ok (Dataset.get_row fb ~key:"inv" ~row:"1") = Some (row 1 "apple" 10));
+  check bool_ "audit changed" true
+    (ok (Dataset.get_row fb ~key:"inv" ~branch:"audit" ~row:"1")
+     = Some (row 1 "apple" 0))
+
+let suite =
+  [ Alcotest.test_case "create and insert" `Quick test_create_and_insert;
+    Alcotest.test_case "delete rows" `Quick test_delete_rows;
+    Alcotest.test_case "update cell" `Quick test_update_cell;
+    Alcotest.test_case "update key cell moves row" `Quick
+      test_update_key_cell_moves_row;
+    Alcotest.test_case "row edits are page-local" `Slow
+      test_row_edits_are_page_local;
+    Alcotest.test_case "type mismatch" `Quick test_dataset_type_mismatch;
+    Alcotest.test_case "branch isolation" `Quick test_dataset_branches ]

@@ -1,0 +1,285 @@
+(* Hash substrate: SHA-256 against FIPS/NIST vectors, Base32 against the
+   RFC 4648 vectors, hex, SplitMix64 reference outputs, rolling-hash
+   invariants. *)
+
+open Fb_hash
+
+let check = Alcotest.check
+let string_ = Alcotest.string
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+(* ------------------------- SHA-256 ------------------------- *)
+
+let sha_hex s = Hex.encode (Sha256.digest s)
+
+let test_sha_empty () =
+  check string_ "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (sha_hex "")
+
+let test_sha_abc () =
+  check string_ "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (sha_hex "abc")
+
+let test_sha_448bits () =
+  check string_ "two-block NIST vector"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (sha_hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+
+let test_sha_896bits () =
+  check string_ "four-block NIST vector"
+    "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+    (sha_hex
+       "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+        ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")
+
+let test_sha_million_a () =
+  check string_ "one million 'a'"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (sha_hex (String.make 1_000_000 'a'))
+
+let test_sha_block_boundaries () =
+  (* Lengths straddling the 55/56/64-byte padding edges. *)
+  List.iter
+    (fun n ->
+      let s = String.make n 'x' in
+      (* Incremental one byte at a time must equal the one-shot digest. *)
+      let ctx = Sha256.init () in
+      String.iter (Sha256.update_char ctx) s;
+      check string_
+        (Printf.sprintf "len %d incremental" n)
+        (Hex.encode (Sha256.digest s))
+        (Hex.encode (Sha256.finalize ctx)))
+    [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 119; 127; 128; 1000 ]
+
+let test_sha_update_sub () =
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let ctx = Sha256.init () in
+  Sha256.update_sub ctx s ~pos:0 ~len:10;
+  Sha256.update_sub ctx s ~pos:10 ~len:(String.length s - 10);
+  check string_ "split update" (sha_hex s) (Hex.encode (Sha256.finalize ctx));
+  Alcotest.check_raises "bad range" (Invalid_argument "Sha256.update_sub")
+    (fun () -> Sha256.update_sub (Sha256.init ()) "abc" ~pos:2 ~len:5)
+
+let test_sha_digest_strings () =
+  check string_ "digest_strings"
+    (sha_hex "foobarbaz")
+    (Hex.encode (Sha256.digest_strings [ "foo"; "bar"; "baz" ]))
+
+(* ------------------------- Hex ------------------------- *)
+
+let test_hex_roundtrip () =
+  let s = String.init 256 Char.chr in
+  check string_ "roundtrip" s (Hex.decode_exn (Hex.encode s));
+  check string_ "known" "00ff10" (Hex.encode "\x00\xff\x10")
+
+let test_hex_errors () =
+  check bool_ "odd length" true (Result.is_error (Hex.decode "abc"));
+  check bool_ "bad char" true (Result.is_error (Hex.decode "zz"));
+  check bool_ "uppercase ok" true (Hex.decode "AB" = Ok "\xab")
+
+(* ------------------------- Base32 ------------------------- *)
+
+(* RFC 4648 §10 test vectors. *)
+let rfc4648_vectors =
+  [ ("", "");
+    ("f", "MY======");
+    ("fo", "MZXQ====");
+    ("foo", "MZXW6===");
+    ("foob", "MZXW6YQ=");
+    ("fooba", "MZXW6YTB");
+    ("foobar", "MZXW6YTBOI======") ]
+
+let test_base32_rfc () =
+  List.iter
+    (fun (plain, encoded) ->
+      check string_ ("encode " ^ plain) encoded (Base32.encode plain);
+      check string_ ("decode " ^ encoded) plain (Base32.decode_exn encoded))
+    rfc4648_vectors
+
+let test_base32_no_pad_and_lowercase () =
+  check string_ "no padding accepted" "foobar" (Base32.decode_exn "MZXW6YTBOI");
+  check string_ "lowercase accepted" "foobar" (Base32.decode_exn "mzxw6ytboi");
+  check string_ "encode unpadded" "MZXW6YTBOI" (Base32.encode ~pad:false "foobar")
+
+let test_base32_errors () =
+  check bool_ "bad char" true (Result.is_error (Base32.decode "M1======"));
+  check bool_ "truncated" true (Result.is_error (Base32.decode "M"));
+  check bool_ "non-canonical bits" true (Result.is_error (Base32.decode "MZ"))
+
+(* ------------------------- Prng ------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 123L and b = Prng.create 123L in
+  for _ = 1 to 100 do
+    check bool_ "same stream" true (Prng.next_int64 a = Prng.next_int64 b)
+  done
+
+let test_prng_reference () =
+  (* SplitMix64 reference output for seed 1234567, cross-computed from the
+     public-domain reference algorithm. *)
+  let rng = Prng.create 1234567L in
+  check string_ "first" "599ed017fb08fc85"
+    (Printf.sprintf "%Lx" (Prng.next_int64 rng))
+
+let test_prng_bounds () =
+  let rng = Prng.create 5L in
+  for _ = 1 to 1000 do
+    let v = Prng.next_int rng 17 in
+    check bool_ "in range" true (v >= 0 && v < 17);
+    let f = Prng.next_float rng in
+    check bool_ "float range" true (f >= 0.0 && f < 1.0)
+  done;
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Prng.next_int: bound must be positive") (fun () ->
+      ignore (Prng.next_int rng 0))
+
+let test_prng_split () =
+  let a = Prng.create 99L in
+  let b = Prng.split a in
+  check bool_ "split independent" true (Prng.next_int64 a <> Prng.next_int64 b)
+
+(* ------------------------- Rolling ------------------------- *)
+
+let test_rolling_window_dependence () =
+  (* The state after feeding a long prefix must equal the state after
+     feeding only the last [window] bytes: boundaries depend on local
+     content only. *)
+  let params = Rolling.default_node_params in
+  let rng = Prng.create 31L in
+  let s = String.init 4096 (fun _ -> Char.chr (Prng.next_int rng 256)) in
+  let suffix = String.sub s (4096 - params.window) params.window in
+  let t1 = Rolling.create params in
+  let h1 = Rolling.feed_string t1 s in
+  ignore h1;
+  let t2 = Rolling.create params in
+  ignore (Rolling.feed_string t2 suffix);
+  (* Compare by extending both with the same probe bytes and checking hit
+     agreement for many probes. *)
+  let probes = String.init 512 (fun _ -> Char.chr (Prng.next_int rng 256)) in
+  String.iter
+    (fun c ->
+      check bool_ "same hit decisions" (Rolling.feed t2 c) (Rolling.feed t1 c))
+    probes
+
+let test_rolling_hit_rate () =
+  let params = Rolling.default_node_params in
+  let rng = Prng.create 77L in
+  let n = 1_000_000 in
+  let s = String.init n (fun _ -> Char.chr (Prng.next_int rng 256)) in
+  let hits = List.length (Rolling.hits_in params s) in
+  let expected = n / (1 lsl params.q) in
+  check bool_
+    (Printf.sprintf "hit rate %d ~ %d" hits expected)
+    true
+    (hits > expected / 2 && hits < expected * 2)
+
+let test_rolling_reset () =
+  let params = Rolling.default_node_params in
+  let t = Rolling.create params in
+  ignore (Rolling.feed_string t "some bytes to pollute the state");
+  Rolling.reset t;
+  let t' = Rolling.create params in
+  let probe = String.init 256 (fun i -> Char.chr ((i * 37) land 0xff)) in
+  String.iter
+    (fun c -> check bool_ "reset = fresh" (Rolling.feed t' c) (Rolling.feed t c))
+    probe
+
+let test_rolling_validation () =
+  Alcotest.check_raises "window >= 1"
+    (Invalid_argument "Rolling.create: window must be >= 1") (fun () ->
+      ignore (Rolling.create { Rolling.window = 0; q = 10 }));
+  Alcotest.check_raises "q range"
+    (Invalid_argument "Rolling.create: q must be in [1, 30]") (fun () ->
+      ignore (Rolling.create { Rolling.window = 8; q = 31 }))
+
+(* ------------------------- Hash module ------------------------- *)
+
+let test_hash_module () =
+  let h = Hash.of_string "hello" in
+  check int_ "size" 32 (String.length (Hash.to_raw h));
+  check bool_ "hex roundtrip" true (Hash.of_hex (Hash.to_hex h) = Ok h);
+  check bool_ "base32 roundtrip" true (Hash.of_base32 (Hash.to_base32 h) = Ok h);
+  check bool_ "of_strings" true
+    (Hash.equal (Hash.of_strings [ "he"; "llo" ]) h);
+  check bool_ "of_raw" true (Hash.of_raw (Hash.to_raw h) = Ok h);
+  check bool_ "of_raw bad" true (Result.is_error (Hash.of_raw "short"));
+  check int_ "short len" 12 (String.length (Hash.short h));
+  check bool_ "compare consistent" true
+    (Hash.compare h (Hash.of_string "hello") = 0)
+
+let test_hash_tbl () =
+  let tbl = Hash.Tbl.create 16 in
+  let hs = List.init 100 (fun i -> Hash.of_string (string_of_int i)) in
+  List.iteri (fun i h -> Hash.Tbl.replace tbl h i) hs;
+  List.iteri
+    (fun i h -> check bool_ "tbl find" true (Hash.Tbl.find_opt tbl h = Some i))
+    hs
+
+(* ------------------------- properties ------------------------- *)
+
+let qcheck_cases =
+  let open QCheck in
+  [ Test.make ~name:"hex roundtrip" ~count:200 (string_gen Gen.char)
+      (fun s -> Hex.decode (Hex.encode s) = Ok s);
+    Test.make ~name:"base32 roundtrip (padded)" ~count:200
+      (string_gen Gen.char)
+      (fun s -> Base32.decode (Base32.encode s) = Ok s);
+    Test.make ~name:"base32 roundtrip (unpadded)" ~count:200
+      (string_gen Gen.char)
+      (fun s -> Base32.decode (Base32.encode ~pad:false s) = Ok s);
+    Test.make ~name:"sha256 incremental = one-shot" ~count:100
+      (pair (string_gen Gen.char) (string_gen Gen.char))
+      (fun (a, b) ->
+        let ctx = Sha256.init () in
+        Sha256.update ctx a;
+        Sha256.update ctx b;
+        String.equal (Sha256.finalize ctx) (Sha256.digest (a ^ b)));
+    Test.make ~name:"rolling: hits depend only on trailing window"
+      ~count:100
+      (pair (string_gen Gen.char) small_string)
+      (fun (prefix, tail) ->
+        let params = { Rolling.window = 8; q = 6 } in
+        (* Hits inside [tail] beyond the window must agree no matter the
+           prefix, once at least window bytes of tail have been seen. *)
+        let hits_with p =
+          let t = Rolling.create params in
+          ignore (Rolling.feed_string t p);
+          let acc = ref [] in
+          String.iteri (fun i c -> if Rolling.feed t c then acc := i :: !acc) tail;
+          List.filter (fun i -> i >= params.window) !acc
+        in
+        hits_with prefix = hits_with "")
+  ]
+
+let suite =
+  List.map (fun t -> QCheck_alcotest.to_alcotest t) qcheck_cases
+  @ [ Alcotest.test_case "sha256 empty" `Quick test_sha_empty;
+      Alcotest.test_case "sha256 abc" `Quick test_sha_abc;
+      Alcotest.test_case "sha256 448-bit vector" `Quick test_sha_448bits;
+      Alcotest.test_case "sha256 896-bit vector" `Quick test_sha_896bits;
+      Alcotest.test_case "sha256 million a" `Slow test_sha_million_a;
+      Alcotest.test_case "sha256 block boundaries" `Quick
+        test_sha_block_boundaries;
+      Alcotest.test_case "sha256 update_sub" `Quick test_sha_update_sub;
+      Alcotest.test_case "sha256 digest_strings" `Quick
+        test_sha_digest_strings;
+      Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+      Alcotest.test_case "hex errors" `Quick test_hex_errors;
+      Alcotest.test_case "base32 rfc vectors" `Quick test_base32_rfc;
+      Alcotest.test_case "base32 relaxed decode" `Quick
+        test_base32_no_pad_and_lowercase;
+      Alcotest.test_case "base32 errors" `Quick test_base32_errors;
+      Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+      Alcotest.test_case "prng reference" `Quick test_prng_reference;
+      Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+      Alcotest.test_case "prng split" `Quick test_prng_split;
+      Alcotest.test_case "rolling window dependence" `Quick
+        test_rolling_window_dependence;
+      Alcotest.test_case "rolling hit rate" `Slow test_rolling_hit_rate;
+      Alcotest.test_case "rolling reset" `Quick test_rolling_reset;
+      Alcotest.test_case "rolling validation" `Quick test_rolling_validation;
+      Alcotest.test_case "hash module" `Quick test_hash_module;
+      Alcotest.test_case "hash table" `Quick test_hash_tbl ]

@@ -1,0 +1,245 @@
+(* Secondary indexes, order-preserving key encodings, and table
+   aggregation. *)
+
+module Table = Fb_types.Table
+module Table_index = Fb_types.Table_index
+module Schema = Fb_types.Schema
+module Primitive = Fb_types.Primitive
+module Mem_store = Fb_chunk.Mem_store
+module Hash = Fb_hash.Hash
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+let col name ty = { Schema.name; ty }
+
+let schema () =
+  Schema.v_exn
+    [ col "id" Schema.T_int; col "city" Schema.T_string;
+      col "pop" Schema.T_int ]
+
+let row id city pop =
+  [ Primitive.Int (Int64.of_int id); Primitive.String city;
+    Primitive.Int (Int64.of_int pop) ]
+
+let sample_table () =
+  let store = Mem_store.create () in
+  let t = Table.create store (schema ()) in
+  List.fold_left Table.insert_exn t
+    [ row 1 "tokyo" 37; row 2 "delhi" 29; row 3 "tokyo" 37;
+      row 4 "shanghai" 26; row 5 "delhi" 31; row 6 "osaka" 19 ]
+
+(* ---------------- sortable keys ---------------- *)
+
+let test_sortable_key_order () =
+  let values =
+    [ Primitive.Null; Primitive.Bool false; Primitive.Bool true;
+      Primitive.Int Int64.min_int; Primitive.Int (-7L); Primitive.Int 0L;
+      Primitive.Int 7L; Primitive.Int Int64.max_int;
+      Primitive.Float neg_infinity; Primitive.Float (-2.5);
+      Primitive.Float (-0.0); Primitive.Float 0.0; Primitive.Float 1.5;
+      Primitive.Float infinity; Primitive.String ""; Primitive.String "a";
+      Primitive.String "ab"; Primitive.String "b" ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let c = compare (Primitive.sortable_key a) (Primitive.sortable_key b) in
+          let expected = Primitive.compare a b in
+          (* -0.0 and 0.0 have distinct sortable keys but compare equal via
+             Float.compare? (Float.compare (-0.) 0. = -1, consistent.) *)
+          check bool_
+            (Format.asprintf "%a vs %a" Primitive.pp a Primitive.pp b)
+            true
+            (compare c 0 = compare expected 0))
+        values)
+    values
+
+(* ---------------- index build and lookup ---------------- *)
+
+let test_index_lookup () =
+  let t = sample_table () in
+  match Table_index.build t ~column:"city" with
+  | Error e -> Alcotest.fail e
+  | Ok idx ->
+    check int_ "cardinal" 6 (Table_index.cardinal idx);
+    check bool_ "lookup keys" true
+      (Table_index.lookup_keys idx (Primitive.String "tokyo") = [ "1"; "3" ]);
+    check int_ "lookup rows" 2
+      (List.length (Table_index.lookup idx t (Primitive.String "tokyo")));
+    check int_ "count" 2 (Table_index.count idx (Primitive.String "delhi"));
+    check int_ "count absent" 0
+      (Table_index.count idx (Primitive.String "paris"));
+    check bool_ "lookup absent" true
+      (Table_index.lookup idx t (Primitive.String "paris") = []);
+    check bool_ "validate" true (Table_index.validate idx = Ok ());
+    check bool_ "unknown column" true
+      (Result.is_error (Table_index.build t ~column:"nope"))
+
+let test_index_numeric_range () =
+  let t = sample_table () in
+  let idx = Result.get_ok (Table_index.build t ~column:"pop") in
+  let keys_between lo hi =
+    List.map snd
+      (Table_index.range_keys ~lo:(Primitive.Int lo) ~hi:(Primitive.Int hi) idx)
+  in
+  (* pop in [26, 31]: shanghai(26), delhi(29), delhi(31). *)
+  check bool_ "range" true (keys_between 26L 31L = [ "4"; "2"; "5" ]);
+  (* Ordered scan over everything: ascending pop. *)
+  let all = Table_index.range_keys idx in
+  check bool_ "ordered" true
+    (List.map (fun (v, _) -> v) all
+     = List.sort Primitive.compare (List.map (fun (v, _) -> v) all))
+
+let test_index_incremental_maintenance () =
+  let t1 = sample_table () in
+  let idx1 = Result.get_ok (Table_index.build t1 ~column:"city") in
+  (* Change the table: move row 6 to tokyo, delete row 2, add row 7. *)
+  let t2 = Table.insert_exn (Table.delete t1 "2") (row 6 "tokyo" 19) in
+  let t2 = Table.insert_exn t2 (row 7 "delhi" 12) in
+  let changes = Result.get_ok (Table.diff t1 t2) in
+  match Table_index.apply_changes idx1 t2 changes with
+  | Error e -> Alcotest.fail e
+  | Ok idx2 ->
+    (* Incrementally maintained index is bit-identical to a fresh build:
+       structural invariance extends to derived data. *)
+    let fresh = Result.get_ok (Table_index.build t2 ~column:"city") in
+    check bool_ "incremental = rebuild" true
+      (Option.equal Hash.equal (Table_index.root idx2)
+         (Table_index.root fresh));
+    check bool_ "tokyo grew" true
+      (Table_index.lookup_keys idx2 (Primitive.String "tokyo")
+       = [ "1"; "3"; "6" ]);
+    check int_ "delhi rotated" 2
+      (Table_index.count idx2 (Primitive.String "delhi"))
+
+let test_index_versions_share_pages () =
+  (* Index versions of lightly-edited tables share pages like their
+     tables do. *)
+  let store = Mem_store.create () in
+  let t = Table.create store (schema ()) in
+  let t1 =
+    List.fold_left Table.insert_exn t
+      (List.init 5000 (fun i -> row i (Printf.sprintf "city%d" (i mod 50)) i))
+  in
+  let idx1 = Result.get_ok (Table_index.build t1 ~column:"city") in
+  let before = (Fb_chunk.Store.stats store).Fb_chunk.Store.physical_chunks in
+  let t2 = Table.insert_exn t1 (row 2500 "moved" 0) in
+  let changes = Result.get_ok (Table.diff t1 t2) in
+  let _idx2 = Result.get_ok (Table_index.apply_changes idx1 t2 changes) in
+  let created =
+    (Fb_chunk.Store.stats store).Fb_chunk.Store.physical_chunks - before
+  in
+  check bool_ (Printf.sprintf "fresh chunks %d small" created) true
+    (created <= 20)
+
+(* Strings containing NULs and separator-looking bytes must not bleed
+   between index buckets. *)
+let test_index_adversarial_strings () =
+  let store = Mem_store.create () in
+  let s = Schema.v_exn [ col "id" Schema.T_int; col "v" Schema.T_string ] in
+  let t = Table.create store s in
+  let mk id v = [ Primitive.Int (Int64.of_int id); Primitive.String v ] in
+  let t =
+    List.fold_left Table.insert_exn t
+      [ mk 1 "a"; mk 2 "a\x00b"; mk 3 "a\x00"; mk 4 "a\x01"; mk 5 "" ]
+  in
+  let idx = Result.get_ok (Table_index.build t ~column:"v") in
+  List.iter
+    (fun (v, expect) ->
+      check bool_ (Printf.sprintf "bucket %S" v) true
+        (Table_index.lookup_keys idx (Primitive.String v) = expect))
+    [ ("a", [ "1" ]); ("a\x00b", [ "2" ]); ("a\x00", [ "3" ]);
+      ("a\x01", [ "4" ]); ("", [ "5" ]); ("zz", []) ]
+
+(* ---------------- group_by ---------------- *)
+
+let test_group_by () =
+  let t = sample_table () in
+  match
+    Table.group_by t ~by:"city"
+      ~targets:[ ("pop", Table.Sum); ("pop", Table.Count); ("pop", Table.Max) ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok groups ->
+    check int_ "group count" 4 (List.length groups);
+    let find city = List.assoc (Primitive.String city) groups in
+    check bool_ "tokyo sum" true
+      (find "tokyo" = [ Primitive.Int 74L; Primitive.Int 2L; Primitive.Int 37L ]);
+    check bool_ "delhi sum" true
+      (find "delhi" = [ Primitive.Int 60L; Primitive.Int 2L; Primitive.Int 31L ]);
+    check bool_ "groups sorted" true
+      (List.map fst groups
+       = List.sort Primitive.compare (List.map fst groups))
+
+let test_group_by_avg_and_nulls () =
+  let store = Mem_store.create () in
+  let s = Schema.v_exn [ col "id" Schema.T_int; col "g" Schema.T_string; col "v" Schema.T_float ] in
+  let t = Table.create store s in
+  let mk id g v =
+    [ Primitive.Int (Int64.of_int id); Primitive.String g; v ]
+  in
+  let t =
+    List.fold_left Table.insert_exn t
+      [ mk 1 "a" (Primitive.Float 1.0); mk 2 "a" (Primitive.Float 2.0);
+        mk 3 "a" Primitive.Null; mk 4 "b" (Primitive.Float 10.0) ]
+  in
+  match Table.group_by t ~by:"g" ~targets:[ ("v", Table.Avg); ("v", Table.Count) ] with
+  | Error e -> Alcotest.fail e
+  | Ok groups ->
+    check bool_ "avg skips nulls" true
+      (List.assoc (Primitive.String "a") groups
+       = [ Primitive.Float 1.5; Primitive.Int 2L ]);
+    check bool_ "b avg" true
+      (List.assoc (Primitive.String "b") groups
+       = [ Primitive.Float 10.0; Primitive.Int 1L ])
+
+let test_group_by_errors () =
+  let t = sample_table () in
+  check bool_ "unknown by" true
+    (Result.is_error (Table.group_by t ~by:"zz" ~targets:[]));
+  check bool_ "unknown target" true
+    (Result.is_error (Table.group_by t ~by:"city" ~targets:[ ("zz", Table.Sum) ]));
+  check bool_ "sum over strings" true
+    (Result.is_error (Table.group_by t ~by:"pop" ~targets:[ ("city", Table.Sum) ]))
+
+let qcheck_cases =
+  let open QCheck in
+  let prim =
+    make
+      (Gen.oneof
+         [ Gen.return Primitive.Null;
+           Gen.map (fun b -> Primitive.Bool b) Gen.bool;
+           Gen.map (fun i -> Primitive.Int (Int64.of_int i)) Gen.int;
+           Gen.map (fun f -> Primitive.Float f) Gen.float;
+           Gen.map (fun s -> Primitive.String s) (Gen.string_size ~gen:Gen.char (Gen.int_range 0 8)) ])
+  in
+  [ Test.make ~name:"sortable_key preserves order" ~count:500 (pair prim prim)
+      (fun (a, b) ->
+        let is_nan = function
+          | Primitive.Float f -> Float.is_nan f
+          | _ -> false
+        in
+        is_nan a || is_nan b
+        || compare
+             (compare (Primitive.sortable_key a) (Primitive.sortable_key b))
+             0
+           = compare (Primitive.compare a b) 0) ]
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest qcheck_cases
+  @ [ Alcotest.test_case "sortable key order" `Quick test_sortable_key_order;
+      Alcotest.test_case "index lookup" `Quick test_index_lookup;
+      Alcotest.test_case "index numeric range" `Quick test_index_numeric_range;
+      Alcotest.test_case "index incremental maintenance" `Quick
+        test_index_incremental_maintenance;
+      Alcotest.test_case "index versions share pages" `Quick
+        test_index_versions_share_pages;
+      Alcotest.test_case "index adversarial strings" `Quick
+        test_index_adversarial_strings;
+      Alcotest.test_case "group_by" `Quick test_group_by;
+      Alcotest.test_case "group_by avg/nulls" `Quick
+        test_group_by_avg_and_nulls;
+      Alcotest.test_case "group_by errors" `Quick test_group_by_errors ]

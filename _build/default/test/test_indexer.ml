@@ -1,0 +1,89 @@
+(* Auto-maintained secondary indexes following a branch. *)
+
+module FB = Fb_core.Forkbase
+module Indexer = Fb_core.Indexer
+module Errors = Fb_core.Errors
+module Dataset = Fb_core.Dataset
+module Primitive = Fb_types.Primitive
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Errors.to_string e)
+
+let test_follows_branch () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  ignore
+    (ok (FB.import_csv fb ~key:"cities"
+           "id,city\n1,tokyo\n2,delhi\n3,tokyo\n"));
+  let idx = ok (Indexer.attach fb ~key:"cities" ~column:"city") in
+  check int_ "initial" 2 (Indexer.count idx (Primitive.String "tokyo"));
+  (* Subsequent puts keep the index current automatically. *)
+  ignore
+    (ok (FB.import_csv fb ~key:"cities"
+           "id,city\n1,tokyo\n2,tokyo\n3,tokyo\n4,osaka\n"));
+  check int_ "after update" 3 (Indexer.count idx (Primitive.String "tokyo"));
+  check int_ "new value" 1 (Indexer.count idx (Primitive.String "osaka"));
+  check int_ "gone value" 0 (Indexer.count idx (Primitive.String "delhi"));
+  let rows = ok (Indexer.lookup fb idx (Primitive.String "tokyo")) in
+  check int_ "lookup rows" 3 (List.length rows);
+  check bool_ "healthy" true (Indexer.healthy idx);
+  (* Detach: further puts stop updating. *)
+  Indexer.detach fb idx;
+  ignore (ok (FB.import_csv fb ~key:"cities" "id,city\n1,kyoto\n"));
+  check int_ "frozen after detach" 3
+    (Indexer.count idx (Primitive.String "tokyo"))
+
+let test_branch_isolation () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  ignore (ok (FB.import_csv fb ~key:"d" "id,g\n1,x\n2,y\n"));
+  ignore (ok (FB.fork fb ~key:"d" ~new_branch:"dev"));
+  let idx = ok (Indexer.attach ~branch:"dev" fb ~key:"d" ~column:"g") in
+  (* Master movement must not touch a dev-attached index. *)
+  ignore (ok (FB.import_csv fb ~key:"d" "id,g\n1,x\n2,x\n3,x\n"));
+  check int_ "dev index unchanged" 1 (Indexer.count idx (Primitive.String "x"));
+  ignore (ok (FB.import_csv fb ~key:"d" ~branch:"dev" "id,g\n1,y\n2,y\n"));
+  check int_ "dev index follows dev" 0
+    (Indexer.count idx (Primitive.String "x"));
+  check int_ "ys" 2 (Indexer.count idx (Primitive.String "y"));
+  Indexer.detach fb idx
+
+let test_breaks_gracefully () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  ignore (ok (FB.import_csv fb ~key:"d" "id,g\n1,x\n"));
+  let idx = ok (Indexer.attach fb ~key:"d" ~column:"g") in
+  (* The key stops being a table: the index marks itself broken instead of
+     raising inside the watcher. *)
+  ignore (ok (FB.put fb ~key:"d" (Fb_types.Value.string "not a table")));
+  check bool_ "unhealthy" false (Indexer.healthy idx);
+  check bool_ "lookup fails" true
+    (Result.is_error (Indexer.lookup fb idx (Primitive.String "x")));
+  Indexer.detach fb idx;
+  (* Attaching to a non-table or missing column fails up front. *)
+  check bool_ "attach non-table" true
+    (Result.is_error (Indexer.attach fb ~key:"d" ~column:"g"));
+  ignore (ok (FB.import_csv fb ~key:"t" "id,v\n1,a\n"));
+  check bool_ "attach bad column" true
+    (Result.is_error (Indexer.attach fb ~key:"t" ~column:"zz"))
+
+let test_row_level_ops_maintain () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  ignore (ok (FB.import_csv fb ~key:"d" "id,g\n1,a\n2,b\n"));
+  let idx = ok (Indexer.attach fb ~key:"d" ~column:"g") in
+  ignore
+    (ok (Dataset.update_cell fb ~key:"d" ~row:"2" ~column:"g"
+           (Primitive.String "a")));
+  check int_ "after cell update" 2 (Indexer.count idx (Primitive.String "a"));
+  ignore (ok (Dataset.delete_rows fb ~key:"d" [ "1" ]));
+  check int_ "after delete" 1 (Indexer.count idx (Primitive.String "a"));
+  Indexer.detach fb idx
+
+let suite =
+  [ Alcotest.test_case "follows branch" `Quick test_follows_branch;
+    Alcotest.test_case "branch isolation" `Quick test_branch_isolation;
+    Alcotest.test_case "breaks gracefully" `Quick test_breaks_gracefully;
+    Alcotest.test_case "row-level ops maintain" `Quick
+      test_row_level_ops_maintain ]

@@ -1,0 +1,182 @@
+(* JSON (RFC 8259) parser/printer and the Web-UI JSON views. *)
+
+module Json = Fb_types.Json
+module FB = Fb_core.Forkbase
+module Webview = Fb_core.Webview
+module Value = Fb_types.Value
+module Errors = Fb_core.Errors
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let string_ = Alcotest.string
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Errors.to_string e)
+
+let parses s expected =
+  match Json.parse s with
+  | Ok v -> check bool_ ("parse " ^ s) true (Json.equal v expected)
+  | Error e -> Alcotest.failf "parse %s: %s" s e
+
+let rejects s =
+  check bool_ ("reject " ^ s) true (Result.is_error (Json.parse s))
+
+let test_parse_scalars () =
+  parses "null" Json.Null;
+  parses "true" (Json.Bool true);
+  parses "false" (Json.Bool false);
+  parses "0" (Json.Number 0.0);
+  parses "-42" (Json.Number (-42.0));
+  parses "3.5" (Json.Number 3.5);
+  parses "1e3" (Json.Number 1000.0);
+  parses "-1.25E-2" (Json.Number (-0.0125));
+  parses "\"hi\"" (Json.String "hi");
+  parses "  null  " Json.Null
+
+let test_parse_structures () =
+  parses "[]" (Json.Array []);
+  parses "[1,2,3]" (Json.Array [ Json.Number 1.0; Json.Number 2.0; Json.Number 3.0 ]);
+  parses "{}" (Json.Object []);
+  parses "{\"a\":1,\"b\":[true,null]}"
+    (Json.Object
+       [ ("a", Json.Number 1.0);
+         ("b", Json.Array [ Json.Bool true; Json.Null ]) ]);
+  parses "[[[]]]" (Json.Array [ Json.Array [ Json.Array [] ] ])
+
+let test_parse_escapes () =
+  parses "\"a\\nb\"" (Json.String "a\nb");
+  parses "\"q\\\"q\"" (Json.String "q\"q");
+  parses "\"\\\\\"" (Json.String "\\");
+  parses "\"\\u0041\"" (Json.String "A");
+  parses "\"\\u00e9\"" (Json.String "\xc3\xa9");          (* é *)
+  parses "\"\\u20ac\"" (Json.String "\xe2\x82\xac");      (* € *)
+  parses "\"\\ud83d\\ude00\"" (Json.String "\xf0\x9f\x98\x80") (* emoji *)
+
+let test_parse_rejections () =
+  rejects "";
+  rejects "nul";
+  rejects "01";
+  rejects "1.";
+  rejects "+1";
+  rejects "[1,]";
+  rejects "{\"a\":}";
+  rejects "{\"a\" 1}";
+  rejects "\"unterminated";
+  rejects "\"bad \\x escape\"";
+  rejects "\"\\ud83d\"";   (* lone surrogate *)
+  rejects "[1] trailing";
+  rejects "\"ctrl \x01\""
+
+let test_print_parse_roundtrip () =
+  let v =
+    Json.Object
+      [ ("s", Json.String "with \"quotes\" and \n newline");
+        ("n", Json.Number 2.5);
+        ("i", Json.int 123456789);
+        ("arr", Json.Array [ Json.Null; Json.Bool false ]);
+        ("nested", Json.Object [ ("empty", Json.Array []) ]) ]
+  in
+  (match Json.parse (Json.to_string v) with
+   | Ok v' -> check bool_ "compact roundtrip" true (Json.equal v v')
+   | Error e -> Alcotest.fail e);
+  match Json.parse (Json.to_string ~pretty:true v) with
+  | Ok v' -> check bool_ "pretty roundtrip" true (Json.equal v v')
+  | Error e -> Alcotest.fail e
+
+let test_number_rendering () =
+  check string_ "integer" "42" (Json.to_string (Json.Number 42.0));
+  check string_ "negative" "-7" (Json.to_string (Json.int (-7)));
+  check bool_ "fraction keeps precision" true
+    (Json.parse (Json.to_string (Json.Number 0.1)) = Ok (Json.Number 0.1))
+
+let test_member () =
+  let v = Json.Object [ ("a", Json.int 1); ("b", Json.int 2) ] in
+  check bool_ "member" true (Json.member "b" v = Some (Json.int 2));
+  check bool_ "missing" true (Json.member "c" v = None);
+  check bool_ "non-object" true (Json.member "a" Json.Null = None)
+
+(* ---------------- webview ---------------- *)
+
+let test_webview_table_and_diff () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  ignore (ok (FB.import_csv fb ~key:"ds" "id,v\n1,a\n2,b\n"));
+  ignore (ok (FB.fork fb ~key:"ds" ~new_branch:"dev"));
+  ignore (ok (FB.import_csv fb ~key:"ds" ~branch:"dev" "id,v\n1,a\n2,c\n"));
+  let vj = Webview.value_json (ok (FB.get fb ~key:"ds")) in
+  check bool_ "table type" true
+    (Json.member "type" vj = Some (Json.String "table"));
+  check bool_ "rows" true (Json.member "rows" vj = Some (Json.int 2));
+  let d = ok (FB.diff fb ~key:"ds" ~branch1:"master" ~branch2:"dev") in
+  let dj = Webview.diff_json d in
+  check bool_ "diff kind" true
+    (Json.member "kind" dj = Some (Json.String "table"));
+  (* The whole view serializes to valid JSON. *)
+  check bool_ "serializes" true (Result.is_ok (Json.parse (Json.to_string dj)));
+  let lj = Webview.log_json (ok (FB.log fb ~key:"ds" ~branch:"dev")) in
+  check bool_ "log serializes" true
+    (Result.is_ok (Json.parse (Json.to_string ~pretty:true lj)));
+  let sj = Webview.stats_json (FB.stats fb) in
+  check bool_ "stats keys" true (Json.member "keys" sj = Some (Json.int 1))
+
+let test_webview_previews_truncate () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  let store = FB.store fb in
+  let m =
+    Value.map_of_bindings store
+      (List.init 100 (fun i -> (Printf.sprintf "%03d" i, "v")))
+  in
+  let vj = Webview.value_json ~preview_rows:5 m in
+  (match Json.member "preview" vj with
+   | Some (Json.Object entries) ->
+     check bool_ "truncated" true (List.length entries = 5)
+   | _ -> Alcotest.fail "no preview");
+  check bool_ "total kept" true (Json.member "entries" vj = Some (Json.int 100))
+
+let qcheck_cases =
+  let open QCheck in
+  let rec gen_json depth =
+    let open Gen in
+    if depth = 0 then
+      oneof
+        [ return Json.Null;
+          map (fun b -> Json.Bool b) bool;
+          map (fun i -> Json.int i) (int_range (-1000000) 1000000);
+          map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 10)) ]
+    else
+      oneof
+        [ map (fun l -> Json.Array l) (list_size (int_range 0 4) (gen_json (depth - 1)));
+          map
+            (fun l -> Json.Object l)
+            (list_size (int_range 0 4)
+               (pair (string_size ~gen:printable (int_range 0 6)) (gen_json (depth - 1)))) ]
+  in
+  [ Test.make ~name:"json print/parse roundtrip" ~count:200
+      (make (gen_json 3))
+      (fun v ->
+        match Json.parse (Json.to_string v) with
+        | Ok v' -> Json.equal v v'
+        | Error _ -> false);
+    Test.make ~name:"json pretty roundtrip" ~count:100 (make (gen_json 3))
+      (fun v ->
+        match Json.parse (Json.to_string ~pretty:true v) with
+        | Ok v' -> Json.equal v v'
+        | Error _ -> false);
+    Test.make ~name:"json parser never raises" ~count:300
+      (string_gen Gen.printable)
+      (fun s -> match Json.parse s with Ok _ | Error _ -> true) ]
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest qcheck_cases
+  @ [ Alcotest.test_case "parse scalars" `Quick test_parse_scalars;
+      Alcotest.test_case "parse structures" `Quick test_parse_structures;
+      Alcotest.test_case "parse escapes" `Quick test_parse_escapes;
+      Alcotest.test_case "parse rejections" `Quick test_parse_rejections;
+      Alcotest.test_case "print/parse roundtrip" `Quick
+        test_print_parse_roundtrip;
+      Alcotest.test_case "number rendering" `Quick test_number_rendering;
+      Alcotest.test_case "member" `Quick test_member;
+      Alcotest.test_case "webview table/diff" `Quick
+        test_webview_table_and_diff;
+      Alcotest.test_case "webview previews truncate" `Quick
+        test_webview_previews_truncate ]

@@ -1,0 +1,159 @@
+(* Pack files: freezing, lookup, read-only semantics, overlay layering,
+   corruption rejection, ForkBase running over pack + overlay. *)
+
+module Pack = Fb_chunk.Pack
+module Store = Fb_chunk.Store
+module Chunk = Fb_chunk.Chunk
+module Mem_store = Fb_chunk.Mem_store
+module Hash = Fb_hash.Hash
+module FB = Fb_core.Forkbase
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+let with_temp_file f =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fb_pack_%d_%d.pack" (Unix.getpid ()) (Random.bits ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let populate store n =
+  List.init n (fun i ->
+      Store.put store (Chunk.v Chunk.Leaf_blob (Printf.sprintf "payload %d" i)))
+
+let test_pack_roundtrip () =
+  with_temp_file (fun path ->
+      let store = Mem_store.create () in
+      let ids = populate store 500 in
+      (match Pack.pack_store store ~path with
+       | Ok n -> check int_ "count" 500 n
+       | Error e -> Alcotest.fail e);
+      match Pack.open_file ~path with
+      | Error e -> Alcotest.fail e
+      | Ok pack ->
+        check int_ "reopened count" 500 (Pack.count pack);
+        List.iter
+          (fun id ->
+            match Pack.find pack id with
+            | Some raw -> check bool_ "self-addressed" true (Hash.equal (Hash.of_string raw) id)
+            | None -> Alcotest.fail "missing from pack")
+          ids;
+        check bool_ "absent id" true
+          (Pack.find pack (Hash.of_string "nope") = None))
+
+let test_pack_reader_store () =
+  with_temp_file (fun path ->
+      let store = Mem_store.create () in
+      let ids = populate store 50 in
+      ignore (Pack.pack_store store ~path);
+      let pack = Result.get_ok (Pack.open_file ~path) in
+      let reader = Pack.reader pack in
+      check bool_ "get" true (Store.get reader (List.hd ids) <> None);
+      check bool_ "mem" true (Store.mem reader (List.hd ids));
+      check int_ "stats chunks" 50 (Store.stats reader).Store.physical_chunks;
+      let seen = ref 0 in
+      reader.Store.iter (fun _ _ -> incr seen);
+      check int_ "iter" 50 !seen;
+      (* Writes are refused. *)
+      (try
+         ignore (Store.put reader (Chunk.v Chunk.Leaf_blob "new"));
+         Alcotest.fail "pack accepted a write"
+       with Failure _ -> ());
+      try
+        ignore (reader.Store.delete (List.hd ids));
+        Alcotest.fail "pack accepted a delete"
+      with Failure _ -> ())
+
+let test_pack_rejects_dishonest_entries () =
+  with_temp_file (fun path ->
+      let bad = [ (Hash.of_string "claimed", "actual different bytes") ] in
+      check bool_ "dishonest refused" true
+        (Result.is_error (Pack.write_file ~path bad)))
+
+let test_pack_rejects_corrupt_file () =
+  with_temp_file (fun path ->
+      let store = Mem_store.create () in
+      ignore (populate store 20);
+      ignore (Pack.pack_store store ~path);
+      (* Truncate the file mid-index. *)
+      let content =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let oc = open_out_bin path in
+      output_string oc (String.sub content 0 40);
+      close_out oc;
+      check bool_ "truncated refused" true
+        (Result.is_error (Pack.open_file ~path));
+      let oc = open_out_bin path in
+      output_string oc "garbage garbage garbage";
+      close_out oc;
+      check bool_ "garbage refused" true
+        (Result.is_error (Pack.open_file ~path)))
+
+let test_overlay_layering () =
+  with_temp_file (fun path ->
+      let base = Mem_store.create () in
+      let frozen_ids = populate base 100 in
+      ignore (Pack.pack_store base ~path);
+      let pack = Result.get_ok (Pack.open_file ~path) in
+      let overlay = Mem_store.create () in
+      let store = Pack.with_overlay ~packs:[ pack ] overlay in
+      (* Frozen chunks are visible. *)
+      List.iter
+        (fun id -> check bool_ "pack read-through" true (Store.mem store id))
+        frozen_ids;
+      (* New writes land in the overlay only. *)
+      let fresh = Store.put store (Chunk.v Chunk.Leaf_blob "fresh") in
+      check bool_ "fresh readable" true (Store.get store fresh <> None);
+      check int_ "overlay holds it" 1
+        (Store.stats overlay).Store.physical_chunks;
+      (* Re-putting a packed chunk is a dedup hit, not a copy. *)
+      ignore (Store.put store (Chunk.v Chunk.Leaf_blob "payload 0"));
+      check int_ "no duplicate" 1 (Store.stats overlay).Store.physical_chunks;
+      check bool_ "dedup hit counted" true
+        ((Store.stats store).Store.dedup_hits >= 1);
+      (* iter covers both layers without duplicates. *)
+      let seen = ref 0 in
+      store.Store.iter (fun _ _ -> incr seen);
+      check int_ "union iter" 101 !seen)
+
+let test_forkbase_on_pack_overlay () =
+  with_temp_file (fun path ->
+      (* Yesterday's instance, frozen into a pack... *)
+      let yesterday = Mem_store.create () in
+      let fb1 = FB.create yesterday in
+      let ok = function
+        | Ok v -> v
+        | Error e -> Alcotest.fail (Fb_core.Errors.to_string e)
+      in
+      ignore (ok (FB.import_csv fb1 ~key:"ds" "id,v\n1,a\n2,b\n"));
+      let tip = ok (FB.head fb1 ~key:"ds") in
+      ignore (Pack.pack_store yesterday ~path);
+      (* ...today continues on pack + fresh overlay. *)
+      let pack = Result.get_ok (Pack.open_file ~path) in
+      let store = Pack.with_overlay ~packs:[ pack ] (Mem_store.create ()) in
+      let fb2 = FB.create store in
+      ignore (ok (FB.fork_at fb2 ~key:"ds" ~new_branch:"master" tip));
+      ignore (ok (FB.import_csv fb2 ~key:"ds" "id,v\n1,a\n2,b\n3,c\n"));
+      check bool_ "history spans layers" true
+        (List.length (ok (FB.log fb2 ~key:"ds")) = 2);
+      check bool_ "verifies across layers" true
+        (Result.is_ok (FB.verify fb2 (ok (FB.head fb2 ~key:"ds")))))
+
+let suite =
+  [ Alcotest.test_case "pack roundtrip" `Quick test_pack_roundtrip;
+    Alcotest.test_case "pack reader store" `Quick test_pack_reader_store;
+    Alcotest.test_case "pack rejects dishonest entries" `Quick
+      test_pack_rejects_dishonest_entries;
+    Alcotest.test_case "pack rejects corrupt file" `Quick
+      test_pack_rejects_corrupt_file;
+    Alcotest.test_case "overlay layering" `Quick test_overlay_layering;
+    Alcotest.test_case "forkbase on pack+overlay" `Quick
+      test_forkbase_on_pack_overlay ]

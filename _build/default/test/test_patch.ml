@@ -1,0 +1,100 @@
+(* Binary patches: export a delta, ship it, replay it. *)
+
+module FB = Fb_core.Forkbase
+module Patch = Fb_core.Patch
+module Errors = Fb_core.Errors
+module Value = Fb_types.Value
+module Hash = Fb_hash.Hash
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Errors.to_string e)
+
+let test_patch_roundtrip_table () =
+  (* Site A evolves a table; B holds the old version and replays A's
+     patch. *)
+  let a = FB.create (Fb_chunk.Mem_store.create ()) in
+  let u1 = ok (FB.import_csv a ~key:"ds" "id,v\n1,a\n2,b\n3,c\n") in
+  let u2 = ok (FB.import_csv a ~key:"ds" "id,v\n1,a\n2,B\n4,d\n") in
+  let patch = ok (Patch.diff a ~key:"ds" ~from_uid:u1 ~to_uid:u2) in
+  let wire = Patch.encode patch in
+  (* Compact: proportional to the delta, not the table. *)
+  check bool_ "compact" true (String.length wire < 200);
+  let b = FB.create (Fb_chunk.Mem_store.create ()) in
+  let bundle = ok (FB.export_bundle a ~key:"ds") in
+  ignore bundle;
+  (* B starts from u1's content but with its own history (a different
+     commit message gives a different FNode — a byte-identical import
+     would content-address to exactly A's u1). *)
+  ignore
+    (ok (FB.import_csv b ~key:"ds" ~message:"B's own load"
+           "id,v\n1,a\n2,b\n3,c\n"));
+  let patch' = ok (Patch.decode wire) in
+  check bool_ "uids carried" true
+    (Hash.equal (Patch.base_uid patch') u1
+     && Hash.equal (Patch.target_uid patch') u2);
+  (* B's head is not A's u1 (different history), so strict apply fails
+     and force succeeds. *)
+  check bool_ "strict refuses" true
+    (Result.is_error (Patch.apply b ~key:"ds" patch'));
+  ignore (ok (Patch.apply ~force:true b ~key:"ds" patch'));
+  check bool_ "content matches A" true
+    (ok (FB.export_csv b ~key:"ds") = ok (FB.export_csv a ~key:"ds"));
+  (* Strict apply works when the head IS the base: replay on A itself from
+     a branch parked at u1. *)
+  ignore (ok (FB.fork_at a ~key:"ds" ~new_branch:"replay" u1));
+  ignore (ok (Patch.apply a ~key:"ds" ~branch:"replay" patch'));
+  (* Structural invariance: the replayed value is bit-identical to u2's
+     value (same rows root), though the version uid differs. *)
+  let v_replayed = ok (FB.get a ~key:"ds" ~branch:"replay") in
+  let v_target = ok (FB.get_at a u2) in
+  check bool_ "value identical" true (Value.equal v_replayed v_target)
+
+let test_patch_map_value () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  let store = FB.store fb in
+  let u1 =
+    ok (FB.put fb ~key:"m" (Value.map_of_bindings store [ ("a", "1"); ("b", "2") ]))
+  in
+  let u2 =
+    ok (FB.put fb ~key:"m" (Value.map_of_bindings store [ ("a", "1"); ("c", "3") ]))
+  in
+  let patch = ok (Patch.diff fb ~key:"m" ~from_uid:u1 ~to_uid:u2) in
+  ignore (ok (FB.fork_at fb ~key:"m" ~new_branch:"replay" u1));
+  ignore (ok (Patch.apply fb ~key:"m" ~branch:"replay" patch));
+  let v = ok (FB.get fb ~key:"m" ~branch:"replay") in
+  check bool_ "map patched" true
+    (Fb_postree.Pmap.bindings (Option.get (Value.to_map v))
+     = [ ("a", "1"); ("c", "3") ])
+
+let test_patch_rejections () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  check bool_ "garbage" true (Result.is_error (Patch.decode "nonsense"));
+  check bool_ "empty" true (Result.is_error (Patch.decode ""));
+  let u1 = ok (FB.put fb ~key:"s" (Value.string "x")) in
+  let u2 = ok (FB.put fb ~key:"s" (Value.string "y")) in
+  (* Primitives have no entry-level delta. *)
+  match Patch.diff fb ~key:"s" ~from_uid:u1 ~to_uid:u2 with
+  | Error (Errors.Type_mismatch _) -> ()
+  | _ -> Alcotest.fail "expected type mismatch"
+
+let test_patch_empty_delta () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  let u1 = ok (FB.import_csv fb ~key:"d" "id,v\n1,a\n") in
+  let patch = ok (Patch.diff fb ~key:"d" ~from_uid:u1 ~to_uid:u1) in
+  let before = ok (FB.export_csv fb ~key:"d") in
+  ignore (ok (Patch.apply fb ~key:"d" patch));
+  check bool_ "no-op content" true (ok (FB.export_csv fb ~key:"d") = before);
+  check int_ "two versions (patch commit)" 2
+    (List.length (ok (FB.log fb ~key:"d")))
+
+let suite =
+  [ Alcotest.test_case "table patch roundtrip" `Quick
+      test_patch_roundtrip_table;
+    Alcotest.test_case "map patch" `Quick test_patch_map_value;
+    Alcotest.test_case "rejections" `Quick test_patch_rejections;
+    Alcotest.test_case "empty delta" `Quick test_patch_empty_delta ]

@@ -1,0 +1,108 @@
+(* Durable instances: open/save roundtrips, atomicity, corruption. *)
+
+module FB = Fb_core.Forkbase
+module Persistent = Fb_core.Persistent
+module Errors = Fb_core.Errors
+module Value = Fb_types.Value
+module Hash = Fb_hash.Hash
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Errors.to_string e)
+
+let with_temp_root f =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fb_persist_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command ("rm -rf " ^ Filename.quote root)))
+    (fun () -> f root)
+
+let test_roundtrip_across_sessions () =
+  with_temp_root (fun root ->
+      (* Session 1: create data, a branch and a tag. *)
+      let u1 =
+        ok
+          (Persistent.with_instance ~root (fun fb ->
+               let ( let* ) = Result.bind in
+               let* u = FB.import_csv fb ~key:"ds" "id,v\n1,a\n2,b\n" in
+               let* _ = FB.fork fb ~key:"ds" ~new_branch:"dev" in
+               let* () = FB.tag fb ~key:"ds" ~name:"v1" u in
+               Ok u))
+      in
+      (* Session 2: everything is back. *)
+      let fb = ok (Persistent.open_ ~root ()) in
+      check bool_ "head" true (Hash.equal u1 (ok (FB.head fb ~key:"ds")));
+      check bool_ "branch" true
+        (Result.is_ok (FB.get fb ~branch:"dev" ~key:"ds"));
+      check bool_ "tag" true
+        (Hash.equal u1 (ok (FB.tag_lookup fb ~key:"ds" ~name:"v1")));
+      check bool_ "history" true (List.length (ok (FB.log fb ~key:"ds")) = 1);
+      check bool_ "verifies" true (Result.is_ok (FB.verify fb u1)))
+
+let test_save_is_explicit () =
+  with_temp_root (fun root ->
+      let fb = ok (Persistent.open_ ~root ()) in
+      ignore (ok (FB.put fb ~key:"k" (Value.string "v")));
+      (* Without save, a reopened instance sees the chunks but no head. *)
+      let fb2 = ok (Persistent.open_ ~root ()) in
+      check bool_ "head not saved" true (Result.is_error (FB.get fb2 ~key:"k"));
+      ok (Persistent.save ~root fb);
+      let fb3 = ok (Persistent.open_ ~root ()) in
+      check bool_ "head after save" true (Result.is_ok (FB.get fb3 ~key:"k")))
+
+let test_failed_action_does_not_save () =
+  with_temp_root (fun root ->
+      (match
+         Persistent.with_instance ~root (fun fb ->
+             let ( let* ) = Result.bind in
+             let* _ = FB.put fb ~key:"k" (Value.string "v") in
+             (Error (Errors.Invalid "simulated failure") : (unit, Errors.t) result))
+       with
+       | Error (Errors.Invalid _) -> ()
+       | _ -> Alcotest.fail "expected failure");
+      (* The head must not have been persisted. *)
+      let fb = ok (Persistent.open_ ~root ()) in
+      check bool_ "no head" true (Result.is_error (FB.get fb ~key:"k")))
+
+let test_corrupt_tables_rejected () =
+  with_temp_root (fun root ->
+      ignore
+        (ok
+           (Persistent.with_instance ~root (fun fb ->
+                FB.put fb ~key:"k" (Value.string "v"))));
+      let oc = open_out_bin (Filename.concat root "BRANCHES") in
+      output_string oc "garbage";
+      close_out oc;
+      match Persistent.open_ ~root () with
+      | Error (Errors.Corrupt _) -> ()
+      | _ -> Alcotest.fail "corrupt table accepted")
+
+let test_gc_survives_reopen () =
+  with_temp_root (fun root ->
+      ignore
+        (ok
+           (Persistent.with_instance ~root (fun fb ->
+                let ( let* ) = Result.bind in
+                let* _ = FB.put fb ~key:"a" (Value.string "1") in
+                let* _ = FB.put fb ~key:"b" (Value.string "2") in
+                FB.delete_branch fb ~key:"b" ~branch:"master")));
+      let fb = ok (Persistent.open_ ~root ()) in
+      let swept = (FB.gc fb).Fb_chunk.Gc.swept_chunks in
+      check int_ "b swept on disk" 1 swept;
+      check bool_ "a intact" true (Result.is_ok (FB.get fb ~key:"a")))
+
+let suite =
+  [ Alcotest.test_case "roundtrip across sessions" `Quick
+      test_roundtrip_across_sessions;
+    Alcotest.test_case "save is explicit" `Quick test_save_is_explicit;
+    Alcotest.test_case "failed action does not save" `Quick
+      test_failed_action_does_not_save;
+    Alcotest.test_case "corrupt tables rejected" `Quick
+      test_corrupt_tables_rejected;
+    Alcotest.test_case "gc survives reopen" `Quick test_gc_survives_reopen ]

@@ -1,0 +1,768 @@
+(* POS-Tree (keyed): construction, lookup, incremental update, SIRI
+   properties, diff, three-way merge, validation and corruption
+   detection. *)
+
+module Pmap = Fb_postree.Pmap
+module Pset = Fb_postree.Pset
+module Store = Fb_chunk.Store
+module Mem_store = Fb_chunk.Mem_store
+module Hash = Fb_hash.Hash
+module Prng = Fb_hash.Prng
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+let mk_bindings ?(seed = 1L) n =
+  let rng = Prng.create seed in
+  List.init n (fun i ->
+      ( Printf.sprintf "key-%06d" i,
+        Printf.sprintf "value-%d-%Ld" i (Prng.next_int64 rng) ))
+
+let shuffle ?(seed = 2L) l =
+  let rng = Prng.create seed in
+  let arr = Array.of_list l in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Prng.next_int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let same_root a b = Option.equal Hash.equal (Pmap.root a) (Pmap.root b)
+
+(* ---------------- basics ---------------- *)
+
+let test_empty () =
+  let store = Mem_store.create () in
+  let t = Pmap.empty store in
+  check bool_ "is_empty" true (Pmap.is_empty t);
+  check int_ "cardinal" 0 (Pmap.cardinal t);
+  check int_ "height" 0 (Pmap.height t);
+  check bool_ "find" true (Pmap.find t "x" = None);
+  check bool_ "min" true (Pmap.min_entry t = None);
+  check bool_ "max" true (Pmap.max_entry t = None);
+  check bool_ "to_list" true (Pmap.to_list t = []);
+  check bool_ "validate" true (Pmap.validate t = Ok ());
+  check bool_ "diff empty empty" true (Pmap.diff t t = [])
+
+let test_build_and_find () =
+  let store = Mem_store.create () in
+  let bs = mk_bindings 5000 in
+  let t = Pmap.of_bindings store bs in
+  check int_ "cardinal" 5000 (Pmap.cardinal t);
+  check bool_ "height > 1" true (Pmap.height t >= 2);
+  List.iteri
+    (fun i (k, v) ->
+      if i mod 97 = 0 then
+        check bool_ ("find " ^ k) true (Pmap.find_value t k = Some v))
+    bs;
+  check bool_ "find absent" true (Pmap.find_value t "zzz" = None);
+  check bool_ "find below range" true (Pmap.find_value t "aaa" = None);
+  check bool_ "mem" true (Pmap.mem t "key-000000");
+  check bool_ "bindings sorted" true (Pmap.bindings t = bs);
+  (match Pmap.min_entry t, Pmap.max_entry t with
+   | Some lo, Some hi ->
+     check bool_ "min" true (String.equal lo.Pmap.key "key-000000");
+     check bool_ "max" true (String.equal hi.Pmap.key "key-004999")
+   | _ -> Alcotest.fail "min/max missing")
+
+let test_single_entry () =
+  let store = Mem_store.create () in
+  let t = Pmap.of_bindings store [ ("only", "one") ] in
+  check int_ "cardinal" 1 (Pmap.cardinal t);
+  check int_ "height" 1 (Pmap.height t);
+  check bool_ "find" true (Pmap.find_value t "only" = Some "one");
+  check bool_ "validate" true (Pmap.validate t = Ok ())
+
+let test_build_dedups_keys () =
+  let store = Mem_store.create () in
+  let t = Pmap.of_bindings store [ ("a", "1"); ("b", "2"); ("a", "3") ] in
+  check int_ "cardinal" 2 (Pmap.cardinal t);
+  (* Last binding wins. *)
+  check bool_ "last wins" true (Pmap.find_value t "a" = Some "3")
+
+let test_of_root () =
+  let store = Mem_store.create () in
+  let t = Pmap.of_bindings store (mk_bindings 500) in
+  let t' = Pmap.of_root store (Pmap.root t) in
+  check bool_ "same content" true (Pmap.bindings t' = Pmap.bindings t)
+
+(* ---------------- updates ---------------- *)
+
+let test_update_insert_remove () =
+  let store = Mem_store.create () in
+  let bs = mk_bindings 2000 in
+  let t = Pmap.of_bindings store bs in
+  let t = Pmap.put t "key-000500x" "inserted" in
+  check int_ "after insert" 2001 (Pmap.cardinal t);
+  check bool_ "inserted" true (Pmap.find_value t "key-000500x" = Some "inserted");
+  let t = Pmap.remove t "key-000500x" in
+  check int_ "after remove" 2000 (Pmap.cardinal t);
+  check bool_ "removed" true (Pmap.find_value t "key-000500x" = None);
+  (* Removing an absent key is a no-op that preserves the root. *)
+  let t2 = Pmap.remove t "not-there" in
+  check bool_ "no-op remove" true (same_root t t2)
+
+let test_update_equals_rebuild () =
+  let store = Mem_store.create () in
+  let bs = mk_bindings 3000 in
+  let t = Pmap.of_bindings store bs in
+  (* A mixed batch: overwrite, fresh insert at front, middle, back, and
+     deletions. *)
+  let edits =
+    [ Pmap.Put (Pmap.binding "key-000100" "overwritten");
+      Pmap.Put (Pmap.binding "aaa-front" "front");
+      Pmap.Put (Pmap.binding "key-001500m" "middle");
+      Pmap.Put (Pmap.binding "zzz-back" "back");
+      Pmap.Remove "key-002000";
+      Pmap.Remove "key-000001" ]
+  in
+  let t' = Pmap.update t edits in
+  let rebuilt =
+    Pmap.of_bindings store
+      ((("aaa-front", "front") :: ("key-001500m", "middle")
+        :: ("zzz-back", "back")
+        :: List.filter_map
+             (fun (k, v) ->
+               if k = "key-002000" || k = "key-000001" then None
+               else if k = "key-000100" then Some (k, "overwritten")
+               else Some (k, v))
+             bs))
+  in
+  check bool_ "update = rebuild (bit identical)" true (same_root t' rebuilt);
+  check bool_ "validate" true (Pmap.validate t' = Ok ())
+
+let test_update_empty_edits () =
+  let store = Mem_store.create () in
+  let t = Pmap.of_bindings store (mk_bindings 100) in
+  check bool_ "no edits no change" true (same_root t (Pmap.update t []))
+
+let test_update_to_empty () =
+  let store = Mem_store.create () in
+  let bs = mk_bindings 300 in
+  let t = Pmap.of_bindings store bs in
+  let t' = Pmap.update t (List.map (fun (k, _) -> Pmap.Remove k) bs) in
+  check bool_ "emptied" true (Pmap.is_empty t');
+  check int_ "cardinal 0" 0 (Pmap.cardinal t')
+
+let test_update_from_empty () =
+  let store = Mem_store.create () in
+  let t = Pmap.empty store in
+  let t' =
+    Pmap.update t
+      [ Pmap.Put (Pmap.binding "b" "2"); Pmap.Put (Pmap.binding "a" "1");
+        Pmap.Remove "c" ]
+  in
+  check bool_ "built" true (Pmap.bindings t' = [ ("a", "1"); ("b", "2") ])
+
+let test_update_localized_writes () =
+  (* SIRI Property 2 (recursively identical): a point insert creates only
+     O(height) fresh chunks; everything else is dedup-shared. *)
+  let store = Mem_store.create () in
+  let t = Pmap.of_bindings store (mk_bindings 20_000) in
+  let before = (Store.stats store).Store.physical_chunks in
+  let t' = Pmap.put t "key-010000" "CHANGED" in
+  let created = (Store.stats store).Store.physical_chunks - before in
+  check bool_
+    (Printf.sprintf "new chunks %d <= 4 + 3*height" created)
+    true
+    (created <= 4 + (3 * Pmap.height t'));
+  check bool_ "validate" true (Pmap.validate t' = Ok ())
+
+let test_to_seq_lazy () =
+  let store = Mem_store.create () in
+  let bs = mk_bindings 20_000 in
+  let t = Pmap.of_bindings store bs in
+  (* Full traversal agrees with to_list. *)
+  check bool_ "full" true (List.of_seq (Pmap.to_seq t) = Pmap.to_list t);
+  (* Early termination reads only a prefix of the chunks. *)
+  let gets0 = (Store.stats store).Store.gets in
+  let first10 = List.of_seq (Seq.take 10 (Pmap.to_seq t)) in
+  let gets = (Store.stats store).Store.gets - gets0 in
+  check int_ "ten entries" 10 (List.length first10);
+  check bool_ (Printf.sprintf "few reads %d" gets) true (gets <= 8);
+  check bool_ "empty seq" true
+    (List.of_seq (Pmap.to_seq (Pmap.empty store)) = [])
+
+let test_build_sorted_seq () =
+  let store = Mem_store.create () in
+  let bs = mk_bindings 5000 in
+  let streamed =
+    Pmap.build_sorted_seq store
+      (Seq.map (fun (k, v) -> Pmap.binding k v) (List.to_seq bs))
+  in
+  check bool_ "streamed = bulk" true
+    (same_root streamed (Pmap.of_bindings store bs));
+  Alcotest.check_raises "unsorted rejected"
+    (Invalid_argument "build_sorted_seq: keys not strictly increasing")
+    (fun () ->
+      ignore
+        (Pmap.build_sorted_seq store
+           (List.to_seq [ Pmap.binding "b" "1"; Pmap.binding "a" "2" ])));
+  check bool_ "empty stream" true
+    (Pmap.is_empty (Pmap.build_sorted_seq store Seq.empty))
+
+(* ---------------- range queries ---------------- *)
+
+let test_range_queries () =
+  let store = Mem_store.create () in
+  let bs = mk_bindings 5000 in
+  let t = Pmap.of_bindings store bs in
+  let slice lo hi =
+    List.filter (fun (k, _) -> k >= lo && k <= hi) bs
+    |> List.map (fun (k, v) -> Pmap.binding k v)
+  in
+  let got = Pmap.to_list_range ~lo:"key-001000" ~hi:"key-001999" t in
+  check bool_ "middle slice" true (got = slice "key-001000" "key-001999");
+  check int_ "slice size" 1000 (List.length got);
+  (* Unbounded sides. *)
+  check int_ "from lo" 2000
+    (List.length (Pmap.to_list_range ~lo:"key-003000" t));
+  check int_ "to hi" 10 (List.length (Pmap.to_list_range ~hi:"key-000009" t));
+  check int_ "whole" 5000 (List.length (Pmap.to_list_range t));
+  (* Bounds between keys and outside the key space. *)
+  check int_ "between keys" 1
+    (List.length (Pmap.to_list_range ~lo:"key-000001a" ~hi:"key-000002z" t));
+  check int_ "beyond" 0 (List.length (Pmap.to_list_range ~lo:"zzz" t));
+  check int_ "inverted" 0
+    (List.length (Pmap.to_list_range ~lo:"key-002000" ~hi:"key-001000" t));
+  (* Empty tree. *)
+  check int_ "empty tree" 0
+    (List.length (Pmap.to_list_range ~lo:"a" (Pmap.empty store)))
+
+let test_count_range_matches_list () =
+  let store = Mem_store.create () in
+  let t = Pmap.of_bindings store (mk_bindings 5000) in
+  List.iter
+    (fun (lo, hi) ->
+      let by_list =
+        List.length (Pmap.to_list_range ?lo ?hi t)
+      in
+      check int_ "count = list length" by_list (Pmap.count_range ?lo ?hi t))
+    [ (Some "key-001000", Some "key-001999");
+      (Some "key-000000", Some "key-004999");
+      (None, Some "key-002500");
+      (Some "key-004990", None);
+      (None, None);
+      (Some "nope", None) ]
+
+let test_nth () =
+  let store = Mem_store.create () in
+  let bs = mk_bindings 3000 in
+  let t = Pmap.of_bindings store bs in
+  List.iter
+    (fun i ->
+      check bool_ (Printf.sprintf "nth %d" i) true
+        (Pmap.nth t i
+         = Some (let k, v = List.nth bs i in Pmap.binding k v)))
+    [ 0; 1; 499; 1500; 2999 ];
+  check bool_ "out of range" true (Pmap.nth t 3000 = None);
+  check bool_ "negative" true (Pmap.nth t (-1) = None);
+  check bool_ "empty" true (Pmap.nth (Pmap.empty store) 0 = None)
+
+let test_count_range_reads_few_chunks () =
+  (* A wide interior range must be counted from index statistics. *)
+  let store = Mem_store.create () in
+  let t = Pmap.of_bindings store (mk_bindings 50_000) in
+  let total = List.length (Pmap.node_hashes t) in
+  let gets0 = (Store.stats store).Store.gets in
+  let n = Pmap.count_range ~lo:"key-005000" ~hi:"key-045000" t in
+  let gets = (Store.stats store).Store.gets - gets0 in
+  check int_ "count" 40_001 n;
+  check bool_ (Printf.sprintf "gets %d << chunks %d" gets total) true
+    (gets * 20 < total)
+
+(* ---------------- SIRI properties ---------------- *)
+
+let test_structural_invariance_orders () =
+  let store = Mem_store.create () in
+  let bs = mk_bindings 2000 in
+  let bulk = Pmap.of_bindings store bs in
+  let incremental =
+    List.fold_left
+      (fun t (k, v) -> Pmap.put t k v)
+      (Pmap.empty store)
+      (shuffle bs)
+  in
+  check bool_ "bulk = shuffled incremental" true (same_root bulk incremental);
+  (* Batched in two halves, reversed. *)
+  let half = List.filteri (fun i _ -> i < 1000) bs
+  and rest = List.filteri (fun i _ -> i >= 1000) bs in
+  let batched =
+    Pmap.update
+      (Pmap.of_bindings store rest)
+      (List.map (fun (k, v) -> Pmap.Put (Pmap.binding k v)) half)
+  in
+  check bool_ "batched halves" true (same_root bulk batched)
+
+let test_history_independence () =
+  (* Insert then delete extra records: the detour leaves no trace. *)
+  let store = Mem_store.create () in
+  let bs = mk_bindings 1000 in
+  let direct = Pmap.of_bindings store bs in
+  let detour =
+    let t = Pmap.of_bindings store bs in
+    let t = Pmap.put t "key-000500a" "temp1" in
+    let t = Pmap.put t "key-000999z" "temp2" in
+    let t = Pmap.remove t "key-000500a" in
+    Pmap.remove t "key-000999z"
+  in
+  check bool_ "detour erased" true (same_root direct detour)
+
+let test_universal_reuse () =
+  (* SIRI Property 3: a larger instance reuses pages of a smaller one when
+     content overlaps (same store, count dedup hits). *)
+  let store = Mem_store.create () in
+  let small = Pmap.of_bindings store (mk_bindings 5000) in
+  let small_pages =
+    List.fold_left
+      (fun s h -> Hash.Set.add h s)
+      Hash.Set.empty (Pmap.node_hashes small)
+  in
+  (* Superset: same 5000 plus 5000 more appended after. *)
+  let more =
+    mk_bindings 5000
+    @ List.init 5000 (fun i -> (Printf.sprintf "tail-%06d" i, "t"))
+  in
+  let large = Pmap.of_bindings store more in
+  let large_pages =
+    List.fold_left
+      (fun s h -> Hash.Set.add h s)
+      Hash.Set.empty (Pmap.node_hashes large)
+  in
+  let shared = Hash.Set.cardinal (Hash.Set.inter small_pages large_pages) in
+  (* The small instance's leaves are almost all reused; only the boundary
+     region and index levels can differ. *)
+  check bool_
+    (Printf.sprintf "shared %d of %d" shared (Hash.Set.cardinal small_pages))
+    true
+    (float_of_int shared
+     >= 0.8 *. float_of_int (Hash.Set.cardinal small_pages))
+
+(* ---------------- diff ---------------- *)
+
+let naive_diff bs1 bs2 =
+  (* Reference diff on sorted association lists. *)
+  let m1 = List.to_seq bs1 |> Hashtbl.of_seq in
+  let m2 = List.to_seq bs2 |> Hashtbl.of_seq in
+  let changes = ref [] in
+  List.iter
+    (fun (k, v1) ->
+      match Hashtbl.find_opt m2 k with
+      | None -> changes := `Removed (k, v1) :: !changes
+      | Some v2 -> if v1 <> v2 then changes := `Modified (k, v1, v2) :: !changes)
+    bs1;
+  List.iter
+    (fun (k, v2) ->
+      if not (Hashtbl.mem m1 k) then changes := `Added (k, v2) :: !changes)
+    bs2;
+  List.sort compare !changes
+
+let to_naive (c : Pmap.change) =
+  match c with
+  | Pmap.Added b -> `Added (b.Pmap.key, b.Pmap.value)
+  | Pmap.Removed b -> `Removed (b.Pmap.key, b.Pmap.value)
+  | Pmap.Modified (b1, b2) -> `Modified (b1.Pmap.key, b1.Pmap.value, b2.Pmap.value)
+
+let test_diff_correctness () =
+  let store = Mem_store.create () in
+  let bs = mk_bindings 4000 in
+  let bs' =
+    List.filter_map
+      (fun (k, v) ->
+        if k = "key-000777" then None
+        else if k = "key-002222" then Some (k, "changed")
+        else Some (k, v))
+      bs
+    @ [ ("key-009999x", "fresh") ]
+  in
+  let t1 = Pmap.of_bindings store bs in
+  let t2 = Pmap.of_bindings store bs' in
+  let got = List.sort compare (List.map to_naive (Pmap.diff t1 t2)) in
+  check bool_ "diff matches reference" true (got = naive_diff bs bs');
+  check int_ "diff size" 3 (List.length got);
+  (* Symmetry: reversing swaps added/removed. *)
+  let rev = Pmap.diff t2 t1 in
+  check int_ "reverse size" 3 (List.length rev);
+  check bool_ "self diff" true (Pmap.diff t1 t1 = [])
+
+let test_diff_prunes_shared_subtrees () =
+  (* O(D log N): diffing two large trees differing in one entry must touch
+     far fewer chunks than a full scan.  Count store gets. *)
+  let store = Mem_store.create () in
+  let bs = mk_bindings 50_000 in
+  let t1 = Pmap.of_bindings store bs in
+  let t2 = Pmap.put t1 "key-025000" "poked" in
+  let before = (Store.stats store).Store.gets in
+  let d = Pmap.diff t1 t2 in
+  let gets = (Store.stats store).Store.gets - before in
+  check int_ "one change" 1 (List.length d);
+  let total_chunks = List.length (Pmap.node_hashes t1) in
+  check bool_
+    (Printf.sprintf "gets %d << chunks %d" gets total_chunks)
+    true
+    (gets * 10 < total_chunks)
+
+let test_diff_disjoint_trees () =
+  let store = Mem_store.create () in
+  let t1 = Pmap.of_bindings store [ ("a", "1"); ("b", "2") ] in
+  let t2 = Pmap.of_bindings store [ ("c", "3") ] in
+  check int_ "all differ" 3 (List.length (Pmap.diff t1 t2));
+  check int_ "vs empty" 2
+    (List.length (Pmap.diff t1 (Pmap.empty store)))
+
+(* ---------------- merge ---------------- *)
+
+let test_merge_disjoint () =
+  let store = Mem_store.create () in
+  let base = Pmap.of_bindings store (mk_bindings 2000) in
+  let ours = Pmap.put base "key-000100" "ours-change" in
+  let theirs = Pmap.put base "key-001900" "theirs-change" in
+  match Pmap.merge ~base ~ours ~theirs () with
+  | Error _ -> Alcotest.fail "unexpected conflict"
+  | Ok merged ->
+    check bool_ "ours kept" true
+      (Pmap.find_value merged "key-000100" = Some "ours-change");
+    check bool_ "theirs applied" true
+      (Pmap.find_value merged "key-001900" = Some "theirs-change");
+    check int_ "cardinal" 2000 (Pmap.cardinal merged);
+    (* Merge must equal the rebuild with both edits. *)
+    let expected =
+      Pmap.update base
+        [ Pmap.Put (Pmap.binding "key-000100" "ours-change");
+          Pmap.Put (Pmap.binding "key-001900" "theirs-change") ]
+    in
+    check bool_ "merge canonical" true (same_root merged expected)
+
+let test_merge_identical_edits () =
+  let store = Mem_store.create () in
+  let base = Pmap.of_bindings store (mk_bindings 100) in
+  let ours = Pmap.put base "k" "same" in
+  let theirs = Pmap.put base "k" "same" in
+  match Pmap.merge ~base ~ours ~theirs () with
+  | Error _ -> Alcotest.fail "identical edits are not a conflict"
+  | Ok merged ->
+    check bool_ "value" true (Pmap.find_value merged "k" = Some "same")
+
+let test_merge_conflict () =
+  let store = Mem_store.create () in
+  let base = Pmap.of_bindings store (mk_bindings 100) in
+  let ours = Pmap.put base "key-000050" "ours" in
+  let theirs = Pmap.put base "key-000050" "theirs" in
+  (match Pmap.merge ~base ~ours ~theirs () with
+   | Ok _ -> Alcotest.fail "expected conflict"
+   | Error [ c ] ->
+     check bool_ "conflict key" true (String.equal c.Pmap.key "key-000050");
+     check bool_ "base present" true (c.Pmap.base <> None)
+   | Error _ -> Alcotest.fail "expected exactly one conflict");
+  (* Resolvers. *)
+  (match Pmap.merge ~on_conflict:Pmap.resolve_ours ~base ~ours ~theirs () with
+   | Ok m -> check bool_ "ours wins" true (Pmap.find_value m "key-000050" = Some "ours")
+   | Error _ -> Alcotest.fail "resolver failed");
+  match Pmap.merge ~on_conflict:Pmap.resolve_theirs ~base ~ours ~theirs () with
+  | Ok m ->
+    check bool_ "theirs wins" true
+      (Pmap.find_value m "key-000050" = Some "theirs")
+  | Error _ -> Alcotest.fail "resolver failed"
+
+let test_merge_remove_vs_modify () =
+  let store = Mem_store.create () in
+  let base = Pmap.of_bindings store [ ("a", "1"); ("b", "2") ] in
+  let ours = Pmap.remove base "a" in
+  let theirs = Pmap.put base "a" "3" in
+  match Pmap.merge ~base ~ours ~theirs () with
+  | Ok _ -> Alcotest.fail "remove vs modify must conflict"
+  | Error [ c ] -> check bool_ "key a" true (String.equal c.Pmap.key "a")
+  | Error _ -> Alcotest.fail "one conflict expected"
+
+let test_merge_page_reuse () =
+  (* Fig. 3: disjoint merges mostly reuse pages; measure dedup hits. *)
+  let store = Mem_store.create () in
+  let base = Pmap.of_bindings store (mk_bindings 20_000) in
+  let ours = Pmap.put base "key-000100" "A" in
+  let theirs = Pmap.put base "key-019000" "B" in
+  let s0 = Store.stats store in
+  (match Pmap.merge ~base ~ours ~theirs () with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "conflict");
+  let s1 = Store.stats store in
+  let puts = s1.Store.puts - s0.Store.puts in
+  let fresh = s1.Store.physical_chunks - s0.Store.physical_chunks in
+  check bool_
+    (Printf.sprintf "fresh %d << puts %d" fresh puts)
+    true
+    (fresh <= 4 + (3 * Pmap.height base))
+
+(* ---------------- validation / corruption ---------------- *)
+
+let test_validate_detects_bitflip () =
+  let store, handle = Mem_store.create_with_handle () in
+  let t = Pmap.of_bindings store (mk_bindings 2000) in
+  check bool_ "clean validates" true (Pmap.validate t = Ok ());
+  (* Flip one byte in one reachable chunk. *)
+  let victim = List.nth (Pmap.node_hashes t) 3 in
+  ignore
+    (Mem_store.tamper handle victim ~f:(fun s ->
+         let b = Bytes.of_string s in
+         let i = Bytes.length b / 2 in
+         Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+         Bytes.to_string b));
+  check bool_ "bitflip detected" true (Result.is_error (Pmap.validate t))
+
+let test_validate_detects_missing_chunk () =
+  let store = Mem_store.create () in
+  let t = Pmap.of_bindings store (mk_bindings 2000) in
+  let victim = List.nth (Pmap.node_hashes t) 1 in
+  ignore (store.Store.delete victim);
+  check bool_ "missing detected" true (Result.is_error (Pmap.validate t))
+
+let test_corrupt_exception_on_navigation () =
+  let store = Mem_store.create () in
+  let t = Pmap.of_bindings store (mk_bindings 2000) in
+  (match Pmap.root t with
+   | None -> Alcotest.fail "root"
+   | Some root ->
+     ignore (store.Store.delete root);
+     (try
+        ignore (Pmap.find t "key-000001");
+        Alcotest.fail "expected Corrupt"
+      with Fb_postree.Postree.Corrupt _ -> ()))
+
+let test_node_stats () =
+  let store = Mem_store.create () in
+  let t = Pmap.of_bindings store (mk_bindings 10_000) in
+  let ns = Pmap.node_stats t in
+  check int_ "levels = height" (Pmap.height t) ns.Pmap.levels;
+  check int_ "leaf entries" 10_000 ns.Pmap.leaf_entries;
+  check bool_ "root level single" true (List.hd ns.Pmap.nodes_per_level = 1);
+  let leaves = List.nth ns.Pmap.nodes_per_level (ns.Pmap.levels - 1) in
+  check int_ "leaf sizes count" leaves (List.length ns.Pmap.leaf_node_sizes);
+  (* Mean leaf size should be in the ballpark of 2^q = 2048 bytes. *)
+  let mean =
+    float_of_int (List.fold_left ( + ) 0 ns.Pmap.leaf_node_sizes)
+    /. float_of_int leaves
+  in
+  check bool_ (Printf.sprintf "mean leaf %.0fB" mean) true
+    (mean > 500.0 && mean < 8000.0)
+
+(* ---------------- Pset ---------------- *)
+
+let test_pset_proofs () =
+  (* Proofs come with the functor: sets prove membership/absence too. *)
+  let store = Mem_store.create () in
+  let s = Pset.of_elements store (List.init 3000 (Printf.sprintf "el-%05d")) in
+  let root = Option.get (Pset.root s) in
+  (match Pset.prove s "el-01500" with
+   | Error e -> Alcotest.fail e
+   | Ok proof -> (
+     match Pset.verify_proof ~root "el-01500" proof with
+     | Ok (Some e) -> check bool_ "member" true (String.equal e "el-01500")
+     | _ -> Alcotest.fail "membership not proven"));
+  match Pset.prove s "not-there" with
+  | Error e -> Alcotest.fail e
+  | Ok proof -> (
+    match Pset.verify_proof ~root "not-there" proof with
+    | Ok None -> ()
+    | _ -> Alcotest.fail "absence not proven")
+
+let test_pset_basics () =
+  let store = Mem_store.create () in
+  let elems = List.init 1000 (Printf.sprintf "element-%04d") in
+  let s = Pset.of_elements store (shuffle elems) in
+  check int_ "cardinal" 1000 (Pset.cardinal s);
+  check bool_ "mem" true (Pset.mem s "element-0500");
+  check bool_ "not mem" false (Pset.mem s "nope");
+  check bool_ "sorted elements" true (Pset.elements s = elems);
+  let s2 = Pset.add s "element-9999" in
+  check int_ "added" 1001 (Pset.cardinal s2);
+  let d = Pset.diff s s2 in
+  check int_ "diff" 1 (List.length d);
+  check bool_ "invariance" true
+    (Option.equal Hash.equal (Pset.root (Pset.of_elements store elems))
+       (Pset.root s))
+
+(* ---------------- qcheck properties ---------------- *)
+
+let qcheck_cases =
+  let open QCheck in
+  let kv_list =
+    list_of_size (Gen.int_range 0 150)
+      (pair (string_gen_of_size (Gen.int_range 1 12) Gen.printable)
+         (string_gen_of_size (Gen.int_range 0 20) Gen.printable))
+  in
+  [ Test.make ~name:"pos-tree: build = to_list modulo sort/dedup" ~count:60
+      kv_list
+      (fun bs ->
+        let store = Mem_store.create () in
+        let t = Pmap.of_bindings store bs in
+        let expected =
+          (* last-wins dedup on sorted keys *)
+          let tbl = Hashtbl.create 16 in
+          List.iter (fun (k, v) -> Hashtbl.replace tbl k v) bs;
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+          |> List.sort compare
+        in
+        Pmap.bindings t = expected);
+    Test.make ~name:"pos-tree: insertion order invariance" ~count:40 kv_list
+      (fun bs ->
+        let store = Mem_store.create () in
+        let t1 = Pmap.of_bindings store bs in
+        let t2 =
+          List.fold_left
+            (fun t (k, v) -> Pmap.put t k v)
+            (Pmap.empty store) (List.rev bs)
+        in
+        (* Reverse-order incremental insert; duplicates make last-wins differ,
+           so skip those inputs. *)
+        let keys = List.map fst bs in
+        List.length (List.sort_uniq compare keys) <> List.length keys
+        || Option.equal Hash.equal (Pmap.root t1) (Pmap.root t2));
+    Test.make ~name:"pos-tree: update = rebuild" ~count:40
+      (pair kv_list kv_list)
+      (fun (bs, edits) ->
+        let store = Mem_store.create () in
+        let t = Pmap.of_bindings store bs in
+        let updated =
+          Pmap.update t
+            (List.map (fun (k, v) -> Pmap.Put (Pmap.binding k v)) edits)
+        in
+        let tbl = Hashtbl.create 16 in
+        List.iter (fun (k, v) -> Hashtbl.replace tbl k v) bs;
+        List.iter (fun (k, v) -> Hashtbl.replace tbl k v) edits;
+        let merged = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+        Option.equal Hash.equal (Pmap.root updated)
+          (Pmap.root (Pmap.of_bindings store merged)));
+    Test.make ~name:"pos-tree: update with removes = rebuild" ~count:40
+      (triple kv_list kv_list (list_of_size (Gen.int_range 0 30)
+         (string_gen_of_size (Gen.int_range 1 12) Gen.printable)))
+      (fun (bs, puts, removes) ->
+        let store = Mem_store.create () in
+        let t = Pmap.of_bindings store bs in
+        (* Interleave puts and removes; last edit per key wins. *)
+        let edits =
+          List.map (fun (k, v) -> Pmap.Put (Pmap.binding k v)) puts
+          @ List.map (fun k -> Pmap.Remove k) removes
+        in
+        let updated = Pmap.update t edits in
+        let tbl = Hashtbl.create 16 in
+        List.iter (fun (k, v) -> Hashtbl.replace tbl k v) bs;
+        List.iter (fun (k, v) -> Hashtbl.replace tbl k v) puts;
+        List.iter (Hashtbl.remove tbl) removes;
+        let expected = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+        Option.equal Hash.equal (Pmap.root updated)
+          (Pmap.root (Pmap.of_bindings store expected))
+        && Pmap.validate updated = Ok ());
+    Test.make ~name:"pos-tree: apply diff reproduces target" ~count:40
+      (pair kv_list kv_list)
+      (fun (bs1, bs2) ->
+        let store = Mem_store.create () in
+        let t1 = Pmap.of_bindings store bs1 in
+        let t2 = Pmap.of_bindings store bs2 in
+        let edits = List.map Pmap.edit_of_change (Pmap.diff t1 t2) in
+        Option.equal Hash.equal
+          (Pmap.root (Pmap.update t1 edits))
+          (Pmap.root t2));
+    Test.make ~name:"pos-tree: validate accepts every build" ~count:40
+      kv_list
+      (fun bs ->
+        let store = Mem_store.create () in
+        Pmap.validate (Pmap.of_bindings store bs) = Ok ());
+    Test.make ~name:"pos-tree: merge = reference model (theirs-wins)"
+      ~count:40
+      (triple kv_list kv_list kv_list)
+      (fun (base_bs, ours_edits, theirs_edits) ->
+        let store = Mem_store.create () in
+        let to_tbl bs =
+          let tbl = Hashtbl.create 16 in
+          List.iter (fun (k, v) -> Hashtbl.replace tbl k v) bs;
+          tbl
+        in
+        let base = Pmap.of_bindings store base_bs in
+        let puts edits =
+          List.map (fun (k, v) -> Pmap.Put (Pmap.binding k v)) edits
+        in
+        let ours = Pmap.update base (puts ours_edits) in
+        let theirs = Pmap.update base (puts theirs_edits) in
+        match
+          Pmap.merge ~on_conflict:Pmap.resolve_theirs ~base ~ours ~theirs ()
+        with
+        | Error _ -> false
+        | Ok merged ->
+          (* Model: ours' content, overridden by every key theirs actually
+             changed relative to base (an edit restating the base value is
+             not a change, so ours keeps those keys). *)
+          let base_tbl = to_tbl base_bs in
+          let expected = to_tbl base_bs in
+          List.iter (fun (k, v) -> Hashtbl.replace expected k v) ours_edits;
+          Hashtbl.iter
+            (fun k v ->
+              if Hashtbl.find_opt base_tbl k <> Some v then
+                Hashtbl.replace expected k v)
+            (to_tbl theirs_edits);
+          Pmap.bindings merged
+          = List.sort compare
+              (Hashtbl.fold (fun k v acc -> (k, v) :: acc) expected []));
+    Test.make ~name:"pos-tree: diff is antisymmetric" ~count:40
+      (pair kv_list kv_list)
+      (fun (bs1, bs2) ->
+        let store = Mem_store.create () in
+        let t1 = Pmap.of_bindings store bs1 in
+        let t2 = Pmap.of_bindings store bs2 in
+        let flip = function
+          | Pmap.Added e -> Pmap.Removed e
+          | Pmap.Removed e -> Pmap.Added e
+          | Pmap.Modified (a, b) -> Pmap.Modified (b, a)
+        in
+        Pmap.diff t2 t1 = List.map flip (Pmap.diff t1 t2))
+  ]
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest qcheck_cases
+  @ [ Alcotest.test_case "empty tree" `Quick test_empty;
+      Alcotest.test_case "build and find" `Quick test_build_and_find;
+      Alcotest.test_case "single entry" `Quick test_single_entry;
+      Alcotest.test_case "build dedups keys" `Quick test_build_dedups_keys;
+      Alcotest.test_case "of_root" `Quick test_of_root;
+      Alcotest.test_case "update insert/remove" `Quick
+        test_update_insert_remove;
+      Alcotest.test_case "update = rebuild" `Quick test_update_equals_rebuild;
+      Alcotest.test_case "update empty edits" `Quick test_update_empty_edits;
+      Alcotest.test_case "update to empty" `Quick test_update_to_empty;
+      Alcotest.test_case "update from empty" `Quick test_update_from_empty;
+      Alcotest.test_case "update localized writes" `Slow
+        test_update_localized_writes;
+      Alcotest.test_case "to_seq lazy" `Quick test_to_seq_lazy;
+      Alcotest.test_case "build_sorted_seq" `Quick test_build_sorted_seq;
+      Alcotest.test_case "range queries" `Quick test_range_queries;
+      Alcotest.test_case "count_range = list length" `Quick
+        test_count_range_matches_list;
+      Alcotest.test_case "nth" `Quick test_nth;
+      Alcotest.test_case "count_range prunes" `Slow
+        test_count_range_reads_few_chunks;
+      Alcotest.test_case "structural invariance (orders)" `Quick
+        test_structural_invariance_orders;
+      Alcotest.test_case "history independence" `Quick
+        test_history_independence;
+      Alcotest.test_case "universal reuse" `Slow test_universal_reuse;
+      Alcotest.test_case "diff correctness" `Quick test_diff_correctness;
+      Alcotest.test_case "diff prunes shared subtrees" `Slow
+        test_diff_prunes_shared_subtrees;
+      Alcotest.test_case "diff disjoint trees" `Quick test_diff_disjoint_trees;
+      Alcotest.test_case "merge disjoint" `Quick test_merge_disjoint;
+      Alcotest.test_case "merge identical edits" `Quick
+        test_merge_identical_edits;
+      Alcotest.test_case "merge conflict" `Quick test_merge_conflict;
+      Alcotest.test_case "merge remove vs modify" `Quick
+        test_merge_remove_vs_modify;
+      Alcotest.test_case "merge page reuse" `Slow test_merge_page_reuse;
+      Alcotest.test_case "validate detects bitflip" `Quick
+        test_validate_detects_bitflip;
+      Alcotest.test_case "validate detects missing chunk" `Quick
+        test_validate_detects_missing_chunk;
+      Alcotest.test_case "corrupt raises on navigation" `Quick
+        test_corrupt_exception_on_navigation;
+      Alcotest.test_case "node stats" `Quick test_node_stats;
+      Alcotest.test_case "pset basics" `Quick test_pset_basics;
+      Alcotest.test_case "pset proofs" `Quick test_pset_proofs ]

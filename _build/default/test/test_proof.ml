@@ -1,0 +1,311 @@
+(* Merkle entry proofs: POS-Tree level and Forkbase level, including
+   forgery attempts. *)
+
+module Pmap = Fb_postree.Pmap
+module Mem_store = Fb_chunk.Mem_store
+module Hash = Fb_hash.Hash
+module FB = Fb_core.Forkbase
+module Errors = Fb_core.Errors
+module Value = Fb_types.Value
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Errors.to_string e)
+
+let mk_tree n =
+  let store = Mem_store.create () in
+  let bindings =
+    List.init n (fun i -> (Printf.sprintf "key-%06d" i, Printf.sprintf "val-%d" i))
+  in
+  (Pmap.of_bindings store bindings, bindings)
+
+(* ---------------- tree-level proofs ---------------- *)
+
+let test_membership_proof () =
+  let t, bindings = mk_tree 10_000 in
+  let root = Option.get (Pmap.root t) in
+  List.iter
+    (fun i ->
+      let k, v = List.nth bindings i in
+      match Pmap.prove t k with
+      | Error e -> Alcotest.fail e
+      | Ok proof -> (
+        (* Proof is small: O(log N) chunks, not the tree. *)
+        check bool_ "short proof" true
+          (List.length proof <= Pmap.height t);
+        match Pmap.verify_proof ~root k proof with
+        | Ok (Some e) ->
+          check bool_ "entry" true
+            (String.equal e.Pmap.key k && String.equal e.Pmap.value v)
+        | Ok None -> Alcotest.fail "proven absent but present"
+        | Error e -> Alcotest.fail e))
+    [ 0; 1; 5000; 9999 ]
+
+let test_absence_proof () =
+  let t, _ = mk_tree 5000 in
+  let root = Option.get (Pmap.root t) in
+  List.iter
+    (fun k ->
+      match Pmap.prove t k with
+      | Error e -> Alcotest.fail e
+      | Ok proof -> (
+        match Pmap.verify_proof ~root k proof with
+        | Ok None -> ()
+        | Ok (Some _) -> Alcotest.fail "absent key proven present"
+        | Error e -> Alcotest.fail e))
+    [ "aaaa"; "key-002500x"; "zzzz" ]
+
+let test_proof_rejects_forgery () =
+  let t, _ = mk_tree 5000 in
+  let root = Option.get (Pmap.root t) in
+  let proof = Result.get_ok (Pmap.prove t "key-002500") in
+  (* Flip a byte anywhere in any chunk: verification must fail. *)
+  List.iteri
+    (fun i _raw ->
+      let forged =
+        List.mapi
+          (fun j r ->
+            if i <> j then r
+            else begin
+              let b = Bytes.of_string r in
+              let p = Bytes.length b / 2 in
+              Bytes.set b p (Char.chr (Char.code (Bytes.get b p) lxor 1));
+              Bytes.to_string b
+            end)
+          proof
+      in
+      check bool_
+        (Printf.sprintf "forged chunk %d rejected" i)
+        true
+        (Result.is_error (Pmap.verify_proof ~root "key-002500" forged)))
+    proof;
+  (* Wrong root, truncated path, trailing garbage. *)
+  check bool_ "wrong root" true
+    (Result.is_error
+       (Pmap.verify_proof ~root:(Hash.of_string "other") "key-002500" proof));
+  check bool_ "truncated" true
+    (Result.is_error
+       (Pmap.verify_proof ~root "key-002500"
+          (List.filteri (fun i _ -> i < List.length proof - 1) proof)));
+  check bool_ "empty" true
+    (Result.is_error (Pmap.verify_proof ~root "key-002500" []));
+  (* A valid proof for one key must not authenticate a different key's
+     value (routing is re-derived by the verifier). *)
+  match Pmap.verify_proof ~root "key-000000" proof with
+  | Ok (Some _) -> Alcotest.fail "cross-key proof accepted"
+  | Ok None | Error _ -> ()
+
+let test_proof_single_leaf_tree () =
+  let store = Mem_store.create () in
+  let t = Pmap.of_bindings store [ ("a", "1"); ("b", "2") ] in
+  let root = Option.get (Pmap.root t) in
+  let proof = Result.get_ok (Pmap.prove t "a") in
+  check int_ "one chunk" 1 (List.length proof);
+  check bool_ "verifies" true
+    (match Pmap.verify_proof ~root "a" proof with
+     | Ok (Some e) -> e.Pmap.value = "1"
+     | _ -> false)
+
+(* ---------------- positional (list) proofs ---------------- *)
+
+let test_list_positional_proofs () =
+  let store = Mem_store.create () in
+  let items = List.init 20_000 (Printf.sprintf "element-%05d") in
+  let l = Fb_postree.Plist.of_list store items in
+  let root = Option.get (Fb_postree.Plist.root l) in
+  List.iter
+    (fun n ->
+      match Fb_postree.Plist.prove l n with
+      | Error e -> Alcotest.fail e
+      | Ok proof -> (
+        match Fb_postree.Plist.verify_proof ~root n proof with
+        | Ok (Some e) ->
+          check bool_ (Printf.sprintf "element %d" n) true
+            (String.equal e (List.nth items n))
+        | Ok None -> Alcotest.fail "in-range proven absent"
+        | Error e -> Alcotest.fail e))
+    [ 0; 1; 9_999; 19_999 ];
+  (* Out of range: provable. *)
+  (match Fb_postree.Plist.prove l 20_000 with
+   | Error e -> Alcotest.fail e
+   | Ok proof -> (
+     match Fb_postree.Plist.verify_proof ~root 20_000 proof with
+     | Ok None -> ()
+     | _ -> Alcotest.fail "out-of-range not proven"));
+  (* Forgery rejected. *)
+  let proof = Result.get_ok (Fb_postree.Plist.prove l 10_000) in
+  let forged =
+    List.mapi
+      (fun i raw ->
+        if i <> 1 then raw
+        else begin
+          let b = Bytes.of_string raw in
+          Bytes.set b (Bytes.length b - 1)
+            (Char.chr (Char.code (Bytes.get b (Bytes.length b - 1)) lxor 1));
+          Bytes.to_string b
+        end)
+      proof
+  in
+  check bool_ "forged rejected" true
+    (Result.is_error (Fb_postree.Plist.verify_proof ~root 10_000 forged));
+  check bool_ "wrong index wrong answer impossible" true
+    (match Fb_postree.Plist.verify_proof ~root 0 proof with
+     | Ok (Some _) -> false (* proof for 10000 cannot serve index 0 *)
+     | _ -> true)
+
+(* ---------------- blob byte-range proofs ---------------- *)
+
+let test_blob_range_proofs () =
+  let store = Mem_store.create () in
+  let rng = Fb_hash.Prng.create 9L in
+  let content =
+    String.init 300_000 (fun _ -> Char.chr (32 + Fb_hash.Prng.next_int rng 95))
+  in
+  let b = Fb_postree.Pblob.of_string store content in
+  let root = Option.get (Fb_postree.Pblob.root b) in
+  List.iter
+    (fun (pos, len) ->
+      match Fb_postree.Pblob.prove b ~pos ~len with
+      | Error e -> Alcotest.fail e
+      | Ok proof -> (
+        (* The proof is much smaller than the blob for small ranges. *)
+        let size = List.fold_left (fun a c -> a + String.length c) 0 proof in
+        if len < 1000 then
+          check bool_ (Printf.sprintf "compact (%d bytes)" size) true
+            (size < 60_000);
+        match Fb_postree.Pblob.verify_proof ~root ~pos ~len proof with
+        | Ok bytes ->
+          check bool_
+            (Printf.sprintf "range [%d,+%d)" pos len)
+            true
+            (String.equal bytes (String.sub content pos len))
+        | Error e -> Alcotest.fail e))
+    [ (0, 10); (150_000, 256); (299_990, 10); (0, 300_000); (123, 0) ];
+  (* Out of range refused at prove and at verify. *)
+  check bool_ "prove oob" true
+    (Result.is_error (Fb_postree.Pblob.prove b ~pos:299_999 ~len:2));
+  (* Forged content rejected. *)
+  let proof = Result.get_ok (Fb_postree.Pblob.prove b ~pos:1000 ~len:50) in
+  let forged =
+    List.mapi
+      (fun i raw ->
+        if i <> List.length proof - 1 then raw
+        else begin
+          let bts = Bytes.of_string raw in
+          Bytes.set bts 20 (Char.chr (Char.code (Bytes.get bts 20) lxor 1));
+          Bytes.to_string bts
+        end)
+      proof
+  in
+  check bool_ "forged rejected" true
+    (Result.is_error
+       (Fb_postree.Pblob.verify_proof ~root ~pos:1000 ~len:50 forged));
+  (* A proof cannot serve a range beyond the chunks it carries (a small
+     extension may land inside the same authenticated leaf, which is sound;
+     a large one cannot). *)
+  check bool_ "range extension rejected" true
+    (Result.is_error
+       (Fb_postree.Pblob.verify_proof ~root ~pos:1000 ~len:150_000 proof))
+
+(* ---------------- forkbase-level proofs ---------------- *)
+
+let test_entry_proof_roundtrip () =
+  let fb = FB.create (Mem_store.create ()) in
+  ignore
+    (ok (FB.import_csv fb ~key:"ledger" "account,balance\nalice,100\nbob,50\n"));
+  let uid = ok (FB.head fb ~key:"ledger") in
+  let proof = ok (FB.prove_entry fb ~key:"ledger" ~entry_key:"alice") in
+  (* Transportable. *)
+  let proof =
+    ok (FB.decode_entry_proof (FB.encode_entry_proof proof))
+  in
+  (match FB.verify_entry_proof ~uid ~key:"ledger" ~entry_key:"alice" proof with
+   | Ok (Some row_bytes) -> (
+     match Fb_types.Table.decode_row row_bytes with
+     | Ok [ _; Fb_types.Primitive.Int 100L ] -> ()
+     | _ -> Alcotest.fail "wrong row proven")
+   | Ok None -> Alcotest.fail "alice proven absent"
+   | Error e -> Alcotest.fail (Errors.to_string e));
+  (* Absence. *)
+  let pnone = ok (FB.prove_entry fb ~key:"ledger" ~entry_key:"mallory") in
+  (match FB.verify_entry_proof ~uid ~key:"ledger" ~entry_key:"mallory" pnone with
+   | Ok None -> ()
+   | _ -> Alcotest.fail "mallory not proven absent");
+  (* Wrong uid (e.g. an older version) must reject. *)
+  ignore (ok (FB.import_csv fb ~key:"ledger" "account,balance\nalice,999\nbob,50\n"));
+  let uid2 = ok (FB.head fb ~key:"ledger") in
+  check bool_ "stale proof rejected" true
+    (Result.is_error
+       (FB.verify_entry_proof ~uid:uid2 ~key:"ledger" ~entry_key:"alice" proof));
+  (* Wrong object key rejected. *)
+  check bool_ "wrong key rejected" true
+    (Result.is_error
+       (FB.verify_entry_proof ~uid ~key:"other" ~entry_key:"alice" proof))
+
+let test_entry_proof_on_map_value () =
+  let fb = FB.create (Mem_store.create ()) in
+  let store = FB.store fb in
+  ignore
+    (ok
+       (FB.put fb ~key:"conf"
+          (Value.map_of_bindings store
+             (List.init 3000 (fun i -> (Printf.sprintf "opt%05d" i, "on"))))));
+  let uid = ok (FB.head fb ~key:"conf") in
+  let proof = ok (FB.prove_entry fb ~key:"conf" ~entry_key:"opt01500") in
+  (match FB.verify_entry_proof ~uid ~key:"conf" ~entry_key:"opt01500" proof with
+   | Ok (Some v) -> check bool_ "map value" true (String.equal v "on")
+   | _ -> Alcotest.fail "map entry not proven");
+  (* Proof bytes are tiny compared to the value. *)
+  check bool_ "compact" true
+    (String.length (FB.encode_entry_proof proof) < 30_000)
+
+let test_entry_proof_wrong_type () =
+  let fb = FB.create (Mem_store.create ()) in
+  ignore (ok (FB.put fb ~key:"s" (Value.string "scalar")));
+  match FB.prove_entry fb ~key:"s" ~entry_key:"x" with
+  | Error (Errors.Type_mismatch _) -> ()
+  | _ -> Alcotest.fail "expected type mismatch"
+
+let qcheck_cases =
+  let open QCheck in
+  [ Test.make ~name:"proofs verify for every key" ~count:25
+      (list_of_size (Gen.int_range 1 120)
+         (pair (string_gen_of_size (Gen.int_range 1 8) Gen.printable)
+            (string_gen_of_size (Gen.int_range 0 8) Gen.printable)))
+      (fun bindings ->
+        let store = Mem_store.create () in
+        let t = Pmap.of_bindings store bindings in
+        let root = Option.get (Pmap.root t) in
+        List.for_all
+          (fun (k, _) ->
+            match Pmap.prove t k with
+            | Error _ -> false
+            | Ok proof -> (
+              match Pmap.verify_proof ~root k proof with
+              | Ok (Some e) ->
+                (* last-wins duplicate semantics *)
+                Pmap.find_value t k = Some e.Pmap.value
+              | _ -> false))
+          bindings) ]
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest qcheck_cases
+  @ [ Alcotest.test_case "membership proof" `Quick test_membership_proof;
+      Alcotest.test_case "absence proof" `Quick test_absence_proof;
+      Alcotest.test_case "proof rejects forgery" `Quick
+        test_proof_rejects_forgery;
+      Alcotest.test_case "single-leaf proof" `Quick
+        test_proof_single_leaf_tree;
+      Alcotest.test_case "list positional proofs" `Quick
+        test_list_positional_proofs;
+      Alcotest.test_case "blob range proofs" `Quick test_blob_range_proofs;
+      Alcotest.test_case "entry proof roundtrip" `Quick
+        test_entry_proof_roundtrip;
+      Alcotest.test_case "entry proof on map" `Quick
+        test_entry_proof_on_map_value;
+      Alcotest.test_case "entry proof wrong type" `Quick
+        test_entry_proof_wrong_type ]

@@ -1,0 +1,326 @@
+(* Sequence POS-Trees: content-defined blob chunking and positional
+   lists. *)
+
+module Pblob = Fb_postree.Pblob
+module Plist = Fb_postree.Plist
+module Store = Fb_chunk.Store
+module Mem_store = Fb_chunk.Mem_store
+module Hash = Fb_hash.Hash
+module Prng = Fb_hash.Prng
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let string_ = Alcotest.string
+
+let random_text ?(seed = 5L) n =
+  let rng = Prng.create seed in
+  String.init n (fun _ -> Char.chr (32 + Prng.next_int rng 95))
+
+let blob_roots_equal a b = Option.equal Hash.equal (Pblob.root a) (Pblob.root b)
+let list_roots_equal a b = Option.equal Hash.equal (Plist.root a) (Plist.root b)
+
+(* ---------------- Pblob ---------------- *)
+
+let test_blob_empty () =
+  let store = Mem_store.create () in
+  let b = Pblob.of_string store "" in
+  check bool_ "empty" true (Pblob.is_empty b);
+  check int_ "length" 0 (Pblob.length b);
+  check string_ "to_string" "" (Pblob.to_string b);
+  check bool_ "validate" true (Pblob.validate b = Ok ());
+  check bool_ "self diff" true (Pblob.diff b b = None)
+
+let test_blob_roundtrip () =
+  let store = Mem_store.create () in
+  List.iter
+    (fun n ->
+      let s = random_text ~seed:(Int64.of_int n) n in
+      let b = Pblob.of_string store s in
+      check int_ ("length " ^ string_of_int n) n (Pblob.length b);
+      check bool_ ("roundtrip " ^ string_of_int n) true
+        (String.equal (Pblob.to_string b) s);
+      check bool_ "validate" true (Pblob.validate b = Ok ()))
+    [ 1; 100; 5000; 100_000 ]
+
+let test_blob_read () =
+  let store = Mem_store.create () in
+  let s = random_text 50_000 in
+  let b = Pblob.of_string store s in
+  check string_ "middle" (String.sub s 20_000 100) (Pblob.read b ~pos:20_000 ~len:100);
+  check string_ "start" (String.sub s 0 10) (Pblob.read b ~pos:0 ~len:10);
+  check string_ "end" (String.sub s 49_990 10) (Pblob.read b ~pos:49_990 ~len:10);
+  check string_ "empty read" "" (Pblob.read b ~pos:123 ~len:0);
+  Alcotest.check_raises "oob" (Invalid_argument "Pblob.read: range out of bounds")
+    (fun () -> ignore (Pblob.read b ~pos:49_999 ~len:2))
+
+let test_blob_determinism () =
+  let store = Mem_store.create () in
+  let s = random_text 30_000 in
+  let b1 = Pblob.of_string store s in
+  let b2 = Pblob.of_string store s in
+  check bool_ "same root" true (blob_roots_equal b1 b2);
+  (* The second build stored zero new physical chunks. *)
+  let before = (Store.stats store).Store.physical_chunks in
+  let _ = Pblob.of_string store s in
+  check int_ "all dedup" before (Store.stats store).Store.physical_chunks
+
+let test_blob_splice_equals_rebuild () =
+  let store = Mem_store.create () in
+  let s = random_text 80_000 in
+  let cases =
+    [ (0, 0, "front-insert");         (* prepend *)
+      (40_000, 5, "middle-replace");  (* replace *)
+      (80_000, 0, "tail-append");     (* append *)
+      (10_000, 3000, "");             (* pure delete *)
+      (0, 80_000, "total rewrite") ]  (* replace everything *)
+  in
+  List.iter
+    (fun (pos, remove, insert) ->
+      let b = Pblob.of_string store s in
+      let expected =
+        String.sub s 0 pos ^ insert
+        ^ String.sub s (pos + remove) (String.length s - pos - remove)
+      in
+      let spliced = Pblob.splice b ~pos ~remove ~insert in
+      check bool_
+        (Printf.sprintf "splice(%d,%d) bit-identical" pos remove)
+        true
+        (blob_roots_equal spliced (Pblob.of_string store expected));
+      check bool_ "content" true
+        (String.equal (Pblob.to_string spliced) expected);
+      check bool_ "validate" true (Pblob.validate spliced = Ok ()))
+    cases
+
+let test_blob_splice_oob () =
+  let store = Mem_store.create () in
+  let b = Pblob.of_string store "0123456789" in
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Pblob.splice: range out of bounds") (fun () ->
+      ignore (Pblob.splice b ~pos:8 ~remove:5 ~insert:""))
+
+let test_blob_splice_locality () =
+  (* A one-word edit in a large blob creates only a handful of chunks. *)
+  let store = Mem_store.create () in
+  let s = random_text 500_000 in
+  let b = Pblob.of_string store s in
+  let before = (Store.stats store).Store.physical_chunks in
+  let b' = Pblob.splice b ~pos:250_000 ~remove:4 ~insert:"WORD" in
+  let created = (Store.stats store).Store.physical_chunks - before in
+  check bool_ (Printf.sprintf "created %d <= 8" created) true (created <= 8);
+  check bool_ "content intact" true
+    (String.length (Pblob.to_string b') = 500_000)
+
+let test_blob_append () =
+  let store = Mem_store.create () in
+  let b = Pblob.of_string store "hello " in
+  let b = Pblob.append b "world" in
+  check string_ "appended" "hello world" (Pblob.to_string b)
+
+let test_blob_diff () =
+  let store = Mem_store.create () in
+  let s = random_text 200_000 in
+  let b1 = Pblob.of_string store s in
+  let b2 = Pblob.splice b1 ~pos:100_000 ~remove:10 ~insert:"0123456789AB" in
+  (match Pblob.diff b1 b2 with
+   | None -> Alcotest.fail "expected a diff"
+   | Some d ->
+     (* Chunk-aligned window containing the edit; it must be local. *)
+     check bool_ "old window contains edit" true
+       (d.Pblob.old_pos <= 100_000 && d.Pblob.old_pos + d.Pblob.old_len >= 100_010);
+     check bool_ "length delta" true
+       (d.Pblob.new_len - d.Pblob.old_len = 2);
+     check bool_ "window local" true (d.Pblob.old_len < 200_000 / 4));
+  check bool_ "equal blobs" true (Pblob.diff b1 b1 = None)
+
+let test_blob_chunk_sizes () =
+  let store = Mem_store.create () in
+  let b = Pblob.of_string store (random_text 400_000) in
+  let sizes = Pblob.leaf_sizes b in
+  let mean =
+    float_of_int (List.fold_left ( + ) 0 sizes) /. float_of_int (List.length sizes)
+  in
+  (* Expected ~4096 (q = 12). *)
+  check bool_ (Printf.sprintf "mean chunk %.0f" mean) true
+    (mean > 1000.0 && mean < 16000.0)
+
+let test_blob_tamper_detection () =
+  let store, handle = Mem_store.create_with_handle () in
+  let b = Pblob.of_string store (random_text 50_000) in
+  let victim = List.nth (Pblob.node_hashes b) 2 in
+  ignore
+    (Mem_store.tamper handle victim ~f:(fun s ->
+         let bs = Bytes.of_string s in
+         Bytes.set bs (Bytes.length bs - 1) 'X';
+         Bytes.to_string bs));
+  check bool_ "tamper detected" true (Result.is_error (Pblob.validate b))
+
+(* ---------------- Plist ---------------- *)
+
+let mk_items n = List.init n (fun i -> Printf.sprintf "item-%05d:%d" i (i * i mod 911))
+
+let test_list_empty () =
+  let store = Mem_store.create () in
+  let l = Plist.of_list store [] in
+  check bool_ "empty" true (Plist.is_empty l);
+  check int_ "length" 0 (Plist.length l);
+  check bool_ "get" true (Plist.get l 0 = None);
+  check bool_ "validate" true (Plist.validate l = Ok ())
+
+let test_list_roundtrip () =
+  let store = Mem_store.create () in
+  let items = mk_items 10_000 in
+  let l = Plist.of_list store items in
+  check int_ "length" 10_000 (Plist.length l);
+  check bool_ "to_list" true (Plist.to_list l = items);
+  check bool_ "get 0" true (Plist.get l 0 = Some (List.hd items));
+  check bool_ "get mid" true (Plist.get l 5000 = Some (List.nth items 5000));
+  check bool_ "get last" true (Plist.get l 9999 = Some (List.nth items 9999));
+  check bool_ "get oob" true (Plist.get l 10_000 = None);
+  check bool_ "get negative" true (Plist.get l (-1) = None);
+  check bool_ "validate" true (Plist.validate l = Ok ())
+
+let test_list_empty_elements () =
+  (* Zero-length elements are legal. *)
+  let store = Mem_store.create () in
+  let items = [ ""; "a"; ""; ""; "b" ] in
+  let l = Plist.of_list store items in
+  check bool_ "roundtrip" true (Plist.to_list l = items);
+  check bool_ "get empty" true (Plist.get l 2 = Some "")
+
+let test_list_splice_equals_rebuild () =
+  let store = Mem_store.create () in
+  let items = mk_items 5000 in
+  let l = Plist.of_list store items in
+  let cases =
+    [ (0, 0, [ "front" ]);
+      (2500, 1, [ "replaced" ]);
+      (5000, 0, [ "appended"; "twice" ]);
+      (1000, 500, []);
+      (0, 5000, [ "everything"; "replaced" ]) ]
+  in
+  List.iter
+    (fun (pos, remove, insert) ->
+      let expected =
+        List.filteri (fun i _ -> i < pos) items
+        @ insert
+        @ List.filteri (fun i _ -> i >= pos + remove) items
+      in
+      let spliced = Plist.splice l ~pos ~remove ~insert in
+      check bool_
+        (Printf.sprintf "splice(%d,%d) bit-identical" pos remove)
+        true
+        (list_roots_equal spliced (Plist.of_list store expected));
+      check bool_ "validate" true (Plist.validate spliced = Ok ()))
+    cases
+
+let test_list_set_push () =
+  let store = Mem_store.create () in
+  let l = Plist.of_list store [ "a"; "b"; "c" ] in
+  let l2 = Plist.set l 1 "B" in
+  check bool_ "set" true (Plist.to_list l2 = [ "a"; "B"; "c" ]);
+  let l3 = Plist.push_back l2 "d" in
+  check bool_ "push" true (Plist.to_list l3 = [ "a"; "B"; "c"; "d" ]);
+  Alcotest.check_raises "set oob" (Invalid_argument "Plist.set: out of bounds")
+    (fun () -> ignore (Plist.set l 3 "x"))
+
+let test_list_diff () =
+  let store = Mem_store.create () in
+  let items = mk_items 8000 in
+  let l1 = Plist.of_list store items in
+  let l2 = Plist.set l1 4000 "REPLACED" in
+  (match Plist.diff l1 l2 with
+   | None -> Alcotest.fail "expected diff"
+   | Some d ->
+     check int_ "old_pos" 4000 d.Plist.old_pos;
+     check int_ "old_len" 1 d.Plist.old_len;
+     check int_ "new_len" 1 d.Plist.new_len);
+  check bool_ "self" true (Plist.diff l1 l1 = None);
+  (* Insertion shifts. *)
+  let l3 = Plist.splice l1 ~pos:100 ~remove:0 ~insert:[ "x"; "y" ] in
+  match Plist.diff l1 l3 with
+  | None -> Alcotest.fail "expected diff"
+  | Some d ->
+    check int_ "insert old_len" 0 d.Plist.old_len;
+    check int_ "insert new_len" 2 d.Plist.new_len;
+    check int_ "insert pos" 100 d.Plist.old_pos
+
+let test_list_order_sensitivity () =
+  (* Unlike maps, lists are positional: different orders are different
+     lists with different roots. *)
+  let store = Mem_store.create () in
+  let l1 = Plist.of_list store [ "a"; "b" ] in
+  let l2 = Plist.of_list store [ "b"; "a" ] in
+  check bool_ "order matters" false (list_roots_equal l1 l2)
+
+let qcheck_cases =
+  let open QCheck in
+  [ Test.make ~name:"blob: of_string/to_string roundtrip" ~count:50
+      (string_gen_of_size (Gen.int_range 0 5000) Gen.char)
+      (fun s ->
+        let store = Mem_store.create () in
+        String.equal (Pblob.to_string (Pblob.of_string store s)) s);
+    Test.make ~name:"blob: splice = rebuild" ~count:50
+      (quad
+         (string_gen_of_size (Gen.int_range 0 3000) Gen.char)
+         (int_bound 3000) (int_bound 500)
+         (string_gen_of_size (Gen.int_range 0 200) Gen.char))
+      (fun (s, pos, remove, insert) ->
+        let store = Mem_store.create () in
+        let pos = min pos (String.length s) in
+        let remove = min remove (String.length s - pos) in
+        let b = Pblob.of_string store s in
+        let expected =
+          String.sub s 0 pos ^ insert
+          ^ String.sub s (pos + remove) (String.length s - pos - remove)
+        in
+        Option.equal Hash.equal
+          (Pblob.root (Pblob.splice b ~pos ~remove ~insert))
+          (Pblob.root (Pblob.of_string store expected)));
+    Test.make ~name:"list: splice = rebuild" ~count:50
+      (quad
+         (list_of_size (Gen.int_range 0 200) (string_gen_of_size (Gen.int_range 0 12) Gen.printable))
+         (int_bound 200) (int_bound 50)
+         (list_of_size (Gen.int_range 0 20) (string_gen_of_size (Gen.int_range 0 12) Gen.printable)))
+      (fun (items, pos, remove, insert) ->
+        let store = Mem_store.create () in
+        let n = List.length items in
+        let pos = min pos n in
+        let remove = min remove (n - pos) in
+        let l = Plist.of_list store items in
+        let expected =
+          List.filteri (fun i _ -> i < pos) items
+          @ insert
+          @ List.filteri (fun i _ -> i >= pos + remove) items
+        in
+        Option.equal Hash.equal
+          (Plist.root (Plist.splice l ~pos ~remove ~insert))
+          (Plist.root (Plist.of_list store expected)))
+  ]
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest qcheck_cases
+  @ [ Alcotest.test_case "blob empty" `Quick test_blob_empty;
+      Alcotest.test_case "blob roundtrip" `Quick test_blob_roundtrip;
+      Alcotest.test_case "blob read" `Quick test_blob_read;
+      Alcotest.test_case "blob determinism" `Quick test_blob_determinism;
+      Alcotest.test_case "blob splice = rebuild" `Quick
+        test_blob_splice_equals_rebuild;
+      Alcotest.test_case "blob splice oob" `Quick test_blob_splice_oob;
+      Alcotest.test_case "blob splice locality" `Slow
+        test_blob_splice_locality;
+      Alcotest.test_case "blob append" `Quick test_blob_append;
+      Alcotest.test_case "blob diff" `Quick test_blob_diff;
+      Alcotest.test_case "blob chunk sizes" `Quick test_blob_chunk_sizes;
+      Alcotest.test_case "blob tamper detection" `Quick
+        test_blob_tamper_detection;
+      Alcotest.test_case "list empty" `Quick test_list_empty;
+      Alcotest.test_case "list roundtrip" `Quick test_list_roundtrip;
+      Alcotest.test_case "list empty elements" `Quick
+        test_list_empty_elements;
+      Alcotest.test_case "list splice = rebuild" `Quick
+        test_list_splice_equals_rebuild;
+      Alcotest.test_case "list set/push" `Quick test_list_set_push;
+      Alcotest.test_case "list diff" `Quick test_list_diff;
+      Alcotest.test_case "list order sensitivity" `Quick
+        test_list_order_sensitivity ]

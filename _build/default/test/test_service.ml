@@ -1,0 +1,145 @@
+(* Request/response service view (the RESTful-layer substitute). *)
+
+module FB = Fb_core.Forkbase
+module Service = Fb_core.Service
+module Acl = Fb_core.Acl
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let string_ = Alcotest.string
+
+let fresh () = FB.create (Fb_chunk.Mem_store.create ())
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let expect_ok fb req =
+  let resp = Service.handle fb req in
+  if not (starts_with "OK" resp) then
+    Alcotest.failf "request %S -> %s" req resp;
+  if String.length resp > 3 then String.sub resp 3 (String.length resp - 3)
+  else ""
+
+let expect_err fb req =
+  let resp = Service.handle fb req in
+  check bool_ ("ERR for " ^ req) true (starts_with "ERR" resp)
+
+(* ---------------- tokenizer ---------------- *)
+
+let test_tokenize () =
+  check bool_ "plain" true (Service.tokenize "a b c" = Ok [ "a"; "b"; "c" ]);
+  check bool_ "extra blanks" true (Service.tokenize "  a\t b " = Ok [ "a"; "b" ]);
+  check bool_ "quoted" true
+    (Service.tokenize "put k \"two words\"" = Ok [ "put"; "k"; "two words" ]);
+  check bool_ "escaped quote" true
+    (Service.tokenize "say \"a \\\" b\"" = Ok [ "say"; "a \" b" ]);
+  check bool_ "empty arg" true (Service.tokenize "x \"\" y" = Ok [ "x"; ""; "y" ]);
+  check bool_ "unterminated" true (Result.is_error (Service.tokenize "\"oops"));
+  check bool_ "empty line" true (Service.tokenize "" = Ok [])
+
+(* ---------------- verbs ---------------- *)
+
+let test_put_get_roundtrip () =
+  let fb = fresh () in
+  let uid = expect_ok fb "PUT greeting master \"hello world\"" in
+  check bool_ "uid is base32" true (Result.is_ok (FB.parse_version uid));
+  check string_ "get" "hello world" (expect_ok fb "GET greeting master");
+  check string_ "get-at" "hello world" (expect_ok fb ("GET-AT " ^ uid));
+  check string_ "head" uid (expect_ok fb "HEAD greeting master")
+
+let test_csv_branch_diff_merge () =
+  let fb = fresh () in
+  ignore (expect_ok fb "PUT-CSV ds master \"id,v\n1,x\n2,y\n\"");
+  ignore (expect_ok fb "BRANCH ds master dev");
+  ignore (expect_ok fb "PUT-CSV ds dev \"id,v\n1,x\n2,z\n\"");
+  let diff = expect_ok fb "DIFF ds master dev" in
+  check bool_ "diff mentions change" true (Tutil.contains diff "1 modified");
+  ignore (expect_ok fb "MERGE ds master dev");
+  check bool_ "merged" true
+    (Tutil.contains (expect_ok fb "GET ds master") "2,z");
+  let verify = expect_ok fb "VERIFY ds master" in
+  check bool_ "verify counts" true (Tutil.contains verify "versions");
+  let stat = expect_ok fb "STAT" in
+  check bool_ "stat" true (Tutil.contains stat "keys=1");
+  check bool_ "list" true (expect_ok fb "LIST" = "ds");
+  check bool_ "latest lines" true
+    (Tutil.contains (expect_ok fb "LATEST ds") "master");
+  check bool_ "log lines" true
+    (Tutil.contains (expect_ok fb "LOG ds master") " 1 ")
+
+let test_json_verbs () =
+  let fb = fresh () in
+  ignore (expect_ok fb "PUT-CSV ds master \"id,v\n1,x\n2,y\n\"");
+  ignore (expect_ok fb "BRANCH ds master dev");
+  ignore (expect_ok fb "PUT-CSV ds dev \"id,v\n1,x\n2,z\n\"");
+  let parse s =
+    match Fb_types.Json.parse s with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "bad json %s: %s" s e
+  in
+  let gj = parse (expect_ok fb "GET-JSON ds master") in
+  check bool_ "value type" true
+    (Fb_types.Json.member "type" gj = Some (Fb_types.Json.String "table"));
+  let dj = parse (expect_ok fb "DIFF-JSON ds master dev") in
+  check bool_ "diff kind" true
+    (Fb_types.Json.member "kind" dj = Some (Fb_types.Json.String "table"));
+  (match parse (expect_ok fb "LOG-JSON ds dev") with
+   | Fb_types.Json.Array entries -> check bool_ "log len" true (List.length entries = 2)
+   | _ -> Alcotest.fail "log not an array");
+  let sj = parse (expect_ok fb "STAT-JSON") in
+  check bool_ "stats" true
+    (Fb_types.Json.member "keys" sj = Some (Fb_types.Json.int 1));
+  (match parse (expect_ok fb "LATEST-JSON ds") with
+   | Fb_types.Json.Object heads -> check bool_ "branches" true (List.length heads = 2)
+   | _ -> Alcotest.fail "latest not an object")
+
+let test_prove_verb () =
+  let fb = fresh () in
+  ignore (expect_ok fb "PUT-CSV ledger master \"id,v\n1,x\n\"");
+  let hex = expect_ok fb "PROVE ledger master 1" in
+  let proof =
+    match Fb_hash.Hex.decode hex with
+    | Ok raw -> (
+      match FB.decode_entry_proof raw with
+      | Ok p -> p
+      | Error e -> Alcotest.fail (Fb_core.Errors.to_string e))
+    | Error e -> Alcotest.fail e
+  in
+  let uid =
+    match FB.parse_version (expect_ok fb "HEAD ledger master") with
+    | Ok u -> u
+    | Error e -> Alcotest.fail (Fb_core.Errors.to_string e)
+  in
+  (match FB.verify_entry_proof ~uid ~key:"ledger" ~entry_key:"1" proof with
+   | Ok (Some _) -> ()
+   | _ -> Alcotest.fail "proof did not verify");
+  expect_err fb "PROVE missing master 1"
+
+let test_errors () =
+  let fb = fresh () in
+  expect_err fb "";
+  expect_err fb "NOSUCHVERB a b";
+  expect_err fb "GET missing master";
+  expect_err fb "PUT onlykey";
+  expect_err fb "GET-AT notaversion";
+  expect_err fb "\"unterminated"
+
+let test_user_threading () =
+  let acl = Acl.create () in
+  Acl.grant acl ~user:"writer" ~key:"*" ~branch:"*" Acl.Admin;
+  let fb = FB.create ~acl (Fb_chunk.Mem_store.create ()) in
+  let resp = Service.handle ~user:"writer" fb "PUT k master v" in
+  check bool_ "writer ok" true (starts_with "OK" resp);
+  let resp2 = Service.handle ~user:"reader" fb "PUT k master v" in
+  check bool_ "reader denied" true (starts_with "ERR" resp2)
+
+let suite =
+  [ Alcotest.test_case "tokenize" `Quick test_tokenize;
+    Alcotest.test_case "put/get roundtrip" `Quick test_put_get_roundtrip;
+    Alcotest.test_case "csv/branch/diff/merge" `Quick
+      test_csv_branch_diff_merge;
+    Alcotest.test_case "json verbs" `Quick test_json_verbs;
+    Alcotest.test_case "prove verb" `Quick test_prove_verb;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "user threading" `Quick test_user_threading ]

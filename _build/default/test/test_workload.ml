@@ -1,0 +1,111 @@
+(* Workload generators: determinism and shape. *)
+
+module Csvgen = Fb_workload.Csvgen
+module Edits = Fb_workload.Edits
+module Zipf = Fb_workload.Zipf
+module Csv = Fb_types.Csv
+module Prng = Fb_hash.Prng
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+let spec = { Csvgen.rows = 200; string_columns = 2; int_columns = 1; seed = 3L }
+
+let test_csvgen_shape () =
+  let rows = Csvgen.generate_rows spec in
+  check int_ "row count" 201 (List.length rows);
+  check bool_ "header" true (List.hd rows = [ "id"; "s0"; "s1"; "n0" ]);
+  List.iteri
+    (fun i row ->
+      if i > 0 then check int_ "arity" 4 (List.length row))
+    rows;
+  (* Unique ids. *)
+  let ids = List.map List.hd (List.tl rows) in
+  check int_ "unique ids" 200 (List.length (List.sort_uniq compare ids))
+
+let test_csvgen_deterministic () =
+  check bool_ "same seed same doc" true
+    (Csvgen.generate spec = Csvgen.generate spec);
+  check bool_ "different seed different doc" false
+    (Csvgen.generate spec = Csvgen.generate { spec with seed = 4L })
+
+let test_csvgen_parses () =
+  match Csv.parse (Csvgen.generate spec) with
+  | Ok rows -> check int_ "parses" 201 (List.length rows)
+  | Error e -> Alcotest.fail e
+
+let test_generate_of_size () =
+  let target = 338_540 (* the Fig. 4 dataset size *) in
+  let doc = Csvgen.generate_of_size ~target_bytes:target () in
+  let err =
+    abs (String.length doc - target)
+  in
+  check bool_
+    (Printf.sprintf "size %d within 2%% of %d" (String.length doc) target)
+    true
+    (float_of_int err < 0.02 *. float_of_int target)
+
+let test_change_one_word () =
+  let doc = Csvgen.generate spec in
+  let doc' = Edits.change_one_word doc in
+  check bool_ "changed" false (String.equal doc doc');
+  (* Same row structure; exactly one cell differs. *)
+  match Csv.parse doc, Csv.parse doc' with
+  | Ok r1, Ok r2 ->
+    check int_ "same rows" (List.length r1) (List.length r2);
+    let diffs =
+      List.fold_left2
+        (fun acc row1 row2 ->
+          acc
+          + List.fold_left2
+              (fun a c1 c2 -> if String.equal c1 c2 then a else a + 1)
+              0 row1 row2)
+        0 r1 r2
+    in
+    check int_ "one cell" 1 diffs;
+    check bool_ "header intact" true (List.hd r1 = List.hd r2)
+  | _ -> Alcotest.fail "parse"
+
+let test_point_edits () =
+  let rows = Csvgen.generate_rows spec in
+  let rows' = Edits.point_edit_cells ~cells:5 rows in
+  check int_ "rows kept" (List.length rows) (List.length rows');
+  check bool_ "header intact" true (List.hd rows = List.hd rows')
+
+let test_append_delete () =
+  let rows = Csvgen.generate_rows spec in
+  let more = Edits.append_rows ~rows:50 rows in
+  check int_ "appended" (List.length rows + 50) (List.length more);
+  let fewer = Edits.delete_rows ~rows:30 rows in
+  check int_ "deleted" (List.length rows - 30) (List.length fewer);
+  (* Deleting more rows than exist empties the data. *)
+  let none = Edits.delete_rows ~rows:10_000 rows in
+  check int_ "over-delete" 1 (List.length none)
+
+let test_zipf () =
+  let rng = Prng.create 8L in
+  let z = Zipf.create rng ~n:100 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let v = Zipf.next z in
+    check bool_ "in range" true (v >= 0 && v < 100);
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* Rank 0 must dominate rank 50 heavily. *)
+  check bool_
+    (Printf.sprintf "skew %d >> %d" counts.(0) counts.(50))
+    true
+    (counts.(0) > 5 * max 1 counts.(50));
+  Alcotest.check_raises "n >= 1" (Invalid_argument "Zipf.create: n must be >= 1")
+    (fun () -> ignore (Zipf.create rng ~n:0))
+
+let suite =
+  [ Alcotest.test_case "csvgen shape" `Quick test_csvgen_shape;
+    Alcotest.test_case "csvgen deterministic" `Quick test_csvgen_deterministic;
+    Alcotest.test_case "csvgen parses" `Quick test_csvgen_parses;
+    Alcotest.test_case "generate_of_size" `Quick test_generate_of_size;
+    Alcotest.test_case "change one word" `Quick test_change_one_word;
+    Alcotest.test_case "point edits" `Quick test_point_edits;
+    Alcotest.test_case "append/delete rows" `Quick test_append_delete;
+    Alcotest.test_case "zipf" `Quick test_zipf ]
