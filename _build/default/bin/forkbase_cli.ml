@@ -472,6 +472,54 @@ let serve_cmd =
              see library docs for the verb list).")
     Term.(ret (const run $ root_arg $ user_arg))
 
+let scrub_cmd =
+  let dry_run_arg =
+    Arg.(value & flag
+         & info [ "dry-run" ] ~doc:"Report damage without deleting or repairing.")
+  in
+  let repair_from_arg =
+    Arg.(value & opt (some string) None
+         & info [ "repair-from" ] ~docv:"DIR"
+             ~doc:"Another ForkBase root to restore damaged chunks from.")
+  in
+  let run root user dry_run repair_from =
+    with_instance root (fun fb ->
+        ignore user;
+        let replica =
+          Option.map
+            (fun dir ->
+              Fb_chunk.File_store.create ~root:(Filename.concat dir "chunks") ())
+            repair_from
+        in
+        (* Keep the damaged bytes for forensics before they are deleted. *)
+        let qdir = Filename.concat root "quarantine" in
+        let quarantine id raw =
+          if not (Sys.file_exists qdir) then Sys.mkdir qdir 0o755;
+          let oc =
+            open_out_bin (Filename.concat qdir (Hash.to_hex id))
+          in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc raw)
+        in
+        let report = FB.scrub ?replica ~quarantine ~dry_run fb in
+        let ok = Fb_chunk.Scrub.clean report in
+        Ok
+          (Format.asprintf "%a@.%s@."
+             Fb_chunk.Scrub.pp_report report
+             (if ok then "store is clean"
+              else if dry_run then "damage found (re-run without --dry-run)"
+              else "damage remains: restore a replica and re-run")))
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:"Verify every stored chunk against its hash; quarantine damaged \
+             ones (to ROOT/quarantine/), repair from --repair-from when it \
+             holds healthy bytes, and report reachable chunks that cannot \
+             be served.")
+    Term.(ret (const run $ root_arg $ user_arg $ dry_run_arg
+               $ repair_from_arg))
+
 let gc_cmd =
   let run root user =
     with_instance root (fun fb ->
@@ -494,6 +542,6 @@ let main =
       branch_cmd; rename_cmd; delete_branch_cmd; diff_cmd; merge_cmd;
       verify_cmd; export_cmd; bundle_cmd; unbundle_cmd; history_cmd;
       tag_cmd; tags_cmd;
-      serve_cmd; stat_cmd; gc_cmd ]
+      serve_cmd; stat_cmd; gc_cmd; scrub_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+lib/chunk/faulty_store.ml: Bytes Char Chunk Fb_hash Printf Store String

@@ -1,0 +1,1 @@
+lib/chunk/faulty_store.mli: Store

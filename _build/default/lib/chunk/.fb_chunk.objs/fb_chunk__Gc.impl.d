@@ -1,1 +1,1 @@
-lib/chunk/gc.ml: Fb_hash List Store String
+lib/chunk/gc.ml: Chunk Fb_hash List Store String

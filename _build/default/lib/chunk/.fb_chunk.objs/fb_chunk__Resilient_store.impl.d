@@ -1,0 +1,1 @@
+lib/chunk/resilient_store.ml: Chunk Fb_hash Option Store Unix

@@ -1,0 +1,1 @@
+lib/chunk/resilient_store.mli: Store

@@ -1,0 +1,1 @@
+lib/chunk/scrub.ml: Chunk Fb_hash Format List Result Store String

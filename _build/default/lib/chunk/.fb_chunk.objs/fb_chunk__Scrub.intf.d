@@ -1,0 +1,1 @@
+lib/chunk/scrub.mli: Chunk Fb_hash Format Store

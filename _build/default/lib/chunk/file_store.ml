@@ -20,12 +20,16 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let write_file_atomic path data =
+let write_file_atomic ~fsync path data =
   mkdir_p (Filename.dirname path);
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   (try
      output_string oc data;
+     if fsync then begin
+       flush oc;
+       Unix.fsync (Unix.descr_of_out_channel oc)
+     end;
      close_out oc
    with e ->
      close_out_noerr oc;
@@ -33,8 +37,11 @@ let write_file_atomic path data =
      raise e);
   Sys.rename tmp path
 
-(* Rebuild physical statistics by scanning the fan-out directories. *)
-let scan root =
+(* Rebuild physical statistics by scanning the fan-out directories.  A
+   leftover [*.tmp] is a write the previous process never renamed — a
+   crash artifact; recovery deletes it (the chunk was never committed, and
+   its writer's put will be retried or surfaced by scrub). *)
+let scan ~recover root =
   let chunks = ref 0 and bytes = ref 0 in
   if Sys.file_exists root && Sys.is_directory root then
     Array.iter
@@ -43,18 +50,21 @@ let scan root =
         if String.length sub = 2 && Sys.is_directory dir then
           Array.iter
             (fun f ->
-              if not (Filename.check_suffix f ".tmp") then begin
+              let path = Filename.concat dir f in
+              if Filename.check_suffix f ".tmp" then begin
+                if recover then try Sys.remove path with Sys_error _ -> ()
+              end
+              else begin
                 incr chunks;
-                bytes :=
-                  !bytes + (Unix.stat (Filename.concat dir f)).Unix.st_size
+                bytes := !bytes + (Unix.stat path).Unix.st_size
               end)
             (Sys.readdir dir))
       (Sys.readdir root);
   (!chunks, !bytes)
 
-let create ~root =
+let create ?(fsync = false) ~root () =
   mkdir_p root;
-  let physical_chunks, physical_bytes = scan root in
+  let physical_chunks, physical_bytes = scan ~recover:true root in
   let stats =
     ref
       { Store.empty_stats with physical_chunks; physical_bytes }
@@ -65,7 +75,7 @@ let create ~root =
     let path = path_of root id in
     let s = !stats in
     let present = Sys.file_exists path in
-    if not present then write_file_atomic path encoded;
+    if not present then write_file_atomic ~fsync path encoded;
     stats :=
       { s with
         puts = s.puts + 1;
@@ -87,6 +97,10 @@ let create ~root =
     | None -> None
     | Some encoded -> (
       match Chunk.decode encoded with Ok c -> Some c | Error _ -> None)
+  in
+  let peek id =
+    let path = path_of root id in
+    if Sys.file_exists path then Some (read_file path) else None
   in
   let mem id = Sys.file_exists (path_of root id) in
   let iter f =
@@ -111,13 +125,15 @@ let create ~root =
     if Sys.file_exists path then begin
       let size = (Unix.stat path).Unix.st_size in
       Sys.remove path;
+      (* Clamp at zero: another instance on the same root may have written
+         chunks this one's session counters never saw. *)
       stats :=
         { !stats with
-          physical_chunks = !stats.physical_chunks - 1;
-          physical_bytes = !stats.physical_bytes - size };
+          physical_chunks = max 0 (!stats.physical_chunks - 1);
+          physical_bytes = max 0 (!stats.physical_bytes - size) };
       true
     end
     else false
   in
-  { Store.name = "file:" ^ root; put; get; get_raw; mem;
+  { Store.name = "file:" ^ root; put; get; get_raw; peek; mem;
     stats = (fun () -> !stats); iter; delete }

@@ -17,7 +17,9 @@ val reachable :
   roots:Fb_hash.Hash.t list ->
   Fb_hash.Hash.Set.t
 (** Transitive closure of [roots] under [children].  Missing chunks are
-    skipped (they are surfaced by verification, not by GC). *)
+    skipped (they are surfaced by verification, not by GC).  Reads go
+    through the store's non-counting [peek], so marking does not inflate
+    the [gets] statistic. *)
 
 val sweep :
   Store.t ->

@@ -34,6 +34,7 @@ let create_with_handle ?(name = "mem") () =
     | Some encoded -> (
       match Chunk.decode encoded with Ok c -> Some c | Error _ -> None)
   in
+  let peek id = Hash.Tbl.find_opt h.tbl id in
   let mem id = Hash.Tbl.mem h.tbl id in
   let iter f = Hash.Tbl.iter f h.tbl in
   let delete id =
@@ -44,12 +45,12 @@ let create_with_handle ?(name = "mem") () =
       let s = h.stats in
       h.stats <-
         { s with
-          physical_chunks = s.physical_chunks - 1;
-          physical_bytes = s.physical_bytes - String.length encoded };
+          physical_chunks = max 0 (s.physical_chunks - 1);
+          physical_bytes = max 0 (s.physical_bytes - String.length encoded) };
       true
   in
-  ( { Store.name; put; get; get_raw; mem; stats = (fun () -> h.stats); iter;
-      delete },
+  ( { Store.name; put; get; get_raw; peek; mem; stats = (fun () -> h.stats);
+      iter; delete },
     h )
 
 let create ?name () = fst (create_with_handle ?name ())

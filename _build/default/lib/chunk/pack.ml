@@ -156,6 +156,7 @@ let reader t =
         | Some raw -> (
           match Chunk.decode raw with Ok c -> Some c | Error _ -> None));
     get_raw;
+    peek = (fun id -> find t id);
     mem = (fun id -> mem t id);
     stats = (fun () -> !stats);
     iter =
@@ -202,6 +203,11 @@ let with_overlay ~packs overlay =
     | Some raw -> (
       match Chunk.decode raw with Ok c -> Some c | Error _ -> None)
   in
+  let peek id =
+    match overlay.Store.peek id with
+    | Some raw -> Some raw
+    | None -> find_pack id
+  in
   let mem id = overlay.Store.mem id || in_pack id in
   let iter f =
     let seen = Hash.Tbl.create 1024 in
@@ -233,6 +239,7 @@ let with_overlay ~packs overlay =
     put;
     get;
     get_raw;
+    peek;
     mem;
     stats = combined;
     iter;

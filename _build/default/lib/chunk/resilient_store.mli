@@ -1,0 +1,49 @@
+(** Self-healing wrapper: retries, replica fallback, read repair.
+
+    [wrap primary] returns a store that absorbs {!Store.Transient}
+    failures with bounded exponential-backoff retries, and — when a
+    [replica] is supplied — serves reads the primary cannot, re-putting
+    the healthy bytes into the primary so the damage does not survive the
+    read (self-healing reads).  Writes go to the primary first and are
+    mirrored to the replica best-effort.
+
+    Read path, in order:
+
+    + read the primary, retrying on {!Store.Transient}; bytes failing the
+      hash check count as a retryable failure too (a flipped bit on the
+      way out heals on re-read, latent media damage does not);
+    + still damaged or absent → read the replica (verified against the
+      chunk id unconditionally);
+    + replica had healthy bytes for a {e damaged} primary chunk →
+      delete-then-put them back into the primary ([delete] first, because
+      a content-addressed [put] skips names that already exist).
+
+    The clean path does one extra hash per read at most ([verify_reads]),
+    and none when the primary is already a {!Verified_store} (pass
+    [~verify_reads:false]).
+
+    After [max_retries] extra attempts a transient failure is re-raised
+    for the caller (Forkbase surfaces it as a typed [Errors.Transient]).
+
+    [iter], [delete] and [stats] address the primary only. *)
+
+type stats = {
+  mutable retries : int;  (** extra attempts made after a transient fault *)
+  mutable absorbed : int;  (** ops that succeeded after at least one retry *)
+  mutable gave_up : int;  (** ops re-raised after exhausting [max_retries] *)
+  mutable fallback_reads : int;  (** reads served by the replica *)
+  mutable heals : int;  (** healthy chunks re-put into the primary *)
+  mutable corrupt_rejected : int;  (** primary reads failing the hash check *)
+  mutable unrecovered : int;  (** damaged reads no replica could satisfy *)
+}
+
+val wrap :
+  ?replica:Store.t ->
+  ?max_retries:int ->
+  ?backoff_s:float ->
+  ?verify_reads:bool ->
+  Store.t ->
+  Store.t * stats
+(** Defaults: no replica, [max_retries = 4], [backoff_s = 0.] (no
+    sleeping — tests stay fast; production might pass [0.01]),
+    [verify_reads = true]. *)

@@ -1,0 +1,108 @@
+module Hash = Fb_hash.Hash
+
+type report = {
+  scanned : int;
+  scanned_bytes : int;
+  corrupt : Hash.t list;
+  quarantined : int;
+  repaired : int;
+  unrepaired : Hash.t list;
+  orphans : Hash.t list;
+  missing : (Hash.t * Hash.t) list;
+}
+
+(* A run that found damage but repaired all of it leaves a clean store:
+   judge by what is still outstanding, not by what was discovered. *)
+let clean r = r.unrepaired = [] && r.missing = []
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "scanned %d chunks (%d bytes): %d corrupt, %d quarantined, %d repaired, \
+     %d unrepaired, %d orphans, %d missing"
+    r.scanned r.scanned_bytes (List.length r.corrupt) r.quarantined r.repaired
+    (List.length r.unrepaired) (List.length r.orphans)
+    (List.length r.missing)
+
+let run ?children ?(roots = []) ?replica ?quarantine ?(dry_run = false)
+    (store : Store.t) =
+  (* Pass 1: physical sweep — every stored blob must hash to its name and
+     decode as a chunk. *)
+  let scanned = ref 0 and scanned_bytes = ref 0 in
+  let corrupt = ref [] in
+  let good = ref Hash.Set.empty in
+  store.Store.iter (fun id raw ->
+      incr scanned;
+      scanned_bytes := !scanned_bytes + String.length raw;
+      if Hash.equal (Hash.of_string raw) id && Result.is_ok (Chunk.decode raw)
+      then good := Hash.Set.add id !good
+      else corrupt := (id, raw) :: !corrupt);
+  let corrupt = List.rev !corrupt in
+  (* Pass 2: quarantine damaged blobs, then repair from the replica.  The
+     delete must come first either way: content-addressed [put] skips
+     names that already exist. *)
+  let quarantined = ref 0 and repaired = ref 0 in
+  let unrepaired = ref [] in
+  let repair_from_replica id =
+    match replica with
+    | None -> false
+    | Some (r : Store.t) -> (
+      match r.Store.peek id with
+      | Some raw when Hash.equal (Hash.of_string raw) id -> (
+        match Chunk.decode raw with
+        | Error _ -> false
+        | Ok chunk ->
+          ignore (store.Store.delete id);
+          ignore (store.Store.put chunk);
+          incr repaired;
+          true)
+      | Some _ | None -> false)
+  in
+  if dry_run then unrepaired := List.map fst corrupt
+  else
+    List.iter
+      (fun (id, raw) ->
+        (match quarantine with Some keep -> keep id raw | None -> ());
+        if store.Store.delete id then incr quarantined;
+        if repair_from_replica id then good := Hash.Set.add id !good
+        else unrepaired := id :: !unrepaired)
+      corrupt;
+  (* Pass 3: logical sweep — walk the Merkle graph from the roots and
+     report reachable chunks the store cannot serve (even after a
+     last-chance replica repair), plus healthy chunks nothing reaches. *)
+  let missing = ref [] in
+  let reachable = ref Hash.Set.empty in
+  (match children with
+  | None -> ()
+  | Some children ->
+    let rec visit parent id =
+      if not (Hash.Set.mem id !reachable) then begin
+        reachable := Hash.Set.add id !reachable;
+        let raw =
+          match store.Store.peek id with
+          | Some raw when Hash.equal (Hash.of_string raw) id -> Some raw
+          | _ ->
+            if (not dry_run) && repair_from_replica id then
+              store.Store.peek id
+            else None
+        in
+        match raw with
+        | None -> missing := (parent, id) :: !missing
+        | Some raw -> (
+          match Chunk.decode raw with
+          | Error _ -> missing := (parent, id) :: !missing
+          | Ok chunk -> List.iter (visit id) (children chunk))
+      end
+    in
+    List.iter (fun root -> visit root root) roots);
+  let orphans =
+    if roots = [] || children = None then []
+    else Hash.Set.elements (Hash.Set.diff !good !reachable)
+  in
+  { scanned = !scanned;
+    scanned_bytes = !scanned_bytes;
+    corrupt = List.map fst corrupt;
+    quarantined = !quarantined;
+    repaired = !repaired;
+    unrepaired = List.rev !unrepaired;
+    orphans;
+    missing = List.rev !missing }

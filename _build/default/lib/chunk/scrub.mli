@@ -1,0 +1,57 @@
+(** Offline integrity pass (fsck) over a chunk store.
+
+    {!run} makes three passes:
+
+    + {b physical}: every stored blob must hash to its name and decode as
+      a chunk; failures are listed in [corrupt];
+    + {b quarantine & repair} (skipped under [dry_run]): each corrupt
+      blob is handed to the [quarantine] callback (e.g. to copy the bytes
+      aside for forensics), deleted, and — when a [replica] holds a
+      healthy copy — re-put from it ([repaired]); otherwise it lands in
+      [unrepaired];
+    + {b logical} (needs [children] and [roots]): walk the Merkle graph
+      from [roots]; reachable chunks the store cannot serve even after a
+      last-chance replica repair are reported in [missing] (paired with
+      the parent that referenced them — a root pairs with itself), and
+      healthy chunks nothing reaches are [orphans] (GC candidates, not
+      damage).
+
+    The walk uses {!Store.peek} throughout, so scrubbing does not inflate
+    workload read counters.
+
+    The chunk layer knows nothing about chunk schemas, so the child
+    relation and the root set are parameters; [Fb_core.Forkbase.scrub]
+    supplies them from the DAG layer. *)
+
+type report = {
+  scanned : int;  (** physical blobs visited *)
+  scanned_bytes : int;
+  corrupt : Fb_hash.Hash.t list;  (** failed hash check or decode *)
+  quarantined : int;  (** corrupt blobs removed from the store *)
+  repaired : int;  (** chunks restored from the replica *)
+  unrepaired : Fb_hash.Hash.t list;  (** corrupt, and no healthy replica copy *)
+  orphans : Fb_hash.Hash.t list;  (** healthy but unreachable from any root *)
+  missing : (Fb_hash.Hash.t * Fb_hash.Hash.t) list;
+      (** [(parent, child)]: reachable but unservable; roots pair with
+          themselves *)
+}
+
+val clean : report -> bool
+(** Nothing unrepaired and nothing missing — the store holds no
+    outstanding damage after this run ([corrupt] may be non-empty when
+    everything found was repaired; orphans are garbage, not damage). *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val run :
+  ?children:(Chunk.t -> Fb_hash.Hash.t list) ->
+  ?roots:Fb_hash.Hash.t list ->
+  ?replica:Store.t ->
+  ?quarantine:(Fb_hash.Hash.t -> string -> unit) ->
+  ?dry_run:bool ->
+  Store.t ->
+  report
+(** [dry_run] (default [false]) reports without deleting or repairing;
+    under [dry_run] every corrupt chunk is also listed [unrepaired].
+    Without [children]/[roots] only the physical passes run ([orphans]
+    and [missing] stay empty). *)

@@ -183,6 +183,19 @@ let store t =
     | Some raw -> (
       match Chunk.decode raw with Ok c -> Some c | Error _ -> None)
   in
+  let peek id =
+    (* Maintenance view: first healthy copy that verifies, no counters and
+       no read repair. *)
+    List.find_map
+      (fun idx ->
+        let m = t.members.(idx) in
+        if m.down then None
+        else
+          match m.backend.Store.peek id with
+          | Some raw when Hash.equal (Hash.of_string raw) id -> Some raw
+          | _ -> None)
+      (owner_indices t id)
+  in
   let mem id =
     List.exists
       (fun idx ->
@@ -218,6 +231,7 @@ let store t =
     put;
     get;
     get_raw;
+    peek;
     mem;
     stats = (fun () -> t.agg);
     iter;

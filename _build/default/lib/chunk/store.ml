@@ -28,11 +28,14 @@ let pp_stats fmt s =
     s.physical_chunks s.physical_bytes s.logical_bytes s.puts s.dedup_hits
     s.gets (dedup_ratio s)
 
+exception Transient of string
+
 type t = {
   name : string;
   put : Chunk.t -> Fb_hash.Hash.t;
   get : Fb_hash.Hash.t -> Chunk.t option;
   get_raw : Fb_hash.Hash.t -> string option;
+  peek : Fb_hash.Hash.t -> string option;
   mem : Fb_hash.Hash.t -> bool;
   stats : unit -> stats;
   iter : (Fb_hash.Hash.t -> string -> unit) -> unit;
@@ -41,6 +44,7 @@ type t = {
 
 let put t c = t.put c
 let get t h = t.get h
+let peek t h = t.peek h
 
 let get_exn t h =
   match t.get h with Some c -> c | None -> raise Not_found

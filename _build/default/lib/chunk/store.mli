@@ -27,6 +27,12 @@ val dedup_ratio : stats -> float
     only counts the current session's puts, so a freshly reopened durable
     store reports 1.0 until it writes. *)
 
+exception Transient of string
+(** A storage fault that may succeed on retry (flaky medium, lost RPC,
+    injected by {!Faulty_store}).  Backends raise it from any operation;
+    {!Resilient_store} absorbs it with bounded retries, and the API layer
+    surfaces what escapes as a typed [Errors.Transient] value. *)
+
 type t = {
   name : string;
   put : Chunk.t -> Fb_hash.Hash.t;
@@ -35,6 +41,10 @@ type t = {
     (** Encoded bytes as stored, {e without} integrity checking — the raw
         view a malicious provider would serve.  Verification layers hash
         these bytes themselves. *)
+  peek : Fb_hash.Hash.t -> string option;
+    (** Same bytes as [get_raw] but {e outside} the accounting: does not
+        bump the [gets] counter.  Internal maintenance passes (GC marking,
+        scrub) read through here so sweeps do not skew workload stats. *)
   mem : Fb_hash.Hash.t -> bool;
   stats : unit -> stats;
   iter : (Fb_hash.Hash.t -> string -> unit) -> unit;
@@ -45,6 +55,7 @@ type t = {
 
 val put : t -> Chunk.t -> Fb_hash.Hash.t
 val get : t -> Fb_hash.Hash.t -> Chunk.t option
+val peek : t -> Fb_hash.Hash.t -> string option
 
 val get_exn : t -> Fb_hash.Hash.t -> Chunk.t
 (** @raise Not_found if the chunk is absent. *)

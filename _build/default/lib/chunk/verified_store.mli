@@ -12,6 +12,13 @@ type violations = {
   mutable last_offender : Fb_hash.Hash.t option;
 }
 
-val wrap : Store.t -> Store.t * violations
+val wrap : ?once:bool -> Store.t -> Store.t * violations
 (** [wrap inner] — same contents, verified reads.  Writes pass through
-    (they are self-addressed already). *)
+    (they are self-addressed already).  [mem] also answers through the
+    checked read path: a chunk whose stored bytes fail verification is
+    reported absent (and counted as a violation), never vouched for.
+
+    [once] (default [false]) verifies each chunk only the first time its
+    bytes are served and trusts repeats — the cheap clean path when the
+    threat is media damage rather than a malicious provider that could
+    swap bytes between reads.  The default re-hashes every read. *)

@@ -40,6 +40,16 @@ type t = {
 
 let ( let* ) = Result.bind
 
+(* Storage faults travel as exceptions below this layer —
+   [Fb_chunk.Store.Transient] from the chunk store (retryable),
+   [Postree.Corrupt] from tree traversal over damaged chunks.  Every
+   store-touching entry point converts both into typed errors here, so
+   nothing raises across the API boundary. *)
+let guard f =
+  try f () with
+  | Store.Transient msg -> Error (Errors.Transient msg)
+  | Fb_postree.Postree.Corrupt msg -> Error (Errors.Corrupt msg)
+
 let create ?(acl = Acl.open_instance ()) store =
   { store; branches = Branch.create (); tags = Branch.create (); acl;
     watchers = []; next_watch = 0 }
@@ -115,6 +125,7 @@ let commit t ~key ~bases ~author ~message value =
 
 let put ?(user = default_user) ?(message = "put") ?(branch = Branch.default_branch)
     t ~key value =
+  guard @@ fun () ->
   let* () = check t ~user ~key ~branch Acl.Write in
   let bases =
     match Branch.head t.branches ~key ~branch with
@@ -127,6 +138,7 @@ let put ?(user = default_user) ?(message = "put") ?(branch = Branch.default_bran
 
 let put_cas ?(user = default_user) ?(message = "put")
     ?(branch = Branch.default_branch) t ~key ~expected_head value =
+  guard @@ fun () ->
   let* () = check t ~user ~key ~branch Acl.Write in
   let current = Branch.head t.branches ~key ~branch in
   let matches =
@@ -158,6 +170,7 @@ let put_cas ?(user = default_user) ?(message = "put")
 
 let put_all ?(user = default_user) ?(message = "put") ?(branch = Branch.default_branch)
     t pairs =
+  guard @@ fun () ->
   (* Validate everything up front so the head swap below cannot fail
      half-way: distinct keys, then write permission on each. *)
   let keys = List.map fst pairs in
@@ -190,11 +203,13 @@ let head ?(user = default_user) ?(branch = Branch.default_branch) t ~key =
   head_uid t ~key ~branch
 
 let get ?user ?branch t ~key =
+  guard @@ fun () ->
   let* uid = head ?user ?branch t ~key in
   let* fnode = load_fnode t uid in
   value_of_fnode t fnode
 
 let get_at ?(user = default_user) t uid =
+  guard @@ fun () ->
   let* fnode = load_fnode t uid in
   let* () =
     check t ~user ~key:fnode.Fnode.key ~branch:"*" Acl.Read
@@ -210,12 +225,14 @@ let latest ?(user = default_user) t ~key =
   if bs = [] then Error (Errors.Key_not_found key) else Ok bs
 
 let meta ?(user = default_user) t uid =
+  guard @@ fun () ->
   let* fnode = load_fnode t uid in
   let* () = check t ~user ~key:fnode.Fnode.key ~branch:"*" Acl.Read in
   Ok fnode
 
 let get_as_of ?(user = default_user) ?(branch = Branch.default_branch) t ~key
     ~seq =
+  guard @@ fun () ->
   let* () = check t ~user ~key ~branch Acl.Read in
   let* uid = head_uid t ~key ~branch in
   let* history =
@@ -239,6 +256,7 @@ let list_keys ?(user = default_user) t =
 
 let log ?(user = default_user) ?(branch = Branch.default_branch) ?limit t ~key
     =
+  guard @@ fun () ->
   let* () = check t ~user ~key ~branch Acl.Read in
   let* uid = head_uid t ~key ~branch in
   match Dag.history ?limit t.store uid with
@@ -249,6 +267,7 @@ let log ?(user = default_user) ?(branch = Branch.default_branch) ?limit t ~key
 
 let fork ?(user = default_user) ?(from_branch = Branch.default_branch) t ~key
     ~new_branch =
+  guard @@ fun () ->
   let* () = check t ~user ~key ~branch:from_branch Acl.Read in
   let* () = check t ~user ~key ~branch:new_branch Acl.Admin in
   let* uid = head_uid t ~key ~branch:from_branch in
@@ -260,6 +279,7 @@ let fork ?(user = default_user) ?(from_branch = Branch.default_branch) t ~key
   end
 
 let fork_at ?(user = default_user) t ~key ~new_branch uid =
+  guard @@ fun () ->
   let* () = check t ~user ~key ~branch:new_branch Acl.Admin in
   let* fnode = load_fnode t uid in
   if not (String.equal fnode.Fnode.key key) then
@@ -287,6 +307,7 @@ let delete_branch ?(user = default_user) t ~key ~branch =
 (* ---------------- tags ---------------- *)
 
 let tag ?(user = default_user) t ~key ~name uid =
+  guard @@ fun () ->
   let* () = check t ~user ~key ~branch:"*" Acl.Admin in
   let* fnode = load_fnode t uid in
   if not (String.equal fnode.Fnode.key key) then
@@ -319,6 +340,7 @@ let delete_tag ?(user = default_user) t ~key ~name =
 (* ---------------- diff ---------------- *)
 
 let diff_versions ?(user = default_user) t uid1 uid2 =
+  guard @@ fun () ->
   let* f1 = load_fnode t uid1 in
   let* f2 = load_fnode t uid2 in
   let* () = check t ~user ~key:f1.Fnode.key ~branch:"*" Acl.Read in
@@ -328,6 +350,7 @@ let diff_versions ?(user = default_user) t uid1 uid2 =
   Diffview.compute v1 v2
 
 let diff ?(user = default_user) t ~key ~branch1 ~branch2 =
+  guard @@ fun () ->
   let* () = check t ~user ~key ~branch:branch1 Acl.Read in
   let* () = check t ~user ~key ~branch:branch2 Acl.Read in
   let* u1 = head_uid t ~key ~branch:branch1 in
@@ -506,6 +529,7 @@ let merge_values t ~key ~strategy ~base ~ours ~theirs =
 
 let merge ?(user = default_user) ?message ?(strategy = Fail_on_conflict) t
     ~key ~into ~from_branch =
+  guard @@ fun () ->
   let* () = check t ~user ~key ~branch:into Acl.Write in
   let* () = check t ~user ~key ~branch:from_branch Acl.Read in
   let* ours_uid = head_uid t ~key ~branch:into in
@@ -559,6 +583,7 @@ let merge ?(user = default_user) ?message ?(strategy = Fail_on_conflict) t
       Ok uid
 
 let merge_preview ?(user = default_user) t ~key ~into ~from_branch =
+  guard @@ fun () ->
   let* () = check t ~user ~key ~branch:into Acl.Read in
   let* () = check t ~user ~key ~branch:from_branch Acl.Read in
   let* ours_uid = head_uid t ~key ~branch:into in
@@ -601,6 +626,7 @@ let merge_preview ?(user = default_user) t ~key ~into ~from_branch =
 (* ---------------- dataset conveniences ---------------- *)
 
 let get_table ?user ?branch t ~key =
+  guard @@ fun () ->
   let* value = get ?user ?branch t ~key in
   match Value.to_table value with
   | Some table -> Ok table
@@ -609,18 +635,22 @@ let get_table ?user ?branch t ~key =
       (Errors.Type_mismatch { expected = "table"; got = Value.type_name value })
 
 let select ?user ?branch t ~key pred =
+  guard @@ fun () ->
   let* table = get_table ?user ?branch t ~key in
   Ok (Table.select table pred)
 
 let table_stat ?user ?branch t ~key =
+  guard @@ fun () ->
   let* table = get_table ?user ?branch t ~key in
   Ok (Table.stat table)
 
 let export_csv ?user ?branch t ~key =
+  guard @@ fun () ->
   let* table = get_table ?user ?branch t ~key in
   Ok (Table.to_csv table)
 
 let import_csv ?user ?message ?branch ?key_column t ~key content =
+  guard @@ fun () ->
   match Table.of_csv t.store ?key_column content with
   | Error e -> Error (Errors.Invalid e)
   | Ok table ->
@@ -636,6 +666,7 @@ type row_event = {
 
 let row_history ?(user = default_user) ?(branch = Branch.default_branch)
     ?limit t ~key ~row =
+  guard @@ fun () ->
   let* () = check t ~user ~key ~branch Acl.Read in
   let* uid = head_uid t ~key ~branch in
   let* history =
@@ -717,6 +748,7 @@ let row_history ?(user = default_user) ?(branch = Branch.default_branch)
 (* ---------------- verification ---------------- *)
 
 let verify ?(user = default_user) ?check_history ?check_history_values t uid =
+  guard @@ fun () ->
   let* fnode = load_fnode t uid in
   let* () = check t ~user ~key:fnode.Fnode.key ~branch:"*" Acl.Read in
   match Verify.verify ?check_history ?check_history_values t.store uid with
@@ -724,6 +756,7 @@ let verify ?(user = default_user) ?check_history ?check_history_values t uid =
   | Error e -> Error (Errors.Corrupt e)
 
 let verify_branch ?(user = default_user) t ~key ~branch =
+  guard @@ fun () ->
   let* () = check t ~user ~key ~branch Acl.Read in
   let* uid = head_uid t ~key ~branch in
   match Verify.verify t.store uid with
@@ -766,6 +799,7 @@ let rows_of_value = function
          { expected = "map or table"; got = Value.type_name v })
 
 let prove_entry ?user ?branch t ~key ~entry_key =
+  guard @@ fun () ->
   let* uid = head ?user ?branch t ~key in
   let* fnode = load_fnode t uid in
   let* value = value_of_fnode t fnode in
@@ -820,6 +854,7 @@ let verify_entry_proof ~uid ~key ~entry_key proof =
 
 let export_bundle ?(user = default_user) ?(branch = Branch.default_branch) t
     ~key =
+  guard @@ fun () ->
   let* () = check t ~user ~key ~branch Acl.Read in
   let* uid = head_uid t ~key ~branch in
   match Fb_repr.Bundle.export t.store ~roots:[ uid ] with
@@ -828,6 +863,7 @@ let export_bundle ?(user = default_user) ?(branch = Branch.default_branch) t
 
 let import_bundle ?(user = default_user) ?(branch = Branch.default_branch) t
     ~key bundle =
+  guard @@ fun () ->
   let* () = check t ~user ~key ~branch Acl.Write in
   let* roots =
     match Fb_repr.Bundle.import t.store bundle with
@@ -914,3 +950,7 @@ let parse_version s =
 
 let gc (t : t) =
   Fb_chunk.Gc.sweep t.store ~children:Dag.fnode_children ~roots:(all_heads t)
+
+let scrub ?replica ?quarantine ?(dry_run = false) (t : t) =
+  Fb_chunk.Scrub.run ~children:Dag.fnode_children ~roots:(all_heads t)
+    ?replica ?quarantine ~dry_run t.store

@@ -313,3 +313,16 @@ val parse_version : string -> (uid, Errors.t) result
 
 val gc : t -> Fb_chunk.Gc.result
 (** Drop chunks unreachable from any branch head. *)
+
+val scrub :
+  ?replica:Fb_chunk.Store.t ->
+  ?quarantine:(uid -> string -> unit) ->
+  ?dry_run:bool ->
+  t ->
+  Fb_chunk.Scrub.report
+(** Integrity pass (fsck) over the instance's chunk store: verify every
+    stored chunk against its hash, quarantine and delete damaged ones
+    (repairing from [replica] when it holds healthy bytes), then walk the
+    Merkle graph from every branch head and tag reporting reachable
+    chunks the store cannot serve.  [dry_run] only reports.  See
+    {!Fb_chunk.Scrub}. *)

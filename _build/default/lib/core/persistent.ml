@@ -43,9 +43,13 @@ let write_table path table =
   | () -> Ok ()
   | exception Sys_error e -> Errors.corrupt "writing %s: %s" path e
 
-let open_ ?acl ~root () =
-  match Fb_chunk.File_store.create ~root:(Filename.concat root "chunks") with
+let open_ ?acl ?fsync ~root () =
+  match Fb_chunk.File_store.create ?fsync ~root:(Filename.concat root "chunks") () with
   | store ->
+    (* Disk bytes are untrusted: verify each chunk the first time it is
+       served so media damage is refused (and visible to scrub) instead of
+       flowing out of the API as silently wrong data. *)
+    let store, _violations = Fb_chunk.Verified_store.wrap ~once:true store in
     let fb = Forkbase.create ?acl store in
     let* branches = read_table (branches_file root) in
     copy_table ~into:(Forkbase.branch_table fb) branches;

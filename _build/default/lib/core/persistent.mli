@@ -14,9 +14,17 @@
       TAGS              serialized tag table
     v} *)
 
-val open_ : ?acl:Acl.t -> root:string -> unit -> (Forkbase.t, Errors.t) result
+val open_ :
+  ?acl:Acl.t -> ?fsync:bool -> root:string -> unit ->
+  (Forkbase.t, Errors.t) result
 (** Open (creating directories as needed) an instance rooted at [root];
-    fails on unreadable or corrupt table files. *)
+    fails on unreadable or corrupt table files.  Opening also performs
+    crash recovery on the chunk directory (leftover [*.tmp] write
+    artifacts are removed); [fsync] forces chunk writes to stable storage
+    before they are published.  Reads are integrity-checked (each chunk is
+    verified against its name the first time it is served), so on-disk
+    damage surfaces as an error — never as silently wrong data; run scrub
+    to quarantine and repair it. *)
 
 val save : root:string -> Forkbase.t -> (unit, Errors.t) result
 (** Persist the branch and tag tables (atomically: temp file + rename). *)

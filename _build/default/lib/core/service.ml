@@ -118,6 +118,12 @@ let handle ?user fb line =
           (Printf.sprintf "keys=%d branches=%d versions=%d physical=%d"
              s.Forkbase.keys s.Forkbase.branches s.Forkbase.versions
              s.Forkbase.store.Fb_chunk.Store.physical_bytes)
+      | "fsck", [] ->
+        let report = Forkbase.scrub ~dry_run:true fb in
+        Ok (Format.asprintf "%a" Fb_chunk.Scrub.pp_report report)
+      | "scrub", [] ->
+        let report = Forkbase.scrub fb in
+        Ok (Format.asprintf "%a" Fb_chunk.Scrub.pp_report report)
       (* JSON variants: the bodies a REST gateway returns verbatim. *)
       | "get-json", [ key; branch ] ->
         let* value = Forkbase.get ?user ~branch fb ~key in
@@ -145,4 +151,10 @@ let handle ?user fb line =
   match tokenize line with
   | Error e -> "ERR " ^ Errors.to_string (Errors.Invalid e)
   | Ok [] -> "ERR " ^ Errors.to_string (Errors.Invalid "empty request")
-  | Ok tokens -> reply (run tokens)
+  | Ok tokens ->
+    (* Verbs like stat and scrub call non-[result] maintenance APIs, so a
+       storage fault can still arrive as an exception here. *)
+    reply
+      (try run tokens with
+       | Fb_chunk.Store.Transient msg -> Error (Errors.Transient msg)
+       | Fb_postree.Postree.Corrupt msg -> Error (Errors.Corrupt msg))

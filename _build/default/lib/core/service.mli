@@ -21,6 +21,8 @@
     DIFF <key> <branch1> <branch2>      differential query
     MERGE <key> <into> <from>           three-way merge
     VERIFY <key> <branch>               tamper check
+    FSCK                                report storage damage (dry scrub)
+    SCRUB                               quarantine damaged chunks
     STAT                                instance statistics
     GET-JSON / DIFF-JSON / LOG-JSON / STAT-JSON / LATEST-JSON
                                         same queries with JSON bodies

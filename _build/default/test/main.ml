@@ -18,6 +18,7 @@ let () =
       ("persistent", Test_persistent.suite);
       ("soak", Test_soak.suite);
       ("edge", Test_edge.suite);
+      ("faults", Test_faults.suite);
       ("patch", Test_patch.suite);
       ("indexer", Test_indexer.suite);
       ("baselines", Test_baselines.suite);

@@ -80,15 +80,15 @@ let with_temp_dir f =
     (fun () -> f dir)
 
 let test_file_store () =
-  with_temp_dir (fun dir -> store_semantics (File_store.create ~root:dir))
+  with_temp_dir (fun dir -> store_semantics (File_store.create ~root:dir ()))
 
 let test_file_store_persistence () =
   with_temp_dir (fun dir ->
       let c = Chunk.v Chunk.Leaf_blob "persisted" in
-      let store1 = File_store.create ~root:dir in
+      let store1 = File_store.create ~root:dir () in
       let id = Store.put store1 c in
       (* Reopen: the chunk and physical stats must survive. *)
-      let store2 = File_store.create ~root:dir in
+      let store2 = File_store.create ~root:dir () in
       check bool_ "persisted" true (Store.mem store2 id);
       check int_ "rescanned bytes" (Chunk.encoded_size c)
         (Store.stats store2).Store.physical_bytes;

@@ -4,7 +4,14 @@
     first hex byte of the identity — the same fan-out layout Git uses for
     loose objects.  Durable across processes; reopening an existing root
     recomputes the physical statistics by scanning.  Writes are atomic
-    (write to a temp file, then rename). *)
+    (write to a temp file, then rename), so a crash can leave behind only
+    uncommitted [*.tmp] files — which {!create} deletes on open (crash
+    recovery): the interrupted put never published an identity, so nothing
+    readable is lost. *)
 
-val create : root:string -> Store.t
-(** Open (or initialize) a store rooted at directory [root]. *)
+val create : ?fsync:bool -> root:string -> unit -> Store.t
+(** Open (or initialize) a store rooted at directory [root].  Leftover
+    [*.tmp] crash artifacts are removed.  [fsync] (default [false]) forces
+    every chunk write to stable storage before the publishing rename —
+    slower, but a power loss cannot leave a committed name with torn
+    contents. *)

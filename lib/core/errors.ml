@@ -6,6 +6,7 @@ type t =
   | Merge_conflict of { key : string; details : string list }
   | Type_mismatch of { expected : string; got : string }
   | Corrupt of string
+  | Transient of string
   | Invalid of string
 
 let to_string = function
@@ -21,6 +22,7 @@ let to_string = function
   | Type_mismatch { expected; got } ->
     Printf.sprintf "type mismatch: expected %s, got %s" expected got
   | Corrupt msg -> "integrity violation: " ^ msg
+  | Transient msg -> "transient storage failure (retry): " ^ msg
   | Invalid msg -> "invalid request: " ^ msg
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)

@@ -11,6 +11,10 @@ type t =
   | Merge_conflict of { key : string; details : string list }
   | Type_mismatch of { expected : string; got : string }
   | Corrupt of string                       (** failed integrity check *)
+  | Transient of string
+      (** storage failed retryably; the operation made no change and may
+          be reissued (raised as [Fb_chunk.Store.Transient] below the
+          API, converted here at the boundary) *)
   | Invalid of string                       (** bad argument / malformed input *)
 
 val to_string : t -> string
