@@ -1,0 +1,24 @@
+# Convenience entry points; dune is the real build system.
+
+.PHONY: all build test bench check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# The pre-commit gate: full build, full test suite, and the observability
+# self-test (instrumentation overhead + histogram/exposition smoke).
+check:
+	dune build
+	dune runtest
+	dune exec bench/main.exe -- obs
+
+clean:
+	dune clean

@@ -4,10 +4,14 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- fig4    -- run one experiment
      experiments: table1 fig2 fig3 fig4 fig5 fig6 siri ablation storage
-     resilience cluster micro
+     resilience cluster obs micro
 
    Absolute numbers are machine-dependent; the reproduced artifact is the
-   *shape*: who wins, by what factor, and how quantities scale. *)
+   *shape*: who wins, by what factor, and how quantities scale.
+
+   Latency distributions (p50/p99) come from fb_obs histograms rather
+   than mean-only timing; the `obs` experiment additionally measures the
+   instrumentation's own overhead and emits BENCH_obs.json. *)
 
 module Store = Fb_chunk.Store
 module Mem_store = Fb_chunk.Mem_store
@@ -22,6 +26,7 @@ module FB = Fb_core.Forkbase
 module Baseline = Fb_baselines.Baseline
 module Csvgen = Fb_workload.Csvgen
 module Edits = Fb_workload.Edits
+module Obs = Fb_obs.Obs
 
 let ok_fb = function
   | Ok v -> v
@@ -744,19 +749,23 @@ let run_storage () =
   in
   let rng = Prng.create 31337L in
   let lookups = 2_000 in
-  let bench_lookups name store =
-    let t = Pmap.of_bindings store bindings in
+  let bench_tree ?(extra = "") name t =
+    let h = Obs.histogram ("bench.storage." ^ name) in
+    Obs.reset_histogram h;
     let (), ms =
       time_ms (fun () ->
           for _ = 1 to lookups do
-            ignore
-              (Pmap.find t
-                 (Printf.sprintf "key-%08d" (Prng.next_int rng 100_000)))
+            let key = Printf.sprintf "key-%08d" (Prng.next_int rng 100_000) in
+            Obs.time h (fun () -> ignore (Pmap.find t key))
           done)
     in
-    Printf.printf "%-34s %8.2f us/lookup\n" name
+    Printf.printf "%-34s %8.2f us/lookup  p50 %6.2f  p99 %6.2f%s\n" name
       (1000.0 *. ms /. float_of_int lookups)
+      (1e6 *. Obs.quantile h 0.5)
+      (1e6 *. Obs.quantile h 0.99)
+      extra
   in
+  let bench_lookups name store = bench_tree name (Pmap.of_bindings store bindings) in
   bench_lookups "mem" (Mem_store.create ());
   let tmp = Filename.concat (Filename.get_temp_dir_name ()) "fb_bench_store" in
   ignore (Sys.command ("rm -rf " ^ Filename.quote tmp));
@@ -764,9 +773,10 @@ let run_storage () =
   bench_lookups "file (directory backend)" file_store;
   let cached, cstats = Fb_chunk.Cache_store.wrap ~capacity:4096 file_store in
   bench_lookups "file + lru(4096)" cached;
-  Printf.printf "  cache: %d hits, %d misses, %d evictions\n"
+  Printf.printf "  cache: %d hits, %d misses, %d evictions (hit ratio %.1f%%)\n"
     cstats.Fb_chunk.Cache_store.hits cstats.Fb_chunk.Cache_store.misses
-    cstats.Fb_chunk.Cache_store.evictions;
+    cstats.Fb_chunk.Cache_store.evictions
+    (100.0 *. Fb_chunk.Cache_store.hit_ratio cstats);
   let verified, _ = Fb_chunk.Verified_store.wrap (Mem_store.create ()) in
   bench_lookups "mem + verify-on-read (paranoid)" verified;
   (* Pack: freeze the file store and read through the archive. *)
@@ -780,16 +790,9 @@ let run_storage () =
      (* Reuse the frozen chunks: the tree handle re-attaches by root. *)
      let t = Pmap.of_bindings (Mem_store.create ()) bindings in
      let t = Pmap.of_root overlay (Pmap.root t) in
-     let (), ms =
-       time_ms (fun () ->
-           for _ = 1 to lookups do
-             ignore
-               (Pmap.find t
-                  (Printf.sprintf "key-%08d" (Prng.next_int rng 100_000)))
-           done)
-     in
-     Printf.printf "%-34s %8.2f us/lookup  (%d chunks in one file)\n"
-       "pack archive + overlay" (1000.0 *. ms /. float_of_int lookups) n
+     bench_tree "pack archive + overlay"
+       ~extra:(Printf.sprintf "  (%d chunks in one file)" n)
+       t
    | Error e -> Printf.printf "pack failed: %s\n" e);
   ignore (Sys.command ("rm -rf " ^ Filename.quote tmp));
   (try Sys.remove pack_path with Sys_error _ -> ())
@@ -809,19 +812,24 @@ let run_resilience () =
   let lookups = 2_000 in
   let bench name store =
     let t = Pmap.of_bindings store bindings in
-    let sweep rng =
+    let h = Obs.histogram ("bench.resilience." ^ name) in
+    Obs.reset_histogram h;
+    let sweep ~record rng =
       for _ = 1 to lookups do
-        ignore
-          (Pmap.find t (Printf.sprintf "key-%08d" (Prng.next_int rng 100_000)))
+        let key = Printf.sprintf "key-%08d" (Prng.next_int rng 100_000) in
+        if record then Obs.time h (fun () -> ignore (Pmap.find t key))
+        else ignore (Pmap.find t key)
       done
     in
     (* Steady state on a working set: an untimed pass over the same key
        sequence first, so one-time costs (first-read verification) are
        paid before the clock starts — all configurations warm alike. *)
-    sweep (Prng.create 424242L);
-    let (), ms = time_ms (fun () -> sweep (Prng.create 424242L)) in
+    sweep ~record:false (Prng.create 424242L);
+    let (), ms = time_ms (fun () -> sweep ~record:true (Prng.create 424242L)) in
     let us = 1000.0 *. ms /. float_of_int lookups in
-    Printf.printf "%-42s %8.2f us/lookup\n" name us;
+    Printf.printf "%-42s %8.2f us/lookup  p50 %6.2f  p99 %6.2f\n" name us
+      (1e6 *. Obs.quantile h 0.5)
+      (1e6 *. Obs.quantile h 0.99);
     us
   in
   let bare = bench "mem (baseline)" (Mem_store.create ()) in
@@ -980,6 +988,127 @@ let run_micro () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Observability: histogram readout, self-overhead, trace spans.      *)
+(* ------------------------------------------------------------------ *)
+
+let run_obs () =
+  header
+    "OBSERVABILITY: fb_obs latency histograms, self-overhead, trace spans";
+  (* 1. Instrumentation overhead on the lookup hot path.  Three configs
+     over the same 20k-entry tree: bare store, metered store with the
+     registry enabled, metered store with the registry disabled.  The
+     bare and enabled configs both pay the postree/forkbase span hooks,
+     so their delta isolates Metered_store's per-op timing. *)
+  let n = 20_000 and lookups = 30_000 in
+  let small = List.init n (fun i -> (Printf.sprintf "key-%06d" i, "v")) in
+  let bench_find store =
+    let t = Pmap.of_bindings store small in
+    let sweep count rng =
+      for _ = 1 to count do
+        ignore (Pmap.find t (Printf.sprintf "key-%06d" (Prng.next_int rng n)))
+      done
+    in
+    sweep 2_000 (Prng.create 7L);
+    let (), ms = time_ms (fun () -> sweep lookups (Prng.create 7L)) in
+    1000.0 *. ms /. float_of_int lookups
+  in
+  let bare = bench_find (Mem_store.create ()) in
+  let on_us =
+    bench_find (Fb_chunk.Metered_store.wrap ~prefix:"bench.ovh" (Mem_store.create ()))
+  in
+  Obs.set_enabled false;
+  let off_us =
+    bench_find (Fb_chunk.Metered_store.wrap ~prefix:"bench.ovh" (Mem_store.create ()))
+  in
+  Obs.set_enabled true;
+  let pct x = 100.0 *. (x -. bare) /. bare in
+  Printf.printf
+    "overhead on %d lookups (us/op):\n\
+    \  bare store          %8.3f\n\
+    \  metered, enabled    %8.3f  (%+.1f%%, target < 5%%)\n\
+    \  metered, disabled   %8.3f  (%+.1f%%, target ~ 0%%)\n"
+    lookups bare on_us (pct on_us) off_us (pct off_us);
+  (* 2. Operation-level latency distributions through the public API:
+     warmup, then N measured reps feeding the fb.* histograms. *)
+  Obs.reset ();
+  let store =
+    Fb_chunk.Metered_store.wrap ~prefix:"bench.store" (Mem_store.create ())
+  in
+  let fb = FB.create store in
+  let n_ops = 2_000 and n_merges = 200 in
+  let put i =
+    ignore
+      (ok_fb
+         (FB.put fb ~key:(Printf.sprintf "k%d" (i mod 64))
+            (Value.string (Printf.sprintf "value-%d" i))))
+  in
+  let get i =
+    ignore (ok_fb (FB.get fb ~key:(Printf.sprintf "k%d" (i mod 64))))
+  in
+  (* Both sides diverge from the fork point with disjoint map edits, so
+     every cycle is a genuine three-way merge, not a fast-forward. *)
+  let merge_cycle i =
+    let key = "merged" and b = Printf.sprintf "side%d" i in
+    let base = [ ("base", "v"); (Printf.sprintf "m%d" i, "x") ] in
+    let value kv = Value.map_of_bindings (FB.store fb) kv in
+    ignore (ok_fb (FB.put fb ~key (value base)));
+    ignore (ok_fb (FB.fork fb ~key ~new_branch:b));
+    ignore
+      (ok_fb
+         (FB.put fb ~key (value ((Printf.sprintf "ours%d" i, "o") :: base))));
+    ignore
+      (ok_fb
+         (FB.put fb ~branch:b ~key
+            (value ((Printf.sprintf "theirs%d" i, "t") :: base))));
+    ignore (ok_fb (FB.merge fb ~key ~into:"master" ~from_branch:b))
+  in
+  for i = 0 to 199 do put i done;
+  for i = 0 to 199 do get i done;
+  merge_cycle 100_000;
+  Obs.reset ();
+  for i = 0 to n_ops - 1 do put i done;
+  for i = 0 to n_ops - 1 do get i done;
+  for i = 0 to n_merges - 1 do merge_cycle i done;
+  Printf.printf
+    "\nlatency distributions (%d puts, %d gets, %d fork+merge cycles):\n"
+    n_ops n_ops n_merges;
+  let report name h =
+    Printf.printf
+      "%-26s n=%-6d p50 %8.2f  p90 %8.2f  p99 %8.2f  max %8.2f us\n" name
+      (Obs.hist_count h)
+      (1e6 *. Obs.quantile h 0.5)
+      (1e6 *. Obs.quantile h 0.9)
+      (1e6 *. Obs.quantile h 0.99)
+      (1e6 *. Obs.hist_max h)
+  in
+  report "forkbase.put" (Obs.histogram "fb.put_seconds");
+  report "forkbase.get" (Obs.histogram "fb.get_seconds");
+  report "forkbase.merge" (Obs.histogram "fb.merge_seconds");
+  report "store.put (chunk level)" (Obs.histogram "bench.store.put_seconds");
+  report "store.get (chunk level)" (Obs.histogram "bench.store.get_seconds");
+  (* 3. A sample trace: one put+get+merge cycle in an empty span ring
+     shows how a request decomposes into tree and store work. *)
+  Obs.set_span_capacity 64;
+  merge_cycle 999_999;
+  get 0;
+  Printf.printf "\nsample trace (one fork+merge cycle, then one get):\n%s"
+    (Format.asprintf "%a" Obs.pp_spans ());
+  Obs.set_span_capacity 512;
+  (* 4. Machine-readable artifact for tracking runs over time. *)
+  let json =
+    Printf.sprintf
+      "{\"overhead_us\":{\"bare\":%.4f,\"metered_enabled\":%.4f,\
+       \"metered_disabled\":%.4f,\"enabled_pct\":%.2f,\"disabled_pct\":%.2f},\n\
+       \"registry\":%s}\n"
+      bare on_us off_us (pct on_us) (pct off_us)
+      (Obs.dump_json ())
+  in
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\nmachine-readable registry written to BENCH_obs.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("table1", run_table1);
@@ -993,6 +1122,7 @@ let experiments =
     ("storage", run_storage);
     ("resilience", run_resilience);
     ("cluster", run_cluster);
+    ("obs", run_obs);
     ("micro", run_micro) ]
 
 let () =

@@ -534,6 +534,89 @@ let gc_cmd =
     (Cmd.info "gc" ~doc:"Delete chunks unreachable from any branch head.")
     Term.(ret (const run $ root_arg $ user_arg))
 
+let metrics_cmd =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the registry as JSON (including trace spans) instead \
+                   of Prometheus text.")
+  in
+  let workload_arg =
+    Arg.(value & opt int 0
+         & info [ "workload" ] ~docv:"N"
+             ~doc:"First run a synthetic in-memory workload ($(docv) puts, \
+                   $(docv) gets and $(docv)/10 fork+merge cycles) so the \
+                   dump carries live latency distributions.  The workload \
+                   never touches the on-disk store.")
+  in
+  let run root user json n =
+    with_instance root (fun fb ->
+        ignore user;
+        (* Touching stats registers the persistent store's gauges. *)
+        ignore (FB.stats fb);
+        let ( let* ) = Result.bind in
+        let* () =
+          if n <= 0 then Ok ()
+          else begin
+            let store =
+              Fb_chunk.Metered_store.wrap (Fb_chunk.Mem_store.create ())
+            in
+            let mem = FB.create store in
+            let rec puts i =
+              if i >= n then Ok ()
+              else
+                let* _ =
+                  FB.put mem ~key:(Printf.sprintf "k%d" (i mod 16))
+                    (Value.string (Printf.sprintf "value-%d" i))
+                in
+                puts (i + 1)
+            in
+            let* () = puts 0 in
+            let rec gets i =
+              if i >= n then Ok ()
+              else
+                let* _ = FB.get mem ~key:(Printf.sprintf "k%d" (i mod 16)) in
+                gets (i + 1)
+            in
+            let* () = gets 0 in
+            let rec merges i =
+              if i >= n / 10 then Ok ()
+              else begin
+                let key = "shared" in
+                let b = Printf.sprintf "side-%d" i in
+                let* _ =
+                  FB.put mem ~key
+                    (Value.map_of_bindings (FB.store mem)
+                       [ ("base", "v"); (Printf.sprintf "m%d" i, "x") ])
+                in
+                let* _ = FB.fork mem ~key ~new_branch:b in
+                let* _ =
+                  FB.put mem ~branch:b ~key
+                    (Value.map_of_bindings (FB.store mem)
+                       [ ("base", "v"); (Printf.sprintf "m%d" i, "x");
+                         (Printf.sprintf "side%d" i, "y") ])
+                in
+                let* _ =
+                  FB.merge mem ~key ~into:Branch.default_branch
+                    ~from_branch:b
+                in
+                merges (i + 1)
+              end
+            in
+            merges 0
+          end
+        in
+        Ok
+          (if json then Fb_obs.Obs.dump_json ~include_spans:true ()
+           else Fb_obs.Obs.dump_prometheus ()))
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Dump the observability registry (counters, gauges, latency \
+             histograms) in Prometheus text format, or JSON with --json.  \
+             Use --workload N to exercise an in-memory instance first.")
+    Term.(ret (const run $ root_arg $ user_arg $ json_arg $ workload_arg))
+
 let main =
   let doc = "Git-like, tamper-evident storage for branchable applications" in
   let info = Cmd.info "forkbase" ~version:"1.0.0" ~doc in
@@ -542,6 +625,6 @@ let main =
       branch_cmd; rename_cmd; delete_branch_cmd; diff_cmd; merge_cmd;
       verify_cmd; export_cmd; bundle_cmd; unbundle_cmd; history_cmd;
       tag_cmd; tags_cmd;
-      serve_cmd; stat_cmd; gc_cmd; scrub_cmd ]
+      serve_cmd; stat_cmd; gc_cmd; scrub_cmd; metrics_cmd ]
 
 let () = exit (Cmd.eval main)

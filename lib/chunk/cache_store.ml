@@ -6,6 +6,12 @@ type cache_stats = {
   mutable evictions : int;
 }
 
+let lookups s = s.hits + s.misses
+
+let hit_ratio s =
+  let total = lookups s in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
 (* Classic LRU: hashtable to doubly-linked recency list. *)
 type node = {
   id : Hash.t;

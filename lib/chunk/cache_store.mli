@@ -10,6 +10,13 @@ type cache_stats = {
   mutable evictions : int;
 }
 
+val lookups : cache_stats -> int
+(** Total lookups observed: [hits + misses]. *)
+
+val hit_ratio : cache_stats -> float
+(** Fraction of lookups served from the cache, in [0, 1]; 0 before any
+    lookup. *)
+
 val wrap : capacity:int -> Store.t -> Store.t * cache_stats
 (** Keep up to [capacity] encoded chunks in memory (LRU).  Deletes evict the
     entry; writes populate it.

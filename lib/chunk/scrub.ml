@@ -25,17 +25,23 @@ let pp_report ppf r =
 
 let run ?children ?(roots = []) ?replica ?quarantine ?(dry_run = false)
     (store : Store.t) =
+  Fb_obs.Obs.with_span "scrub.run"
+    ~attrs:[ ("store", store.Store.name) ]
+  @@ fun () ->
   (* Pass 1: physical sweep — every stored blob must hash to its name and
      decode as a chunk. *)
   let scanned = ref 0 and scanned_bytes = ref 0 in
   let corrupt = ref [] in
   let good = ref Hash.Set.empty in
-  store.Store.iter (fun id raw ->
-      incr scanned;
-      scanned_bytes := !scanned_bytes + String.length raw;
-      if Hash.equal (Hash.of_string raw) id && Result.is_ok (Chunk.decode raw)
-      then good := Hash.Set.add id !good
-      else corrupt := (id, raw) :: !corrupt);
+  Fb_obs.Obs.with_span "scrub.physical_sweep" (fun () ->
+      store.Store.iter (fun id raw ->
+          incr scanned;
+          scanned_bytes := !scanned_bytes + String.length raw;
+          if
+            Hash.equal (Hash.of_string raw) id
+            && Result.is_ok (Chunk.decode raw)
+          then good := Hash.Set.add id !good
+          else corrupt := (id, raw) :: !corrupt));
   let corrupt = List.rev !corrupt in
   (* Pass 2: quarantine damaged blobs, then repair from the replica.  The
      delete must come first either way: content-addressed [put] skips
@@ -93,7 +99,8 @@ let run ?children ?(roots = []) ?replica ?quarantine ?(dry_run = false)
           | Ok chunk -> List.iter (visit id) (children chunk))
       end
     in
-    List.iter (fun root -> visit root root) roots);
+    Fb_obs.Obs.with_span "scrub.logical_sweep" (fun () ->
+        List.iter (fun root -> visit root root) roots));
   let orphans =
     if roots = [] || children = None then []
     else Hash.Set.elements (Hash.Set.diff !good !reachable)

@@ -10,6 +10,17 @@ module Pmap = Fb_postree.Pmap
 module Pset = Fb_postree.Pset
 module Plist = Fb_postree.Plist
 module Pblob = Fb_postree.Pblob
+module Obs = Fb_obs.Obs
+
+(* Operation-level latency histograms (the numbers the paper's Figs. 4-6
+   quote distributions of) + a trace span per request, so one slow call
+   decomposes into its chunk loads / tree walks below. *)
+let h_put = Obs.histogram "fb.put_seconds"
+let h_get = Obs.histogram "fb.get_seconds"
+let h_merge = Obs.histogram "fb.merge_seconds"
+let h_diff = Obs.histogram "fb.diff_seconds"
+
+let timed h name f = Obs.time h (fun () -> Obs.with_span name f)
 
 type uid = Hash.t
 
@@ -125,6 +136,7 @@ let commit t ~key ~bases ~author ~message value =
 
 let put ?(user = default_user) ?(message = "put") ?(branch = Branch.default_branch)
     t ~key value =
+  timed h_put "forkbase.put" @@ fun () ->
   guard @@ fun () ->
   let* () = check t ~user ~key ~branch Acl.Write in
   let bases =
@@ -203,6 +215,7 @@ let head ?(user = default_user) ?(branch = Branch.default_branch) t ~key =
   head_uid t ~key ~branch
 
 let get ?user ?branch t ~key =
+  timed h_get "forkbase.get" @@ fun () ->
   guard @@ fun () ->
   let* uid = head ?user ?branch t ~key in
   let* fnode = load_fnode t uid in
@@ -350,6 +363,7 @@ let diff_versions ?(user = default_user) t uid1 uid2 =
   Diffview.compute v1 v2
 
 let diff ?(user = default_user) t ~key ~branch1 ~branch2 =
+  timed h_diff "forkbase.diff" @@ fun () ->
   guard @@ fun () ->
   let* () = check t ~user ~key ~branch:branch1 Acl.Read in
   let* () = check t ~user ~key ~branch:branch2 Acl.Read in
@@ -529,6 +543,7 @@ let merge_values t ~key ~strategy ~base ~ours ~theirs =
 
 let merge ?(user = default_user) ?message ?(strategy = Fail_on_conflict) t
     ~key ~into ~from_branch =
+  timed h_merge "forkbase.merge" @@ fun () ->
   guard @@ fun () ->
   let* () = check t ~user ~key ~branch:into Acl.Write in
   let* () = check t ~user ~key ~branch:from_branch Acl.Read in

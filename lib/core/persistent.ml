@@ -50,6 +50,7 @@ let open_ ?acl ?fsync ~root () =
        served so media damage is refused (and visible to scrub) instead of
        flowing out of the API as silently wrong data. *)
     let store, _violations = Fb_chunk.Verified_store.wrap ~once:true store in
+    let store = Fb_chunk.Metered_store.wrap store in
     let fb = Forkbase.create ?acl store in
     let* branches = read_table (branches_file root) in
     copy_table ~into:(Forkbase.branch_table fb) branches;

@@ -118,6 +118,8 @@ let handle ?user fb line =
           (Printf.sprintf "keys=%d branches=%d versions=%d physical=%d"
              s.Forkbase.keys s.Forkbase.branches s.Forkbase.versions
              s.Forkbase.store.Fb_chunk.Store.physical_bytes)
+      | "metrics", [] -> Ok (Fb_obs.Obs.dump_prometheus ())
+      | "metrics-json", [] -> Ok (Fb_obs.Obs.dump_json ~include_spans:true ())
       | "fsck", [] ->
         let report = Forkbase.scrub ~dry_run:true fb in
         Ok (Format.asprintf "%a" Fb_chunk.Scrub.pp_report report)

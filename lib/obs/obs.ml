@@ -1,0 +1,387 @@
+(* In-process observability substrate: a metrics registry (counters,
+   callback gauges, log-bucketed latency histograms) plus Dapper-style
+   trace spans in a bounded ring buffer.
+
+   Design constraints (see DESIGN.md "Observability"):
+   - near-zero cost when disabled: every record path starts with one
+     boolean load and returns immediately;
+   - constant memory: histograms are fixed bucket arrays, traces a fixed
+     ring — no allocation proportional to traffic is retained;
+   - pull-model exposition: gauges are callbacks read at dump time, so
+     existing mutable stats records (Store.stats, cache stats, retry
+     stats) fold into the registry without double bookkeeping. *)
+
+let enabled_flag =
+  ref
+    (match Sys.getenv_opt "FB_OBS" with
+     | Some ("0" | "false" | "off") -> false
+     | _ -> true)
+
+let set_enabled b = enabled_flag := b
+let is_enabled () = !enabled_flag
+
+let now () = Unix.gettimeofday ()
+
+(* ---------------- histograms ---------------- *)
+
+(* Log-bucketed: bucket [i] covers [min_value * r^i, min_value * r^(i+1)).
+   With r = 1.1, reporting the geometric midpoint of a bucket is within
+   sqrt(r) - 1 < 5% of any value inside it.  Range: 1ns .. ~3.3h of
+   seconds-valued observations in 400 buckets; out-of-range values clamp
+   to the edge buckets. *)
+let bucket_ratio = 1.1
+let min_value = 1e-9
+let n_buckets = 400
+let inv_log_r = 1.0 /. log bucket_ratio
+
+type histogram = {
+  h_name : string;
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_seen : float;
+  mutable max_seen : float;
+}
+
+let bucket_of v =
+  if v <= min_value then 0
+  else
+    let i = int_of_float (log (v /. min_value) *. inv_log_r) in
+    if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+
+let bucket_midpoint i = min_value *. (bucket_ratio ** (float_of_int i +. 0.5))
+
+(* ---------------- registry ---------------- *)
+
+type counter = { c_name : string; mutable value : int }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, unit -> float) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; value = 0 } in
+    Hashtbl.replace counters name c;
+    c
+
+let incr c = if !enabled_flag then c.value <- c.value + 1
+let add c n = if !enabled_flag then c.value <- c.value + n
+let counter_value c = c.value
+
+(* A gauge is re-registered freely: the latest callback wins, so wrapping
+   a fresh store under a name used by a dead one just works. *)
+let gauge name read = Hashtbl.replace gauges name read
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let h =
+      { h_name = name; buckets = Array.make n_buckets 0; count = 0;
+        sum = 0.0; min_seen = infinity; max_seen = neg_infinity }
+    in
+    Hashtbl.replace histograms name h;
+    h
+
+let observe h v =
+  if !enabled_flag then begin
+    let i = bucket_of v in
+    h.buckets.(i) <- h.buckets.(i) + 1;
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.min_seen then h.min_seen <- v;
+    if v > h.max_seen then h.max_seen <- v
+  end
+
+let time h f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = now () in
+    match f () with
+    | v ->
+      observe h (now () -. t0);
+      v
+    | exception e ->
+      observe h (now () -. t0);
+      raise e
+  end
+
+let hist_count h = h.count
+let hist_sum h = h.sum
+let hist_max h = if h.count = 0 then 0.0 else h.max_seen
+let hist_min h = if h.count = 0 then 0.0 else h.min_seen
+
+(* Quantile estimate: walk buckets to the one holding the q-th sample and
+   report its geometric midpoint (clamped to the observed extremes, which
+   are tracked exactly). *)
+let quantile h q =
+  if h.count = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int h.count)) in
+      if r < 1 then 1 else if r > h.count then h.count else r
+    in
+    let rec go i seen =
+      if i >= n_buckets then h.max_seen
+      else
+        let seen = seen + h.buckets.(i) in
+        if seen >= rank then bucket_midpoint i else go (i + 1) seen
+    in
+    let v = go 0 0 in
+    if v < h.min_seen then h.min_seen
+    else if v > h.max_seen then h.max_seen
+    else v
+  end
+
+let reset_histogram h =
+  Array.fill h.buckets 0 n_buckets 0;
+  h.count <- 0;
+  h.sum <- 0.0;
+  h.min_seen <- infinity;
+  h.max_seen <- neg_infinity
+
+(* ---------------- trace spans ---------------- *)
+
+type span = {
+  id : int;
+  parent : int;  (* id of the enclosing span, or -1 for a root span *)
+  name : string;
+  start : float;     (* Unix time, seconds *)
+  duration : float;  (* seconds *)
+  attrs : (string * string) list;
+}
+
+let default_span_capacity = 512
+
+type ring = {
+  mutable slots : span option array;
+  mutable pos : int;       (* next write index *)
+  mutable recorded : int;  (* spans ever recorded (wraparound evidence) *)
+}
+
+let ring =
+  { slots = Array.make default_span_capacity None; pos = 0; recorded = 0 }
+
+let span_stack : int list ref = ref []
+let next_span_id = ref 0
+
+let set_span_capacity n =
+  if n < 1 then invalid_arg "Obs.set_span_capacity";
+  ring.slots <- Array.make n None;
+  ring.pos <- 0;
+  ring.recorded <- 0
+
+let span_capacity () = Array.length ring.slots
+
+let record_span s =
+  ring.slots.(ring.pos) <- Some s;
+  ring.pos <- (ring.pos + 1) mod Array.length ring.slots;
+  ring.recorded <- ring.recorded + 1
+
+let spans_recorded () = ring.recorded
+
+(* Completed spans, oldest first.  Children complete before their parent,
+   so a parent id may refer to a span later in (or already evicted from)
+   the list; consumers key on [id]/[parent], not position. *)
+let spans () =
+  let cap = Array.length ring.slots in
+  let out = ref [] in
+  for k = 0 to cap - 1 do
+    match ring.slots.((ring.pos + k) mod cap) with
+    | Some s -> out := s :: !out
+    | None -> ()
+  done;
+  List.rev !out
+
+let with_span ?(attrs = []) name f =
+  if not !enabled_flag then f ()
+  else begin
+    let id = !next_span_id in
+    next_span_id := id + 1;
+    let parent = match !span_stack with [] -> -1 | p :: _ -> p in
+    span_stack := id :: !span_stack;
+    let start = now () in
+    let finish () =
+      (match !span_stack with _ :: rest -> span_stack := rest | [] -> ());
+      record_span
+        { id; parent; name; start; duration = now () -. start; attrs }
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+(* ---------------- reset ---------------- *)
+
+(* Zeroes counters, histograms and the span ring; gauge registrations are
+   kept (they are read-only callbacks). *)
+let reset () =
+  Hashtbl.iter (fun _ c -> c.value <- 0) counters;
+  Hashtbl.iter (fun _ h -> reset_histogram h) histograms;
+  Array.fill ring.slots 0 (Array.length ring.slots) None;
+  ring.pos <- 0;
+  ring.recorded <- 0;
+  span_stack := []
+
+(* ---------------- exposition ---------------- *)
+
+let sorted_items tbl =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let read_gauge g = try g () with _ -> nan
+
+let dump_prometheus () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, c) ->
+      let n = prom_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" n c.value))
+    (sorted_items counters);
+  List.iter
+    (fun (name, g) ->
+      let n = prom_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
+      Buffer.add_string buf (Printf.sprintf "%s %.17g\n" n (read_gauge g)))
+    (sorted_items gauges);
+  List.iter
+    (fun (name, h) ->
+      let n = prom_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" n);
+      List.iter
+        (fun q ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s{quantile=\"%g\"} %.9g\n" n q (quantile h q)))
+        [ 0.5; 0.9; 0.99 ];
+      Buffer.add_string buf (Printf.sprintf "%s_sum %.9g\n" n h.sum);
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n h.count);
+      Buffer.add_string buf (Printf.sprintf "%s_max %.9g\n" n (hist_max h)))
+    (sorted_items histograms);
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v =
+  if Float.is_nan v then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let dump_json ?(include_spans = false) () =
+  let buf = Buffer.create 1024 in
+  let obj fields = "{" ^ String.concat "," fields ^ "}" in
+  Buffer.add_string buf "{\"counters\":";
+  Buffer.add_string buf
+    (obj
+       (List.map
+          (fun (name, c) ->
+            Printf.sprintf "\"%s\":%d" (json_escape name) c.value)
+          (sorted_items counters)));
+  Buffer.add_string buf ",\"gauges\":";
+  Buffer.add_string buf
+    (obj
+       (List.map
+          (fun (name, g) ->
+            Printf.sprintf "\"%s\":%s" (json_escape name)
+              (json_float (read_gauge g)))
+          (sorted_items gauges)));
+  Buffer.add_string buf ",\"histograms\":";
+  Buffer.add_string buf
+    (obj
+       (List.map
+          (fun (name, h) ->
+            Printf.sprintf
+              "\"%s\":{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s}"
+              (json_escape name) h.count (json_float h.sum)
+              (json_float (hist_min h))
+              (json_float (hist_max h))
+              (json_float (quantile h 0.5))
+              (json_float (quantile h 0.9))
+              (json_float (quantile h 0.99)))
+          (sorted_items histograms)));
+  if include_spans then begin
+    Buffer.add_string buf ",\"spans\":[";
+    Buffer.add_string buf
+      (String.concat ","
+         (List.map
+            (fun s ->
+              Printf.sprintf
+                "{\"id\":%d,\"parent\":%d,\"name\":\"%s\",\"start\":%s,\"duration_us\":%s%s}"
+                s.id s.parent (json_escape s.name) (json_float s.start)
+                (json_float (s.duration *. 1e6))
+                (match s.attrs with
+                 | [] -> ""
+                 | attrs ->
+                   ",\"attrs\":"
+                   ^ obj
+                       (List.map
+                          (fun (k, v) ->
+                            Printf.sprintf "\"%s\":\"%s\"" (json_escape k)
+                              (json_escape v))
+                          attrs)))
+            (spans ())));
+    Buffer.add_string buf "]"
+  end;
+  Buffer.add_string buf "}";
+  Buffer.contents buf
+
+(* Render the span ring as an indented tree (roots at margin), newest
+   trace data last — the human view of "where did that request go". *)
+let pp_spans ppf () =
+  let all = spans () in
+  let children =
+    List.filter (fun (s : span) -> s.parent >= 0) all
+  in
+  let rec render indent (s : span) =
+    Format.fprintf ppf "%s%s %.1f us%s@."
+      (String.make (2 * indent) ' ')
+      s.name (s.duration *. 1e6)
+      (match s.attrs with
+       | [] -> ""
+       | attrs ->
+         " ["
+         ^ String.concat ", "
+             (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) attrs)
+         ^ "]");
+    List.iter
+      (fun (c : span) -> if c.parent = s.id then render (indent + 1) c)
+      children
+  in
+  List.iter
+    (fun (s : span) ->
+      (* A span whose parent has been evicted from the ring renders as a
+         root: the trace is bounded, not lossless. *)
+      if s.parent < 0 || not (List.exists (fun (p : span) -> p.id = s.parent) all)
+      then render 0 s)
+    all

@@ -1,0 +1,120 @@
+(** In-process observability: metrics registry and trace spans.
+
+    One global registry holds named counters, callback gauges and
+    log-bucketed latency histograms, plus a bounded ring buffer of trace
+    spans.  Everything is constant-memory and near-zero-cost when
+    disabled (a single boolean load per record call).
+
+    Histograms use geometric buckets with ratio 1.1, so any reported
+    quantile is within ~5% (relative) of the true sample value; [min],
+    [max], [sum] and [count] are exact.  Observations are in seconds.
+
+    Spans are Dapper-style [(name, start, duration, parent, attrs)]
+    records kept in a fixed ring: a long run keeps only the most recent
+    spans, which is exactly what "why was that request slow" needs.
+
+    The registry is process-global and not thread-safe (the engine is
+    single-threaded); disable with [set_enabled false] or by exporting
+    [FB_OBS=0]. *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+(** Enabled by default unless the environment carries [FB_OBS=0]. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Get or create the counter registered under a name. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges}
+
+    Pull-model: a gauge is a callback sampled at dump time.  This is how
+    existing mutable stats records ({!Fb_chunk.Store.stats}, cache and
+    retry counters) fold into the registry without double bookkeeping. *)
+
+val gauge : string -> (unit -> float) -> unit
+(** Register (or replace) the gauge under a name. *)
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : string -> histogram
+(** Get or create the histogram registered under a name. *)
+
+val observe : histogram -> float -> unit
+(** Record one observation (seconds for latencies, but any positive
+    value bucketizes; values below 1ns or above ~12ks clamp to the edge
+    buckets). *)
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** Run the thunk and observe its wall-clock duration — also on
+    exception. *)
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [0, 1]: ~5% relative error, clamped to the
+    exact observed min/max; 0 on an empty histogram. *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_min : histogram -> float
+val hist_max : histogram -> float
+val reset_histogram : histogram -> unit
+
+(** {1 Trace spans} *)
+
+type span = {
+  id : int;
+  parent : int;  (** id of the enclosing span, or -1 for a root span *)
+  name : string;
+  start : float;     (** Unix time, seconds *)
+  duration : float;  (** seconds *)
+  attrs : (string * string) list;
+}
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span.  Nesting is tracked dynamically: a span
+    opened while another is running records it as parent.  The record is
+    written on completion — also on exception. *)
+
+val spans : unit -> span list
+(** Completed spans still in the ring, oldest first.  Children complete
+    before their parent, so consumers must key on [id]/[parent]. *)
+
+val spans_recorded : unit -> int
+(** Spans recorded since the last {!reset} — exceeds the ring capacity
+    once wraparound has discarded old spans. *)
+
+val set_span_capacity : int -> unit
+(** Resize (and clear) the span ring.  Default capacity: 512.
+    @raise Invalid_argument if not positive. *)
+
+val span_capacity : unit -> int
+
+(** {1 Reset and exposition} *)
+
+val reset : unit -> unit
+(** Zero all counters and histograms and clear the span ring.  Gauge
+    registrations (read-only callbacks) are kept. *)
+
+val dump_prometheus : unit -> string
+(** Prometheus text exposition: counters, gauges, and histograms as
+    summaries with [quantile="0.5"/"0.9"/"0.99"] plus [_sum], [_count]
+    and [_max] lines.  Metric names are sanitized ([.] becomes [_]). *)
+
+val dump_json : ?include_spans:bool -> unit -> string
+(** The same registry as a JSON object:
+    [{"counters":{..},"gauges":{..},"histograms":{name:{count,sum,min,
+    max,p50,p90,p99}},"spans":[..]?}].  Spans (with [duration_us]) are
+    included only on request — they are the bulky part. *)
+
+val pp_spans : Format.formatter -> unit -> unit
+(** Human view of the span ring: indented per-trace tree with durations
+    in microseconds.  Spans whose parent has been evicted render as
+    roots. *)

@@ -3,6 +3,7 @@ module Chunk = Fb_chunk.Chunk
 module Store = Fb_chunk.Store
 module Hash = Fb_hash.Hash
 module Rolling = Fb_hash.Rolling
+module Obs = Fb_obs.Obs
 
 exception Corrupt of string
 
@@ -28,6 +29,15 @@ module Make (E : ENTRY) = struct
 
   let params = Rolling.default_node_params
   let max_node_bytes = 16 * (1 lsl params.q)
+
+  (* Trace span names, computed once per instantiation so the hot paths
+     only pay a pointer pass when tracing is on. *)
+  let kind_label = Chunk.kind_to_string E.leaf_kind
+  let span_build = "postree.build(" ^ kind_label ^ ")"
+  let span_update = "postree.update(" ^ kind_label ^ ")"
+  let span_find = "postree.find(" ^ kind_label ^ ")"
+  let span_diff = "postree.diff(" ^ kind_label ^ ")"
+  let span_merge = "postree.merge(" ^ kind_label ^ ")"
 
   (* ---------------- node encoding ---------------- *)
 
@@ -140,10 +150,12 @@ module Make (E : ENTRY) = struct
     dedup sorted
 
   let build store entries =
+    Obs.with_span span_build @@ fun () ->
     let entries = sort_dedup_entries entries in
     { store; root = build_up store (chunk_leaf_level store entries) }
 
   let build_sorted_seq store seq =
+    Obs.with_span span_build @@ fun () ->
     let out = ref [] in
     let emit items =
       let chunk = leaf_chunk items in
@@ -200,7 +212,9 @@ module Make (E : ENTRY) = struct
       | Some ie -> find_in store ie.child k)
 
   let find t k =
-    match t.root with None -> None | Some h -> find_in t.store h k
+    match t.root with
+    | None -> None
+    | Some h -> Obs.with_span span_find (fun () -> find_in t.store h k)
 
   let mem t k = find t k <> None
 
@@ -417,6 +431,7 @@ module Make (E : ENTRY) = struct
     let edits = sort_dedup_edits edits in
     if edits = [] then t
     else
+      Obs.with_span span_update @@ fun () ->
       match t.root with
       | None ->
         let entries =
@@ -614,6 +629,7 @@ module Make (E : ENTRY) = struct
     walk i1 i2 [] [] acc
 
   let diff t1 t2 =
+    Obs.with_span span_diff @@ fun () ->
     let acc =
       match t1.root, t2.root with
       | None, None -> []
@@ -675,6 +691,7 @@ module Make (E : ENTRY) = struct
     | Put _, Remove _ | Remove _, Put _ -> false
 
   let merge ?(on_conflict = fun _ -> None) ~base ~ours ~theirs () =
+    Obs.with_span span_merge @@ fun () ->
     let da = List.map edit_of_change (diff base ours) in
     let db = List.map edit_of_change (diff base theirs) in
     (* Both lists are key-sorted; walk them to find overlapping keys. *)

@@ -22,4 +22,5 @@ let () =
       ("patch", Test_patch.suite);
       ("indexer", Test_indexer.suite);
       ("baselines", Test_baselines.suite);
-      ("workload", Test_workload.suite) ]
+      ("workload", Test_workload.suite);
+      ("obs", Test_obs.suite) ]

@@ -1,0 +1,196 @@
+(* Observability layer: histogram accuracy, metered stores, span ring,
+   METRICS exposition through the service. *)
+
+module Obs = Fb_obs.Obs
+module Store = Fb_chunk.Store
+module Chunk = Fb_chunk.Chunk
+module FB = Fb_core.Forkbase
+module Service = Fb_core.Service
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+(* The registry is process-global and shared with every other suite in
+   this binary: tests only assert on names they own and on deltas. *)
+
+let within_rel ~tol expected actual =
+  expected > 0.0 && Float.abs (actual -. expected) /. expected <= tol
+
+(* ---------------- histograms ---------------- *)
+
+let test_quantile_accuracy () =
+  let h = Obs.histogram "test.obs.quantiles" in
+  Obs.reset_histogram h;
+  (* Uniform 0.1ms..100ms, shuffled order must not matter. *)
+  let n = 1000 in
+  let values = Array.init n (fun i -> float_of_int (i + 1) *. 1e-4) in
+  let rng = Fb_hash.Prng.create 99L in
+  for i = n - 1 downto 1 do
+    let j = Fb_hash.Prng.next_int rng (i + 1) in
+    let tmp = values.(i) in
+    values.(i) <- values.(j);
+    values.(j) <- tmp
+  done;
+  Array.iter (fun v -> Obs.observe h v) values;
+  check int_ "count" n (Obs.hist_count h);
+  check bool_ "sum exact" true
+    (within_rel ~tol:1e-9 (Array.fold_left ( +. ) 0.0 values) (Obs.hist_sum h));
+  check bool_ "min exact" true (Obs.hist_min h = 1e-4);
+  check bool_ "max exact" true (Obs.hist_max h = 0.1);
+  (* Log-bucketing with ratio 1.1 promises < ~5% relative error; allow 6%. *)
+  List.iter
+    (fun (q, expected) ->
+      let got = Obs.quantile h q in
+      if not (within_rel ~tol:0.06 expected got) then
+        Alcotest.failf "q=%.2f: expected ~%g, got %g" q expected got)
+    [ (0.5, 0.05); (0.9, 0.09); (0.99, 0.099); (1.0, 0.1) ];
+  check bool_ "empty quantile" true
+    (Obs.quantile (Obs.histogram "test.obs.empty") 0.5 = 0.0)
+
+let test_histogram_reset () =
+  let h = Obs.histogram "test.obs.reset" in
+  Obs.observe h 0.5;
+  Obs.reset_histogram h;
+  check int_ "count zero" 0 (Obs.hist_count h);
+  check bool_ "sum zero" true (Obs.hist_sum h = 0.0);
+  check bool_ "quantile zero" true (Obs.quantile h 0.5 = 0.0)
+
+(* ---------------- metered store ---------------- *)
+
+let test_metered_store () =
+  let h_put = Obs.histogram "test.metered.put_seconds" in
+  let h_get = Obs.histogram "test.metered.get_seconds" in
+  let h_mem = Obs.histogram "test.metered.mem_seconds" in
+  List.iter Obs.reset_histogram [ h_put; h_get; h_mem ];
+  let s =
+    Fb_chunk.Metered_store.wrap ~prefix:"test.metered"
+      (Fb_chunk.Mem_store.create ())
+  in
+  let ids =
+    List.init 5 (fun i ->
+        Store.put s (Chunk.v Chunk.Leaf_blob (Printf.sprintf "payload-%d" i)))
+  in
+  List.iter (fun id -> ignore (Store.get s id)) ids;
+  ignore (s.Store.mem (List.hd ids));
+  check int_ "puts timed" 5 (Obs.hist_count h_put);
+  check int_ "gets timed" 5 (Obs.hist_count h_get);
+  check int_ "mems timed" 1 (Obs.hist_count h_mem);
+  (* peek is the maintenance read: outside both the store's own gets
+     accounting and the latency histograms. *)
+  let gets_before = (s.Store.stats ()).Store.gets in
+  List.iter (fun id -> ignore (Store.peek s id)) ids;
+  check int_ "peek not timed" 5 (Obs.hist_count h_get);
+  check int_ "peek not counted" gets_before (s.Store.stats ()).Store.gets;
+  (* The wrapped store still stores: durations are non-negative and the
+     payloads round-trip. *)
+  check bool_ "min >= 0" true (Obs.hist_min h_get >= 0.0);
+  check bool_ "roundtrip" true
+    (match Store.get s (List.hd ids) with
+     | Some c -> String.equal c.Chunk.payload "payload-0"
+     | None -> false)
+
+let test_disabled_is_noop () =
+  let was = Obs.is_enabled () in
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled was)
+    (fun () ->
+      Obs.set_enabled true;
+      let c = Obs.counter "test.obs.disabled_counter" in
+      let h = Obs.histogram "test.obs.disabled_hist" in
+      Obs.reset_histogram h;
+      Obs.incr c;
+      let base = Obs.counter_value c in
+      let spans_base = Obs.spans_recorded () in
+      Obs.set_enabled false;
+      Obs.incr c;
+      Obs.add c 10;
+      Obs.observe h 0.5;
+      let r = Obs.time h (fun () -> 42) in
+      check int_ "time still runs thunk" 42 r;
+      let r' = Obs.with_span "test.disabled" (fun () -> 7) in
+      check int_ "with_span still runs thunk" 7 r';
+      check int_ "counter untouched" base (Obs.counter_value c);
+      check int_ "histogram untouched" 0 (Obs.hist_count h);
+      check int_ "no span recorded" spans_base (Obs.spans_recorded ()))
+
+(* ---------------- spans ---------------- *)
+
+let test_span_ring () =
+  let cap = Obs.span_capacity () in
+  Fun.protect
+    ~finally:(fun () -> Obs.set_span_capacity cap)
+    (fun () ->
+      Obs.set_span_capacity 8;
+      for i = 1 to 20 do
+        Obs.with_span (Printf.sprintf "ring-%d" i) (fun () -> ())
+      done;
+      let kept = Obs.spans () in
+      check int_ "ring keeps capacity" 8 (List.length kept);
+      check int_ "total recorded" 20 (Obs.spans_recorded ());
+      (* Oldest-first: the survivors are ring-13 .. ring-20. *)
+      check bool_ "oldest evicted" true
+        (List.for_all
+           (fun (s : Obs.span) ->
+             Scanf.sscanf s.Obs.name "ring-%d" (fun i -> i > 12))
+           kept);
+      (* Parent linkage: a nested span records its enclosing span's id,
+         and completes before it. *)
+      Obs.set_span_capacity 8;
+      Obs.with_span "outer" (fun () ->
+          Obs.with_span "inner" (fun () -> ()));
+      (match Obs.spans () with
+       | [ inner; outer ] ->
+         check bool_ "inner first" true (inner.Obs.name = "inner");
+         check bool_ "outer is root" true (outer.Obs.parent = -1);
+         check int_ "inner parent" outer.Obs.id inner.Obs.parent
+       | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l));
+      (* Exceptions still record the span and pop the stack. *)
+      (try Obs.with_span "thrower" (fun () -> failwith "boom")
+       with Failure _ -> ());
+      Obs.with_span "after" (fun () -> ());
+      let by_name n =
+        List.find (fun (s : Obs.span) -> s.Obs.name = n) (Obs.spans ())
+      in
+      check bool_ "thrower recorded" true
+        (match by_name "thrower" with _ -> true | exception Not_found -> false);
+      check bool_ "after is root" true ((by_name "after").Obs.parent = -1))
+
+(* ---------------- exposition ---------------- *)
+
+let test_metrics_verbs () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  let expect_ok req =
+    let resp = Service.handle fb req in
+    if String.length resp < 2 || String.sub resp 0 2 <> "OK" then
+      Alcotest.failf "request %S -> %s" req resp;
+    if String.length resp > 3 then String.sub resp 3 (String.length resp - 3)
+    else ""
+  in
+  ignore (expect_ok "put answer master fortytwo");
+  ignore (expect_ok "get answer master");
+  let prom = expect_ok "metrics" in
+  check bool_ "prometheus has put histogram" true
+    (Tutil.contains prom "fb_put_seconds");
+  check bool_ "prometheus has quantile label" true
+    (Tutil.contains prom "quantile=\"0.99\"");
+  check bool_ "prometheus has TYPE lines" true
+    (Tutil.contains prom "# TYPE");
+  let json = expect_ok "metrics-json" in
+  (match Fb_types.Json.parse json with
+   | Error e -> Alcotest.failf "metrics-json is not valid JSON: %s" e
+   | Ok _ -> ());
+  check bool_ "json has histograms" true (Tutil.contains json "\"histograms\"");
+  check bool_ "json has put latency" true (Tutil.contains json "fb.put_seconds");
+  check bool_ "json has spans" true (Tutil.contains json "\"spans\"");
+  (* dump_json without spans stays lean (the bench artifact path). *)
+  check bool_ "spans only on request" false
+    (Tutil.contains (Obs.dump_json ()) "\"spans\"")
+
+let suite =
+  [ Alcotest.test_case "quantile accuracy" `Quick test_quantile_accuracy;
+    Alcotest.test_case "histogram reset" `Quick test_histogram_reset;
+    Alcotest.test_case "metered store" `Quick test_metered_store;
+    Alcotest.test_case "disabled is no-op" `Quick test_disabled_is_noop;
+    Alcotest.test_case "span ring" `Quick test_span_ring;
+    Alcotest.test_case "metrics verbs" `Quick test_metrics_verbs ]
