@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the real build system.
 
-.PHONY: all build test bench check clean
+.PHONY: all build test bench bench-hotpath check clean
 
 all: build
 
@@ -13,12 +13,19 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# The pre-commit gate: full build, full test suite, and the observability
-# self-test (instrumentation overhead + histogram/exposition smoke).
+# Hot-path microbenchmarks (SHA-256 kernel, chunker scan, node cache);
+# writes BENCH_hotpath.json.
+bench-hotpath:
+	dune exec bench/main.exe -- hotpath
+
+# The pre-commit gate: full build, full test suite, the observability
+# self-test (instrumentation overhead + histogram/exposition smoke), and a
+# ~1-second hot-path sanity run (kernel equivalence + cache on/off smoke).
 check:
 	dune build
 	dune runtest
 	dune exec bench/main.exe -- obs
+	dune exec bench/main.exe -- hotpath-quick
 
 clean:
 	dune clean

@@ -1109,6 +1109,159 @@ let run_obs () =
   Printf.printf "\nmachine-readable registry written to BENCH_obs.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Hot path: SHA-256 kernel, chunker scan, node-cache tree ops.       *)
+(* ------------------------------------------------------------------ *)
+
+let run_hotpath ?(quick = false) () =
+  header
+    (if quick then
+       "HOT PATH (quick sanity): kernel equivalence + throughput smoke run"
+     else
+       "HOT PATH: unboxed SHA-256 kernel, fused chunker scan, decoded-node \
+        cache\n\
+        (throughputs single-threaded; tree ops on a mem store)");
+  let module Sha256 = Fb_hash.Sha256 in
+  let module Sha256_ref = Fb_hash.Sha256_ref in
+  let module Rolling = Fb_hash.Rolling in
+  let module Node_cache = Fb_postree.Node_cache in
+  let mb = 1024.0 *. 1024.0 in
+  (* Throughput of [f] over [reps] passes of [bytes] input bytes. *)
+  let mb_s bytes reps f =
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do ignore (f ()) done;
+    float_of_int (bytes * reps) /. (Unix.gettimeofday () -. t0) /. mb
+  in
+  let rand_string seed n =
+    let rng = Prng.create seed in
+    String.init n (fun _ -> Char.chr (Prng.next_int rng 256))
+  in
+  (* --- 1. SHA-256: optimized kernel vs Int32 reference oracle --- *)
+  let sha_sizes = if quick then [ 65536 ] else [ 4096; 65536 ] in
+  let sha_mib = if quick then 2 else 32 in
+  Printf.printf "%-24s %12s %12s %9s\n" "sha256 (buffer size)" "ref MB/s"
+    "new MB/s" "speedup";
+  let sha_rows =
+    List.map
+      (fun size ->
+        let buf = rand_string 0x5aL size in
+        assert (String.equal (Sha256.digest buf) (Sha256_ref.digest buf));
+        let reps = max 1 (sha_mib * 1024 * 1024 / size) in
+        let new_mb = mb_s size reps (fun () -> Sha256.digest buf) in
+        let ref_mb = mb_s size reps (fun () -> Sha256_ref.digest buf) in
+        Printf.printf "%-24d %12.1f %12.1f %8.2fx\n" size ref_mb new_mb
+          (new_mb /. ref_mb);
+        (size, ref_mb, new_mb))
+      sha_sizes
+  in
+  (* --- 2. chunker: fused feed_string vs per-char feed --- *)
+  let scan_bytes = (if quick then 2 else 16) * 1024 * 1024 in
+  let scan = rand_string 0xbeefL scan_bytes in
+  let params = Rolling.default_blob_params in
+  let fast_mb =
+    mb_s scan_bytes 1 (fun () ->
+        let t = Rolling.create params in
+        Rolling.feed_string t scan)
+  in
+  let slow_mb =
+    mb_s scan_bytes 1 (fun () ->
+        let t = Rolling.create params in
+        let hit = ref false in
+        String.iter (fun c -> if Rolling.feed t c then hit := true) scan;
+        !hit)
+  in
+  Printf.printf "\n%-24s %12.1f %12.1f %8.2fx\n" "chunker scan" slow_mb fast_mb
+    (fast_mb /. slow_mb);
+  let rstats = Rolling.stats () in
+  Printf.printf
+    "gamma tables: %d built, %d served from memo (%d MB scanned so far)\n"
+    rstats.Rolling.gamma_builds rstats.Rolling.gamma_memo_hits
+    (rstats.Rolling.bytes_scanned / (1024 * 1024));
+  (* --- 3. tree ops with the decoded-node cache off/on --- *)
+  let n = if quick then 10_000 else 50_000 in
+  let lookups = if quick then 1_000 else 5_000 in
+  let tree_reps = if quick then 1 else 5 in
+  let store = Mem_store.create () in
+  let bindings =
+    List.init n (fun i -> (Printf.sprintf "key-%08d" i, "value-payload"))
+  in
+  let tree = Pmap.of_bindings store bindings in
+  let tree2 = Pmap.put tree (Printf.sprintf "key-%08d" (n / 2)) "changed" in
+  let ours = Pmap.put tree (Printf.sprintf "key-%08d" (n / 5)) "ours" in
+  let theirs = Pmap.put tree (Printf.sprintf "key-%08d" (4 * n / 5)) "theirs" in
+  let bench_tree label =
+    let h = Obs.histogram ("bench.hotpath." ^ label) in
+    Obs.reset_histogram h;
+    let sweep ~record rng =
+      for _ = 1 to lookups do
+        let key = Printf.sprintf "key-%08d" (Prng.next_int rng n) in
+        if record then Obs.time h (fun () -> ignore (Pmap.find tree key))
+        else ignore (Pmap.find tree key)
+      done
+    in
+    (* Same warm pass in both configurations so they start steady-state. *)
+    sweep ~record:false (Prng.create 808L);
+    sweep ~record:true (Prng.create 808L);
+    let diff_res = ref [] in
+    let _, diff_ms =
+      time_ms (fun () ->
+          for _ = 1 to tree_reps do diff_res := Pmap.diff tree tree2 done)
+    in
+    assert (List.length !diff_res = 1);
+    let _, merge_ms =
+      time_ms (fun () ->
+          for _ = 1 to tree_reps do
+            match Pmap.merge ~base:tree ~ours ~theirs () with
+            | Ok _ -> ()
+            | Error _ -> failwith "unexpected conflict"
+          done)
+    in
+    let p50 = 1e6 *. Obs.quantile h 0.5
+    and p99 = 1e6 *. Obs.quantile h 0.99 in
+    let diff_ms = diff_ms /. float_of_int tree_reps
+    and merge_ms = merge_ms /. float_of_int tree_reps in
+    Printf.printf
+      "%-26s lookup p50 %6.2f us  p99 %6.2f us  diff %6.2f ms  merge %6.2f \
+       ms\n"
+      label p50 p99 diff_ms merge_ms;
+    (p50, p99, diff_ms, merge_ms)
+  in
+  Printf.printf "\ntree ops on %d entries (%d lookups):\n" n lookups;
+  Node_cache.set_capacity_all 0;
+  let off_p50, off_p99, off_diff, off_merge = bench_tree "node cache off" in
+  Node_cache.set_capacity_all Node_cache.default_capacity;
+  let on_p50, on_p99, on_diff, on_merge = bench_tree "node cache on" in
+  Printf.printf "lookup p50 speedup with cache: %.2fx\n" (off_p50 /. on_p50);
+  if not quick then begin
+    let json =
+      Printf.sprintf
+        "{\"sha256\":[%s],\n\
+         \"chunker\":{\"per_char_mb_s\":%.1f,\"fast_mb_s\":%.1f,\
+         \"speedup\":%.2f},\n\
+         \"tree\":{\"entries\":%d,\"lookups\":%d,\n\
+        \  \"cache_off\":{\"lookup_p50_us\":%.2f,\"lookup_p99_us\":%.2f,\
+         \"diff_ms\":%.3f,\"merge_ms\":%.3f},\n\
+        \  \"cache_on\":{\"lookup_p50_us\":%.2f,\"lookup_p99_us\":%.2f,\
+         \"diff_ms\":%.3f,\"merge_ms\":%.3f},\n\
+        \  \"lookup_p50_speedup\":%.2f}}\n"
+        (String.concat ","
+           (List.map
+              (fun (size, ref_mb, new_mb) ->
+                Printf.sprintf
+                  "{\"buffer\":%d,\"ref_mb_s\":%.1f,\"new_mb_s\":%.1f,\
+                   \"speedup\":%.2f}"
+                  size ref_mb new_mb (new_mb /. ref_mb))
+              sha_rows))
+        slow_mb fast_mb (fast_mb /. slow_mb) n lookups off_p50 off_p99
+        off_diff off_merge on_p50 on_p99 on_diff on_merge (off_p50 /. on_p50)
+    in
+    let oc = open_out "BENCH_hotpath.json" in
+    output_string oc json;
+    close_out oc;
+    Printf.printf "\nmachine-readable results written to BENCH_hotpath.json\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("table1", run_table1);
@@ -1123,7 +1276,9 @@ let experiments =
     ("resilience", run_resilience);
     ("cluster", run_cluster);
     ("obs", run_obs);
-    ("micro", run_micro) ]
+    ("micro", run_micro);
+    ("hotpath", fun () -> run_hotpath ());
+    ("hotpath-quick", fun () -> run_hotpath ~quick:true ()) ]
 
 let () =
   let requested =

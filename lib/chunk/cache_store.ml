@@ -107,6 +107,8 @@ let wrap ~capacity (inner : Store.t) =
   in
   let put chunk =
     let id = inner.Store.put chunk in
+    (* [Chunk.encode] is memoized on the chunk value, so this reuses the
+       encoding the inner put produced instead of re-encoding. *)
     remember lru id (Chunk.encode chunk);
     id
   in

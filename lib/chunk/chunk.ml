@@ -38,9 +38,14 @@ let kind_of_tag = function
 let equal_kind a b = kind_tag a = kind_tag b
 let pp_kind fmt k = Format.pp_print_string fmt (kind_to_string k)
 
-type t = { kind : kind; payload : string }
+type t = {
+  kind : kind;
+  payload : string;
+  mutable enc : string option;          (* memoized [encode] *)
+  mutable id : Fb_hash.Hash.t option;   (* memoized [hash] *)
+}
 
-let v kind payload = { kind; payload }
+let v kind payload = { kind; payload; enc = None; id = None }
 
 (* 'F' 'B' magic, format version 1, kind tag, payload.  The header is part
    of the hashed bytes: a chunk reinterpreted under another kind gets a
@@ -50,15 +55,28 @@ let magic1 = 'B'
 let format_version = 1
 let header_size = 4
 
+(* One 4-byte header string per kind, so hashing a chunk never rebuilds
+   it. *)
+let headers =
+  Array.init 7 (fun tag ->
+      let b = Bytes.create header_size in
+      Bytes.set b 0 magic0;
+      Bytes.set b 1 magic1;
+      Bytes.set b 2 (Char.chr format_version);
+      Bytes.set b 3 (Char.chr tag);
+      Bytes.unsafe_to_string b)
+
 let encode c =
-  let n = String.length c.payload in
-  let b = Bytes.create (header_size + n) in
-  Bytes.set b 0 magic0;
-  Bytes.set b 1 magic1;
-  Bytes.set b 2 (Char.chr format_version);
-  Bytes.set b 3 (Char.chr (kind_tag c.kind));
-  Bytes.blit_string c.payload 0 b header_size n;
-  Bytes.unsafe_to_string b
+  match c.enc with
+  | Some e -> e
+  | None ->
+      let n = String.length c.payload in
+      let b = Bytes.create (header_size + n) in
+      Bytes.blit_string headers.(kind_tag c.kind) 0 b 0 header_size;
+      Bytes.blit_string c.payload 0 b header_size n;
+      let e = Bytes.unsafe_to_string b in
+      c.enc <- Some e;
+      e
 
 let decode s =
   if String.length s < header_size then Error "chunk: too short"
@@ -69,9 +87,28 @@ let decode s =
     match kind_of_tag (Char.code s.[3]) with
     | None -> Error (Printf.sprintf "chunk: unknown kind tag %d" (Char.code s.[3]))
     | Some kind ->
-      Ok { kind; payload = String.sub s header_size (String.length s - header_size) }
+      (* [s] is already the canonical encoding (magic, version and kind all
+         checked above), so it seeds the memo: a decode → re-encode or
+         decode → hash round-trip copies nothing. *)
+      Ok { kind;
+           payload = String.sub s header_size (String.length s - header_size);
+           enc = Some s;
+           id = None }
 
-let hash c = Fb_hash.Hash.of_string (encode c)
+let hash c =
+  match c.id with
+  | Some h -> h
+  | None ->
+      let h =
+        (* Stream header and payload through the incremental SHA-256 context
+           rather than materializing the encoding just to hash it. *)
+        match c.enc with
+        | Some e -> Fb_hash.Hash.of_string e
+        | None ->
+            Fb_hash.Hash.of_strings [ headers.(kind_tag c.kind); c.payload ]
+      in
+      c.id <- Some h;
+      h
 let encoded_size c = header_size + String.length c.payload
 
 let pp fmt c =

@@ -19,19 +19,31 @@ val kind_tag : kind -> int
 val equal_kind : kind -> kind -> bool
 val pp_kind : Format.formatter -> kind -> unit
 
-type t = private { kind : kind; payload : string }
+type t = private {
+  kind : kind;
+  payload : string;
+  mutable enc : string option;
+      (** memoized {!encode}; [private] keeps it write-protected outside *)
+  mutable id : Fb_hash.Hash.t option;  (** memoized {!hash} *)
+}
 
 val v : kind -> string -> t
 (** Construct a chunk from a kind and an encoded payload. *)
 
 val encode : t -> string
-(** Canonical on-storage bytes: magic, format version, kind tag, payload. *)
+(** Canonical on-storage bytes: magic, format version, kind tag, payload.
+    Computed once per chunk value and memoized. *)
 
 val decode : string -> (t, string) result
-(** Inverse of {!encode}; rejects bad magic, unknown versions and kinds. *)
+(** Inverse of {!encode}; rejects bad magic, unknown versions and kinds.
+    The validated input seeds the {!encode} memo, so decode → re-encode
+    round-trips copy nothing. *)
 
 val hash : t -> Fb_hash.Hash.t
-(** Identity: SHA-256 of {!encode}. *)
+(** Identity: SHA-256 of {!encode}.  Computed once per chunk value (header
+    and payload are streamed through the incremental hash without
+    materializing the encoding) and memoized, so put/verify/GC paths that
+    all need the identity hash pay for it once. *)
 
 val encoded_size : t -> int
 (** Byte size of the encoded form (what the store accounts). *)

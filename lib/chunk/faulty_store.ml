@@ -105,14 +105,13 @@ let wrap config (inner : Store.t) =
       c.transient_puts <- c.transient_puts + 1;
       raise (Store.Transient "injected: transient write failure")
     end;
-    let encoded = Chunk.encode chunk in
-    let id = Hash.of_string encoded in
+    let id = Chunk.hash chunk in
     let crash =
       match config.crash_on_put with Some n -> c.puts = n | None -> false
     in
     if crash then begin
       if not (Hash.Tbl.mem torn id || inner.Store.mem id) then begin
-        Hash.Tbl.replace torn id (tear encoded);
+        Hash.Tbl.replace torn id (tear (Chunk.encode chunk));
         c.torn_writes <- c.torn_writes + 1
       end;
       c.crashes <- c.crashes + 1;
@@ -123,7 +122,7 @@ let wrap config (inner : Store.t) =
          skips the write, exactly like [File_store] would. *)
       id
     else if (not (inner.Store.mem id)) && draw config.torn_write_p then begin
-      Hash.Tbl.replace torn id (tear encoded);
+      Hash.Tbl.replace torn id (tear (Chunk.encode chunk));
       c.torn_writes <- c.torn_writes + 1;
       id
     end

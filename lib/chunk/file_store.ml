@@ -70,20 +70,21 @@ let create ?(fsync = false) ~root () =
       { Store.empty_stats with physical_chunks; physical_bytes }
   in
   let put chunk =
-    let encoded = Chunk.encode chunk in
-    let id = Hash.of_string encoded in
+    (* Hash first (streamed, memoized on the chunk); encode only when the
+       file is actually missing. *)
+    let id = Chunk.hash chunk in
+    let size = Chunk.encoded_size chunk in
     let path = path_of root id in
     let s = !stats in
     let present = Sys.file_exists path in
-    if not present then write_file_atomic ~fsync path encoded;
+    if not present then write_file_atomic ~fsync path (Chunk.encode chunk);
     stats :=
       { s with
         puts = s.puts + 1;
-        logical_bytes = s.logical_bytes + String.length encoded;
+        logical_bytes = s.logical_bytes + size;
         dedup_hits = (s.dedup_hits + if present then 1 else 0);
         physical_chunks = (s.physical_chunks + if present then 0 else 1);
-        physical_bytes =
-          (s.physical_bytes + if present then 0 else String.length encoded);
+        physical_bytes = (s.physical_bytes + if present then 0 else size);
       };
     id
   in

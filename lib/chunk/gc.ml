@@ -33,7 +33,7 @@ let sweep store ~children ~roots =
   let swept_bytes = ref 0 and swept_chunks = ref 0 in
   List.iter
     (fun (id, size) ->
-      if store.Store.delete id then begin
+      if Store.delete store id then begin
         incr swept_chunks;
         swept_bytes := !swept_bytes + size
       end)

@@ -8,19 +8,20 @@ type handle = {
 let create_with_handle ?(name = "mem") () =
   let h = { tbl = Hash.Tbl.create 4096; stats = Store.empty_stats } in
   let put chunk =
-    let encoded = Chunk.encode chunk in
-    let id = Hash.of_string encoded in
+    (* Hash first (streamed, memoized on the chunk); encode only when the
+       chunk is actually absent. *)
+    let id = Chunk.hash chunk in
+    let size = Chunk.encoded_size chunk in
     let s = h.stats in
     let present = Hash.Tbl.mem h.tbl id in
-    if not present then Hash.Tbl.replace h.tbl id encoded;
+    if not present then Hash.Tbl.replace h.tbl id (Chunk.encode chunk);
     h.stats <-
       { s with
         puts = s.puts + 1;
-        logical_bytes = s.logical_bytes + String.length encoded;
+        logical_bytes = s.logical_bytes + size;
         dedup_hits = (s.dedup_hits + if present then 1 else 0);
         physical_chunks = (s.physical_chunks + if present then 0 else 1);
-        physical_bytes =
-          (s.physical_bytes + if present then 0 else String.length encoded);
+        physical_bytes = (s.physical_bytes + if present then 0 else size);
       };
     id
   in

@@ -172,22 +172,22 @@ let with_overlay ~packs overlay =
   let find_pack id = List.find_map (fun p -> find p id) packs in
   let stats = ref Store.empty_stats in
   let put chunk =
-    let encoded = Chunk.encode chunk in
-    let id = Fb_hash.Hash.of_string encoded in
+    let id = Chunk.hash chunk in
+    let size = Chunk.encoded_size chunk in
     let s = !stats in
     if in_pack id then begin
       stats :=
         { s with
           puts = s.puts + 1;
           dedup_hits = s.dedup_hits + 1;
-          logical_bytes = s.logical_bytes + String.length encoded };
+          logical_bytes = s.logical_bytes + size };
       id
     end
     else begin
       stats :=
         { s with
           puts = s.puts + 1;
-          logical_bytes = s.logical_bytes + String.length encoded };
+          logical_bytes = s.logical_bytes + size };
       Store.put overlay chunk
     end
   in

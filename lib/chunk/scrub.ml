@@ -57,7 +57,7 @@ let run ?children ?(roots = []) ?replica ?quarantine ?(dry_run = false)
         match Chunk.decode raw with
         | Error _ -> false
         | Ok chunk ->
-          ignore (store.Store.delete id);
+          ignore (Store.delete store id);
           ignore (store.Store.put chunk);
           incr repaired;
           true)
@@ -68,7 +68,7 @@ let run ?children ?(roots = []) ?replica ?quarantine ?(dry_run = false)
     List.iter
       (fun (id, raw) ->
         (match quarantine with Some keep -> keep id raw | None -> ());
-        if store.Store.delete id then incr quarantined;
+        if Store.delete store id then incr quarantined;
         if repair_from_replica id then good := Hash.Set.add id !good
         else unrepaired := id :: !unrepaired)
       corrupt;

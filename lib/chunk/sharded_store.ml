@@ -111,8 +111,8 @@ let repair_stats t = t.stats
 
 let store t =
   let put chunk =
-    let encoded = Chunk.encode chunk in
-    let id = Hash.of_string encoded in
+    let id = Chunk.hash chunk in
+    let size = Chunk.encoded_size chunk in
     let targets = up_owners t id in
     if targets = [] then
       (* Every owner down: the write cannot be durably placed. *)
@@ -130,11 +130,10 @@ let store t =
     t.agg <-
       { s with
         puts = s.puts + 1;
-        logical_bytes = s.logical_bytes + String.length encoded;
+        logical_bytes = s.logical_bytes + size;
         dedup_hits = (s.dedup_hits + if fresh then 0 else 1);
         physical_chunks = (s.physical_chunks + if fresh then 1 else 0);
-        physical_bytes =
-          (s.physical_bytes + if fresh then String.length encoded else 0) };
+        physical_bytes = (s.physical_bytes + if fresh then size else 0) };
     id
   in
   (* Read from owners in preference order; verify, fall back, repair. *)

@@ -46,6 +46,18 @@ let put t c = t.put c
 let get t h = t.get h
 let peek t h = t.peek h
 
+(* Caches keyed by chunk identity (e.g. the POS-Tree decoded-node cache)
+   register here so maintenance deletions invalidate them.  The registry is
+   global rather than per-store: over-invalidating across store instances
+   is harmless, serving a stale decode after a delete is not. *)
+let delete_listeners : (Fb_hash.Hash.t -> unit) list ref = ref []
+let on_delete f = delete_listeners := f :: !delete_listeners
+
+let delete t id =
+  let existed = t.delete id in
+  if existed then List.iter (fun f -> f id) !delete_listeners;
+  existed
+
 let get_exn t h =
   match t.get h with Some c -> c | None -> raise Not_found
 

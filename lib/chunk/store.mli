@@ -66,3 +66,15 @@ val stats : t -> stats
 val physical_bytes : t -> int
 (** Shorthand for [(stats t).physical_bytes] — the quantity whose delta the
     Fig. 4 experiment reports. *)
+
+val delete : t -> Fb_hash.Hash.t -> bool
+(** Remove a chunk and, if it existed, notify every {!on_delete} listener.
+    Maintenance passes (GC sweep, scrub quarantine) must delete through
+    here rather than the raw record field so identity-keyed caches never
+    serve data for chunks that are gone. *)
+
+val on_delete : (Fb_hash.Hash.t -> unit) -> unit
+(** Register a process-wide deletion hook, called with the identity of
+    every chunk removed via {!delete}.  Used by the decoded-node cache for
+    invalidation.  Listeners must not raise and must not call back into
+    the store. *)

@@ -38,7 +38,26 @@ val feed : t -> char -> bool
 val feed_string : t -> string -> bool
 (** Absorb all bytes of a string; [true] iff the pattern fired on {e any}
     byte of it.  Used when boundaries are checked at entry granularity: a
-    pattern inside an entry extends the boundary to the entry's end. *)
+    pattern inside an entry extends the boundary to the entry's end.
+
+    This is the hot path of every POS-Tree build: once the window is full
+    it runs a fused branch-free loop with hoisted table lookups instead of
+    calling {!feed} per byte.  It is observationally identical to feeding
+    each byte through {!feed} (property-tested). *)
+
+val fingerprint : t -> int
+(** Current rolling state Φ (q bits).  Exposed for diagnostics and for the
+    differential tests that check {!feed_string} against per-byte
+    {!feed}. *)
+
+type stats = {
+  gamma_builds : int;     (** Γ tables actually constructed *)
+  gamma_memo_hits : int;  (** [create] calls served from the memo *)
+  bytes_scanned : int;    (** total bytes absorbed via {!feed_string} *)
+}
+
+val stats : unit -> stats
+(** Process-wide chunker counters (monotonic). *)
 
 val hits_in : params -> string -> int list
 (** Offsets (0-based, inclusive of the byte that completes the window) at

@@ -1,0 +1,142 @@
+(* FIPS 180-4 SHA-256, reference kernel.  The compression function works on
+   Int32 words, which keeps the arithmetic exact and the code obviously
+   faithful to the specification, at the cost of boxing every intermediate.
+   Kept as the differential-test oracle for the fast native-int [Sha256]. *)
+
+let k =
+  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l;
+     0x3956c25bl; 0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l;
+     0xd807aa98l; 0x12835b01l; 0x243185bel; 0x550c7dc3l;
+     0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l; 0xc19bf174l;
+     0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
+     0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal;
+     0x983e5152l; 0xa831c66dl; 0xb00327c8l; 0xbf597fc7l;
+     0xc6e00bf3l; 0xd5a79147l; 0x06ca6351l; 0x14292967l;
+     0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl; 0x53380d13l;
+     0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
+     0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l;
+     0xd192e819l; 0xd6990624l; 0xf40e3585l; 0x106aa070l;
+     0x19a4c116l; 0x1e376c08l; 0x2748774cl; 0x34b0bcb5l;
+     0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl; 0x682e6ff3l;
+     0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+
+type ctx = {
+  h : int32 array;          (* eight working hash words *)
+  block : Bytes.t;          (* 64-byte input block being filled *)
+  mutable fill : int;       (* bytes currently in [block] *)
+  mutable total : int64;    (* total message length in bytes *)
+  w : int32 array;          (* message schedule, reused across blocks *)
+}
+
+let init () =
+  { h =
+      [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
+         0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |];
+    block = Bytes.create 64;
+    fill = 0;
+    total = 0L;
+    w = Array.make 64 0l }
+
+let ( &&& ) = Int32.logand
+let ( ||| ) = Int32.logor
+let ( ^^^ ) = Int32.logxor
+let ( +% ) = Int32.add
+
+let rotr x n = Int32.shift_right_logical x n ||| Int32.shift_left x (32 - n)
+let shr x n = Int32.shift_right_logical x n
+
+let compress ctx =
+  let w = ctx.w in
+  for i = 0 to 15 do
+    w.(i) <- Bytes.get_int32_be ctx.block (i * 4)
+  done;
+  for i = 16 to 63 do
+    let s0 = rotr w.(i - 15) 7 ^^^ rotr w.(i - 15) 18 ^^^ shr w.(i - 15) 3 in
+    let s1 = rotr w.(i - 2) 17 ^^^ rotr w.(i - 2) 19 ^^^ shr w.(i - 2) 10 in
+    w.(i) <- w.(i - 16) +% s0 +% w.(i - 7) +% s1
+  done;
+  let h = ctx.h in
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for i = 0 to 63 do
+    let s1 = rotr !e 6 ^^^ rotr !e 11 ^^^ rotr !e 25 in
+    let ch = (!e &&& !f) ^^^ (Int32.lognot !e &&& !g) in
+    let t1 = !hh +% s1 +% ch +% k.(i) +% w.(i) in
+    let s0 = rotr !a 2 ^^^ rotr !a 13 ^^^ rotr !a 22 in
+    let maj = (!a &&& !b) ^^^ (!a &&& !c) ^^^ (!b &&& !c) in
+    let t2 = s0 +% maj in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := !d +% t1;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := t1 +% t2
+  done;
+  h.(0) <- h.(0) +% !a;
+  h.(1) <- h.(1) +% !b;
+  h.(2) <- h.(2) +% !c;
+  h.(3) <- h.(3) +% !d;
+  h.(4) <- h.(4) +% !e;
+  h.(5) <- h.(5) +% !f;
+  h.(6) <- h.(6) +% !g;
+  h.(7) <- h.(7) +% !hh
+
+let update_sub ctx s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Sha256.update_sub";
+  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  let pos = ref pos and len = ref len in
+  while !len > 0 do
+    let n = min !len (64 - ctx.fill) in
+    Bytes.blit_string s !pos ctx.block ctx.fill n;
+    ctx.fill <- ctx.fill + n;
+    pos := !pos + n;
+    len := !len - n;
+    if ctx.fill = 64 then begin
+      compress ctx;
+      ctx.fill <- 0
+    end
+  done
+
+let update ctx s = update_sub ctx s ~pos:0 ~len:(String.length s)
+
+let update_char ctx c =
+  ctx.total <- Int64.add ctx.total 1L;
+  Bytes.set ctx.block ctx.fill c;
+  ctx.fill <- ctx.fill + 1;
+  if ctx.fill = 64 then begin
+    compress ctx;
+    ctx.fill <- 0
+  end
+
+let finalize ctx =
+  let bitlen = Int64.mul ctx.total 8L in
+  (* Padding: 0x80, zeros, then 64-bit big-endian bit length. *)
+  Bytes.set ctx.block ctx.fill '\x80';
+  ctx.fill <- ctx.fill + 1;
+  if ctx.fill > 56 then begin
+    Bytes.fill ctx.block ctx.fill (64 - ctx.fill) '\x00';
+    compress ctx;
+    ctx.fill <- 0
+  end;
+  Bytes.fill ctx.block ctx.fill (56 - ctx.fill) '\x00';
+  Bytes.set_int64_be ctx.block 56 bitlen;
+  compress ctx;
+  let out = Bytes.create 32 in
+  for i = 0 to 7 do
+    Bytes.set_int32_be out (i * 4) ctx.h.(i)
+  done;
+  Bytes.unsafe_to_string out
+
+let digest s =
+  let ctx = init () in
+  update ctx s;
+  finalize ctx
+
+let digest_strings ss =
+  let ctx = init () in
+  List.iter (update ctx) ss;
+  finalize ctx

@@ -1,0 +1,33 @@
+(** Reference SHA-256 kernel (FIPS 180-4) on boxed [Int32] words.
+
+    This is the original, obviously-specification-faithful implementation.
+    It is kept verbatim as a differential-testing oracle and as the baseline
+    for the [hotpath] benchmark; production code uses {!Sha256}, whose
+    compression function is an unrolled branch-free [Int64] kernel.  Both
+    must produce bit-identical digests for every input. *)
+
+type ctx
+(** Mutable hashing context. *)
+
+val init : unit -> ctx
+(** Fresh context. *)
+
+val update : ctx -> string -> unit
+(** Absorb a whole string. *)
+
+val update_sub : ctx -> string -> pos:int -> len:int -> unit
+(** Absorb [len] bytes of [s] starting at [pos].
+    @raise Invalid_argument if the range is out of bounds. *)
+
+val update_char : ctx -> char -> unit
+(** Absorb a single byte. *)
+
+val finalize : ctx -> string
+(** Produce the 32-byte digest.  The context must not be reused. *)
+
+val digest : string -> string
+(** [digest s] is the 32-byte SHA-256 digest of [s]. *)
+
+val digest_strings : string list -> string
+(** Digest of the concatenation of the given strings, without building the
+    concatenation. *)

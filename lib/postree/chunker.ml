@@ -1,3 +1,14 @@
+(* Chunker counters surfaced through the Obs registry, which feeds the
+   METRICS/METRICS-JSON service verbs and `forkbase metrics`. *)
+let () =
+  let g suffix f = Fb_obs.Obs.gauge ("chunker." ^ suffix) f in
+  g "gamma_builds" (fun () ->
+      float_of_int (Fb_hash.Rolling.stats ()).Fb_hash.Rolling.gamma_builds);
+  g "gamma_memo_hits" (fun () ->
+      float_of_int (Fb_hash.Rolling.stats ()).Fb_hash.Rolling.gamma_memo_hits);
+  g "bytes_scanned" (fun () ->
+      float_of_int (Fb_hash.Rolling.stats ()).Fb_hash.Rolling.bytes_scanned)
+
 type 'a t = {
   rolling : Fb_hash.Rolling.t;
   max_bytes : int;

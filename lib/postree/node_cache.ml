@@ -1,0 +1,161 @@
+module Hash = Fb_hash.Hash
+module Store = Fb_chunk.Store
+module Obs = Fb_obs.Obs
+
+(* Capacity policy: FB_NODE_CACHE sets the per-cache entry budget for the
+   whole process (0 disables caching); benches override it at run time via
+   [set_capacity_all]. *)
+let default_capacity =
+  match Sys.getenv_opt "FB_NODE_CACHE" with
+  | Some s -> (match int_of_string_opt s with Some n when n >= 0 -> n | _ -> 1024)
+  | None -> 1024
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  size : int;
+}
+
+type 'a node = {
+  id : Hash.t;
+  value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  name : string;
+  mutable capacity : int;
+  tbl : 'a node Hash.Tbl.t;
+  mutable head : 'a node option;  (* most recent *)
+  mutable tail : 'a node option;  (* least recent *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+(* Heterogeneous registry (as capacity-setter closures) so benches can turn
+   every cache off/on without naming each instantiation. *)
+let registry : (int -> unit) list ref = ref []
+
+let unlink t n =
+  (match n.prev with
+   | Some p -> p.next <- n.next
+   | None -> t.head <- n.next);
+  (match n.next with
+   | Some s -> s.prev <- n.prev
+   | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> ());
+  t.head <- Some n;
+  if t.tail = None then t.tail <- Some n
+
+let touch t n =
+  if t.head != Some n then begin
+    unlink t n;
+    push_front t n
+  end
+
+let drop t id =
+  match Hash.Tbl.find_opt t.tbl id with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hash.Tbl.remove t.tbl id
+
+let invalidate t id =
+  if Hash.Tbl.mem t.tbl id then begin
+    drop t id;
+    t.invalidations <- t.invalidations + 1
+  end
+
+let clear t =
+  Hash.Tbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None
+
+let set_capacity t cap =
+  if cap < 0 then invalid_arg "Node_cache.set_capacity";
+  t.capacity <- cap;
+  (* Shrinking (or disabling) evicts from the cold end. *)
+  while Hash.Tbl.length t.tbl > cap do
+    match t.tail with
+    | None -> clear t
+    | Some n ->
+      unlink t n;
+      Hash.Tbl.remove t.tbl n.id;
+      t.evictions <- t.evictions + 1
+  done
+
+let set_capacity_all cap = List.iter (fun f -> f cap) !registry
+
+let stats t =
+  { hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    invalidations = t.invalidations;
+    size = Hash.Tbl.length t.tbl }
+
+let create ~name =
+  let t =
+    { name;
+      capacity = default_capacity;
+      tbl = Hash.Tbl.create 512;
+      head = None;
+      tail = None;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      invalidations = 0 }
+  in
+  registry := (fun cap -> set_capacity t cap) :: !registry;
+  (* Deletions anywhere (GC sweep, scrub quarantine) must not leave a
+     decodable ghost behind. *)
+  Store.on_delete (fun id -> invalidate t id);
+  let g suffix f = Obs.gauge ("node_cache." ^ name ^ "." ^ suffix) f in
+  g "hits" (fun () -> float_of_int t.hits);
+  g "misses" (fun () -> float_of_int t.misses);
+  g "size" (fun () -> float_of_int (Hash.Tbl.length t.tbl));
+  g "hit_ratio" (fun () ->
+      let total = t.hits + t.misses in
+      if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total);
+  t
+
+let add t id value =
+  if t.capacity > 0 && not (Hash.Tbl.mem t.tbl id) then begin
+    let n = { id; value; prev = None; next = None } in
+    Hash.Tbl.replace t.tbl id n;
+    push_front t n;
+    if Hash.Tbl.length t.tbl > t.capacity then
+      match t.tail with
+      | None -> ()
+      | Some n ->
+        unlink t n;
+        Hash.Tbl.remove t.tbl n.id;
+        t.evictions <- t.evictions + 1
+  end
+
+let find_live t store id =
+  match Hash.Tbl.find_opt t.tbl id with
+  | Some n when Store.mem store id ->
+    (* The liveness probe keeps a hit cheap (hashtable/stat lookup) while
+       guaranteeing we never serve a decode for a chunk the store no longer
+       holds — even if its deletion bypassed [Store.delete]. *)
+    t.hits <- t.hits + 1;
+    touch t n;
+    Some n.value
+  | Some _ ->
+    invalidate t id;
+    t.misses <- t.misses + 1;
+    None
+  | None ->
+    t.misses <- t.misses + 1;
+    None

@@ -87,10 +87,23 @@ module Make (E : ENTRY) = struct
         (Chunk.kind_to_string k)
         (Chunk.kind_to_string E.leaf_kind)
 
+  (* One decoded-node cache per entry type (functor instantiation), shared
+     by every tree of that type.  Containment is by chunk identity, so
+     trees over different stores can share it safely: [find_live] only
+     serves entries still present in the asking store. *)
+  let node_cache : node Node_cache.t =
+    Node_cache.create ~name:("postree." ^ kind_label)
+
   let read_node store h =
-    match Store.get store h with
-    | None -> corrupt "missing chunk %s" (Hash.to_hex h)
-    | Some chunk -> decode_node chunk
+    match Node_cache.find_live node_cache store h with
+    | Some node -> node
+    | None ->
+      (match Store.get store h with
+       | None -> corrupt "missing chunk %s" (Hash.to_hex h)
+       | Some chunk ->
+         let node = decode_node chunk in
+         Node_cache.add node_cache h node;
+         node)
 
   (* ---------------- construction ---------------- *)
 

@@ -30,11 +30,20 @@ let decode_index chunk =
       (Printf.sprintf "expected seq-index chunk, got %s"
          (Chunk.kind_to_string k))
 
+(* Sequence trees (list/blob) cache the chunk value itself: decoding the
+   payload is cheap per kind, but [Store.get] re-parses and copies the
+   encoded bytes on every call. *)
+let chunk_cache : Chunk.t Node_cache.t = Node_cache.create ~name:"seqtree"
+
 let read_chunk store h =
-  match Store.get store h with
+  match Node_cache.find_live chunk_cache store h with
   | Some c -> c
   | None ->
-    raise (Postree.Corrupt ("missing chunk " ^ Hash.to_hex h))
+    (match Store.get store h with
+     | Some c ->
+       Node_cache.add chunk_cache h c;
+       c
+     | None -> raise (Postree.Corrupt ("missing chunk " ^ Hash.to_hex h)))
 
 let decode_index_exn chunk =
   match decode_index chunk with

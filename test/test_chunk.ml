@@ -217,19 +217,28 @@ let test_cache_store_hits_and_eviction () =
       ignore (Cache_store.wrap ~capacity:0 inner))
 
 let test_cache_store_avoids_inner_reads () =
-  let inner = Mem_store.create () in
-  let store, stats = Cache_store.wrap ~capacity:1000 inner in
-  let t =
-    Fb_postree.Pmap.of_bindings store
-      (List.init 5000 (fun i -> (Printf.sprintf "%05d" i, "value")))
-  in
-  let inner_gets_before = (Store.stats inner).Store.gets in
-  for i = 0 to 99 do
-    ignore (Fb_postree.Pmap.find t (Printf.sprintf "%05d" (i * 37)))
-  done;
-  check int_ "all served from cache" inner_gets_before
-    (Store.stats inner).Store.gets;
-  check bool_ "hits counted" true (stats.Cache_store.hits > 100)
+  (* The decoded-node cache sits above the chunk-level LRU under test and
+     would absorb these reads before they reach it; switch it off for the
+     duration. *)
+  Fb_postree.Node_cache.set_capacity_all 0;
+  Fun.protect
+    ~finally:(fun () ->
+      Fb_postree.Node_cache.set_capacity_all
+        Fb_postree.Node_cache.default_capacity)
+    (fun () ->
+      let inner = Mem_store.create () in
+      let store, stats = Cache_store.wrap ~capacity:1000 inner in
+      let t =
+        Fb_postree.Pmap.of_bindings store
+          (List.init 5000 (fun i -> (Printf.sprintf "%05d" i, "value")))
+      in
+      let inner_gets_before = (Store.stats inner).Store.gets in
+      for i = 0 to 99 do
+        ignore (Fb_postree.Pmap.find t (Printf.sprintf "%05d" (i * 37)))
+      done;
+      check int_ "all served from cache" inner_gets_before
+        (Store.stats inner).Store.gets;
+      check bool_ "hits counted" true (stats.Cache_store.hits > 100))
 
 let suite =
   [ Alcotest.test_case "chunk roundtrip" `Quick test_chunk_roundtrip;

@@ -68,6 +68,47 @@ let test_sha_digest_strings () =
     (sha_hex "foobarbaz")
     (Hex.encode (Sha256.digest_strings [ "foo"; "bar"; "baz" ]))
 
+let test_sha_differential () =
+  (* The optimized kernel against the Int32 reference oracle: random
+     contents, lengths straddling block and padding edges, random
+     streaming segmentation, and the bytes/finalize_into entry points. *)
+  let rng = Prng.create 0xd1ffL in
+  let lengths =
+    [ 0; 1; 31; 55; 56; 57; 63; 64; 65; 127; 128; 129; 191; 192; 1000;
+      4096; 10_000 ]
+    @ List.init 40 (fun _ -> Prng.next_int rng 3000)
+  in
+  List.iter
+    (fun n ->
+      let s = String.init n (fun _ -> Char.chr (Prng.next_int rng 256)) in
+      let expect = Hex.encode (Sha256_ref.digest s) in
+      check string_ (Printf.sprintf "one-shot len %d" n) expect (sha_hex s);
+      (* Stream through update_bytes in random-size pieces. *)
+      let ctx = Sha256.init () in
+      let b = Bytes.of_string s in
+      let pos = ref 0 in
+      while !pos < n do
+        let len = min (1 + Prng.next_int rng 200) (n - !pos) in
+        Sha256.update_bytes ctx b ~pos:!pos ~len;
+        pos := !pos + len
+      done;
+      let out = Bytes.make 40 '\xaa' in
+      Sha256.finalize_into ctx out ~pos:4;
+      check string_
+        (Printf.sprintf "streamed len %d" n)
+        expect
+        (Hex.encode (Bytes.sub_string out 4 32));
+      (* finalize_into must not touch bytes outside [pos, pos+32). *)
+      check bool_ "no write before pos" true
+        (Bytes.get out 3 = '\xaa' && Bytes.get out 36 = '\xaa'))
+    lengths;
+  Alcotest.check_raises "update_bytes bad range"
+    (Invalid_argument "Sha256.update_bytes") (fun () ->
+      Sha256.update_bytes (Sha256.init ()) (Bytes.create 3) ~pos:2 ~len:5);
+  Alcotest.check_raises "finalize_into bad range"
+    (Invalid_argument "Sha256.finalize_into") (fun () ->
+      Sha256.finalize_into (Sha256.init ()) (Bytes.create 16) ~pos:0)
+
 (* ------------------------- Hex ------------------------- *)
 
 let test_hex_roundtrip () =
@@ -237,6 +278,27 @@ let qcheck_cases =
         Sha256.update ctx a;
         Sha256.update ctx b;
         String.equal (Sha256.finalize ctx) (Sha256.digest (a ^ b)));
+    Test.make ~name:"sha256 = reference oracle" ~count:200
+      (string_gen Gen.char)
+      (fun s -> String.equal (Sha256.digest s) (Sha256_ref.digest s));
+    Test.make ~name:"rolling: feed_string = per-byte feed" ~count:200
+      (pair (list (string_gen Gen.char)) (int_range 0 1_000_000))
+      (fun (segments, seed) ->
+        (* Same byte stream, arbitrary segmentation: the fused fast path
+           must report the same per-segment hits and leave the roller in
+           the same state as feeding every byte through [feed].  Small
+           window/q so patterns actually fire on short inputs. *)
+        ignore seed;
+        let params = { Rolling.window = 5; q = 4 } in
+        let fast = Rolling.create params in
+        let slow = Rolling.create params in
+        List.for_all
+          (fun seg ->
+            let hf = Rolling.feed_string fast seg in
+            let hs = ref false in
+            String.iter (fun c -> if Rolling.feed slow c then hs := true) seg;
+            hf = !hs && Rolling.fingerprint fast = Rolling.fingerprint slow)
+          segments);
     Test.make ~name:"rolling: hits depend only on trailing window"
       ~count:100
       (pair (string_gen Gen.char) small_string)
@@ -266,6 +328,8 @@ let suite =
       Alcotest.test_case "sha256 update_sub" `Quick test_sha_update_sub;
       Alcotest.test_case "sha256 digest_strings" `Quick
         test_sha_digest_strings;
+      Alcotest.test_case "sha256 differential vs reference" `Quick
+        test_sha_differential;
       Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
       Alcotest.test_case "hex errors" `Quick test_hex_errors;
       Alcotest.test_case "base32 rfc vectors" `Quick test_base32_rfc;

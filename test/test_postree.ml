@@ -547,6 +547,106 @@ let test_node_stats () =
   check bool_ (Printf.sprintf "mean leaf %.0fB" mean) true
     (mean > 500.0 && mean < 8000.0)
 
+(* ---------------- decoded-node cache ---------------- *)
+
+module Node_cache = Fb_postree.Node_cache
+module Gc = Fb_chunk.Gc
+module Chunk = Fb_chunk.Chunk
+
+let test_node_cache_serves_repeat_reads () =
+  let store = Mem_store.create () in
+  let t = Pmap.of_bindings store (mk_bindings 5000) in
+  let probe () =
+    for i = 0 to 99 do
+      ignore (Pmap.find t (Printf.sprintf "key-%06d" (i * 41)))
+    done
+  in
+  probe ();
+  (* Warm: every node on the probed paths is now cached, so re-probing must
+     not read the store at all (the liveness check uses [mem], which is not
+     a [get]). *)
+  let gets_before = (Store.stats store).Store.gets in
+  probe ();
+  check int_ "warm finds bypass the store" gets_before
+    (Store.stats store).Store.gets
+
+let test_node_cache_invalidated_by_gc () =
+  let store = Mem_store.create () in
+  let t = Pmap.of_bindings store (mk_bindings 3000) in
+  ignore (Pmap.find t "key-000001");
+  (* A no-roots sweep deletes every chunk through the notifying
+     [Store.delete]; the warm cache must not keep serving their decodes. *)
+  ignore (Gc.sweep store ~children:(fun _ -> []) ~roots:[]);
+  (try
+     ignore (Pmap.find t "key-000001");
+     Alcotest.fail "expected Corrupt after GC"
+   with Fb_postree.Postree.Corrupt _ -> ())
+
+let test_node_cache_unit () =
+  let store = Mem_store.create () in
+  let cache : string Node_cache.t = Node_cache.create ~name:"test" in
+  let c = Chunk.v Chunk.Leaf_blob "cached-bytes" in
+  let id = Store.put store c in
+  Node_cache.add cache id "decoded";
+  check bool_ "hit" true (Node_cache.find_live cache store id = Some "decoded");
+  (* A notifying delete invalidates eagerly. *)
+  ignore (Store.delete store id);
+  check bool_ "miss after delete" true
+    (Node_cache.find_live cache store id = None);
+  (* An entry for a chunk the store does not hold is never served: the
+     per-hit liveness probe catches deletions that bypassed the hook. *)
+  Node_cache.add cache id "ghost";
+  check bool_ "liveness probe blocks stale entry" true
+    (Node_cache.find_live cache store id = None);
+  let s = Node_cache.stats cache in
+  check bool_ "stats counted" true
+    (s.Node_cache.hits = 1 && s.Node_cache.misses >= 2);
+  (* Capacity 0 disables caching entirely. *)
+  let off : string Node_cache.t = Node_cache.create ~name:"test-off" in
+  Node_cache.set_capacity off 0;
+  let id2 = Store.put store c in
+  Node_cache.add off id2 "x";
+  check bool_ "disabled cache stores nothing" true
+    (Node_cache.find_live off store id2 = None)
+
+(* ---------------- golden hashes ---------------- *)
+
+let test_golden_hashes () =
+  (* Pinned identities captured from the seed implementation.  Any change
+     to chunk encoding, SHA-256, the Γ table, or boundary placement breaks
+     this test — which is the point: the performance work must be
+     bit-compatible with already-stored data. *)
+  let store = Mem_store.create () in
+  let hex h = Hash.to_hex h in
+  let root_hex = function Some h -> hex h | None -> "NONE" in
+  check Alcotest.string "chunk blob id"
+    "8fe6b4673dfd2b69a3fba1776e8689fbe408ae30f6b6bde4cf4e534adc385adc"
+    (hex (Chunk.hash (Chunk.v Chunk.Leaf_blob "hello world")));
+  check Alcotest.string "chunk map id"
+    "a18fc488d723f16bf20a1c490f7e0f63a40b879ccdff563b30677cb0dbdfd47b"
+    (hex (Chunk.hash (Chunk.v Chunk.Leaf_map "payload-map")));
+  check Alcotest.string "chunk index id"
+    "cfbe3b848f1206ee1c73da2f0faf3b0c3bab2d6d992b81b5411f68c0df46efed"
+    (hex (Chunk.hash (Chunk.v Chunk.Index "payload-index")));
+  let t = Pmap.of_bindings store (mk_bindings 2000) in
+  check Alcotest.string "pmap root"
+    "5e07c43fa4674e63908ef8514ef1192a0020374cdf70a47513c5655d6042d09c"
+    (root_hex (Pmap.root t));
+  let s = Pset.of_elements store (List.map fst (mk_bindings 1500)) in
+  check Alcotest.string "pset root"
+    "d34eab318c3f2fa729f56c235cc6dd37f8a4630344323414434661e31bc84b72"
+    (root_hex (Pset.root s));
+  let rng = Prng.create 7L in
+  let blob = String.init 300_000 (fun _ -> Char.chr (Prng.next_int rng 256)) in
+  let b = Fb_postree.Pblob.of_string store blob in
+  check Alcotest.string "pblob root"
+    "041ac133f3493d2291554846e6b0b47b2ed3ea4524188c2f04cc720ca92e5451"
+    (root_hex (Fb_postree.Pblob.root b));
+  let l = Fb_postree.Plist.of_list store (List.map snd (mk_bindings ~seed:3L 1200)) in
+  check Alcotest.string "plist root"
+    "2f10abfaef889420ab2ad705dec1346579aeaca68cbe775ab2468a71ec8876af"
+    (root_hex (Fb_postree.Plist.root l))
+
 (* ---------------- Pset ---------------- *)
 
 let test_pset_proofs () =
@@ -764,5 +864,12 @@ let suite =
       Alcotest.test_case "corrupt raises on navigation" `Quick
         test_corrupt_exception_on_navigation;
       Alcotest.test_case "node stats" `Quick test_node_stats;
+      Alcotest.test_case "node cache serves repeat reads" `Quick
+        test_node_cache_serves_repeat_reads;
+      Alcotest.test_case "node cache invalidated by gc" `Quick
+        test_node_cache_invalidated_by_gc;
+      Alcotest.test_case "node cache unit semantics" `Quick
+        test_node_cache_unit;
+      Alcotest.test_case "golden hashes stable" `Quick test_golden_hashes;
       Alcotest.test_case "pset basics" `Quick test_pset_basics;
       Alcotest.test_case "pset proofs" `Quick test_pset_proofs ]

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Regenerate the unrolled SHA-256 compression function in lib/hash/sha256.ml.
+
+The kernel is emitted between the GENERATED-KERNEL-BEGIN/END markers.  Design
+notes live in DESIGN.md §8; the short version:
+
+- Every word is an Int64 local in SSA form; ocamlopt's boxed-number unboxing
+  keeps the whole body in registers/stack slots (no heap traffic).  The body
+  must stay branch-free: a bounds-check branch would defeat the unboxing.
+- State words and schedule words are kept in "doubled" form
+  y = x | (x << 32), so every 32-bit rotation is a single 64-bit shift and
+  the bitwise ch/maj identities hold in both halves.
+- Sums may carry garbage into the high half (carries only propagate upward);
+  the mask folded into the next doubling restores canonical form.
+"""
+
+K = [0x428a2f98,0x71374491,0xb5c0fbcf,0xe9b5dba5,0x3956c25b,0x59f111f1,0x923f82a4,0xab1c5ed5,
+0xd807aa98,0x12835b01,0x243185be,0x550c7dc3,0x72be5d74,0x80deb1fe,0x9bdc06a7,0xc19bf174,
+0xe49b69c1,0xefbe4786,0x0fc19dc6,0x240ca1cc,0x2de92c6f,0x4a7484aa,0x5cb0a9dc,0x76f988da,
+0x983e5152,0xa831c66d,0xb00327c8,0xbf597fc7,0xc6e00bf3,0xd5a79147,0x06ca6351,0x14292967,
+0x27b70a85,0x2e1b2138,0x4d2c6dfc,0x53380d13,0x650a7354,0x766a0abb,0x81c2c92e,0x92722c85,
+0xa2bfe8a1,0xa81a664b,0xc24b8b70,0xc76c51a3,0xd192e819,0xd6990624,0xf40e3585,0x106aa070,
+0x19a4c116,0x1e376c08,0x2748774c,0x34b0bcb5,0x391c0cb3,0x4ed8aa4a,0x5b9cca4f,0x682e6ff3,
+0x748f82ee,0x78a5636f,0x84c87814,0x8cc70208,0x90befffa,0xa4506ceb,0xbef9a3f7,0xc67178f2]
+
+def emit():
+    out = []
+    o = out.append
+    o("let compress_block (h : int array) (b : Bytes.t) pos =")
+    # Load 8-byte pairs, byteswap once, and bind both the plain and the
+    # doubled form of each of the 16 message words.
+    for p in range(8):
+        hi, lo = 2 * p, 2 * p + 1
+        o(f"  let q{p} = bswap64 (get64u b (pos + {8*p})) in")
+        o(f"  let w{hi} = q{p} >>> 32 in")
+        o(f"  let w{lo} = q{p} &&& m32 in")
+        o(f"  let dw{hi} = w{hi} ||| (q{p} &&& mh32) in")
+        o(f"  let dw{lo} = w{lo} ||| (q{p} <<< 32) in")
+    for i, v in enumerate(['a0','b0','c0','d0','e0','f0','g0','h0']):
+        o(f"  let {v} = Int64.of_int (Array.unsafe_get h {i}) in")
+    for v in ['a0','b0','c0','d0','e0','f0','g0','h0']:
+        o(f"  let {v} = {v} ||| ({v} <<< 32) in")
+    vars = ['a0','b0','c0','d0','e0','f0','g0','h0']
+    for i in range(64):
+        if i >= 16:
+            x = f"dw{i-15}"; y = f"dw{i-2}"
+            o(f"  let w{i} = (dw{i-16} >>> 32) +% (({x} >>> 7) ^^^ ({x} >>> 18) ^^^ ({x} >>> 35)) +% (dw{i-7} >>> 32) +% (({y} >>> 17) ^^^ ({y} >>> 19) ^^^ ({y} >>> 42)) in")
+            if i <= 61:
+                o(f"  let dw{i} = (w{i} &&& m32) ||| (w{i} <<< 32) in")
+        a,b,c,d,e,f,g,h = vars
+        t = f"t{i}"; nd = f"d{i+1}"; nh = f"h{i+1}"
+        o(f"  let {t} = {h} +% (({e} >>> 6) ^^^ ({e} >>> 11) ^^^ ({e} >>> 25)) +% ({g} ^^^ ({e} &&& ({f} ^^^ {g}))) +% {K[i]}L +% w{i} in")
+        o(f"  let x{nd} = {d} +% {t} in")
+        o(f"  let {nd} = (x{nd} &&& m32) ||| (x{nd} <<< 32) in")
+        o(f"  let x{nh} = {t} +% (({a} >>> 2) ^^^ ({a} >>> 13) ^^^ ({a} >>> 22)) +% (({a} &&& {b}) ||| ({c} &&& ({a} ||| {b}))) in")
+        o(f"  let {nh} = (x{nh} &&& m32) ||| (x{nh} <<< 32) in")
+        vars = [nh, a, b, c, nd, e, f, g]
+    a,b,c,d,e,f,g,h = vars
+    for i, v in enumerate([a,b,c,d,e,f,g,h]):
+        o(f"  Array.unsafe_set h {i} ((Array.unsafe_get h {i} + Int64.to_int ({v} &&& m32)) land 0xffffffff);")
+    o("  ()")
+    return "\n".join(out)
+
+BEGIN = "(* GENERATED-KERNEL-BEGIN: tools/gen_sha256_kernel.py *)"
+END = "(* GENERATED-KERNEL-END *)"
+
+if __name__ == "__main__":
+    path = "lib/hash/sha256.ml"
+    src = open(path).read()
+    pre, rest = src.split(BEGIN)
+    _, post = rest.split(END)
+    open(path, "w").write(pre + BEGIN + "\n" + emit() + "\n" + END + post)
+    print("regenerated", path)
