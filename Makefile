@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the real build system.
 
-.PHONY: all build test bench bench-hotpath check clean
+.PHONY: all build test bench bench-hotpath bench-net check clean
 
 all: build
 
@@ -18,14 +18,22 @@ bench:
 bench-hotpath:
 	dune exec bench/main.exe -- hotpath
 
+# Network service benchmark: N concurrent TCP clients against a live
+# server, mixed put/get/branch/merge; writes BENCH_net.json.
+bench-net:
+	dune exec bench/main.exe -- net
+
 # The pre-commit gate: full build, full test suite, the observability
-# self-test (instrumentation overhead + histogram/exposition smoke), and a
-# ~1-second hot-path sanity run (kernel equivalence + cache on/off smoke).
+# self-test (instrumentation overhead + histogram/exposition smoke), a
+# ~1-second hot-path sanity run (kernel equivalence + cache on/off smoke),
+# and a ~1-second network smoke (2 concurrent clients over loopback,
+# asserts zero dropped/corrupt frames and a clean shutdown).
 check:
 	dune build
 	dune runtest
 	dune exec bench/main.exe -- obs
 	dune exec bench/main.exe -- hotpath-quick
+	dune exec bench/main.exe -- net-quick
 
 clean:
 	dune clean

@@ -1262,6 +1262,141 @@ let run_hotpath ?(quick = false) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* net: N concurrent TCP clients against the framed service.          *)
+(* ------------------------------------------------------------------ *)
+
+let run_net ?(quick = false) () =
+  header
+    (if quick then "net-quick: framed TCP smoke (server + client round trip)"
+     else "net: concurrent framed TCP service (mixed put/get/branch/merge)");
+  let fb = FB.create (Fb_chunk.Metered_store.wrap (Mem_store.create ())) in
+  let config =
+    { Fb_net.Server.default_config with
+      port = 0; save_every_s = 0.0; read_timeout_s = 30.0 }
+  in
+  let srv =
+    match Fb_net.Server.start ~config fb with
+    | Ok s -> s
+    | Error e -> failwith ("net bench: " ^ e)
+  in
+  let port = Fb_net.Server.port srv in
+  let clients = if quick then 2 else 8 in
+  let per_client = if quick then 30 else 250 in
+  let errors = Atomic.make 0 in
+  let lat_lock = Mutex.create () in
+  let latencies : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
+  let record verb dt =
+    Mutex.protect lat_lock (fun () ->
+        match Hashtbl.find_opt latencies verb with
+        | Some l -> l := dt :: !l
+        | None -> Hashtbl.replace latencies verb (ref [ dt ]))
+  in
+  let ops_done = Atomic.make 0 in
+  let worker cid =
+    match Fb_net.Client.connect ~port ~user:(Printf.sprintf "bench%d" cid) ()
+    with
+    | Error e ->
+      Atomic.incr errors;
+      prerr_endline ("client connect failed: " ^ e)
+    | Ok c ->
+      let req verb tokens =
+        let t0 = Unix.gettimeofday () in
+        let r = Fb_net.Client.request c tokens in
+        record verb (Unix.gettimeofday () -. t0);
+        Atomic.incr ops_done;
+        match r with
+        | Ok payload -> payload
+        | Error e ->
+          Atomic.incr errors;
+          "ERR " ^ e
+      in
+      let key = Printf.sprintf "k%d" cid in
+      for i = 0 to per_client - 1 do
+        let v = Printf.sprintf "value-%d-%d" cid i in
+        ignore (req "put" [ "put"; key; "master"; v ]);
+        let got = req "get" [ "get"; key; "master" ] in
+        if got <> v then Atomic.incr errors;
+        ignore (req "head" [ "head"; key; "master" ]);
+        if i mod 10 = 0 then begin
+          let b = Printf.sprintf "dev%d" i in
+          ignore (req "branch" [ "branch"; key; "master"; b ]);
+          ignore
+            (req "put" [ "put"; key; b; Printf.sprintf "side-%d-%d" cid i ]);
+          (* Master has not moved since the fork, so this merge is a
+             clean fast-forward on every iteration. *)
+          ignore (req "merge" [ "merge"; key; "master"; b ])
+        end
+      done;
+      Fb_net.Client.close c
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun cid -> Thread.create worker cid) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  let total = Atomic.get ops_done in
+  let ops_per_s = float_of_int total /. wall in
+  Printf.printf "%d clients x %d iterations: %d requests in %.2f s = %.0f ops/s\n"
+    clients per_client total wall ops_per_s;
+  let percentile sorted q =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+  in
+  let verb_rows =
+    List.filter_map
+      (fun verb ->
+        match Hashtbl.find_opt latencies verb with
+        | None -> None
+        | Some l ->
+          let a = Array.of_list !l in
+          Array.sort compare a;
+          Some (verb, Array.length a, percentile a 0.5, percentile a 0.99))
+      [ "put"; "get"; "head"; "branch"; "merge" ]
+  in
+  List.iter
+    (fun (verb, n, p50, p99) ->
+      Printf.printf "%-8s n=%-6d p50 %8.1f us   p99 %8.1f us\n" verb n
+        (1e6 *. p50) (1e6 *. p99))
+    verb_rows;
+  Printf.printf "errors: %d\n" (Atomic.get errors);
+  (* Graceful shutdown must leave nothing listening. *)
+  Fb_net.Server.stop srv;
+  let gone =
+    match Fb_net.Client.connect ~port ~timeout_s:1.0 () with
+    | Error _ -> true
+    | Ok c ->
+      (* Accept queue leftovers can win the connect race; a request must
+         still fail against a stopped server. *)
+      let dead = Result.is_error (Fb_net.Client.request c [ "stat" ]) in
+      Fb_net.Client.close c;
+      dead
+  in
+  if not gone then failwith "net bench: server still answering after stop";
+  if Atomic.get errors > 0 then
+    failwith
+      (Printf.sprintf "net bench: %d dropped/corrupt responses"
+         (Atomic.get errors));
+  Printf.printf "clean shutdown: port no longer serving\n";
+  if not quick then begin
+    let b = Buffer.create 512 in
+    Printf.bprintf b
+      "{\"clients\":%d,\"iterations\":%d,\"requests\":%d,\"seconds\":%.3f,\
+       \"ops_per_s\":%.1f,\"errors\":%d,\"verbs\":{" clients per_client total
+      wall ops_per_s (Atomic.get errors);
+    List.iteri
+      (fun i (verb, n, p50, p99) ->
+        Printf.bprintf b "%s\"%s\":{\"n\":%d,\"p50_us\":%.1f,\"p99_us\":%.1f}"
+          (if i > 0 then "," else "")
+          verb n (1e6 *. p50) (1e6 *. p99))
+      verb_rows;
+    Buffer.add_string b "}}\n";
+    let oc = open_out "BENCH_net.json" in
+    Buffer.output_buffer oc b;
+    close_out oc;
+    Printf.printf "machine-readable results written to BENCH_net.json\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("table1", run_table1);
@@ -1278,7 +1413,9 @@ let experiments =
     ("obs", run_obs);
     ("micro", run_micro);
     ("hotpath", fun () -> run_hotpath ());
-    ("hotpath-quick", fun () -> run_hotpath ~quick:true ()) ]
+    ("hotpath-quick", fun () -> run_hotpath ~quick:true ());
+    ("net", fun () -> run_net ());
+    ("net-quick", fun () -> run_net ~quick:true ()) ]
 
 let () =
   let requested =

@@ -446,31 +446,133 @@ let tags_cmd =
   Cmd.v (Cmd.info "tags" ~doc:"List the tags of KEY.")
     Term.(ret (const run $ root_arg $ user_arg $ key_pos))
 
+let port_arg =
+  let doc = "TCP port (0 picks an ephemeral port)." in
+  Arg.(value & opt int 7447 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+
+let host_arg ~doc =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
 let serve_cmd =
-  let run root user =
-    match Fb_core.Persistent.open_ ~root () with
-    | Error e -> `Error (false, Errors.to_string e)
-    | Ok fb ->
-    (* Line-oriented request/response loop on stdin/stdout — the semantic
-       view a REST gateway would wrap (see Fb_core.Service). *)
-    let rec loop () =
-      match In_channel.input_line stdin with
-      | None -> ()
-      | Some "" -> loop ()
-      | Some line ->
-        print_endline (Fb_core.Service.handle ~user fb line);
-        flush stdout;
-        ignore (Fb_core.Persistent.save ~root fb);
-        loop ()
-    in
-    loop ();
-    `Ok ()
+  let stdio_arg =
+    Arg.(value & flag
+         & info [ "stdio" ]
+             ~doc:"Serve the legacy line protocol on stdin/stdout instead \
+                   of TCP (single client; payloads with newlines are \
+                   ambiguous — prefer the framed TCP transport).")
+  in
+  let save_every_arg =
+    Arg.(value & opt float 5.0
+         & info [ "save-every" ] ~docv:"SECONDS"
+             ~doc:"Persist the branch/tag tables every $(docv) seconds \
+                   (and always on shutdown); 0 disables the periodic save.")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 30.0
+         & info [ "read-timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-frame read deadline; a peer that stalls longer is \
+                   disconnected.  0 disables.")
+  in
+  let max_frame_arg =
+    Arg.(value & opt int Fb_net.Frame.default_max_frame
+         & info [ "max-frame" ] ~docv:"BYTES"
+             ~doc:"Largest accepted request frame.")
+  in
+  let run root user port host stdio save_every timeout max_frame =
+    if stdio then
+      match Fb_core.Persistent.open_ ~root () with
+      | Error e -> `Error (false, Errors.to_string e)
+      | Ok fb ->
+        (* Line-oriented request/response loop on stdin/stdout — the
+           semantic view a REST gateway would wrap (see Fb_core.Service). *)
+        let rec loop () =
+          match In_channel.input_line stdin with
+          | None -> ()
+          | Some "" -> loop ()
+          | Some line ->
+            print_endline (Fb_core.Service.handle ~user fb line);
+            flush stdout;
+            ignore (Fb_core.Persistent.save ~root fb);
+            loop ()
+        in
+        loop ();
+        `Ok ()
+    else
+      (* Durable daemon: fsync chunk writes and table saves — a SIGTERM
+         (or power cut) must leave the branch table intact. *)
+      match Fb_core.Persistent.open_ ~fsync:true ~root () with
+      | Error e -> `Error (false, Errors.to_string e)
+      | Ok fb ->
+        let save () = ignore (Fb_core.Persistent.save ~fsync:true ~root fb) in
+        let config =
+          { Fb_net.Server.default_config with
+            host; port; default_user = user; save_every_s = save_every;
+            read_timeout_s = timeout; max_frame }
+        in
+        (match Fb_net.Server.start ~config ~save fb with
+        | Error e -> `Error (false, e)
+        | Ok srv ->
+          Printf.printf "forkbase: serving %s on %s:%d (SIGINT/SIGTERM to stop)\n%!"
+            root host (Fb_net.Server.port srv);
+          Fb_net.Server.run srv;
+          Printf.printf "forkbase: shut down cleanly\n%!";
+          `Ok ())
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve the line protocol on stdin/stdout (PUT/GET/DIFF/MERGE/...; \
-             see library docs for the verb list).")
-    Term.(ret (const run $ root_arg $ user_arg))
+       ~doc:"Serve the ForkBase verbs (PUT/GET/DIFF/MERGE/...) to \
+             concurrent TCP clients over the length-prefixed binary \
+             framing, or on stdin/stdout with $(b,--stdio).")
+    Term.(ret (const run $ root_arg $ user_arg $ port_arg
+               $ host_arg ~doc:"Address to bind." $ stdio_arg
+               $ save_every_arg $ timeout_arg $ max_frame_arg))
+
+let client_cmd =
+  let request_pos =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"VERB [ARG...]"
+             ~doc:"One request; with no positional arguments, read \
+                   request lines from stdin (a REPL against the server).")
+  in
+  let run host port user tokens =
+    match Fb_net.Client.connect ~host ~port ~user () with
+    | Error e -> `Error (false, e)
+    | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Fb_net.Client.close c)
+        (fun () ->
+          match tokens with
+          | _ :: _ -> (
+            match Fb_net.Client.request c tokens with
+            | Ok "" -> `Ok ()
+            | Ok payload ->
+              print_string payload;
+              if payload.[String.length payload - 1] <> '\n' then
+                print_newline ();
+              `Ok ()
+            | Error e -> `Error (false, e))
+          | [] ->
+            let rec loop () =
+              match In_channel.input_line stdin with
+              | None -> `Ok ()
+              | Some "" -> loop ()
+              | Some line ->
+                (match Fb_net.Client.request_line c line with
+                | Ok "" -> print_endline "OK"
+                | Ok payload -> print_endline ("OK " ^ payload)
+                | Error e -> print_endline ("ERR " ^ e));
+                flush stdout;
+                if Fb_net.Client.is_open c then loop () else `Ok ()
+            in
+            loop ())
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send requests to a running $(b,forkbase serve): one request \
+             from the command line (e.g. $(b,forkbase client get k \
+             master)), or a stdin REPL when no request is given.")
+    Term.(ret (const run $ host_arg ~doc:"Server address." $ port_arg
+               $ user_arg $ request_pos))
 
 let scrub_cmd =
   let dry_run_arg =
@@ -625,6 +727,6 @@ let main =
       branch_cmd; rename_cmd; delete_branch_cmd; diff_cmd; merge_cmd;
       verify_cmd; export_cmd; bundle_cmd; unbundle_cmd; history_cmd;
       tag_cmd; tags_cmd;
-      serve_cmd; stat_cmd; gc_cmd; scrub_cmd; metrics_cmd ]
+      serve_cmd; client_cmd; stat_cmd; gc_cmd; scrub_cmd; metrics_cmd ]
 
 let () = exit (Cmd.eval main)

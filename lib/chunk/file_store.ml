@@ -20,6 +20,14 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Reads race concurrent [delete] (GC, scrub, another server thread): a
+   path observed via [readdir]/[file_exists] may be gone by the time it
+   is opened.  A vanished file is an absence, not an error. *)
+let read_file_opt path =
+  match read_file path with
+  | data -> Some data
+  | exception (Sys_error _ | End_of_file) -> None
+
 let write_file_atomic ~fsync path data =
   mkdir_p (Filename.dirname path);
   let tmp = path ^ ".tmp" in
@@ -90,8 +98,7 @@ let create ?(fsync = false) ~root () =
   in
   let get_raw id =
     stats := { !stats with gets = !stats.gets + 1 };
-    let path = path_of root id in
-    if Sys.file_exists path then Some (read_file path) else None
+    read_file_opt (path_of root id)
   in
   let get id =
     match get_raw id with
@@ -99,10 +106,7 @@ let create ?(fsync = false) ~root () =
     | Some encoded -> (
       match Chunk.decode encoded with Ok c -> Some c | Error _ -> None)
   in
-  let peek id =
-    let path = path_of root id in
-    if Sys.file_exists path then Some (read_file path) else None
-  in
+  let peek id = read_file_opt (path_of root id) in
   let mem id = Sys.file_exists (path_of root id) in
   let iter f =
     Array.iter
@@ -117,24 +121,30 @@ let create ?(fsync = false) ~root () =
                 | Ok raw -> (
                   match Hash.of_raw raw with
                   | Error _ -> ()
-                  | Ok id -> f id (read_file (Filename.concat dir file))))
+                  | Ok id -> (
+                    match read_file_opt (Filename.concat dir file) with
+                    | None -> ()
+                    | Some data -> f id data)))
             (Sys.readdir dir))
       (Sys.readdir root)
   in
   let delete id =
     let path = path_of root id in
-    if Sys.file_exists path then begin
-      let size = (Unix.stat path).Unix.st_size in
-      Sys.remove path;
-      (* Clamp at zero: another instance on the same root may have written
-         chunks this one's session counters never saw. *)
-      stats :=
-        { !stats with
-          physical_chunks = max 0 (!stats.physical_chunks - 1);
-          physical_bytes = max 0 (!stats.physical_bytes - size) };
-      true
-    end
-    else false
+    match (Unix.stat path).Unix.st_size with
+    | exception Unix.Unix_error _ -> false
+    | size -> (
+      (* The file can vanish between stat and remove (concurrent GC or
+         scrub on the same root); losing that race is a no-op delete. *)
+      match Sys.remove path with
+      | exception Sys_error _ -> false
+      | () ->
+        (* Clamp at zero: another instance on the same root may have
+           written chunks this one's session counters never saw. *)
+        stats :=
+          { !stats with
+            physical_chunks = max 0 (!stats.physical_chunks - 1);
+            physical_bytes = max 0 (!stats.physical_bytes - size) };
+        true)
   in
   { Store.name = "file:" ^ root; put; get; get_raw; peek; mem;
     stats = (fun () -> !stats); iter; delete }

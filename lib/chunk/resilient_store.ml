@@ -10,11 +10,38 @@ type stats = {
   mutable unrecovered : int;
 }
 
-let wrap ?replica ?(max_retries = 4) ?(backoff_s = 0.0) ?(verify_reads = true)
-    (primary : Store.t) =
+(* Exponent capped so the shift cannot overflow and one retry cannot
+   sleep past [max_backoff_s]; [jitter] (a uniform draw in [0,1)) scales
+   the delay into [0.5x, 1.5x) so a fleet of replicas hitting the same
+   fault does not retry in lockstep. *)
+let max_exponent = 16
+
+let backoff_duration ?(max_backoff_s = 1.0) ~backoff_s ~jitter attempt =
+  let e = min (max attempt 0) max_exponent in
+  let d = backoff_s *. float_of_int (1 lsl e) *. (0.5 +. jitter) in
+  Float.min d max_backoff_s
+
+let wrap ?replica ?(max_retries = 4) ?(backoff_s = 0.0) ?(max_backoff_s = 1.0)
+    ?(max_total_backoff_s = 30.0) ?(jitter_seed = 0x7e5171e4L)
+    ?(verify_reads = true) (primary : Store.t) =
   let st =
     { retries = 0; absorbed = 0; gave_up = 0; fallback_reads = 0; heals = 0;
       corrupt_rejected = 0; unrecovered = 0 }
+  in
+  let prng = Fb_hash.Prng.create jitter_seed in
+  let slept = ref 0.0 in
+  let sleep_backoff attempt =
+    if backoff_s > 0.0 then begin
+      let jitter = Fb_hash.Prng.next_float prng in
+      let d = backoff_duration ~max_backoff_s ~backoff_s ~jitter attempt in
+      (* Clamp the lifetime sleep budget so a persistently failing store
+         degrades to fast-fail instead of stalling callers forever. *)
+      let d = Float.min d (Float.max 0.0 (max_total_backoff_s -. !slept)) in
+      if d > 0.0 then begin
+        slept := !slept +. d;
+        Unix.sleepf d
+      end
+    end
   in
   let with_retries f =
     let rec go attempt =
@@ -24,7 +51,7 @@ let wrap ?replica ?(max_retries = 4) ?(backoff_s = 0.0) ?(verify_reads = true)
         r
       | exception Store.Transient _ when attempt < max_retries ->
         st.retries <- st.retries + 1;
-        if backoff_s > 0.0 then Unix.sleepf (backoff_s *. float (1 lsl attempt));
+        sleep_backoff attempt;
         go (attempt + 1)
       | exception (Store.Transient _ as e) ->
         st.gave_up <- st.gave_up + 1;
@@ -57,7 +84,7 @@ let wrap ?replica ?(max_retries = 4) ?(backoff_s = 0.0) ?(verify_reads = true)
         raise e
     and retry attempt =
       if attempt < max_retries then begin
-        if backoff_s > 0.0 then Unix.sleepf (backoff_s *. float (1 lsl attempt));
+        sleep_backoff attempt;
         go (attempt + 1)
       end
       else `Corrupt

@@ -37,13 +37,30 @@ type stats = {
   mutable unrecovered : int;  (** damaged reads no replica could satisfy *)
 }
 
+val backoff_duration :
+  ?max_backoff_s:float -> backoff_s:float -> jitter:float -> int -> float
+(** [backoff_duration ~backoff_s ~jitter attempt] is the pre-retry sleep
+    for the given (0-based) attempt: [backoff_s * 2^min(attempt, 16) *
+    (0.5 + jitter)], capped at [max_backoff_s] (default [1.0]).  [jitter]
+    is a uniform draw in [\[0, 1)]; the exponent cap keeps the shift from
+    overflowing on large attempt counts.  Exposed for tests. *)
+
 val wrap :
   ?replica:Store.t ->
   ?max_retries:int ->
   ?backoff_s:float ->
+  ?max_backoff_s:float ->
+  ?max_total_backoff_s:float ->
+  ?jitter_seed:int64 ->
   ?verify_reads:bool ->
   Store.t ->
   Store.t * stats
 (** Defaults: no replica, [max_retries = 4], [backoff_s = 0.] (no
     sleeping — tests stay fast; production might pass [0.01]),
-    [verify_reads = true]. *)
+    [verify_reads = true].  Each retry sleeps {!backoff_duration} with
+    jitter drawn from a {!Fb_hash.Prng} seeded with [jitter_seed]
+    (deterministic per wrapper, decorrelated across replicas given
+    distinct seeds); one sleep never exceeds [max_backoff_s] (default
+    [1.0]) and the wrapper's lifetime sleep total is clamped to
+    [max_total_backoff_s] (default [30.0]) — past the budget, retries
+    continue without sleeping. *)

@@ -28,20 +28,41 @@ let copy_table ~into src =
         (Branch.branches src ~key))
     (Branch.keys src)
 
-let write_table path table =
+(* Push directory metadata (the rename) to stable storage.  Best-effort:
+   some filesystems refuse O_RDONLY opens of directories, and a failed
+   directory sync only widens the crash window back to what it was. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let write_table ?(fsync = false) path table =
   match
     let tmp = path ^ ".tmp" in
     let oc = open_out_bin tmp in
     (try
        output_string oc (Branch.serialize table);
+       (* The tmp bytes must be on stable storage before the rename
+          publishes them, or a crash can promote a torn/empty table. *)
+       if fsync then begin
+         flush oc;
+         Unix.fsync (Unix.descr_of_out_channel oc)
+       end;
        close_out oc
      with e ->
        close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
        raise e);
-    Sys.rename tmp path
+    Sys.rename tmp path;
+    if fsync then fsync_dir (Filename.dirname path)
   with
   | () -> Ok ()
   | exception Sys_error e -> Errors.corrupt "writing %s: %s" path e
+  | exception Unix.Unix_error (err, _, _) ->
+    Errors.corrupt "writing %s: %s" path (Unix.error_message err)
 
 let open_ ?acl ?fsync ~root () =
   match Fb_chunk.File_store.create ?fsync ~root:(Filename.concat root "chunks") () with
@@ -59,12 +80,12 @@ let open_ ?acl ?fsync ~root () =
     Ok fb
   | exception Sys_error e -> Errors.corrupt "opening %s: %s" root e
 
-let save ~root fb =
-  let* () = write_table (branches_file root) (Forkbase.branch_table fb) in
-  write_table (tags_file root) (Forkbase.tag_table fb)
+let save ?fsync ~root fb =
+  let* () = write_table ?fsync (branches_file root) (Forkbase.branch_table fb) in
+  write_table ?fsync (tags_file root) (Forkbase.tag_table fb)
 
-let with_instance ?acl ~root f =
-  let* fb = open_ ?acl ~root () in
+let with_instance ?acl ?fsync ~root f =
+  let* fb = open_ ?acl ?fsync ~root () in
   let* result = f fb in
-  let* () = save ~root fb in
+  let* () = save ?fsync ~root fb in
   Ok result

@@ -26,10 +26,17 @@ val open_ :
     damage surfaces as an error — never as silently wrong data; run scrub
     to quarantine and repair it. *)
 
-val save : root:string -> Forkbase.t -> (unit, Errors.t) result
-(** Persist the branch and tag tables (atomically: temp file + rename). *)
+val save : ?fsync:bool -> root:string -> Forkbase.t -> (unit, Errors.t) result
+(** Persist the branch and tag tables (atomically: temp file + rename).
+    With [fsync] (default [false]) the temp file is synced to stable
+    storage before the rename and the directory entry after it, so a
+    crash at any point leaves either the previous table or the new one —
+    never a torn or empty file.  Without it the rename is still atomic
+    against process crashes, but an OS/power failure can lose the most
+    recent heads. *)
 
 val with_instance :
-  ?acl:Acl.t -> root:string -> (Forkbase.t -> ('a, Errors.t) result) ->
-  ('a, Errors.t) result
-(** Open, run, save on success. *)
+  ?acl:Acl.t -> ?fsync:bool -> root:string ->
+  (Forkbase.t -> ('a, Errors.t) result) -> ('a, Errors.t) result
+(** Open, run, save on success.  [fsync] applies to both the chunk store
+    and the table save. *)

@@ -4,10 +4,15 @@ module Hash = Fb_hash.Hash
 let tokenize line =
   let n = String.length line in
   let tokens = ref [] and buf = Buffer.create 16 in
+  (* [started] marks that a token is in progress even when the buffer is
+     empty, so "" yields an empty argument while bare blanks yield none —
+     and a closing quote is not a token boundary: "ab"cd is one token. *)
+  let started = ref false in
   let flush () =
-    if Buffer.length buf > 0 then begin
+    if !started || Buffer.length buf > 0 then begin
       tokens := Buffer.contents buf :: !tokens;
-      Buffer.clear buf
+      Buffer.clear buf;
+      started := false
     end
   in
   let rec plain i =
@@ -15,17 +20,18 @@ let tokenize line =
     else
       match line.[i] with
       | ' ' | '\t' -> (flush (); plain (i + 1))
-      | '"' -> quoted (i + 1)
-      | c -> (Buffer.add_char buf c; plain (i + 1))
+      | '"' ->
+        started := true;
+        quoted (i + 1)
+      | c ->
+        started := true;
+        Buffer.add_char buf c;
+        plain (i + 1)
   and quoted i =
     if i >= n then Error "unterminated quote"
     else
       match line.[i] with
-      | '"' ->
-        (* Token boundary even if empty: "" is an empty argument. *)
-        tokens := Buffer.contents buf :: !tokens;
-        Buffer.clear buf;
-        plain (i + 1)
+      | '"' -> plain (i + 1)
       | '\\' when i + 1 < n && line.[i + 1] = '"' ->
         Buffer.add_char buf '"';
         quoted (i + 2)
@@ -47,18 +53,13 @@ let render_value = function
   | Value.Set s -> String.concat "\n" (Fb_postree.Pset.elements s)
   | Value.List l -> String.concat "\n" (Fb_postree.Plist.to_list l)
 
-let handle ?user fb line =
+let dispatch ?user fb tokens =
   let ( let* ) = Result.bind in
-  let reply = function
-    | Ok "" -> "OK"
-    | Ok payload -> "OK " ^ payload
-    | Error e -> "ERR " ^ Errors.to_string e
-  in
-  let run tokens =
-    match List.map String.lowercase_ascii [ List.nth tokens 0 ] with
-    | exception _ -> Error (Errors.Invalid "empty request")
-    | [ verb ] -> (
-      match verb, List.tl tokens with
+  let run () =
+    match tokens with
+    | [] -> Error (Errors.Invalid "empty request")
+    | verb :: args -> (
+      match String.lowercase_ascii verb, args with
       | "put", [ key; branch; value ] ->
         let* uid = Forkbase.put ?user ~branch fb ~key (Value.string value) in
         Ok (Forkbase.version_string uid)
@@ -148,15 +149,19 @@ let handle ?user fb line =
         Ok (Fb_hash.Hex.encode (Forkbase.encode_entry_proof proof))
       | verb, args ->
         Errors.invalid "bad request: %s/%d arguments" verb (List.length args))
-    | _ -> assert false
+  in
+  (* Verbs like stat and scrub call non-[result] maintenance APIs, so a
+     storage fault can still arrive as an exception here. *)
+  try run () with
+  | Fb_chunk.Store.Transient msg -> Error (Errors.Transient msg)
+  | Fb_postree.Postree.Corrupt msg -> Error (Errors.Corrupt msg)
+
+let handle ?user fb line =
+  let reply = function
+    | Ok "" -> "OK"
+    | Ok payload -> "OK " ^ payload
+    | Error e -> "ERR " ^ Errors.to_string e
   in
   match tokenize line with
   | Error e -> "ERR " ^ Errors.to_string (Errors.Invalid e)
-  | Ok [] -> "ERR " ^ Errors.to_string (Errors.Invalid "empty request")
-  | Ok tokens ->
-    (* Verbs like stat and scrub call non-[result] maintenance APIs, so a
-       storage fault can still arrive as an exception here. *)
-    reply
-      (try run tokens with
-       | Fb_chunk.Store.Transient msg -> Error (Errors.Transient msg)
-       | Fb_postree.Postree.Corrupt msg -> Error (Errors.Corrupt msg))
+  | Ok tokens -> reply (dispatch ?user fb tokens)

@@ -31,9 +31,21 @@
     v} *)
 
 val tokenize : string -> (string list, string) result
-(** Split a request line on blanks; double quotes group, and a backslash
-    escapes a quote inside quotes. *)
+(** Split a request line on blanks; double quotes group (a closing quote
+    is not a token boundary, so ["ab"cd] is one token [abcd]), [""] is an
+    empty argument, and a backslash escapes a quote inside quotes. *)
+
+val dispatch :
+  ?user:string -> Forkbase.t -> string list -> (string, Errors.t) result
+(** Execute one request given as a token list ([verb :: args]) — the
+    transport-independent entry point ({!Fb_net.Server} ships token lists
+    verbatim over its binary framing, so payloads with embedded newlines
+    or quotes never re-enter a parser).  Never raises: storage faults
+    surface as [Error (Transient _ | Corrupt _)]. *)
 
 val handle : ?user:string -> Forkbase.t -> string -> string
-(** Process one request line; never raises.  The response is ["OK"] or
-    ["OK <payload>"] (payload possibly multi-line) or ["ERR <reason>"]. *)
+(** [tokenize] + [dispatch] + status rendering for line transports; never
+    raises.  The response is ["OK"] or ["OK <payload>"] (payload possibly
+    multi-line — ambiguous over a line transport, which is why networked
+    deployments use {!Fb_net}'s length-prefixed framing) or
+    ["ERR <reason>"]. *)

@@ -1,0 +1,65 @@
+type t = {
+  fd : Unix.file_descr;
+  user : string;
+  max_frame : int;
+  timeout_s : float option;
+  mutable closed : bool;
+}
+
+let connect ?(host = "127.0.0.1") ?(port = 7447) ?(user = "anonymous")
+    ?(max_frame = Frame.default_max_frame) ?(timeout_s = 30.0) () =
+  match Frame.resolve_host host with
+  | Error _ as e -> e
+  | Ok addr -> (
+    match
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.connect fd (Unix.ADDR_INET (addr, port));
+         Unix.setsockopt fd Unix.TCP_NODELAY true
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+    with
+    | fd ->
+      let timeout_s = if timeout_s > 0.0 then Some timeout_s else None in
+      Ok { fd; user; max_frame; timeout_s; closed = false }
+    | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Printf.sprintf "connect %s:%d: %s" host port
+           (Unix.error_message err)))
+
+let is_open t = not t.closed
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.close t.fd with Unix.Unix_error _ -> ())
+  end
+
+let request ?user t tokens =
+  if t.closed then Error "connection closed"
+  else
+    let user = Option.value user ~default:t.user in
+    match
+      Frame.write_frame t.fd (Frame.encode_request ~user tokens);
+      Frame.read_frame ~max_frame:t.max_frame ?timeout_s:t.timeout_s t.fd
+    with
+    | Ok payload -> (
+      match Frame.decode_response payload with
+      | Ok (true, body) -> Ok body
+      | Ok (false, msg) -> Error msg
+      | Error e ->
+        close t;
+        Error ("bad response frame: " ^ e))
+    | Error err ->
+      close t;
+      Error (Frame.error_to_string err)
+    | exception Unix.Unix_error (err, _, _) ->
+      close t;
+      Error (Unix.error_message err)
+
+let request_line ?user t line =
+  match Fb_core.Service.tokenize line with
+  | Error e -> Error ("invalid request: " ^ e)
+  | Ok tokens -> request ?user t tokens

@@ -1,0 +1,35 @@
+(** Blocking TCP client for the ForkBase network service.
+
+    One connection, one outstanding request at a time (the protocol is
+    strict request/response).  Transport and server-side failures both
+    come back as [Error] strings; the connection is marked dead after a
+    transport failure and every later call fails fast. *)
+
+type t
+
+val connect :
+  ?host:string ->
+  ?port:int ->
+  ?user:string ->
+  ?max_frame:int ->
+  ?timeout_s:float ->
+  unit ->
+  (t, string) result
+(** Defaults: host ["127.0.0.1"], port [7447], user ["anonymous"]
+    (sent with every request; the server applies it to access control
+    and authorship), [max_frame] {!Frame.default_max_frame}, [timeout_s]
+    [30.] per response ([0.] or negative disables). *)
+
+val request : ?user:string -> t -> string list -> (string, string) result
+(** [request t (verb :: args)] — one round trip.  [Ok payload] on
+    success; [Error] carries the server's rendered error (missing key,
+    permission, conflict, …) or a transport diagnostic. *)
+
+val request_line : ?user:string -> t -> string -> (string, string) result
+(** Tokenize a {!Fb_core.Service}-style request line client-side (quotes
+    group, [""] is an empty argument), then {!request}. *)
+
+val is_open : t -> bool
+
+val close : t -> unit
+(** Idempotent. *)

@@ -1,0 +1,161 @@
+module Codec = Fb_codec.Codec
+
+type error =
+  | Eof
+  | Timeout
+  | Too_large of int
+  | Malformed of string
+
+let error_to_string = function
+  | Eof -> "connection closed"
+  | Timeout -> "timed out"
+  | Too_large n -> Printf.sprintf "frame too large (%d bytes)" n
+  | Malformed msg -> "malformed frame: " ^ msg
+
+let default_max_frame = 16 * 1024 * 1024
+
+(* A frame length needs at most 5 varint bytes (2^35 > any sane
+   max_frame); more means the peer is speaking something else. *)
+let max_len_bytes = 5
+
+(* ------------------------- pure codecs ------------------------- *)
+
+let encode_frame payload = Codec.to_string Codec.bytes payload
+
+let decode_frame ?(max_frame = default_max_frame) ?(pos = 0) buf =
+  let n = String.length buf in
+  let rec varint i shift acc count =
+    if count >= max_len_bytes then Error (Malformed "length varint too long")
+    else if i >= n then Ok `Need_more
+    else
+      let b = Char.code (String.unsafe_get buf i) in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 <> 0 then varint (i + 1) (shift + 7) acc (count + 1)
+      else if b = 0 && count > 0 then Error (Malformed "non-minimal length")
+      else if acc > max_frame then Error (Too_large acc)
+      else if n - (i + 1) < acc then Ok `Need_more
+      else Ok (`Frame (String.sub buf (i + 1) acc, i + 1 + acc))
+  in
+  varint pos 0 0 0
+
+let protocol_version = 1
+
+let encode_request ~user tokens =
+  Codec.to_string
+    (fun w () ->
+      Codec.u8 w protocol_version;
+      Codec.bytes w user;
+      Codec.list w Codec.bytes tokens)
+    ()
+
+let decode_request payload =
+  Codec.of_string
+    (fun r ->
+      let v = Codec.read_u8 r in
+      if v <> protocol_version then
+        raise
+          (Codec.Decode_error
+             (Printf.sprintf "unsupported protocol version %d" v));
+      let user = Codec.read_bytes r in
+      let tokens = Codec.read_list r Codec.read_bytes in
+      (user, tokens))
+    payload
+
+let encode_response ~ok payload =
+  Codec.to_string
+    (fun w () ->
+      Codec.bool w ok;
+      Codec.bytes w payload)
+    ()
+
+let decode_response payload =
+  Codec.of_string
+    (fun r ->
+      let ok = Codec.read_bool r in
+      let body = Codec.read_bytes r in
+      (ok, body))
+    payload
+
+(* ------------------------- socket IO ------------------------- *)
+
+let wait_readable fd deadline =
+  match deadline with
+  | None -> Ok ()
+  | Some t ->
+    let rec go () =
+      let remaining = t -. Unix.gettimeofday () in
+      if remaining <= 0.0 then Error Timeout
+      else
+        match Unix.select [ fd ] [] [] remaining with
+        | [], _, _ -> Error Timeout
+        | _ -> Ok ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+
+let read_byte fd deadline buf1 =
+  let rec go () =
+    match wait_readable fd deadline with
+    | Error _ as e -> e
+    | Ok () -> (
+      match Unix.read fd buf1 0 1 with
+      | 0 -> Error Eof
+      | _ -> Ok (Char.code (Bytes.unsafe_get buf1 0))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()
+
+let read_frame ?(max_frame = default_max_frame) ?timeout_s fd =
+  let deadline =
+    Option.map (fun t -> Unix.gettimeofday () +. t) timeout_s
+  in
+  let buf1 = Bytes.create 1 in
+  let rec read_len shift acc count =
+    if count >= max_len_bytes then Error (Malformed "length varint too long")
+    else
+      match read_byte fd deadline buf1 with
+      | Error _ as e -> e
+      | Ok b ->
+        let acc = acc lor ((b land 0x7f) lsl shift) in
+        if b land 0x80 <> 0 then read_len (shift + 7) acc (count + 1)
+        else if b = 0 && count > 0 then Error (Malformed "non-minimal length")
+        else if acc > max_frame then Error (Too_large acc)
+        else Ok acc
+  in
+  match read_len 0 0 0 with
+  | Error _ as e -> e
+  | Ok len ->
+    let buf = Bytes.create len in
+    let rec fill off =
+      if off >= len then Ok (Bytes.unsafe_to_string buf)
+      else
+        match wait_readable fd deadline with
+        | Error _ as e -> e
+        | Ok () -> (
+          match Unix.read fd buf off (len - off) with
+          | 0 -> Error Eof
+          | k -> fill (off + k)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill off)
+    in
+    fill 0
+
+let write_frame fd payload =
+  let s = encode_frame payload in
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      match Unix.write fd b off (len - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok addr
+  | exception Failure _ -> (
+    match (Unix.gethostbyname host).Unix.h_addr_list with
+    | [||] -> Error (Printf.sprintf "host %s has no address" host)
+    | addrs -> Ok addrs.(0)
+    | exception Not_found -> Error (Printf.sprintf "unknown host %s" host))

@@ -1,0 +1,75 @@
+(** Wire format of the ForkBase network service.
+
+    Every message — request or response — travels as one {e frame}: an
+    unsigned LEB128 varint length (minimal form, same as {!Fb_codec}'s
+    integers) followed by exactly that many payload bytes.  Length-prefixed
+    framing makes the stream unambiguous for payloads containing newlines,
+    quotes or arbitrary binary — the failure mode of the line-oriented
+    transport it replaces.
+
+    Frame payloads are themselves {!Fb_codec} values:
+
+    {v
+    request  ::= u8 version(=1) | bytes user | list<bytes> tokens
+    response ::= bool ok | bytes payload
+    v}
+
+    [tokens] is the verb + arguments exactly as {!Fb_core.Service.dispatch}
+    consumes them — no re-tokenization happens server-side.
+
+    The pure codecs below operate on strings (testable without sockets);
+    the [_frame] IO pair operates on file descriptors with an optional
+    per-frame deadline and a maximum frame size, so one bad peer can
+    neither wedge a reader forever nor make it allocate unboundedly. *)
+
+type error =
+  | Eof        (** peer closed the stream *)
+  | Timeout    (** per-frame deadline expired *)
+  | Too_large of int  (** announced length exceeds the frame limit *)
+  | Malformed of string  (** unparsable length prefix *)
+
+val error_to_string : error -> string
+
+val default_max_frame : int
+(** 16 MiB. *)
+
+(** {1 Pure codecs} *)
+
+val encode_frame : string -> string
+(** Varint length + payload. *)
+
+val decode_frame :
+  ?max_frame:int -> ?pos:int -> string ->
+  ([ `Frame of string * int | `Need_more ], error) result
+(** Decode one frame from [buf] starting at [pos].  [`Frame (payload,
+    next)] returns the payload and the offset of the next frame;
+    [`Need_more] means the buffer holds only a frame prefix.  Never
+    raises. *)
+
+val encode_request : user:string -> string list -> string
+val decode_request : string -> (string * string list, string) result
+(** [(user, tokens)]; rejects unknown protocol versions and trailing
+    garbage. *)
+
+val encode_response : ok:bool -> string -> string
+val decode_response : string -> (bool * string, string) result
+
+(** {1 Socket IO} *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one complete frame.  @raise Unix.Unix_error on transport
+    failure (e.g. [EPIPE] once the peer is gone). *)
+
+val read_frame :
+  ?max_frame:int -> ?timeout_s:float -> Unix.file_descr ->
+  (string, error) result
+(** Read one complete frame.  [timeout_s] bounds the {e whole} frame, so
+    a byte-at-a-time peer cannot hold the reader past the deadline; no
+    timeout means block indefinitely.  On [Too_large] the length prefix
+    has been consumed but the payload has not — the stream is
+    desynchronized and the connection should be closed.  Never raises on
+    EOF/timeout; [Unix.Unix_error] can still escape for genuine socket
+    failures. *)
+
+val resolve_host : string -> (Unix.inet_addr, string) result
+(** Dotted quad, or a name via [gethostbyname]. *)

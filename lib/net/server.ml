@@ -1,0 +1,272 @@
+module Service = Fb_core.Service
+module Errors = Fb_core.Errors
+module Obs = Fb_obs.Obs
+
+type config = {
+  host : string;
+  port : int;
+  backlog : int;
+  max_frame : int;
+  read_timeout_s : float;
+  save_every_s : float;
+  default_user : string;
+}
+
+let default_config =
+  { host = "127.0.0.1";
+    port = 7447;
+    backlog = 64;
+    max_frame = Frame.default_max_frame;
+    read_timeout_s = 30.0;
+    save_every_s = 5.0;
+    default_user = "anonymous" }
+
+type t = {
+  cfg : config;
+  fb : Fb_core.Forkbase.t;
+  save : (unit -> unit) option;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  fb_lock : Mutex.t;  (* the coarse instance lock: dispatch and save *)
+  state : Mutex.t;    (* guards the mutable fields below *)
+  mutable running : bool;
+  mutable conns : (int * Unix.file_descr) list;
+  mutable next_id : int;
+  mutable accept_thread : Thread.t option;
+  mutable saver_thread : Thread.t option;
+}
+
+(* ------------------------- metrics ------------------------- *)
+
+let conns_total = Obs.counter "fb.net.connections"
+let frames_total = Obs.counter "fb.net.frames"
+let proto_errors = Obs.counter "fb.net.errors"
+let request_errors = Obs.counter "fb.net.request_errors"
+let save_errors = Obs.counter "fb.net.save_errors"
+
+(* Histograms are created per verb name, so the set must be closed — a
+   peer sending garbage verbs must not grow the registry unboundedly. *)
+let verb_hists =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun v ->
+      let metric = String.map (fun c -> if c = '-' then '_' else c) v in
+      Hashtbl.replace tbl v
+        (Obs.histogram (Printf.sprintf "fb.net.%s_seconds" metric)))
+    [ "put"; "put-csv"; "get"; "get-at"; "head"; "latest"; "list"; "log";
+      "branch"; "diff"; "merge"; "verify"; "stat"; "metrics";
+      "metrics-json"; "fsck"; "scrub"; "get-json"; "diff-json"; "log-json";
+      "stat-json"; "latest-json"; "prove" ];
+  tbl
+
+let other_hist = Obs.histogram "fb.net.other_seconds"
+
+let verb_hist verb =
+  match Hashtbl.find_opt verb_hists verb with
+  | Some h -> h
+  | None -> other_hist
+
+(* ------------------------- helpers ------------------------- *)
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+let shutdown_quiet fd =
+  try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+let is_running t = Mutex.protect t.state (fun () -> t.running)
+
+let do_save t =
+  match t.save with
+  | None -> ()
+  | Some save ->
+    Mutex.protect t.fb_lock (fun () ->
+        try save () with _ -> Obs.incr save_errors)
+
+(* ------------------------- connection ------------------------- *)
+
+(* Best-effort error/result write; [false] means the peer is gone and the
+   connection loop should end. *)
+let respond fd ~ok payload =
+  match Frame.write_frame fd (Frame.encode_response ~ok payload) with
+  | () -> true
+  | exception Unix.Unix_error _ -> false
+
+let serve_request t fd payload =
+  Obs.incr frames_total;
+  match Frame.decode_request payload with
+  | Error e ->
+    Obs.incr proto_errors;
+    (* Frame boundaries are intact, only this payload was bad: answer and
+       keep the connection. *)
+    respond fd ~ok:false ("bad request: " ^ e)
+  | Ok (user, tokens) ->
+    let user = if user = "" then t.cfg.default_user else user in
+    let verb =
+      match tokens with v :: _ -> String.lowercase_ascii v | [] -> ""
+    in
+    let result =
+      Obs.time (verb_hist verb) (fun () ->
+          Mutex.protect t.fb_lock (fun () -> Service.dispatch ~user t.fb tokens))
+    in
+    (match result with
+    | Ok body -> respond fd ~ok:true body
+    | Error e ->
+      Obs.incr request_errors;
+      respond fd ~ok:false (Errors.to_string e))
+
+let handle_conn t id fd =
+  Obs.incr conns_total;
+  let timeout_s =
+    if t.cfg.read_timeout_s > 0.0 then Some t.cfg.read_timeout_s else None
+  in
+  let rec loop () =
+    match Frame.read_frame ~max_frame:t.cfg.max_frame ?timeout_s fd with
+    | Ok payload -> if serve_request t fd payload then loop ()
+    | Error Frame.Eof -> ()
+    | Error Frame.Timeout ->
+      Obs.incr proto_errors;
+      ignore (respond fd ~ok:false "read timeout: closing connection")
+    | Error (Frame.Too_large _ as e) | Error (Frame.Malformed _ as e) ->
+      (* The length prefix was consumed without its payload: the stream
+         is desynchronized beyond repair — report and hang up. *)
+      Obs.incr proto_errors;
+      ignore (respond fd ~ok:false (Frame.error_to_string e))
+    | exception Unix.Unix_error _ -> Obs.incr proto_errors
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      shutdown_quiet fd;
+      close_quiet fd;
+      Mutex.protect t.state (fun () ->
+          t.conns <- List.filter (fun (i, _) -> i <> id) t.conns))
+    loop
+
+(* ------------------------- threads ------------------------- *)
+
+let accept_loop t =
+  let rec go () =
+    if is_running t then
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        let id =
+          Mutex.protect t.state (fun () ->
+              let id = t.next_id in
+              t.next_id <- id + 1;
+              t.conns <- (id, fd) :: t.conns;
+              id)
+        in
+        ignore (Thread.create (fun () -> handle_conn t id fd) ());
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ ->
+        (* Listener closed: shutdown in progress. *)
+        ()
+  in
+  go ()
+
+let saver_loop t =
+  (* Short ticks instead of one long sleep so stop is prompt. *)
+  let tick = 0.05 in
+  let rec go elapsed =
+    if is_running t then begin
+      Thread.delay tick;
+      let elapsed = elapsed +. tick in
+      if elapsed >= t.cfg.save_every_s then begin
+        do_save t;
+        go 0.0
+      end
+      else go elapsed
+    end
+  in
+  go 0.0
+
+(* ------------------------- lifecycle ------------------------- *)
+
+let port t = t.bound_port
+
+let start ?(config = default_config) ?save fb =
+  match Frame.resolve_host config.host with
+  | Error _ as e -> e
+  | Ok addr -> (
+    match
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (addr, config.port));
+         Unix.listen fd config.backlog
+       with e ->
+         close_quiet fd;
+         raise e);
+      fd
+    with
+    | fd ->
+      let bound_port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> config.port
+      in
+      (* A peer that vanished mid-write must surface as EPIPE on the
+         worker thread, not kill the whole daemon. *)
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ -> ());
+      let t =
+        { cfg = config; fb; save; listen_fd = fd; bound_port;
+          fb_lock = Mutex.create (); state = Mutex.create ();
+          running = true; conns = []; next_id = 0;
+          accept_thread = None; saver_thread = None }
+      in
+      Obs.gauge "fb.net.connections_active" (fun () ->
+          float_of_int (Mutex.protect t.state (fun () -> List.length t.conns)));
+      t.accept_thread <- Some (Thread.create accept_loop t);
+      if config.save_every_s > 0.0 && save <> None then
+        t.saver_thread <- Some (Thread.create saver_loop t);
+      Ok t
+    | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Printf.sprintf "listen %s:%d: %s" config.host config.port
+           (Unix.error_message err)))
+
+let stop t =
+  let was_running =
+    Mutex.protect t.state (fun () ->
+        let r = t.running in
+        t.running <- false;
+        r)
+  in
+  if was_running then begin
+    (* Wake the accept loop, then kick every live connection: their
+       blocking reads see EOF and the threads unwind through their
+       [finally] (closing fds and deregistering themselves). *)
+    shutdown_quiet t.listen_fd;
+    close_quiet t.listen_fd;
+    List.iter
+      (fun (_, fd) -> shutdown_quiet fd)
+      (Mutex.protect t.state (fun () -> t.conns));
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    while
+      Mutex.protect t.state (fun () -> t.conns <> [])
+      && Unix.gettimeofday () < deadline
+    do
+      Thread.delay 0.01
+    done;
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (match t.saver_thread with Some th -> Thread.join th | None -> ());
+    (* Final save so SIGTERM leaves the branch table current on disk. *)
+    do_save t
+  end
+
+let run t =
+  let stop_requested = Atomic.make false in
+  let handler _ = Atomic.set stop_requested true in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle handler) in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle handler) in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigint old_int;
+      Sys.set_signal Sys.sigterm old_term)
+    (fun () ->
+      while (not (Atomic.get stop_requested)) && is_running t do
+        Thread.delay 0.1
+      done;
+      stop t)

@@ -1,0 +1,63 @@
+(** Multi-client TCP server for the ForkBase service verbs.
+
+    Thread-per-connection over one shared {!Fb_core.Forkbase.t}: every
+    {!Fb_core.Service.dispatch} runs under a coarse per-instance lock, so
+    concurrent clients serialize at the verb level and the single-threaded
+    engine underneath never sees parallelism (the scaling story is many
+    connections with short verbs, not parallel storage access).
+
+    Robustness against bad peers: a per-connection read deadline covers
+    the {e whole} frame (a byte-at-a-time writer cannot wedge its thread
+    past the deadline), and frames above [max_frame] are refused before
+    any allocation — both answer the peer with an error response, then
+    close.
+
+    Durability: an optional [save] callback (typically
+    [Persistent.save ~fsync:true]) runs under the instance lock every
+    [save_every_s] seconds and once more during {!stop}, so SIGTERM
+    leaves an intact, fsynced branch table.
+
+    Observability ({!Fb_obs}): counters [fb.net.connections],
+    [fb.net.frames], [fb.net.errors] (protocol/transport),
+    [fb.net.request_errors] (verbs answering [ERR]),
+    [fb.net.save_errors]; gauge [fb.net.connections_active]; per-verb
+    latency histograms [fb.net.<verb>_seconds] (lock wait included —
+    that is the latency a client observes). *)
+
+type config = {
+  host : string;          (** bind address; default ["127.0.0.1"] *)
+  port : int;             (** [0] picks an ephemeral port — see {!port} *)
+  backlog : int;
+  max_frame : int;
+  read_timeout_s : float; (** per-frame read deadline; [<= 0.] disables *)
+  save_every_s : float;   (** periodic save cadence; [<= 0.] disables *)
+  default_user : string;  (** applied when a request carries no user *)
+}
+
+val default_config : config
+(** [127.0.0.1:7447], backlog 64, {!Frame.default_max_frame}, 30 s read
+    timeout, save every 5 s, user ["anonymous"]. *)
+
+type t
+
+val start :
+  ?config:config -> ?save:(unit -> unit) -> Fb_core.Forkbase.t ->
+  (t, string) result
+(** Bind, listen and return immediately; connections are served on
+    background threads.  Also ignores [SIGPIPE] process-wide (a vanished
+    peer must surface as [EPIPE], not kill the daemon). *)
+
+val port : t -> int
+(** The bound port — the ephemeral port when [config.port = 0]. *)
+
+val is_running : t -> bool
+
+val stop : t -> unit
+(** Graceful, idempotent shutdown: stop accepting, wake and drain
+    connection threads, run the final [save].  Safe to call from a
+    signal-driven context. *)
+
+val run : t -> unit
+(** Block until {!stop} is called or SIGINT/SIGTERM arrives (handlers
+    are installed for the duration of the call and restored after), then
+    shut down gracefully. *)

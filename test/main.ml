@@ -23,4 +23,5 @@ let () =
       ("indexer", Test_indexer.suite);
       ("baselines", Test_baselines.suite);
       ("workload", Test_workload.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("net", Test_net.suite) ]

@@ -545,6 +545,55 @@ let test_service_fsck_verbs () =
   let reply = Fb_core.Service.handle fb "scrub" in
   check bool_ "scrub ok" true (Tutil.contains reply "OK")
 
+(* ---------------- backoff caps ---------------- *)
+
+let test_backoff_duration () =
+  let d = Resilient_store.backoff_duration in
+  (* Base schedule, no jitter: backoff_s * 2^attempt * 0.5. *)
+  check (Alcotest.float 1e-9) "attempt 0" 0.005
+    (d ~backoff_s:0.01 ~jitter:0.0 0);
+  check (Alcotest.float 1e-9) "attempt 3" 0.04 (d ~backoff_s:0.01 ~jitter:0.0 3);
+  (* Jitter scales into [0.5x, 1.5x). *)
+  check (Alcotest.float 1e-9) "full jitter" 0.015
+    (d ~backoff_s:0.01 ~jitter:1.0 0);
+  (* Per-sleep cap: big attempts land exactly on max_backoff_s... *)
+  check (Alcotest.float 1e-9) "default cap" 1.0 (d ~backoff_s:0.01 ~jitter:0.5 20);
+  check (Alcotest.float 1e-9) "custom cap" 0.25
+    (d ~max_backoff_s:0.25 ~backoff_s:0.01 ~jitter:0.5 20);
+  (* ...and the exponent cap keeps huge attempt counts finite (the old
+     unbounded shift overflowed past attempt 62). *)
+  let big = d ~max_backoff_s:infinity ~backoff_s:0.01 ~jitter:0.0 1000 in
+  check bool_ "no overflow" true (Float.is_finite big && big > 0.0);
+  check (Alcotest.float 1e-9) "exponent capped" big
+    (d ~max_backoff_s:infinity ~backoff_s:0.01 ~jitter:0.0 17);
+  (* Monotone in attempt up to the caps. *)
+  let prev = ref 0.0 in
+  for a = 0 to 30 do
+    let v = d ~backoff_s:0.001 ~jitter:0.25 a in
+    check bool_ "monotone" true (v >= !prev);
+    prev := v
+  done
+
+let test_backoff_total_clamp () =
+  (* Every read fails: 10 retries at 50 ms doubling would sleep ~25 s
+     unbounded.  The lifetime budget clamps the whole ordeal. *)
+  let faulty, _ =
+    Faulty_store.wrap
+      { Faulty_store.calm with seed = 17L; transient_read_p = 1.0 }
+      (Mem_store.create ())
+  in
+  let store, _ =
+    Resilient_store.wrap ~max_retries:10 ~backoff_s:0.05
+      ~max_total_backoff_s:0.05 faulty
+  in
+  let h = Store.put faulty (blob 0) in
+  let t0 = Unix.gettimeofday () in
+  (match Store.get store h with
+  | exception Store.Transient _ -> ()
+  | Some _ | None -> Alcotest.fail "all-failing read should raise Transient");
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check bool_ "total sleep clamped" true (elapsed < 1.0)
+
 let suite =
   [ Alcotest.test_case "faulty: deterministic under a seed" `Quick
       test_faulty_determinism;
@@ -572,6 +621,10 @@ let suite =
       test_crash_then_scrub;
     Alcotest.test_case "file store: tmp cleanup on reopen" `Quick
       test_tmp_cleanup_on_reopen;
+    Alcotest.test_case "backoff: duration caps and overflow" `Quick
+      test_backoff_duration;
+    Alcotest.test_case "backoff: lifetime sleep budget" `Quick
+      test_backoff_total_clamp;
     Alcotest.test_case "file store: fsync write path" `Quick
       test_fsync_store_roundtrip;
     Alcotest.test_case "stats: delete clamps at zero" `Quick

@@ -1,0 +1,367 @@
+(* Framed wire protocol and the concurrent TCP server/client. *)
+
+module FB = Fb_core.Forkbase
+module Persistent = Fb_core.Persistent
+module Value = Fb_types.Value
+module Frame = Fb_net.Frame
+module Client = Fb_net.Client
+module Server = Fb_net.Server
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let string_ = Alcotest.string
+
+let ok_fb = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Fb_core.Errors.to_string e)
+
+let ok_net = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let with_temp_root f =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fb_net_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command ("rm -rf " ^ Filename.quote root)))
+    (fun () -> f root)
+
+(* No periodic saver and no fixed port: tests must not collide. *)
+let test_config =
+  { Server.default_config with port = 0; save_every_s = 0.0 }
+
+let with_server ?(config = test_config) ?save fb f =
+  let srv = ok_net (Server.start ~config ?save fb) in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv)
+
+let with_client ?user srv f =
+  let c = ok_net (Client.connect ?user ~port:(Server.port srv) ()) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+(* ---------------- pure framing ---------------- *)
+
+let test_frame_roundtrip () =
+  List.iter
+    (fun payload ->
+      match Frame.decode_frame (Frame.encode_frame payload) with
+      | Ok (`Frame (p, next)) ->
+        check string_ "payload" payload p;
+        check int_ "consumed all" (String.length (Frame.encode_frame payload)) next
+      | _ -> Alcotest.fail "frame did not round-trip")
+    [ ""; "x"; "hello\nworld"; String.make 300 'a'; String.make 70000 '\x00' ]
+
+let test_frame_stream () =
+  (* Several frames back to back decode in sequence. *)
+  let payloads = [ "one"; ""; "three\nlines\nhere"; String.make 500 'z' ] in
+  let buf = String.concat "" (List.map Frame.encode_frame payloads) in
+  let rec go pos acc =
+    if pos >= String.length buf then List.rev acc
+    else
+      match Frame.decode_frame ~pos buf with
+      | Ok (`Frame (p, next)) -> go next (p :: acc)
+      | _ -> Alcotest.fail "stream decode failed"
+  in
+  check bool_ "all frames" true (go 0 [] = payloads)
+
+let test_frame_truncated () =
+  let full = Frame.encode_frame (String.make 300 'q') in
+  for cut = 0 to String.length full - 1 do
+    match Frame.decode_frame (String.sub full 0 cut) with
+    | Ok `Need_more -> ()
+    | _ -> Alcotest.failf "prefix of %d bytes should need more" cut
+  done
+
+let test_frame_limits () =
+  (match Frame.decode_frame ~max_frame:10 (Frame.encode_frame (String.make 100 'x')) with
+  | Error (Frame.Too_large 100) -> ()
+  | _ -> Alcotest.fail "oversize frame accepted");
+  (* Non-minimal varint length: 0x80 0x00 encodes 0 in two bytes. *)
+  (match Frame.decode_frame "\x80\x00" with
+  | Error (Frame.Malformed _) -> ()
+  | _ -> Alcotest.fail "non-minimal length accepted");
+  (* A length varint longer than 5 bytes is not a frame. *)
+  (match Frame.decode_frame "\xff\xff\xff\xff\xff\xff" with
+  | Error (Frame.Malformed _) -> ()
+  | _ -> Alcotest.fail "runaway varint accepted")
+
+let qcheck_frame_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"frame encode/decode round-trip"
+    QCheck.(string_of_size Gen.(0 -- 2000))
+    (fun payload ->
+      match Frame.decode_frame (Frame.encode_frame payload) with
+      | Ok (`Frame (p, _)) -> String.equal p payload
+      | _ -> false)
+
+let qcheck_request_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"request encode/decode round-trip"
+    QCheck.(pair (string_of_size Gen.(0 -- 30))
+              (small_list (string_of_size Gen.(0 -- 200))))
+    (fun (user, tokens) ->
+      match Frame.decode_request (Frame.encode_request ~user tokens) with
+      | Ok (u, ts) -> String.equal u user && ts = tokens
+      | Error _ -> false)
+
+let qcheck_response_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"response encode/decode round-trip"
+    QCheck.(pair bool (string_of_size Gen.(0 -- 2000)))
+    (fun (ok, payload) ->
+      match Frame.decode_response (Frame.encode_response ~ok payload) with
+      | Ok (o, p) -> o = ok && String.equal p payload
+      | Error _ -> false)
+
+let test_request_rejects_garbage () =
+  check bool_ "bad version" true
+    (Result.is_error (Frame.decode_request "\xff"));
+  check bool_ "empty" true (Result.is_error (Frame.decode_request ""));
+  check bool_ "trailing garbage" true
+    (Result.is_error
+       (Frame.decode_request (Frame.encode_request ~user:"u" [ "a" ] ^ "x")))
+
+(* ---------------- server round trips ---------------- *)
+
+let test_server_roundtrip () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  with_server fb (fun srv ->
+      with_client srv (fun c ->
+          (* Values with newlines and quotes survive framing verbatim —
+             exactly what the line transport could not carry. *)
+          let value = "line one\nline two \"quoted\"\nline three" in
+          let uid = ok_net (Client.request c [ "put"; "k"; "master"; value ]) in
+          check bool_ "uid parses" true (Result.is_ok (FB.parse_version uid));
+          check string_ "get" value (ok_net (Client.request c [ "get"; "k"; "master" ]));
+          check string_ "head" uid (ok_net (Client.request c [ "head"; "k"; "master" ]));
+          ignore (ok_net (Client.request c [ "branch"; "k"; "master"; "dev" ]));
+          ignore (ok_net (Client.request c [ "put"; "k"; "dev"; "v2" ]));
+          ignore (ok_net (Client.request c [ "merge"; "k"; "master"; "dev" ]));
+          check string_ "merged" "v2" (ok_net (Client.request c [ "get"; "k"; "master" ]));
+          (* request_line tokenizes client-side. *)
+          check string_ "request_line" "v2"
+            (ok_net (Client.request_line c "get k master"));
+          (* Application errors come back as Error, connection stays up. *)
+          (match Client.request c [ "get"; "missing"; "master" ] with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "missing key should fail");
+          (match Client.request c [ "frobnicate" ] with
+          | Error e -> check bool_ "bad verb" true (Tutil.contains e "bad request")
+          | Ok _ -> Alcotest.fail "unknown verb accepted");
+          check string_ "still alive" "v2"
+            (ok_net (Client.request c [ "get"; "k"; "master" ]))))
+
+let test_server_user_identity () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  with_server fb (fun srv ->
+      with_client ~user:"alice" srv (fun c ->
+          ignore (ok_net (Client.request c [ "put"; "k"; "master"; "v" ]));
+          let log = ok_net (Client.request c [ "log"; "k"; "master" ]) in
+          check bool_ "author recorded" true (Tutil.contains log "alice");
+          (* Per-request override. *)
+          ignore (ok_net (Client.request ~user:"bob" c [ "put"; "k"; "master"; "w" ]));
+          let log = ok_net (Client.request c [ "log"; "k"; "master" ]) in
+          check bool_ "override recorded" true (Tutil.contains log "bob")))
+
+let test_server_durability () =
+  with_temp_root (fun root ->
+      let fb = ok_fb (Persistent.open_ ~root ()) in
+      let save () = ignore (Persistent.save ~fsync:true ~root fb) in
+      let uid =
+        with_server ~save fb (fun srv ->
+            with_client srv (fun c ->
+                ok_net (Client.request c [ "put"; "k"; "master"; "durable" ])))
+      in
+      (* with_server stopped the server; stop runs the final save, so a
+         fresh instance sees the head. *)
+      let fb2 = ok_fb (Persistent.open_ ~root ()) in
+      check bool_ "head persisted" true
+        (Fb_hash.Hash.equal (ok_fb (FB.parse_version uid))
+           (ok_fb (FB.head fb2 ~key:"k"))))
+
+let test_server_shutdown () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  let srv = ok_net (Server.start ~config:test_config fb) in
+  let port = Server.port srv in
+  let c = ok_net (Client.connect ~port ()) in
+  ignore (ok_net (Client.request c [ "put"; "k"; "master"; "v" ]));
+  Server.stop srv;
+  check bool_ "stopped" false (Server.is_running srv);
+  (* The open connection was kicked. *)
+  check bool_ "old conn dead" true (Result.is_error (Client.request c [ "stat" ]));
+  Client.close c;
+  (* New connections are refused (or dead on arrival via the backlog). *)
+  (match Client.connect ~port ~timeout_s:1.0 () with
+  | Error _ -> ()
+  | Ok c2 ->
+    check bool_ "no service after stop" true
+      (Result.is_error (Client.request c2 [ "stat" ]));
+    Client.close c2);
+  (* stop is idempotent. *)
+  Server.stop srv
+
+(* ---------------- bad peers ---------------- *)
+
+let raw_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let test_slow_peer () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  let config = { test_config with read_timeout_s = 10.0 } in
+  with_server ~config fb (fun srv ->
+      (* One byte at a time, with pauses: the read deadline covers the
+         whole frame, so a slow-but-moving peer still gets served. *)
+      let fd = raw_connect (Server.port srv) in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let frame =
+            Frame.encode_frame
+              (Frame.encode_request ~user:"slow" [ "put"; "s"; "master"; "v" ])
+          in
+          String.iter
+            (fun ch ->
+              ignore (Unix.write fd (Bytes.make 1 ch) 0 1);
+              Thread.delay 0.002)
+            frame;
+          match Frame.read_frame ~timeout_s:5.0 fd with
+          | Ok payload -> (
+            match Frame.decode_response payload with
+            | Ok (true, _) -> ()
+            | _ -> Alcotest.fail "slow peer got an error")
+          | Error e -> Alcotest.fail (Frame.error_to_string e)))
+
+let test_read_timeout () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  let config = { test_config with read_timeout_s = 0.15 } in
+  with_server ~config fb (fun srv ->
+      let fd = raw_connect (Server.port srv) in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* Send nothing: the server must give up on its own. *)
+          match Frame.read_frame ~timeout_s:5.0 fd with
+          | Ok payload -> (
+            match Frame.decode_response payload with
+            | Ok (false, msg) ->
+              check bool_ "timeout reported" true (Tutil.contains msg "timeout")
+            | _ -> Alcotest.fail "expected an error response")
+          | Error Frame.Eof -> ()  (* already hung up: also acceptable *)
+          | Error e -> Alcotest.fail (Frame.error_to_string e)))
+
+let test_max_frame () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  let config = { test_config with max_frame = 256 } in
+  with_server ~config fb (fun srv ->
+      let c = ok_net (Client.connect ~port:(Server.port srv) ()) in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (match Client.request c [ "put"; "k"; "master"; String.make 4096 'x' ] with
+          | Error e -> check bool_ "too large" true (Tutil.contains e "large")
+          | Ok _ -> Alcotest.fail "oversize frame accepted");
+          (* The stream was desynchronized: the server hung up. *)
+          check bool_ "connection closed" true
+            (Result.is_error (Client.request c [ "stat" ]))));
+  (* A small-but-legal request still works under the same limit. *)
+  with_server ~config fb (fun srv ->
+      with_client srv (fun c ->
+          ignore (ok_net (Client.request c [ "put"; "k"; "master"; "small" ]))))
+
+(* ---------------- concurrency soak ---------------- *)
+
+let test_soak () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  with_server fb (fun srv ->
+      let port = Server.port srv in
+      let clients = 8 and iterations = 25 in
+      let errors = Atomic.make 0 in
+      let fail fmt =
+        Printf.ksprintf (fun s -> Atomic.incr errors; prerr_endline s) fmt
+      in
+      let worker cid () =
+        match Client.connect ~port ~user:(Printf.sprintf "u%d" cid) () with
+        | Error e -> fail "c%d connect: %s" cid e
+        | Ok c ->
+          let key = Printf.sprintf "k%d" cid in
+          for i = 0 to iterations - 1 do
+            let v = Printf.sprintf "%d-%d\npayload line" cid i in
+            (match Client.request c [ "put"; key; "master"; v ] with
+            | Ok _ -> ()
+            | Error e -> fail "c%d put %d: %s" cid i e);
+            (match Client.request c [ "get"; key; "master" ] with
+            | Ok got when got = v -> ()
+            | Ok got -> fail "c%d get %d: corrupt %S" cid i got
+            | Error e -> fail "c%d get %d: %s" cid i e);
+            if i mod 5 = 0 then begin
+              let b = Printf.sprintf "dev%d" i in
+              (match Client.request c [ "branch"; key; "master"; b ] with
+              | Ok _ -> ()
+              | Error e -> fail "c%d branch %d: %s" cid i e);
+              match Client.request c [ "merge"; key; "master"; b ] with
+              | Ok _ -> ()
+              | Error e -> fail "c%d merge %d: %s" cid i e
+            end
+          done;
+          Client.close c
+      in
+      (* A byte-at-a-time peer runs alongside the fleet; everyone must
+         still complete without corruption. *)
+      let slow () =
+        match raw_connect port with
+        | exception Unix.Unix_error (e, _, _) ->
+          fail "slow connect: %s" (Unix.error_message e)
+        | fd ->
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              let frame =
+                Frame.encode_frame
+                  (Frame.encode_request ~user:"slow"
+                     [ "put"; "slowkey"; "master"; "slow value" ])
+              in
+              String.iter
+                (fun ch ->
+                  ignore (Unix.write fd (Bytes.make 1 ch) 0 1);
+                  Thread.delay 0.001)
+                frame;
+              match Frame.read_frame ~timeout_s:10.0 fd with
+              | Ok payload -> (
+                match Frame.decode_response payload with
+                | Ok (true, _) -> ()
+                | _ -> fail "slow peer: error response")
+              | Error e -> fail "slow peer: %s" (Frame.error_to_string e))
+      in
+      let threads =
+        Thread.create slow ()
+        :: List.init clients (fun cid -> Thread.create (worker cid) ())
+      in
+      List.iter Thread.join threads;
+      check int_ "soak errors" 0 (Atomic.get errors);
+      (* Every client's last write is visible and uncorrupted. *)
+      for cid = 0 to clients - 1 do
+        let v = ok_fb (FB.get fb ~key:(Printf.sprintf "k%d" cid)) in
+        check string_ "final value"
+          (Printf.sprintf "%d-%d\npayload line" cid (iterations - 1))
+          (match v with Value.Primitive (Fb_types.Primitive.String s) -> s | _ -> "?")
+      done)
+
+let suite =
+  [ Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "frame stream" `Quick test_frame_stream;
+    Alcotest.test_case "frame truncated prefixes" `Quick test_frame_truncated;
+    Alcotest.test_case "frame limits" `Quick test_frame_limits;
+    QCheck_alcotest.to_alcotest qcheck_frame_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_request_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_response_roundtrip;
+    Alcotest.test_case "request rejects garbage" `Quick
+      test_request_rejects_garbage;
+    Alcotest.test_case "server round-trip" `Quick test_server_roundtrip;
+    Alcotest.test_case "server user identity" `Quick test_server_user_identity;
+    Alcotest.test_case "server durability" `Quick test_server_durability;
+    Alcotest.test_case "server shutdown" `Quick test_server_shutdown;
+    Alcotest.test_case "slow peer" `Quick test_slow_peer;
+    Alcotest.test_case "read timeout" `Quick test_read_timeout;
+    Alcotest.test_case "max frame" `Quick test_max_frame;
+    Alcotest.test_case "concurrent soak" `Quick test_soak ]

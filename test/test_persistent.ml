@@ -97,6 +97,54 @@ let test_gc_survives_reopen () =
       check int_ "b swept on disk" 1 swept;
       check bool_ "a intact" true (Result.is_ok (FB.get fb ~key:"a")))
 
+let test_crash_between_write_and_rename () =
+  with_temp_root (fun root ->
+      (* Save a real table, then fake a crash that died after writing the
+         tmp file but before the rename published it. *)
+      let fb = ok (Persistent.open_ ~root ()) in
+      let u1 = ok (FB.put fb ~key:"k" (Value.string "v1")) in
+      ok (Persistent.save ~fsync:true ~root fb);
+      let tmp = Filename.concat root "BRANCHES.tmp" in
+      let oc = open_out_bin tmp in
+      output_string oc "torn garbage \x00\xff not a table";
+      close_out oc;
+      (* The published table wins: the orphaned tmp is never read. *)
+      let fb2 = ok (Persistent.open_ ~root ()) in
+      check bool_ "old head intact" true
+        (Hash.equal u1 (ok (FB.head fb2 ~key:"k")));
+      (* The next save atomically replaces it with fresh contents. *)
+      let u2 = ok (FB.put fb2 ~key:"k" (Value.string "v2")) in
+      ok (Persistent.save ~fsync:true ~root fb2);
+      let fb3 = ok (Persistent.open_ ~root ()) in
+      check bool_ "new head after save" true
+        (Hash.equal u2 (ok (FB.head fb3 ~key:"k"))))
+
+let test_crash_before_any_save () =
+  with_temp_root (fun root ->
+      (* Crash on the very first save: a tmp exists but BRANCHES never
+         did.  open_ must treat the root as empty, not corrupt. *)
+      let fb = ok (Persistent.open_ ~root ()) in
+      ignore (ok (FB.put fb ~key:"k" (Value.string "v")));
+      let oc = open_out_bin (Filename.concat root "BRANCHES.tmp") in
+      output_string oc "half-written";
+      close_out oc;
+      let fb2 = ok (Persistent.open_ ~root ()) in
+      check bool_ "no head" true (Result.is_error (FB.head fb2 ~key:"k")))
+
+let test_fsync_save_roundtrip () =
+  with_temp_root (fun root ->
+      let fb = ok (Persistent.open_ ~fsync:true ~root ()) in
+      let u = ok (FB.put fb ~key:"k" (Value.string "durable")) in
+      ignore (ok (FB.fork fb ~key:"k" ~new_branch:"dev"));
+      ok (Persistent.save ~fsync:true ~root fb);
+      check bool_ "tmp not left behind" false
+        (Sys.file_exists (Filename.concat root "BRANCHES.tmp")
+        || Sys.file_exists (Filename.concat root "TAGS.tmp"));
+      let fb2 = ok (Persistent.open_ ~root ()) in
+      check bool_ "head" true (Hash.equal u (ok (FB.head fb2 ~key:"k")));
+      check bool_ "branch" true
+        (Result.is_ok (FB.get fb2 ~branch:"dev" ~key:"k")))
+
 let suite =
   [ Alcotest.test_case "roundtrip across sessions" `Quick
       test_roundtrip_across_sessions;
@@ -105,4 +153,10 @@ let suite =
       test_failed_action_does_not_save;
     Alcotest.test_case "corrupt tables rejected" `Quick
       test_corrupt_tables_rejected;
-    Alcotest.test_case "gc survives reopen" `Quick test_gc_survives_reopen ]
+    Alcotest.test_case "gc survives reopen" `Quick test_gc_survives_reopen;
+    Alcotest.test_case "crash between write and rename" `Quick
+      test_crash_between_write_and_rename;
+    Alcotest.test_case "crash before any save" `Quick
+      test_crash_before_any_save;
+    Alcotest.test_case "fsync save roundtrip" `Quick
+      test_fsync_save_roundtrip ]

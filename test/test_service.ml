@@ -36,7 +36,13 @@ let test_tokenize () =
     (Service.tokenize "say \"a \\\" b\"" = Ok [ "say"; "a \" b" ]);
   check bool_ "empty arg" true (Service.tokenize "x \"\" y" = Ok [ "x"; ""; "y" ]);
   check bool_ "unterminated" true (Result.is_error (Service.tokenize "\"oops"));
-  check bool_ "empty line" true (Service.tokenize "" = Ok [])
+  check bool_ "empty line" true (Service.tokenize "" = Ok []);
+  (* Adjacent quoted/plain runs join into one token, shell-style. *)
+  check bool_ "quote then plain" true (Service.tokenize "\"ab\"cd" = Ok [ "abcd" ]);
+  check bool_ "plain then quote" true (Service.tokenize "a\"\"b" = Ok [ "ab" ]);
+  check bool_ "two empty quotes" true (Service.tokenize "\"\"\"\"" = Ok [ "" ]);
+  check bool_ "mixed runs" true
+    (Service.tokenize "pre\"mid dle\"post x" = Ok [ "premid dlepost"; "x" ])
 
 (* ---------------- verbs ---------------- *)
 
