@@ -18,22 +18,26 @@ bench:
 bench-hotpath:
 	dune exec bench/main.exe -- hotpath
 
-# Network service benchmark: N concurrent TCP clients against a live
-# server, mixed put/get/branch/merge; writes BENCH_net.json.
+# Network concurrency benchmark: reader sweep 1->8 over the striped
+# read/write locking, striped-vs-coarse write p50, and 32-op BATCH
+# frames vs single round trips; writes BENCH_net.json.  (The older
+# mixed-workload soak is `-- net`, writing BENCH_net_mixed.json.)
 bench-net:
-	dune exec bench/main.exe -- net
+	dune exec bench/main.exe -- net-scaling
 
 # The pre-commit gate: full build, full test suite, the observability
 # self-test (instrumentation overhead + histogram/exposition smoke), a
 # ~1-second hot-path sanity run (kernel equivalence + cache on/off smoke),
-# and a ~1-second network smoke (2 concurrent clients over loopback,
-# asserts zero dropped/corrupt frames and a clean shutdown).
+# a ~1-second network smoke (2 concurrent clients over loopback, asserts
+# zero dropped/corrupt frames and a clean shutdown), and a ~1-second
+# concurrency smoke (reader scaling, striped-vs-coarse writes, BATCH).
 check:
 	dune build
 	dune runtest
 	dune exec bench/main.exe -- obs
 	dune exec bench/main.exe -- hotpath-quick
 	dune exec bench/main.exe -- net-quick
+	dune exec bench/main.exe -- net-scaling-quick
 
 clean:
 	dune clean

@@ -1297,7 +1297,7 @@ let run_net ?(quick = false) () =
     with
     | Error e ->
       Atomic.incr errors;
-      prerr_endline ("client connect failed: " ^ e)
+      prerr_endline ("client connect failed: " ^ Fb_net.Client.error_to_string e)
     | Ok c ->
       let req verb tokens =
         let t0 = Unix.gettimeofday () in
@@ -1308,7 +1308,7 @@ let run_net ?(quick = false) () =
         | Ok payload -> payload
         | Error e ->
           Atomic.incr errors;
-          "ERR " ^ e
+          "ERR " ^ Fb_net.Client.error_to_string e
       in
       let key = Printf.sprintf "k%d" cid in
       for i = 0 to per_client - 1 do
@@ -1390,6 +1390,257 @@ let run_net ?(quick = false) () =
           verb n (1e6 *. p50) (1e6 *. p99))
       verb_rows;
     Buffer.add_string b "}}\n";
+    let oc = open_out "BENCH_net_mixed.json" in
+    Buffer.output_buffer oc b;
+    close_out oc;
+    Printf.printf "machine-readable results written to BENCH_net_mixed.json\n"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* net-scaling: concurrency of the striped read/write server layer.   *)
+(*   1. read-only throughput as the reader count sweeps 1 -> 8        *)
+(*   2. write p50 under striped vs. coarse locking (regression check) *)
+(*   3. 32-op BATCH frames vs. 32 single round trips                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Chunk reads with device latency: every get / liveness probe blocks for
+   [delay_s], the way a cold NVMe, networked or cloud store would.  The
+   blocking releases the OCaml runtime lock, so whether concurrent
+   requests overlap those waits is decided purely by the server's lock
+   discipline — exactly the variable this experiment isolates (and the
+   only one measurable on a single-core host, where pure in-memory verbs
+   are CPU-bound and no lock design can scale them). *)
+let net_scaling_delay_s = 0.0003
+
+let slow_store ~delay_s (inner : Fb_chunk.Store.t) =
+  let d f x =
+    Thread.delay delay_s;
+    f x
+  in
+  { inner with
+    Fb_chunk.Store.name = "slow+" ^ inner.Fb_chunk.Store.name;
+    get = d inner.Fb_chunk.Store.get;
+    get_raw = d inner.Fb_chunk.Store.get_raw;
+    mem = d inner.Fb_chunk.Store.mem }
+
+let run_net_scaling ?(quick = false) () =
+  header
+    (if quick then "net-scaling-quick: striped server concurrency smoke"
+     else
+       Printf.sprintf
+         "net-scaling: reader sweep, striped vs coarse writes, batching \
+          (simulated %.0f us storage latency)"
+         (1e6 *. net_scaling_delay_s));
+  let errors = Atomic.make 0 in
+  let with_server ?(slow = false) concurrency f =
+    let store = Fb_chunk.Metered_store.wrap (Mem_store.create ()) in
+    let store =
+      if slow then slow_store ~delay_s:net_scaling_delay_s store else store
+    in
+    let fb = FB.create store in
+    let config =
+      { Fb_net.Server.default_config with
+        port = 0; save_every_s = 0.0; read_timeout_s = 30.0; concurrency }
+    in
+    match Fb_net.Server.start ~config fb with
+    | Error e -> failwith ("net-scaling: " ^ e)
+    | Ok srv ->
+      Fun.protect
+        ~finally:(fun () -> Fb_net.Server.stop srv)
+        (fun () -> f (Fb_net.Server.port srv))
+  in
+  let connect port cid =
+    match
+      Fb_net.Client.connect ~port ~user:(Printf.sprintf "c%d" cid) ()
+    with
+    | Ok c -> c
+    | Error e ->
+      failwith ("net-scaling connect: " ^ Fb_net.Client.error_to_string e)
+  in
+  let request c tokens =
+    match Fb_net.Client.request c tokens with
+    | Ok payload -> payload
+    | Error _ ->
+      Atomic.incr errors;
+      ""
+  in
+  let keys = 16 in
+  let key i = Printf.sprintf "k%d" i in
+  let populate port =
+    let c = connect port 0 in
+    for i = 0 to keys - 1 do
+      ignore (request c [ "put"; key i; "master"; "v-" ^ key i ])
+    done;
+    Fb_net.Client.close c
+  in
+
+  (* 1. reader sweep: n clients, each issuing GETs against its own key
+     (distinct stripes), fixed ops per client.  Each GET blocks on the
+     simulated storage latency; under the shared read side those waits
+     overlap, so throughput grows with the reader count. *)
+  let reads_per_client = if quick then 100 else 800 in
+  let reader_sweep = if quick then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let sweep_results =
+    with_server ~slow:true `Striped (fun port ->
+        populate port;
+        List.map
+          (fun n ->
+            let run () =
+              let t0 = Unix.gettimeofday () in
+              let threads =
+                List.init n (fun cid ->
+                    Thread.create
+                      (fun () ->
+                        let c = connect port cid in
+                        let k = key (cid mod keys) in
+                        let expect = "v-" ^ k in
+                        for _ = 1 to reads_per_client do
+                          if request c [ "get"; k; "master" ] <> expect then
+                            Atomic.incr errors
+                        done;
+                        Fb_net.Client.close c)
+                      ())
+              in
+              List.iter Thread.join threads;
+              float_of_int (n * reads_per_client)
+              /. (Unix.gettimeofday () -. t0)
+            in
+            (* Two runs, keep the better: the first warms threads,
+               sockets and the minor heap. *)
+            let ops_per_s = max (run ()) (run ()) in
+            Printf.printf "readers=%d  %8.0f ops/s\n%!" n ops_per_s;
+            (n, ops_per_s))
+          reader_sweep)
+  in
+  let sweep_ops n = List.assoc n sweep_results in
+  let read_scaling =
+    match reader_sweep with
+    | first :: _ ->
+      let last = List.hd (List.rev reader_sweep) in
+      sweep_ops last /. sweep_ops first
+    | [] -> 1.0
+  in
+  Printf.printf "read-only scaling %dx clients: %.2fx throughput\n"
+    (List.hd (List.rev reader_sweep))
+    read_scaling;
+
+  (* 2. write p50, striped vs coarse: 2 writers committing to their own
+     keys while 4 readers keep every stripe's read side busy — the
+     contention pattern where coarse locking makes writers queue behind
+     unrelated reads. *)
+  let write_p50 concurrency =
+    let writers = 2 and readers = if quick then 2 else 4 in
+    let writes = if quick then 30 else 200 in
+    with_server ~slow:true concurrency (fun port ->
+        populate port;
+        let stop = Atomic.make false in
+        let reader_threads =
+          List.init readers (fun cid ->
+              Thread.create
+                (fun () ->
+                  let c = connect port (100 + cid) in
+                  let k = key (cid mod keys) in
+                  while not (Atomic.get stop) do
+                    ignore (request c [ "get"; k; "master" ])
+                  done;
+                  Fb_net.Client.close c)
+                ())
+        in
+        let lat_lock = Mutex.create () in
+        let lats = ref [] in
+        let writer_threads =
+          List.init writers (fun cid ->
+              Thread.create
+                (fun () ->
+                  let c = connect port (200 + cid) in
+                  let k = Printf.sprintf "w%d" cid in
+                  let mine = ref [] in
+                  for i = 1 to writes do
+                    let t0 = Unix.gettimeofday () in
+                    let uid =
+                      request c
+                        [ "put"; k; "master"; Printf.sprintf "v%d-%d" cid i ]
+                    in
+                    mine := (Unix.gettimeofday () -. t0) :: !mine;
+                    if uid = "" then Atomic.incr errors
+                  done;
+                  Mutex.protect lat_lock (fun () -> lats := !mine @ !lats);
+                  Fb_net.Client.close c)
+                ())
+        in
+        List.iter Thread.join writer_threads;
+        Atomic.set stop true;
+        List.iter Thread.join reader_threads;
+        let a = Array.of_list !lats in
+        Array.sort compare a;
+        a.(Array.length a / 2))
+  in
+  (* Interleave the modes and keep each mode's best of two trials:
+     loopback p50 is noisy and the comparison must not hinge on which
+     mode ran while the machine was busy. *)
+  let best f = min (f ()) (f ()) in
+  let striped_p50 = best (fun () -> write_p50 `Striped) in
+  let coarse_p50 = best (fun () -> write_p50 `Coarse) in
+  let write_regression = (striped_p50 -. coarse_p50) /. coarse_p50 in
+  Printf.printf
+    "write p50: striped %.1f us, coarse %.1f us (%+.1f%% vs coarse)\n"
+    (1e6 *. striped_p50) (1e6 *. coarse_p50) (100.0 *. write_regression);
+
+  (* 3. batching: 32 GETs per frame vs 32 single round trips. *)
+  let batch_size = 32 in
+  let rounds = if quick then 10 else 100 in
+  let single_ops_per_s, batch_ops_per_s =
+    with_server `Striped (fun port ->
+        populate port;
+        let c = connect port 0 in
+        let gets =
+          List.init batch_size (fun i -> [ "get"; key (i mod keys); "master" ])
+        in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to rounds do
+          List.iter (fun g -> ignore (request c g)) gets
+        done;
+        let single = Unix.gettimeofday () -. t0 in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to rounds do
+          match Fb_net.Client.batch c gets with
+          | Ok replies ->
+            List.iter
+              (function Ok _ -> () | Error _ -> Atomic.incr errors)
+              replies
+          | Error _ -> Atomic.incr errors
+        done;
+        let batched = Unix.gettimeofday () -. t0 in
+        Fb_net.Client.close c;
+        let total = float_of_int (batch_size * rounds) in
+        (total /. single, total /. batched))
+  in
+  let batch_speedup = batch_ops_per_s /. single_ops_per_s in
+  Printf.printf
+    "batch(%d): %8.0f sub-ops/s   unbatched: %8.0f ops/s   speedup %.2fx\n"
+    batch_size batch_ops_per_s single_ops_per_s batch_speedup;
+  Printf.printf "errors: %d\n" (Atomic.get errors);
+  if Atomic.get errors > 0 then
+    failwith
+      (Printf.sprintf "net-scaling: %d failed/corrupt responses"
+         (Atomic.get errors));
+  if not quick then begin
+    let b = Buffer.create 512 in
+    Printf.bprintf b "{\"simulated_storage_latency_us\":%.0f,\"reader_sweep\":["
+      (1e6 *. net_scaling_delay_s);
+    List.iteri
+      (fun i (n, ops) ->
+        Printf.bprintf b "%s{\"clients\":%d,\"ops_per_s\":%.1f}"
+          (if i > 0 then "," else "") n ops)
+      sweep_results;
+    Printf.bprintf b
+      "],\"read_scaling_8_over_1\":%.3f,\"write_p50_us_striped\":%.1f,\
+       \"write_p50_us_coarse\":%.1f,\"write_p50_regression\":%.4f,\
+       \"batch_size\":%d,\"batch_sub_ops_per_s\":%.1f,\
+       \"single_ops_per_s\":%.1f,\"batch_speedup\":%.3f,\"errors\":%d}\n"
+      read_scaling (1e6 *. striped_p50) (1e6 *. coarse_p50) write_regression
+      batch_size batch_ops_per_s single_ops_per_s batch_speedup
+      (Atomic.get errors);
     let oc = open_out "BENCH_net.json" in
     Buffer.output_buffer oc b;
     close_out oc;
@@ -1415,7 +1666,9 @@ let experiments =
     ("hotpath", fun () -> run_hotpath ());
     ("hotpath-quick", fun () -> run_hotpath ~quick:true ());
     ("net", fun () -> run_net ());
-    ("net-quick", fun () -> run_net ~quick:true ()) ]
+    ("net-quick", fun () -> run_net ~quick:true ());
+    ("net-scaling", fun () -> run_net_scaling ());
+    ("net-scaling-quick", fun () -> run_net_scaling ~quick:true ()) ]
 
 let () =
   let requested =

@@ -478,7 +478,14 @@ let serve_cmd =
          & info [ "max-frame" ] ~docv:"BYTES"
              ~doc:"Largest accepted request frame.")
   in
-  let run root user port host stdio save_every timeout max_frame =
+  let coarse_arg =
+    Arg.(value & flag
+         & info [ "coarse" ]
+             ~doc:"Serialize every request under one global lock instead \
+                   of the striped read/write locking (debugging and A/B \
+                   benchmarking escape hatch).")
+  in
+  let run root user port host stdio save_every timeout max_frame coarse =
     if stdio then
       match Fb_core.Persistent.open_ ~root () with
       | Error e -> `Error (false, Errors.to_string e)
@@ -507,7 +514,8 @@ let serve_cmd =
         let config =
           { Fb_net.Server.default_config with
             host; port; default_user = user; save_every_s = save_every;
-            read_timeout_s = timeout; max_frame }
+            read_timeout_s = timeout; max_frame;
+            concurrency = (if coarse then `Coarse else `Striped) }
         in
         (match Fb_net.Server.start ~config ~save fb with
         | Error e -> `Error (false, e)
@@ -525,7 +533,7 @@ let serve_cmd =
              framing, or on stdin/stdout with $(b,--stdio).")
     Term.(ret (const run $ root_arg $ user_arg $ port_arg
                $ host_arg ~doc:"Address to bind." $ stdio_arg
-               $ save_every_arg $ timeout_arg $ max_frame_arg))
+               $ save_every_arg $ timeout_arg $ max_frame_arg $ coarse_arg))
 
 let client_cmd =
   let request_pos =
@@ -534,35 +542,37 @@ let client_cmd =
              ~doc:"One request; with no positional arguments, read \
                    request lines from stdin (a REPL against the server).")
   in
+  (* Built on the typed Remote handle: errors arrive as Errors.t and are
+     rendered to strings only here, at the stdio edge. *)
   let run host port user tokens =
-    match Fb_net.Client.connect ~host ~port ~user () with
-    | Error e -> `Error (false, e)
-    | Ok c ->
+    match Fb_net.Remote.connect ~host ~port ~user () with
+    | Error e -> `Error (false, Errors.to_string e)
+    | Ok r ->
       Fun.protect
-        ~finally:(fun () -> Fb_net.Client.close c)
+        ~finally:(fun () -> Fb_net.Remote.close r)
         (fun () ->
           match tokens with
           | _ :: _ -> (
-            match Fb_net.Client.request c tokens with
+            match Fb_net.Remote.raw r tokens with
             | Ok "" -> `Ok ()
             | Ok payload ->
               print_string payload;
               if payload.[String.length payload - 1] <> '\n' then
                 print_newline ();
               `Ok ()
-            | Error e -> `Error (false, e))
+            | Error e -> `Error (false, Errors.to_string e))
           | [] ->
             let rec loop () =
               match In_channel.input_line stdin with
               | None -> `Ok ()
               | Some "" -> loop ()
               | Some line ->
-                (match Fb_net.Client.request_line c line with
+                (match Fb_net.Remote.raw_line r line with
                 | Ok "" -> print_endline "OK"
                 | Ok payload -> print_endline ("OK " ^ payload)
-                | Error e -> print_endline ("ERR " ^ e));
+                | Error e -> print_endline ("ERR " ^ Errors.to_string e));
                 flush stdout;
-                if Fb_net.Client.is_open c then loop () else `Ok ()
+                if Fb_net.Remote.is_open r then loop () else `Ok ()
             in
             loop ())
   in

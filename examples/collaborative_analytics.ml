@@ -1,23 +1,30 @@
 (* Collaborative analytics with branch-based access control — the Fig. 1
-   scenario: two administrators share a dataset; analysts work on isolated
-   branches they own; results flow back through reviewed merges.
+   scenario over the network: two administrators share a dataset behind a
+   ForkBase server; analysts connect remotely, work on isolated branches
+   they own, and results flow back through reviewed merges.
+
+   Everything below the server setup speaks the typed Remote API: each
+   participant holds a Remote handle, and failures arrive as the same
+   typed Errors.t a local caller would get — Permission_denied is matched
+   structurally, not parsed out of prose.
 
      dune exec examples/collaborative_analytics.exe *)
 
 module FB = Fb_core.Forkbase
 module Acl = Fb_core.Acl
-module Value = Fb_types.Value
-module Primitive = Fb_types.Primitive
+module Errors = Fb_core.Errors
+module Remote = Fb_net.Remote
+module Server = Fb_net.Server
 
 let ok = function
   | Ok v -> v
-  | Error e -> failwith (Fb_core.Errors.to_string e)
+  | Error e -> failwith (Errors.to_string e)
 
 let expect_denied what = function
-  | Error (Fb_core.Errors.Permission_denied _) ->
+  | Error (Errors.Permission_denied _) ->
     Printf.printf "  denied (as intended): %s\n" what
   | Ok _ -> failwith ("should have been denied: " ^ what)
-  | Error e -> failwith (Fb_core.Errors.to_string e)
+  | Error e -> failwith (Errors.to_string e)
 
 let () =
   (* Admin A owns everything; admin B administers the sales dataset.
@@ -34,82 +41,109 @@ let () =
     [ "carol"; "dave" ];
   let fb = FB.create ~acl (Fb_chunk.Mem_store.create ()) in
 
-  (* Admin A loads the shared dataset. *)
-  Printf.printf "adminA loads sales/master\n";
-  ignore
-    (ok
-       (FB.import_csv ~user:"adminA" ~message:"Q3 raw numbers" fb ~key:"sales"
-          "region,revenue,units\nnorth,1200,40\nsouth,800,25\neast,1500,55\nwest,900,31\n"));
+  (* One server, striped read/write locking; an ephemeral port so the
+     example never collides with a real daemon. *)
+  let config =
+    { Server.default_config with port = 0; save_every_s = 0.0 }
+  in
+  let srv =
+    match Server.start ~config fb with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let port = Server.port srv in
+  Printf.printf "server up on 127.0.0.1:%d\n" port;
+  let connect user = ok (Remote.connect ~port ~user ()) in
+  let adminA = connect "adminA" in
+  let adminB = connect "adminB" in
+  let carol = connect "carol" in
+  let dave = connect "dave" in
+  let mallory = connect "mallory" in
+  let all = [ adminA; adminB; carol; dave; mallory ] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Remote.close all;
+      Server.stop srv)
+    (fun () ->
+      (* Admin A loads the shared dataset. *)
+      Printf.printf "adminA loads sales/master\n";
+      ignore
+        (ok
+           (Remote.put_csv adminA ~key:"sales"
+              "region,revenue,units\nnorth,1200,40\nsouth,800,25\neast,1500,55\nwest,900,31\n"));
 
-  (* Analysts cannot touch master... *)
-  expect_denied "carol writes master"
-    (FB.put ~user:"carol" fb ~key:"sales" (Value.string "nope"));
+      (* Analysts cannot touch master — the denial is typed even though
+         it crossed the wire. *)
+      expect_denied "carol writes master"
+        (Remote.put carol ~key:"sales" "nope");
 
-  (* ...but fork their own branches and work in isolation. *)
-  Printf.printf "carol and dave fork private branches\n";
-  ignore (ok (FB.fork ~user:"carol" fb ~key:"sales" ~new_branch:"carol-dev"));
-  ignore (ok (FB.fork ~user:"dave" fb ~key:"sales" ~new_branch:"dave-dev"));
+      (* ...but fork their own branches and work in isolation. *)
+      Printf.printf "carol and dave fork private branches\n";
+      ignore (ok (Remote.fork carol ~key:"sales" ~new_branch:"carol-dev"));
+      ignore (ok (Remote.fork dave ~key:"sales" ~new_branch:"dave-dev"));
 
-  (* Carol cleans the north region; Dave adds a missing region.  Disjoint
-     rows: the three-way merge will take both without conflict. *)
-  ignore
-    (ok
-       (FB.import_csv ~user:"carol" ~branch:"carol-dev"
-          ~message:"fix north units" fb ~key:"sales"
-          "region,revenue,units\nnorth,1200,42\nsouth,800,25\neast,1500,55\nwest,900,31\n"));
-  ignore
-    (ok
-       (FB.import_csv ~user:"dave" ~branch:"dave-dev"
-          ~message:"add central region" fb ~key:"sales"
-          "region,revenue,units\nnorth,1200,40\nsouth,800,25\neast,1500,55\nwest,900,31\ncentral,650,18\n"));
+      (* Carol cleans the north region; Dave adds a missing region.
+         Disjoint rows: the three-way merge takes both without conflict. *)
+      ignore
+        (ok
+           (Remote.put_csv carol ~branch:"carol-dev" ~key:"sales"
+              "region,revenue,units\nnorth,1200,42\nsouth,800,25\neast,1500,55\nwest,900,31\n"));
+      ignore
+        (ok
+           (Remote.put_csv dave ~branch:"dave-dev" ~key:"sales"
+              "region,revenue,units\nnorth,1200,40\nsouth,800,25\neast,1500,55\nwest,900,31\ncentral,650,18\n"));
 
-  (* Each analyst's diff against master is visible to the admins. *)
-  List.iter
-    (fun branch ->
-      let d =
-        ok (FB.diff ~user:"adminB" fb ~key:"sales" ~branch1:"master" ~branch2:branch)
-      in
-      Printf.printf "\nmaster vs %s: %s\n%s" branch
-        (Fb_core.Diffview.summary d)
-        (Format.asprintf "%a" Fb_core.Diffview.render d))
-    [ "carol-dev"; "dave-dev" ];
+      (* Each analyst's diff against master is visible to the admins. *)
+      List.iter
+        (fun branch ->
+          Printf.printf "\nmaster vs %s:\n%s\n" branch
+            (ok
+               (Remote.diff adminB ~key:"sales" ~branch1:"master"
+                  ~branch2:branch)))
+        [ "carol-dev"; "dave-dev" ];
 
-  (* Admin B reviews and merges both. *)
-  Printf.printf "\nadminB merges carol-dev, then dave-dev\n";
-  ignore
-    (ok (FB.merge ~user:"adminB" fb ~key:"sales" ~into:"master"
-           ~from_branch:"carol-dev"));
-  ignore
-    (ok (FB.merge ~user:"adminB" fb ~key:"sales" ~into:"master"
-           ~from_branch:"dave-dev"));
-  print_string (ok (FB.export_csv ~user:"adminB" fb ~key:"sales"));
+      (* Admin B reviews and merges both. *)
+      Printf.printf "\nadminB merges carol-dev, then dave-dev\n";
+      ignore
+        (ok
+           (Remote.merge adminB ~key:"sales" ~into:"master"
+              ~from_branch:"carol-dev"));
+      ignore
+        (ok
+           (Remote.merge adminB ~key:"sales" ~into:"master"
+              ~from_branch:"dave-dev"));
+      print_string (ok (Remote.get adminB ~key:"sales"));
 
-  (* The provenance of the result is the version DAG. *)
-  Printf.printf "\nhistory of sales/master:\n";
-  List.iter
-    (fun (f : Fb_repr.Fnode.t) ->
-      Printf.printf "  %s %-8s %s\n"
-        (String.sub (FB.version_string (Fb_repr.Fnode.uid f)) 0 12)
-        f.Fb_repr.Fnode.author f.Fb_repr.Fnode.message)
-    (ok (FB.log ~user:"adminB" fb ~key:"sales"));
+      (* One BATCH frame fetches every branch head under a single lock
+         acquisition — the wire-level amortization for dashboards that
+         refresh many panes at once. *)
+      Printf.printf "\nbranch heads (one batch frame):\n";
+      (match
+         ok
+           (Remote.batch adminB
+              (List.map
+                 (fun branch -> Remote.Head { key = "sales"; branch })
+                 [ "master"; "carol-dev"; "dave-dev" ]))
+       with
+      | replies ->
+        List.iter2
+          (fun branch reply ->
+            match reply with
+            | Ok (Remote.Uid uid) ->
+              Printf.printf "  %-10s %s\n" branch
+                (String.sub (FB.version_string uid) 0 12)
+            | Ok (Remote.Value _) | Error _ ->
+              Printf.printf "  %-10s ?\n" branch)
+          [ "master"; "carol-dev"; "dave-dev" ]
+          replies);
 
-  (* Column statistics over the merged table (the Stat API). *)
-  Printf.printf "\ncolumn stats:\n";
-  List.iter
-    (fun (s : Fb_types.Table.col_stat) ->
-      Printf.printf "  %-8s values=%d distinct=%d min=%s max=%s\n"
-        s.Fb_types.Table.column s.Fb_types.Table.values
-        s.Fb_types.Table.distinct
-        (match s.Fb_types.Table.min with
-         | Some p -> Primitive.to_string p
-         | None -> "-")
-        (match s.Fb_types.Table.max with
-         | Some p -> Primitive.to_string p
-         | None -> "-"))
-    (ok (FB.table_stat ~user:"adminB" fb ~key:"sales"));
+      (* The provenance of the result is the version DAG. *)
+      Printf.printf "\nhistory of sales/master:\n";
+      List.iter
+        (fun line -> Printf.printf "  %s\n" line)
+        (ok (Remote.log adminB ~key:"sales"));
 
-  (* Mallory, who has no grants, sees nothing at all. *)
-  expect_denied "mallory reads sales"
-    (FB.get ~user:"mallory" fb ~key:"sales");
-  assert (FB.list_keys ~user:"mallory" fb = []);
-  Printf.printf "\nmallory sees no keys; collaboration stayed contained.\n"
+      (* Mallory, who has no grants, sees nothing at all. *)
+      expect_denied "mallory reads sales" (Remote.get mallory ~key:"sales");
+      assert (ok (Remote.list_keys mallory) = []);
+      Printf.printf "\nmallory sees no keys; collaboration stayed contained.\n")

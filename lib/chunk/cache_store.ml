@@ -12,7 +12,11 @@ let hit_ratio s =
   let total = lookups s in
   if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
 
-(* Classic LRU: hashtable to doubly-linked recency list. *)
+(* Classic LRU: hashtable to doubly-linked recency list.  All structure
+   mutations (including the recency touch a read performs) run under a
+   private mutex — concurrent read-only verbs in the network service
+   share this cache, and an unlocked touch/evict pair can tear the
+   linked list. *)
 type node = {
   id : Hash.t;
   encoded : string;
@@ -22,6 +26,7 @@ type node = {
 
 type lru = {
   capacity : int;
+  lock : Mutex.t;
   tbl : node Hash.Tbl.t;
   mutable head : node option;  (* most recent *)
   mutable tail : node option;  (* least recent *)
@@ -80,23 +85,32 @@ let wrap ~capacity (inner : Store.t) =
   if capacity < 1 then invalid_arg "Cache_store.wrap: capacity must be >= 1";
   let lru =
     { capacity;
+      lock = Mutex.create ();
       tbl = Hash.Tbl.create (2 * capacity);
       head = None;
       tail = None;
       stats = { hits = 0; misses = 0; evictions = 0 } }
   in
   let get_raw id =
-    match Hash.Tbl.find_opt lru.tbl id with
-    | Some n ->
-      lru.stats.hits <- lru.stats.hits + 1;
-      touch lru n;
-      Some n.encoded
+    let cached =
+      Mutex.protect lru.lock (fun () ->
+          match Hash.Tbl.find_opt lru.tbl id with
+          | Some n ->
+            lru.stats.hits <- lru.stats.hits + 1;
+            touch lru n;
+            Some n.encoded
+          | None ->
+            lru.stats.misses <- lru.stats.misses + 1;
+            None)
+    in
+    match cached with
+    | Some _ as hit -> hit
     | None ->
-      lru.stats.misses <- lru.stats.misses + 1;
+      (* The inner fetch (possibly a disk read) runs outside the lock. *)
       (match inner.Store.get_raw id with
        | None -> None
        | Some encoded ->
-         remember lru id encoded;
+         Mutex.protect lru.lock (fun () -> remember lru id encoded);
          Some encoded)
   in
   let get id =
@@ -109,11 +123,12 @@ let wrap ~capacity (inner : Store.t) =
     let id = inner.Store.put chunk in
     (* [Chunk.encode] is memoized on the chunk value, so this reuses the
        encoding the inner put produced instead of re-encoding. *)
-    remember lru id (Chunk.encode chunk);
+    let encoded = Chunk.encode chunk in
+    Mutex.protect lru.lock (fun () -> remember lru id encoded);
     id
   in
   let delete id =
-    forget lru id;
+    Mutex.protect lru.lock (fun () -> forget lru id);
     inner.Store.delete id
   in
   ( { inner with

@@ -12,11 +12,17 @@ let wrap ?(once = false) (inner : Store.t) =
      it guards only against the medium mutating underneath us — the
      paranoid default; first-read verification is the cheap clean path
      for the media-fault (not malicious-provider) threat model. *)
+  (* Concurrent readers race to record first-read verdicts; the table is
+     guarded so a resize cannot tear under a parallel probe (the re-hash
+     itself runs outside the lock — verifying twice is harmless). *)
   let seen : unit Hash.Tbl.t = Hash.Tbl.create 64 in
+  let seen_lock = Mutex.create () in
   let check_bytes id raw =
-    if once && Hash.Tbl.mem seen id then Some raw
+    if once && Mutex.protect seen_lock (fun () -> Hash.Tbl.mem seen id) then
+      Some raw
     else if Hash.equal (Hash.of_string raw) id then begin
-      if once then Hash.Tbl.replace seen id ();
+      if once then
+        Mutex.protect seen_lock (fun () -> Hash.Tbl.replace seen id ());
       Some raw
     end
     else begin
@@ -45,7 +51,7 @@ let wrap ?(once = false) (inner : Store.t) =
      checked (non-counting) path so a tampered chunk is absent everywhere. *)
   let mem id = checked_peek id <> None in
   let delete id =
-    Hash.Tbl.remove seen id;
+    Mutex.protect seen_lock (fun () -> Hash.Tbl.remove seen id);
     inner.Store.delete id
   in
   ( { inner with

@@ -45,8 +45,13 @@ type t = {
   branches : Branch.t;
   tags : Branch.t;   (* immutable name -> uid pointers, per key *)
   acl : Acl.t;
+  (* Guards the watcher list and the deferral state below; callbacks
+     themselves always run outside it. *)
+  watch_lock : Mutex.t;
   mutable watchers : watcher list;
   mutable next_watch : int;
+  mutable defer_depth : int;
+  pending : head_event Queue.t;
 }
 
 let ( let* ) = Result.bind
@@ -63,30 +68,69 @@ let guard f =
 
 let create ?(acl = Acl.open_instance ()) store =
   { store; branches = Branch.create (); tags = Branch.create (); acl;
-    watchers = []; next_watch = 0 }
+    watch_lock = Mutex.create (); watchers = []; next_watch = 0;
+    defer_depth = 0; pending = Queue.create () }
 
 let watch ?key ?branch t callback =
-  let id = t.next_watch in
-  t.next_watch <- id + 1;
-  t.watchers <-
-    { id; key_filter = key; branch_filter = branch; callback } :: t.watchers;
-  id
+  Mutex.protect t.watch_lock (fun () ->
+      let id = t.next_watch in
+      t.next_watch <- id + 1;
+      t.watchers <-
+        { id; key_filter = key; branch_filter = branch; callback }
+        :: t.watchers;
+      id)
 
-let unwatch t id = t.watchers <- List.filter (fun w -> w.id <> id) t.watchers
+let unwatch t id =
+  Mutex.protect t.watch_lock (fun () ->
+      t.watchers <- List.filter (fun w -> w.id <> id) t.watchers)
+
+let deliver_event t event =
+  let watchers = Mutex.protect t.watch_lock (fun () -> t.watchers) in
+  List.iter
+    (fun w ->
+      let matches filter v =
+        match filter with None -> true | Some f -> String.equal f v
+      in
+      if matches w.key_filter event.key && matches w.branch_filter event.branch
+      then try w.callback event with _ -> ())
+    watchers
 
 (* Every head movement in the engine funnels through here. *)
 let move_head t ~key ~branch uid =
   let old_head = Branch.head t.branches ~key ~branch in
   Branch.set_head t.branches ~key ~branch uid;
   let event = { key; branch; new_head = uid; old_head } in
-  List.iter
-    (fun w ->
-      let matches filter v =
-        match filter with None -> true | Some f -> String.equal f v
-      in
-      if matches w.key_filter key && matches w.branch_filter branch then
-        try w.callback event with _ -> ())
-    t.watchers
+  let deferred =
+    Mutex.protect t.watch_lock (fun () ->
+        if t.defer_depth > 0 then begin
+          Queue.add event t.pending;
+          true
+        end
+        else false)
+  in
+  if not deferred then deliver_event t event
+
+let with_deferred_watch t f =
+  Mutex.protect t.watch_lock (fun () -> t.defer_depth <- t.defer_depth + 1);
+  let finish () =
+    Mutex.protect t.watch_lock (fun () ->
+        t.defer_depth <- t.defer_depth - 1;
+        if t.defer_depth = 0 then begin
+          let evs = List.of_seq (Queue.to_seq t.pending) in
+          Queue.clear t.pending;
+          evs
+        end
+        else [])
+  in
+  match f () with
+  | v ->
+    let evs = finish () in
+    (v, fun () -> List.iter (deliver_event t) evs)
+  | exception e ->
+    (* The protected section failed: deliver what already happened right
+       away rather than lose the notifications. *)
+    List.iter (deliver_event t) (finish ());
+    raise e
 
 let store t = t.store
 let acl t = t.acl

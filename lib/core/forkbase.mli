@@ -45,6 +45,17 @@ val watch :
 
 val unwatch : t -> watch -> unit
 
+val with_deferred_watch : t -> (unit -> 'a) -> 'a * (unit -> unit)
+(** [with_deferred_watch t f] runs [f] with watch delivery deferred: head
+    events raised inside [f] are queued instead of invoking callbacks.
+    Returns [f]'s result and a flush thunk that delivers the queued
+    events; callers holding a lock around [f] (the network server's
+    exclusive section) call the thunk {e after} releasing it, so watch
+    callbacks can take arbitrary time — or themselves issue reads —
+    without extending the exclusive section.  Deferral nests and is
+    thread-safe; under concurrent deferred mutators the last finisher's
+    thunk delivers the union, preserving order. *)
+
 (** {1 Writing} *)
 
 val put :

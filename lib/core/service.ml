@@ -41,6 +41,31 @@ let tokenize line =
   | Ok () -> Ok (List.rev !tokens)
   | Error _ as e -> e
 
+type access = Read | Write
+type scope = Key of string | Global
+
+(* The concurrency contract of every verb, used by the network server to
+   pick a lock mode: [Read] verbs never move a head nor mutate the chunk
+   store, so any number may run at once; [Write] verbs need exclusion.
+   The scope narrows the exclusion to one key's stripe when the verb
+   names the key it touches; uid-addressed reads ([get-at], [meta]) and
+   instance-wide verbs are [Global].  Unknown or malformed verbs classify
+   as [(Read, Global)] — they only ever produce an error, and the global
+   read side is the safe default for a verb that cannot be identified. *)
+let classify tokens =
+  match tokens with
+  | [] -> (Read, Global)
+  | verb :: args -> (
+    match String.lowercase_ascii verb, args with
+    | ("put" | "put-csv" | "branch" | "merge" | "rename"), key :: _ ->
+      (Write, Key key)
+    | "scrub", _ -> (Write, Global)
+    | ( ( "get" | "head" | "latest" | "log" | "diff" | "verify" | "prove"
+        | "get-json" | "diff-json" | "log-json" | "latest-json" ),
+        key :: _ ) ->
+      (Read, Key key)
+    | _ -> (Read, Global))
+
 let render_value = function
   | Value.Primitive p -> Fb_types.Primitive.to_string p
   | Value.Table t -> Fb_types.Table.to_csv t
@@ -99,6 +124,20 @@ let dispatch ?user fb tokens =
       | "branch", [ key; from_branch; new_branch ] ->
         let* uid = Forkbase.fork ?user ~from_branch fb ~key ~new_branch in
         Ok (Forkbase.version_string uid)
+      | "rename", [ key; from_branch; to_branch ] ->
+        let* () = Forkbase.rename_branch ?user fb ~key ~from_branch ~to_branch in
+        Ok ""
+      | "meta", [ uid ] ->
+        let* uid = Forkbase.parse_version uid in
+        let* f = Forkbase.meta ?user fb uid in
+        Ok
+          (Printf.sprintf "key: %s\nseq: %d\nauthor: %s\nmessage: %s\nbases:%s"
+             f.Fb_repr.Fnode.key f.Fb_repr.Fnode.seq f.Fb_repr.Fnode.author
+             f.Fb_repr.Fnode.message
+             (String.concat ""
+                (List.map
+                   (fun b -> "\n  " ^ Forkbase.version_string b)
+                   f.Fb_repr.Fnode.bases)))
       | "diff", [ key; branch1; branch2 ] ->
         let* d = Forkbase.diff ?user fb ~key ~branch1 ~branch2 in
         Ok

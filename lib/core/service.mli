@@ -18,6 +18,8 @@
     LIST                                keys
     LOG <key> <branch>                  history lines
     BRANCH <key> <from> <new>           fork
+    RENAME <key> <from> <to>            rename a branch
+    META <uid>                          version metadata
     DIFF <key> <branch1> <branch2>      differential query
     MERGE <key> <into> <from>           three-way merge
     VERIFY <key> <branch>               tamper check
@@ -29,6 +31,19 @@
                                         (see {!Webview})
     PROVE <key> <branch> <entry-key>    hex entry proof for light clients
     v} *)
+
+type access = Read | Write
+type scope = Key of string | Global
+
+val classify : string list -> access * scope
+(** Concurrency contract of a request: [Read] verbs (GET, DIFF, LIST,
+    HEAD, LATEST, META, STAT, METRICS, VERIFY, PROVE, FSCK and the JSON
+    variants) never mutate the instance and may execute concurrently;
+    [Write] verbs (PUT, PUT-CSV, BRANCH, MERGE, RENAME, SCRUB) require
+    exclusion.  [Key k] narrows the needed exclusion to [k]'s lock
+    stripe; [Global] verbs span the whole instance.  Unknown verbs are
+    [(Read, Global)] — they only produce an error.  This is the table
+    {!Fb_net.Server} drives its striped reader-writer locking from. *)
 
 val tokenize : string -> (string list, string) result
 (** Split a request line on blanks; double quotes group (a closing quote

@@ -1,3 +1,13 @@
+module Errors = Fb_core.Errors
+
+type error =
+  | Remote of Errors.t
+  | Transport of string
+
+let error_to_string = function
+  | Remote e -> Errors.to_string e
+  | Transport msg -> "transport: " ^ msg
+
 type t = {
   fd : Unix.file_descr;
   user : string;
@@ -6,28 +16,53 @@ type t = {
   mutable closed : bool;
 }
 
+exception Connect_failed of string
+
 let connect ?(host = "127.0.0.1") ?(port = 7447) ?(user = "anonymous")
     ?(max_frame = Frame.default_max_frame) ?(timeout_s = 30.0) () =
   match Frame.resolve_host host with
-  | Error _ as e -> e
-  | Ok addr -> (
-    match
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      (try
-         Unix.connect fd (Unix.ADDR_INET (addr, port));
-         Unix.setsockopt fd Unix.TCP_NODELAY true
-       with e ->
-         (try Unix.close fd with Unix.Unix_error _ -> ());
-         raise e);
-      fd
-    with
-    | fd ->
-      let timeout_s = if timeout_s > 0.0 then Some timeout_s else None in
-      Ok { fd; user; max_frame; timeout_s; closed = false }
-    | exception Unix.Unix_error (err, _, _) ->
-      Error
-        (Printf.sprintf "connect %s:%d: %s" host port
-           (Unix.error_message err)))
+  | Error e -> Error (Transport e)
+  | Ok addr ->
+    let deadline = Frame.deadline_of_timeout (Some timeout_s) in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (* Everything after socket creation funnels through this handler:
+       whatever fails — connect, the deadline, setsockopt — the fd is
+       closed exactly once before the error is returned. *)
+    (match
+       (match deadline with
+        | None -> Unix.connect fd (Unix.ADDR_INET (addr, port))
+        | Some _ ->
+          (* Deadline-bounded connect: non-blocking + wait_writable, the
+             same select helper every other timed IO path uses. *)
+          Unix.set_nonblock fd;
+          (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+           with Unix.Unix_error (Unix.EINPROGRESS, _, _) -> (
+             match Frame.wait_writable fd deadline with
+             | Error e ->
+               raise (Connect_failed ("connect " ^ Frame.error_to_string e))
+             | Ok () -> (
+               match Unix.getsockopt_error fd with
+               | None -> ()
+               | Some err -> raise (Unix.Unix_error (err, "connect", "")))));
+          Unix.clear_nonblock fd);
+       Unix.setsockopt fd Unix.TCP_NODELAY true
+     with
+    | () ->
+      Ok
+        { fd; user; max_frame;
+          timeout_s = (if timeout_s > 0.0 then Some timeout_s else None);
+          closed = false }
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (match e with
+       | Unix.Unix_error (err, _, _) ->
+         Error
+           (Transport
+              (Printf.sprintf "connect %s:%d: %s" host port
+                 (Unix.error_message err)))
+       | Connect_failed msg ->
+         Error (Transport (Printf.sprintf "%s (%s:%d)" msg host port))
+       | e -> raise e))
 
 let is_open t = not t.closed
 
@@ -37,29 +72,59 @@ let close t =
     (try Unix.close t.fd with Unix.Unix_error _ -> ())
   end
 
-let request ?user t tokens =
-  if t.closed then Error "connection closed"
+(* One framed round trip.  Transport failures poison the connection
+   (the stream may be desynchronized); typed server-side errors do not. *)
+let roundtrip ?user t req =
+  if t.closed then Error (Transport "connection closed")
   else
     let user = Option.value user ~default:t.user in
     match
-      Frame.write_frame t.fd (Frame.encode_request ~user tokens);
-      Frame.read_frame ~max_frame:t.max_frame ?timeout_s:t.timeout_s t.fd
+      match
+        Frame.write_frame ?timeout_s:t.timeout_s t.fd
+          (Frame.encode_request ~user req)
+      with
+      | Ok () ->
+        Frame.read_frame ~max_frame:t.max_frame ?timeout_s:t.timeout_s t.fd
+      | Error _ as e -> e
     with
     | Ok payload -> (
       match Frame.decode_response payload with
-      | Ok (true, body) -> Ok body
-      | Ok (false, msg) -> Error msg
+      | Ok resp -> Ok resp
       | Error e ->
         close t;
-        Error ("bad response frame: " ^ e))
+        Error (Transport ("bad response frame: " ^ e)))
     | Error err ->
       close t;
-      Error (Frame.error_to_string err)
+      Error (Transport (Frame.error_to_string err))
     | exception Unix.Unix_error (err, _, _) ->
       close t;
-      Error (Unix.error_message err)
+      Error (Transport (Unix.error_message err))
+
+let request ?user t tokens =
+  match roundtrip ?user t (Frame.Single tokens) with
+  | Error _ as e -> e
+  | Ok (Frame.One (Ok payload)) -> Ok payload
+  | Ok (Frame.One (Error e)) -> Error (Remote e)
+  | Ok (Frame.Many _) ->
+    close t;
+    Error (Transport "batch response to a single request")
+
+let batch ?user t reqs =
+  match roundtrip ?user t (Frame.Batch reqs) with
+  | Error _ as e -> e
+  | Ok (Frame.Many replies) when List.length replies = List.length reqs ->
+    Ok replies
+  | Ok (Frame.Many replies) ->
+    close t;
+    Error
+      (Transport
+         (Printf.sprintf "batch answered %d replies for %d sub-requests"
+            (List.length replies) (List.length reqs)))
+  | Ok (Frame.One _) ->
+    close t;
+    Error (Transport "single response to a batch request")
 
 let request_line ?user t line =
   match Fb_core.Service.tokenize line with
-  | Error e -> Error ("invalid request: " ^ e)
+  | Error e -> Error (Remote (Errors.Invalid e))
   | Ok tokens -> request ?user t tokens

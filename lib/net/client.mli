@@ -1,9 +1,20 @@
-(** Blocking TCP client for the ForkBase network service.
+(** Blocking TCP client for the ForkBase network service (wire layer).
 
     One connection, one outstanding request at a time (the protocol is
-    strict request/response).  Transport and server-side failures both
-    come back as [Error] strings; the connection is marked dead after a
-    transport failure and every later call fails fast. *)
+    strict request/response).  Server-side failures come back as
+    [Remote] carrying the same typed {!Fb_core.Errors.t} a local caller
+    would get; transport failures come back as [Transport] and poison
+    the connection (every later call fails fast).  Most applications
+    want the {!Remote} module on top, which mirrors the typed
+    {!Fb_core.Forkbase} surface; this layer is the escape hatch for raw
+    verbs and the REPL. *)
+
+type error =
+  | Remote of Fb_core.Errors.t  (** the verb failed server-side *)
+  | Transport of string         (** socket/framing failure; connection dead *)
+
+val error_to_string : error -> string
+(** Rendering for the CLI edge. *)
 
 type t
 
@@ -14,18 +25,30 @@ val connect :
   ?max_frame:int ->
   ?timeout_s:float ->
   unit ->
-  (t, string) result
+  (t, error) result
 (** Defaults: host ["127.0.0.1"], port [7447], user ["anonymous"]
     (sent with every request; the server applies it to access control
     and authorship), [max_frame] {!Frame.default_max_frame}, [timeout_s]
-    [30.] per response ([0.] or negative disables). *)
+    [30.] ([<= 0.] disables).  The timeout bounds the TCP connect
+    itself and every later send/receive — one deadline policy for the
+    whole connection ({!Frame.deadline_of_timeout}).  On any failure
+    (resolve, connect, deadline, socket options) the socket fd is
+    closed before the error is returned — no descriptor leaks. *)
 
-val request : ?user:string -> t -> string list -> (string, string) result
+val request : ?user:string -> t -> string list -> (string, error) result
 (** [request t (verb :: args)] — one round trip.  [Ok payload] on
-    success; [Error] carries the server's rendered error (missing key,
-    permission, conflict, …) or a transport diagnostic. *)
+    success; [Error (Remote e)] carries the server's typed error
+    (missing key, permission, conflict, …). *)
 
-val request_line : ?user:string -> t -> string -> (string, string) result
+val batch :
+  ?user:string -> t -> string list list -> (Frame.reply list, error) result
+(** One frame carrying N sub-requests, answered by N in-order replies —
+    executed server-side under a single lock acquisition.  Sub-request
+    failures are per-reply ([Error] entries in the returned list) and do
+    not abort the rest of the batch; only transport-level failures
+    return [Error] at the outer level. *)
+
+val request_line : ?user:string -> t -> string -> (string, error) result
 (** Tokenize a {!Fb_core.Service}-style request line client-side (quotes
     group, [""] is an empty argument), then {!request}. *)
 

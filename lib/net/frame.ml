@@ -1,4 +1,5 @@
 module Codec = Fb_codec.Codec
+module Errors = Fb_core.Errors
 
 type error =
   | Eof
@@ -38,14 +39,31 @@ let decode_frame ?(max_frame = default_max_frame) ?(pos = 0) buf =
   in
   varint pos 0 0 0
 
-let protocol_version = 1
+(* Version 2: requests are tagged single/batch, responses carry a typed
+   status ahead of the payload (v1 carried a bare bool + pre-rendered
+   English).  v1 frames are rejected by version number — the shapes are
+   deliberately not bridgeable, so old clients get a clean error instead
+   of a misparse. *)
+let protocol_version = 2
 
-let encode_request ~user tokens =
+type request = Single of string list | Batch of string list list
+
+let kind_single = 0
+let kind_batch = 1
+
+let encode_request ~user req =
   Codec.to_string
     (fun w () ->
       Codec.u8 w protocol_version;
-      Codec.bytes w user;
-      Codec.list w Codec.bytes tokens)
+      (match req with
+       | Single tokens ->
+         Codec.u8 w kind_single;
+         Codec.bytes w user;
+         Codec.list w Codec.bytes tokens
+       | Batch reqs ->
+         Codec.u8 w kind_batch;
+         Codec.bytes w user;
+         Codec.list w (fun w tokens -> Codec.list w Codec.bytes tokens) reqs))
     ()
 
 let decode_request payload =
@@ -55,43 +73,151 @@ let decode_request payload =
       if v <> protocol_version then
         raise
           (Codec.Decode_error
-             (Printf.sprintf "unsupported protocol version %d" v));
+             (Printf.sprintf
+                "unsupported protocol version %d (this server speaks %d)" v
+                protocol_version));
+      let kind = Codec.read_u8 r in
       let user = Codec.read_bytes r in
-      let tokens = Codec.read_list r Codec.read_bytes in
-      (user, tokens))
+      if kind = kind_single then
+        (user, Single (Codec.read_list r Codec.read_bytes))
+      else if kind = kind_batch then
+        ( user,
+          Batch (Codec.read_list r (fun r -> Codec.read_list r Codec.read_bytes))
+        )
+      else
+        raise
+          (Codec.Decode_error (Printf.sprintf "unknown request kind %d" kind)))
     payload
 
-let encode_response ~ok payload =
+(* ------------------------- typed status ------------------------- *)
+
+(* Stable wire codes for Errors.t — the status tag ahead of every
+   response payload.  String rendering happens only at the CLI/stdio
+   edge; remote callers pattern-match the typed value. *)
+
+let status_ok = 0
+
+let error_code = function
+  | Errors.Key_not_found _ -> 1
+  | Errors.Branch_not_found _ -> 2
+  | Errors.Version_not_found _ -> 3
+  | Errors.Permission_denied _ -> 4
+  | Errors.Merge_conflict _ -> 5
+  | Errors.Type_mismatch _ -> 6
+  | Errors.Corrupt _ -> 7
+  | Errors.Transient _ -> 8
+  | Errors.Invalid _ -> 9
+
+let write_error w (e : Errors.t) =
+  Codec.u8 w (error_code e);
+  match e with
+  | Errors.Key_not_found k -> Codec.bytes w k
+  | Errors.Branch_not_found { key; branch } ->
+    Codec.bytes w key;
+    Codec.bytes w branch
+  | Errors.Version_not_found v -> Codec.bytes w v
+  | Errors.Permission_denied { user; action } ->
+    Codec.bytes w user;
+    Codec.bytes w action
+  | Errors.Merge_conflict { key; details } ->
+    Codec.bytes w key;
+    Codec.list w Codec.bytes details
+  | Errors.Type_mismatch { expected; got } ->
+    Codec.bytes w expected;
+    Codec.bytes w got
+  | Errors.Corrupt msg | Errors.Transient msg | Errors.Invalid msg ->
+    Codec.bytes w msg
+
+let read_error r code : Errors.t =
+  match code with
+  | 1 -> Errors.Key_not_found (Codec.read_bytes r)
+  | 2 ->
+    let key = Codec.read_bytes r in
+    let branch = Codec.read_bytes r in
+    Errors.Branch_not_found { key; branch }
+  | 3 -> Errors.Version_not_found (Codec.read_bytes r)
+  | 4 ->
+    let user = Codec.read_bytes r in
+    let action = Codec.read_bytes r in
+    Errors.Permission_denied { user; action }
+  | 5 ->
+    let key = Codec.read_bytes r in
+    let details = Codec.read_list r Codec.read_bytes in
+    Errors.Merge_conflict { key; details }
+  | 6 ->
+    let expected = Codec.read_bytes r in
+    let got = Codec.read_bytes r in
+    Errors.Type_mismatch { expected; got }
+  | 7 -> Errors.Corrupt (Codec.read_bytes r)
+  | 8 -> Errors.Transient (Codec.read_bytes r)
+  | 9 -> Errors.Invalid (Codec.read_bytes r)
+  | c -> raise (Codec.Decode_error (Printf.sprintf "unknown error code %d" c))
+
+type reply = (string, Errors.t) result
+
+type response = One of reply | Many of reply list
+
+let write_reply w (reply : reply) =
+  match reply with
+  | Ok payload ->
+    Codec.u8 w status_ok;
+    Codec.bytes w payload
+  | Error e -> write_error w e
+
+let read_reply r : reply =
+  let code = Codec.read_u8 r in
+  if code = status_ok then Ok (Codec.read_bytes r) else Error (read_error r code)
+
+let encode_response resp =
   Codec.to_string
     (fun w () ->
-      Codec.bool w ok;
-      Codec.bytes w payload)
+      match resp with
+      | One reply ->
+        Codec.u8 w kind_single;
+        write_reply w reply
+      | Many replies ->
+        Codec.u8 w kind_batch;
+        Codec.list w write_reply replies)
     ()
 
 let decode_response payload =
   Codec.of_string
     (fun r ->
-      let ok = Codec.read_bool r in
-      let body = Codec.read_bytes r in
-      (ok, body))
+      let kind = Codec.read_u8 r in
+      if kind = kind_single then One (read_reply r)
+      else if kind = kind_batch then Many (Codec.read_list r read_reply)
+      else
+        raise
+          (Codec.Decode_error (Printf.sprintf "unknown response kind %d" kind)))
     payload
 
 (* ------------------------- socket IO ------------------------- *)
 
-let wait_readable fd deadline =
+(* All socket deadlines funnel through here: [timeout_s <= 0.] (or
+   [None]) uniformly means "no deadline" for connect, read and write
+   paths alike. *)
+let deadline_of_timeout timeout_s =
+  match timeout_s with
+  | Some t when t > 0.0 -> Some (Unix.gettimeofday () +. t)
+  | _ -> None
+
+let rec wait_fd ~read fd deadline =
   match deadline with
   | None -> Ok ()
   | Some t ->
-    let rec go () =
-      let remaining = t -. Unix.gettimeofday () in
-      if remaining <= 0.0 then Error Timeout
-      else
-        match Unix.select [ fd ] [] [] remaining with
-        | [], _, _ -> Error Timeout
-        | _ -> Ok ()
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-    in
-    go ()
+    let remaining = t -. Unix.gettimeofday () in
+    if remaining <= 0.0 then Error Timeout
+    else
+      let rd = if read then [ fd ] else [] in
+      let wr = if read then [] else [ fd ] in
+      (match Unix.select rd wr [] remaining with
+       | [], [], _ -> Error Timeout
+       | _ -> Ok ()
+       | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+         wait_fd ~read fd deadline)
+
+let wait_readable fd deadline = wait_fd ~read:true fd deadline
+let wait_writable fd deadline = wait_fd ~read:false fd deadline
 
 let read_byte fd deadline buf1 =
   let rec go () =
@@ -106,9 +232,7 @@ let read_byte fd deadline buf1 =
   go ()
 
 let read_frame ?(max_frame = default_max_frame) ?timeout_s fd =
-  let deadline =
-    Option.map (fun t -> Unix.gettimeofday () +. t) timeout_s
-  in
+  let deadline = deadline_of_timeout timeout_s in
   let buf1 = Bytes.create 1 in
   let rec read_len shift acc count =
     if count >= max_len_bytes then Error (Malformed "length varint too long")
@@ -139,15 +263,20 @@ let read_frame ?(max_frame = default_max_frame) ?timeout_s fd =
     in
     fill 0
 
-let write_frame fd payload =
+let write_frame ?timeout_s fd payload =
+  let deadline = deadline_of_timeout timeout_s in
   let s = encode_frame payload in
   let b = Bytes.unsafe_of_string s in
   let len = Bytes.length b in
   let rec go off =
-    if off < len then
-      match Unix.write fd b off (len - off) with
-      | k -> go (off + k)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    if off >= len then Ok ()
+    else
+      match wait_writable fd deadline with
+      | Error _ as e -> e
+      | Ok () -> (
+        match Unix.write fd b off (len - off) with
+        | k -> go (off + k)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off)
   in
   go 0
 

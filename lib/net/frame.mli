@@ -1,4 +1,4 @@
-(** Wire format of the ForkBase network service.
+(** Wire format of the ForkBase network service (protocol version 2).
 
     Every message — request or response — travels as one {e frame}: an
     unsigned LEB128 varint length (minimal form, same as {!Fb_codec}'s
@@ -10,21 +10,37 @@
     Frame payloads are themselves {!Fb_codec} values:
 
     {v
-    request  ::= u8 version(=1) | bytes user | list<bytes> tokens
-    response ::= bool ok | bytes payload
+    request  ::= u8 version(=2) | u8 kind | bytes user | body
+      kind 0 (single) : body = list<bytes> tokens
+      kind 1 (batch)  : body = list< list<bytes> > sub-requests
+    response ::= u8 kind | body
+      kind 0 (single) : body = reply
+      kind 1 (batch)  : body = list<reply>
+    reply    ::= u8 status | fields
+      status 0        : bytes payload
+      status 1..9     : the fields of the matching Errors.t constructor
     v}
 
     [tokens] is the verb + arguments exactly as {!Fb_core.Service.dispatch}
-    consumes them — no re-tokenization happens server-side.
+    consumes them — no re-tokenization happens server-side.  A batch
+    frame carries N sub-requests that the server executes under a single
+    lock acquisition, answering with one reply per sub-request in order
+    (round-trip and locking amortization — the BATCH wire verb).
+
+    Replies carry a {e typed} status: [Ok payload] or [Error] with the
+    {!Fb_core.Errors.t} constructor encoded field by field, so remote
+    callers recover the same typed errors local callers get and string
+    rendering stays at the CLI edge.  Version 1 frames (bool + rendered
+    English) are rejected by version number with a clean error.
 
     The pure codecs below operate on strings (testable without sockets);
-    the [_frame] IO pair operates on file descriptors with an optional
-    per-frame deadline and a maximum frame size, so one bad peer can
-    neither wedge a reader forever nor make it allocate unboundedly. *)
+    the [_frame] IO operates on file descriptors with an optional
+    deadline and a maximum frame size, so one bad peer can neither wedge
+    a reader forever nor make it allocate unboundedly. *)
 
 type error =
   | Eof        (** peer closed the stream *)
-  | Timeout    (** per-frame deadline expired *)
+  | Timeout    (** deadline expired *)
   | Too_large of int  (** announced length exceeds the frame limit *)
   | Malformed of string  (** unparsable length prefix *)
 
@@ -32,6 +48,9 @@ val error_to_string : error -> string
 
 val default_max_frame : int
 (** 16 MiB. *)
+
+val protocol_version : int
+(** 2. *)
 
 (** {1 Pure codecs} *)
 
@@ -46,30 +65,55 @@ val decode_frame :
     [`Need_more] means the buffer holds only a frame prefix.  Never
     raises. *)
 
-val encode_request : user:string -> string list -> string
-val decode_request : string -> (string * string list, string) result
-(** [(user, tokens)]; rejects unknown protocol versions and trailing
-    garbage. *)
+type request =
+  | Single of string list          (** one verb + arguments *)
+  | Batch of string list list      (** N sub-requests, one lock, N replies *)
 
-val encode_response : ok:bool -> string -> string
-val decode_response : string -> (bool * string, string) result
+val encode_request : user:string -> request -> string
+
+val decode_request : string -> (string * request, string) result
+(** [(user, request)]; rejects unknown protocol versions (including v1),
+    unknown kinds and trailing garbage. *)
+
+type reply = (string, Fb_core.Errors.t) result
+(** What one verb returns across the wire — same type the local
+    {!Fb_core.Service.dispatch} produces. *)
+
+type response = One of reply | Many of reply list
+
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
 
 (** {1 Socket IO} *)
 
-val write_frame : Unix.file_descr -> string -> unit
-(** Write one complete frame.  @raise Unix.Unix_error on transport
-    failure (e.g. [EPIPE] once the peer is gone). *)
+val deadline_of_timeout : float option -> float option
+(** [Some t] with [t > 0.] becomes an absolute deadline; [None] or a
+    non-positive timeout means no deadline.  Every IO helper below (and
+    {!Client.connect}) derives its deadline through this single
+    function, so "[<= 0.] disables" holds uniformly. *)
+
+val wait_readable :
+  Unix.file_descr -> float option -> (unit, error) result
+val wait_writable :
+  Unix.file_descr -> float option -> (unit, error) result
+(** Block until the fd is ready or the absolute deadline passes. *)
+
+val write_frame :
+  ?timeout_s:float -> Unix.file_descr -> string -> (unit, error) result
+(** Write one complete frame; the optional deadline covers the whole
+    frame.  @raise Unix.Unix_error on transport failure (e.g. [EPIPE]
+    once the peer is gone). *)
 
 val read_frame :
   ?max_frame:int -> ?timeout_s:float -> Unix.file_descr ->
   (string, error) result
 (** Read one complete frame.  [timeout_s] bounds the {e whole} frame, so
-    a byte-at-a-time peer cannot hold the reader past the deadline; no
-    timeout means block indefinitely.  On [Too_large] the length prefix
-    has been consumed but the payload has not — the stream is
-    desynchronized and the connection should be closed.  Never raises on
-    EOF/timeout; [Unix.Unix_error] can still escape for genuine socket
-    failures. *)
+    a byte-at-a-time peer cannot hold the reader past the deadline;
+    omitted or [<= 0.] means block indefinitely.  On [Too_large] the
+    length prefix has been consumed but the payload has not — the stream
+    is desynchronized and the connection should be closed.  Never raises
+    on EOF/timeout; [Unix.Unix_error] can still escape for genuine
+    socket failures. *)
 
 val resolve_host : string -> (Unix.inet_addr, string) result
 (** Dotted quad, or a name via [gethostbyname]. *)

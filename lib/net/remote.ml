@@ -1,0 +1,135 @@
+module Errors = Fb_core.Errors
+module Forkbase = Fb_core.Forkbase
+
+type uid = Forkbase.uid
+
+type t = { c : Client.t }
+
+(* The one place transport failures become typed: a dead socket is a
+   transient condition (retry against the same or another server), not a
+   storage-semantics error. *)
+let of_client_error = function
+  | Client.Remote e -> e
+  | Client.Transport msg -> Errors.Transient ("network: " ^ msg)
+
+let lift = function
+  | Ok _ as ok -> ok
+  | Error e -> Error (of_client_error e)
+
+let connect ?host ?port ?user ?max_frame ?timeout_s () =
+  match Client.connect ?host ?port ?user ?max_frame ?timeout_s () with
+  | Ok c -> Ok { c }
+  | Error e -> Error (of_client_error e)
+
+let close t = Client.close t.c
+let is_open t = Client.is_open t.c
+
+let raw ?user t tokens = lift (Client.request ?user t.c tokens)
+let raw_line ?user t line = lift (Client.request_line ?user t.c line)
+
+let uid_of payload = Forkbase.parse_version payload
+
+let unit_of (_ : string) = Ok ()
+
+let lines_of payload =
+  if payload = "" then [] else String.split_on_char '\n' payload
+
+(* "branch uid" per line; the uid rendering never contains a blank, so
+   splitting at the last one is unambiguous even for odd branch names. *)
+let head_line line =
+  match String.rindex_opt line ' ' with
+  | None -> Error (Errors.Invalid ("bad head line: " ^ line))
+  | Some i ->
+    let branch = String.sub line 0 i in
+    let v = String.sub line (i + 1) (String.length line - i - 1) in
+    Result.map (fun uid -> (branch, uid)) (uid_of v)
+
+let heads_of payload =
+  List.fold_left
+    (fun acc line ->
+      match acc with
+      | Error _ as e -> e
+      | Ok heads ->
+        Result.map (fun h -> h :: heads) (head_line line))
+    (Ok []) (lines_of payload)
+  |> Result.map List.rev
+
+let op ?user t tokens parse = Result.bind (raw ?user t tokens) parse
+
+(* ------------------------- the Forkbase mirror ------------------------- *)
+
+let default_branch = "master"
+
+let put ?user ?(branch = default_branch) t ~key value =
+  op ?user t [ "put"; key; branch; value ] uid_of
+
+let put_csv ?user ?(branch = default_branch) t ~key csv =
+  op ?user t [ "put-csv"; key; branch; csv ] uid_of
+
+let get ?user ?(branch = default_branch) t ~key =
+  raw ?user t [ "get"; key; branch ]
+
+let get_at ?user t uid =
+  raw ?user t [ "get-at"; Forkbase.version_string uid ]
+
+let head ?user ?(branch = default_branch) t ~key =
+  op ?user t [ "head"; key; branch ] uid_of
+
+let latest ?user t ~key = op ?user t [ "latest"; key ] heads_of
+
+let list_keys ?user t =
+  Result.map lines_of (raw ?user t [ "list" ])
+
+let log ?user ?(branch = default_branch) t ~key =
+  Result.map lines_of (raw ?user t [ "log"; key; branch ])
+
+let meta ?user t uid =
+  raw ?user t [ "meta"; Forkbase.version_string uid ]
+
+let fork ?user ?(from_branch = default_branch) t ~key ~new_branch =
+  op ?user t [ "branch"; key; from_branch; new_branch ] uid_of
+
+let rename_branch ?user t ~key ~from_branch ~to_branch =
+  op ?user t [ "rename"; key; from_branch; to_branch ] unit_of
+
+let merge ?user t ~key ~into ~from_branch =
+  op ?user t [ "merge"; key; into; from_branch ] uid_of
+
+let diff ?user t ~key ~branch1 ~branch2 =
+  raw ?user t [ "diff"; key; branch1; branch2 ]
+
+let verify ?user ?(branch = default_branch) t ~key =
+  raw ?user t [ "verify"; key; branch ]
+
+let prove ?user ?(branch = default_branch) t ~key ~entry_key =
+  raw ?user t [ "prove"; key; branch; entry_key ]
+
+let stat ?user t = raw ?user t [ "stat" ]
+let metrics ?user t = raw ?user t [ "metrics" ]
+
+(* ------------------------- batching ------------------------- *)
+
+type op_req =
+  | Put of { key : string; branch : string; value : string }
+  | Get of { key : string; branch : string }
+  | Head of { key : string; branch : string }
+
+type op_reply = Uid of uid | Value of string
+
+let tokens_of_op = function
+  | Put { key; branch; value } -> [ "put"; key; branch; value ]
+  | Get { key; branch } -> [ "get"; key; branch ]
+  | Head { key; branch } -> [ "head"; key; branch ]
+
+let reply_of_op o (reply : Frame.reply) =
+  match o, reply with
+  | _, Error e -> Error e
+  | (Put _ | Head _), Ok payload -> Result.map (fun u -> Uid u) (uid_of payload)
+  | Get _, Ok payload -> Ok (Value payload)
+
+let batch ?user t ops =
+  match Client.batch ?user t.c (List.map tokens_of_op ops) with
+  | Error e -> Error (of_client_error e)
+  | Ok replies -> Ok (List.map2 reply_of_op ops replies)
+
+let batch_raw ?user t reqs = lift (Client.batch ?user t.c reqs)

@@ -1,0 +1,138 @@
+(** Typed remote handle — the {!Fb_core.Forkbase} surface over a socket.
+
+    Every operation mirrors its local counterpart and returns the same
+    [('a, Fb_core.Errors.t) result]: a missing key is
+    [Error (Key_not_found _)] whether the instance is in-process or
+    behind TCP.  Transport failures (refused connection, timeout, torn
+    frame) surface as [Error (Transient "network: …")] — transient
+    because retrying against a healthy server is the correct reaction,
+    and so existing retry helpers treat them like any other transient
+    storage fault.
+
+    Values travel in their service rendering (strings, CSV for tables,
+    [k=v] lines for maps); version uids are parsed back into
+    {!Fb_core.Forkbase.uid} before they reach the caller.  String
+    rendering of errors stays at the CLI edge ({!Fb_core.Errors.to_string}).
+
+    One handle wraps one {!Client} connection: one outstanding request
+    at a time; a transport failure poisons the handle (every later call
+    fails fast with [Transient]).  [?user] defaults to the user given at
+    {!connect}. *)
+
+type uid = Fb_core.Forkbase.uid
+
+type t
+
+val connect :
+  ?host:string ->
+  ?port:int ->
+  ?user:string ->
+  ?max_frame:int ->
+  ?timeout_s:float ->
+  unit ->
+  (t, Fb_core.Errors.t) result
+(** Same defaults as {!Client.connect}. *)
+
+val close : t -> unit
+val is_open : t -> bool
+
+(** {1 The Forkbase mirror}
+
+    [branch]/[from_branch] default to ["master"] like the local API. *)
+
+val put :
+  ?user:string -> ?branch:string -> t -> key:string -> string ->
+  (uid, Fb_core.Errors.t) result
+
+val put_csv :
+  ?user:string -> ?branch:string -> t -> key:string -> string ->
+  (uid, Fb_core.Errors.t) result
+
+val get :
+  ?user:string -> ?branch:string -> t -> key:string ->
+  (string, Fb_core.Errors.t) result
+(** The value in its service rendering. *)
+
+val get_at : ?user:string -> t -> uid -> (string, Fb_core.Errors.t) result
+
+val head :
+  ?user:string -> ?branch:string -> t -> key:string ->
+  (uid, Fb_core.Errors.t) result
+
+val latest :
+  ?user:string -> t -> key:string ->
+  ((string * uid) list, Fb_core.Errors.t) result
+(** All branch heads of a key, like {!Fb_core.Forkbase.latest}. *)
+
+val list_keys : ?user:string -> t -> (string list, Fb_core.Errors.t) result
+
+val log :
+  ?user:string -> ?branch:string -> t -> key:string ->
+  (string list, Fb_core.Errors.t) result
+(** One rendered line per version, newest first: [uid seq author message]. *)
+
+val meta : ?user:string -> t -> uid -> (string, Fb_core.Errors.t) result
+(** Rendered version metadata (key, seq, author, message, bases). *)
+
+val fork :
+  ?user:string -> ?from_branch:string -> t -> key:string ->
+  new_branch:string -> (uid, Fb_core.Errors.t) result
+
+val rename_branch :
+  ?user:string -> t -> key:string -> from_branch:string -> to_branch:string ->
+  (unit, Fb_core.Errors.t) result
+
+val merge :
+  ?user:string -> t -> key:string -> into:string -> from_branch:string ->
+  (uid, Fb_core.Errors.t) result
+
+val diff :
+  ?user:string -> t -> key:string -> branch1:string -> branch2:string ->
+  (string, Fb_core.Errors.t) result
+(** Rendered diff summary + entries. *)
+
+val verify :
+  ?user:string -> ?branch:string -> t -> key:string ->
+  (string, Fb_core.Errors.t) result
+
+val prove :
+  ?user:string -> ?branch:string -> t -> key:string -> entry_key:string ->
+  (string, Fb_core.Errors.t) result
+(** Hex-encoded entry proof for offline verification. *)
+
+val stat : ?user:string -> t -> (string, Fb_core.Errors.t) result
+val metrics : ?user:string -> t -> (string, Fb_core.Errors.t) result
+
+(** {1 Batching}
+
+    N operations in one frame, executed server-side under a single lock
+    acquisition and answered in order — round-trip and locking
+    amortization.  Per-operation failures are entries in the returned
+    list and do not abort the rest of the batch. *)
+
+type op_req =
+  | Put of { key : string; branch : string; value : string }
+  | Get of { key : string; branch : string }
+  | Head of { key : string; branch : string }
+
+type op_reply =
+  | Uid of uid      (** for [Put] and [Head] *)
+  | Value of string (** for [Get] *)
+
+val batch :
+  ?user:string -> t -> op_req list ->
+  ((op_reply, Fb_core.Errors.t) result list, Fb_core.Errors.t) result
+
+(** {1 Escape hatch} *)
+
+val raw :
+  ?user:string -> t -> string list -> (string, Fb_core.Errors.t) result
+(** Any service verb, tokens as {!Fb_core.Service.dispatch} takes them. *)
+
+val raw_line :
+  ?user:string -> t -> string -> (string, Fb_core.Errors.t) result
+(** Tokenize a service line client-side, then {!raw} — the REPL path. *)
+
+val batch_raw :
+  ?user:string -> t -> string list list ->
+  (Frame.reply list, Fb_core.Errors.t) result

@@ -1,0 +1,102 @@
+(* Write-preferring reader-writer lock, and a striped variant keyed by
+   string for per-key exclusion.  Built on stdlib Mutex/Condition only. *)
+
+type t = {
+  m : Mutex.t;
+  can_read : Condition.t;
+  can_write : Condition.t;
+  mutable active_readers : int;
+  mutable writer_active : bool;
+  mutable waiting_writers : int;
+}
+
+let create () =
+  { m = Mutex.create ();
+    can_read = Condition.create ();
+    can_write = Condition.create ();
+    active_readers = 0;
+    writer_active = false;
+    waiting_writers = 0 }
+
+(* Write preference: a newly arriving reader yields to any waiting writer,
+   so a steady read load cannot starve mutations.  When the last writer
+   leaves it broadcasts the whole reader cohort in one go — readers
+   admitted between writers proceed together, which bounds how long any
+   reader waits to the writer backlog present at its arrival. *)
+let acquire_read t =
+  Mutex.lock t.m;
+  while t.writer_active || t.waiting_writers > 0 do
+    Condition.wait t.can_read t.m
+  done;
+  t.active_readers <- t.active_readers + 1;
+  Mutex.unlock t.m
+
+let release_read t =
+  Mutex.lock t.m;
+  t.active_readers <- t.active_readers - 1;
+  if t.active_readers = 0 then Condition.signal t.can_write;
+  Mutex.unlock t.m
+
+let acquire_write t =
+  Mutex.lock t.m;
+  t.waiting_writers <- t.waiting_writers + 1;
+  while t.writer_active || t.active_readers > 0 do
+    Condition.wait t.can_write t.m
+  done;
+  t.waiting_writers <- t.waiting_writers - 1;
+  t.writer_active <- true;
+  Mutex.unlock t.m
+
+let release_write t =
+  Mutex.lock t.m;
+  t.writer_active <- false;
+  if t.waiting_writers > 0 then Condition.signal t.can_write
+  else Condition.broadcast t.can_read;
+  Mutex.unlock t.m
+
+let with_read t f =
+  acquire_read t;
+  Fun.protect ~finally:(fun () -> release_read t) f
+
+let with_write t f =
+  acquire_write t;
+  Fun.protect ~finally:(fun () -> release_write t) f
+
+let with_mode t mode f =
+  match mode with `Read -> with_read t f | `Write -> with_write t f
+
+module Striped = struct
+  type rw = t
+
+  type t = rw array
+
+  let default_stripes = 16
+
+  let create ?(stripes = default_stripes) () =
+    if stripes < 1 then invalid_arg "Rwlock.Striped.create";
+    Array.init stripes (fun _ -> create ())
+
+  let stripe_count t = Array.length t
+
+  (* FNV-1a over the key: cheap, stable across runs (unlike
+     [Hashtbl.hash] no seeding concerns), uniform enough for a handful
+     of stripes. *)
+  let stripe_index t key =
+    let h = ref 0x811c9dc5 in
+    String.iter
+      (fun c ->
+        h := !h lxor Char.code c;
+        h := !h * 0x01000193)
+      key;
+    (!h land max_int) mod Array.length t
+
+  let with_key t ~mode key f = with_mode t.(stripe_index t key) mode f
+
+  (* Global sections take every stripe, always in index order so two
+     concurrent global writers (or a global writer vs. a key writer)
+     cannot deadlock. *)
+  let with_global t ~mode f =
+    let n = Array.length t in
+    let rec go i = if i >= n then f () else with_mode t.(i) mode (fun () -> go (i + 1)) in
+    go 0
+end

@@ -1,0 +1,49 @@
+(** Write-preferring reader-writer locks, plus key-striped composition.
+
+    The network server classifies every service verb as read-only or
+    mutating ({!Fb_core.Service.classify}) and runs read-only verbs under
+    the shared side, so immutable content-addressed reads — the common
+    case for a branchable substrate — never serialize behind each other.
+
+    Policy: {e write-preferring}.  A reader arriving while any writer is
+    active {e or waiting} blocks, so a steady stream of readers cannot
+    starve writers; when the writer backlog drains, the whole waiting
+    reader cohort is released at once (bounded reader wait: the writers
+    queued at its arrival).  Locks are not reentrant — a thread taking
+    the same lock (or stripe) twice deadlocks. *)
+
+type t
+
+val create : unit -> t
+
+val with_read : t -> (unit -> 'a) -> 'a
+(** Run under the shared side: excludes writers, admits other readers. *)
+
+val with_write : t -> (unit -> 'a) -> 'a
+(** Run under the exclusive side. *)
+
+val with_mode : t -> [ `Read | `Write ] -> (unit -> 'a) -> 'a
+
+(** Striped composition: [n] independent reader-writer locks with a
+    stable [key -> stripe] hash.  Key-scoped verbs lock only their
+    stripe, so writers on different keys exclude their own readers but
+    not each other's; instance-wide verbs take every stripe (in index
+    order — deadlock-free against every other acquisition pattern in
+    this module). *)
+module Striped : sig
+  type t
+
+  val default_stripes : int
+  (** 16. *)
+
+  val create : ?stripes:int -> unit -> t
+
+  val stripe_count : t -> int
+
+  val stripe_index : t -> string -> int
+  (** Stable FNV-1a stripe assignment (exposed for tests). *)
+
+  val with_key : t -> mode:[ `Read | `Write ] -> string -> (unit -> 'a) -> 'a
+
+  val with_global : t -> mode:[ `Read | `Write ] -> (unit -> 'a) -> 'a
+end

@@ -1,5 +1,6 @@
 module Service = Fb_core.Service
 module Errors = Fb_core.Errors
+module Forkbase = Fb_core.Forkbase
 module Obs = Fb_obs.Obs
 
 type config = {
@@ -10,6 +11,8 @@ type config = {
   read_timeout_s : float;
   save_every_s : float;
   default_user : string;
+  concurrency : [ `Striped | `Coarse ];
+  stripes : int;
 }
 
 let default_config =
@@ -19,15 +22,20 @@ let default_config =
     max_frame = Frame.default_max_frame;
     read_timeout_s = 30.0;
     save_every_s = 5.0;
-    default_user = "anonymous" }
+    default_user = "anonymous";
+    concurrency = `Striped;
+    stripes = Rwlock.Striped.default_stripes }
 
 type t = {
   cfg : config;
-  fb : Fb_core.Forkbase.t;
+  fb : Forkbase.t;
   save : (unit -> unit) option;
   listen_fd : Unix.file_descr;
   bound_port : int;
-  fb_lock : Mutex.t;  (* the coarse instance lock: dispatch and save *)
+  (* Striped reader-writer locking replaces PR 4's coarse instance
+     mutex: read-only verbs share their key's stripe, mutating verbs
+     take it exclusively, instance-wide verbs span all stripes. *)
+  locks : Rwlock.Striped.t;
   state : Mutex.t;    (* guards the mutable fields below *)
   mutable running : bool;
   mutable conns : (int * Unix.file_descr) list;
@@ -43,6 +51,10 @@ let frames_total = Obs.counter "fb.net.frames"
 let proto_errors = Obs.counter "fb.net.errors"
 let request_errors = Obs.counter "fb.net.request_errors"
 let save_errors = Obs.counter "fb.net.save_errors"
+let batches_total = Obs.counter "fb.net.batches"
+let batch_subrequests_total = Obs.counter "fb.net.batch_subrequests"
+let read_verbs_total = Obs.counter "fb.net.read_verbs"
+let write_verbs_total = Obs.counter "fb.net.write_verbs"
 
 (* Histograms are created per verb name, so the set must be closed — a
    peer sending garbage verbs must not grow the registry unboundedly. *)
@@ -54,9 +66,9 @@ let verb_hists =
       Hashtbl.replace tbl v
         (Obs.histogram (Printf.sprintf "fb.net.%s_seconds" metric)))
     [ "put"; "put-csv"; "get"; "get-at"; "head"; "latest"; "list"; "log";
-      "branch"; "diff"; "merge"; "verify"; "stat"; "metrics";
-      "metrics-json"; "fsck"; "scrub"; "get-json"; "diff-json"; "log-json";
-      "stat-json"; "latest-json"; "prove" ];
+      "branch"; "rename"; "meta"; "diff"; "merge"; "verify"; "stat";
+      "metrics"; "metrics-json"; "fsck"; "scrub"; "get-json"; "diff-json";
+      "log-json"; "stat-json"; "latest-json"; "prove"; "batch" ];
   tbl
 
 let other_hist = Obs.histogram "fb.net.other_seconds"
@@ -78,16 +90,75 @@ let do_save t =
   match t.save with
   | None -> ()
   | Some save ->
-    Mutex.protect t.fb_lock (fun () ->
+    (* The save serializes the branch/tag tables: exclusive across the
+       whole instance so it captures a consistent snapshot. *)
+    Rwlock.Striped.with_global t.locks ~mode:`Write (fun () ->
         try save () with _ -> Obs.incr save_errors)
+
+(* ------------------------- locking ------------------------- *)
+
+let lock_mode = function Service.Read -> `Read | Service.Write -> `Write
+
+(* One lock acquisition for the whole request, shaped by the verb
+   classification.  [`Coarse] degrades every request to a global
+   exclusive section — the PR 4 behavior, kept selectable so the
+   scaling benchmark (and a worried operator) can A/B the two. *)
+let locked t ~access ~scope f =
+  match t.cfg.concurrency with
+  | `Coarse -> Rwlock.Striped.with_global t.locks ~mode:`Write f
+  | `Striped -> (
+    let mode = lock_mode access in
+    match scope with
+    | Service.Key key -> Rwlock.Striped.with_key t.locks ~mode key f
+    | Service.Global -> Rwlock.Striped.with_global t.locks ~mode f)
+
+(* A batch runs under a single acquisition covering every sub-request:
+   exclusive if any sub-request mutates, one stripe when all sub-requests
+   name the same key, global otherwise. *)
+let classify_batch reqs =
+  List.fold_left
+    (fun (access, scope) tokens ->
+      let a, s = Service.classify tokens in
+      let access = if a = Service.Write then Service.Write else access in
+      let scope =
+        match scope, s with
+        | None, s -> Some s
+        | Some (Service.Key k), Service.Key k' when String.equal k k' ->
+          Some (Service.Key k)
+        | Some _, _ -> Some Service.Global
+      in
+      (access, scope))
+    (Service.Read, None) reqs
+  |> fun (access, scope) ->
+  (access, Option.value scope ~default:Service.Global)
+
+(* Dispatch under the computed lock; mutations run with watch delivery
+   deferred so callbacks fire after the exclusive section is released
+   (a slow observer must not extend writer-held time). *)
+let dispatch_locked t ~user ~access ~scope reqs =
+  let run () = List.map (fun tokens -> Service.dispatch ~user t.fb tokens) reqs in
+  let replies, flush =
+    locked t ~access ~scope (fun () ->
+        match access with
+        | Service.Read -> (run (), fun () -> ())
+        | Service.Write -> Forkbase.with_deferred_watch t.fb run)
+  in
+  flush ();
+  replies
 
 (* ------------------------- connection ------------------------- *)
 
-(* Best-effort error/result write; [false] means the peer is gone and the
-   connection loop should end. *)
-let respond fd ~ok payload =
-  match Frame.write_frame fd (Frame.encode_response ~ok payload) with
-  | () -> true
+(* Best-effort error/result write; [false] means the peer is gone (or
+   wedged past the deadline) and the connection loop should end.  The
+   read deadline doubles as the write deadline: a peer that stops
+   draining its socket cannot pin a connection thread forever. *)
+let respond t fd resp =
+  let timeout_s =
+    if t.cfg.read_timeout_s > 0.0 then Some t.cfg.read_timeout_s else None
+  in
+  match Frame.write_frame ?timeout_s fd (Frame.encode_response resp) with
+  | Ok () -> true
+  | Error _ -> false
   | exception Unix.Unix_error _ -> false
 
 let serve_request t fd payload =
@@ -97,21 +168,44 @@ let serve_request t fd payload =
     Obs.incr proto_errors;
     (* Frame boundaries are intact, only this payload was bad: answer and
        keep the connection. *)
-    respond fd ~ok:false ("bad request: " ^ e)
-  | Ok (user, tokens) ->
+    respond t fd (Frame.One (Error (Errors.Invalid ("bad request: " ^ e))))
+  | Ok (user, req) ->
     let user = if user = "" then t.cfg.default_user else user in
-    let verb =
-      match tokens with v :: _ -> String.lowercase_ascii v | [] -> ""
+    let resp =
+      match req with
+      | Frame.Single tokens ->
+        let verb =
+          match tokens with v :: _ -> String.lowercase_ascii v | [] -> ""
+        in
+        let access, scope = Service.classify tokens in
+        Obs.incr
+          (match access with
+           | Service.Read -> read_verbs_total
+           | Service.Write -> write_verbs_total);
+        let reply =
+          Obs.time (verb_hist verb) (fun () ->
+              match dispatch_locked t ~user ~access ~scope [ tokens ] with
+              | [ r ] -> r
+              | _ -> Error (Errors.Invalid "internal: reply count mismatch"))
+        in
+        (match reply with
+         | Ok _ -> ()
+         | Error _ -> Obs.incr request_errors);
+        Frame.One reply
+      | Frame.Batch reqs ->
+        Obs.incr batches_total;
+        Obs.add batch_subrequests_total (List.length reqs);
+        let access, scope = classify_batch reqs in
+        let replies =
+          Obs.time (verb_hist "batch") (fun () ->
+              dispatch_locked t ~user ~access ~scope reqs)
+        in
+        List.iter
+          (function Ok _ -> () | Error _ -> Obs.incr request_errors)
+          replies;
+        Frame.Many replies
     in
-    let result =
-      Obs.time (verb_hist verb) (fun () ->
-          Mutex.protect t.fb_lock (fun () -> Service.dispatch ~user t.fb tokens))
-    in
-    (match result with
-    | Ok body -> respond fd ~ok:true body
-    | Error e ->
-      Obs.incr request_errors;
-      respond fd ~ok:false (Errors.to_string e))
+    respond t fd resp
 
 let handle_conn t id fd =
   Obs.incr conns_total;
@@ -124,12 +218,17 @@ let handle_conn t id fd =
     | Error Frame.Eof -> ()
     | Error Frame.Timeout ->
       Obs.incr proto_errors;
-      ignore (respond fd ~ok:false "read timeout: closing connection")
+      ignore
+        (respond t fd
+           (Frame.One
+              (Error (Errors.Transient "read timeout: closing connection"))))
     | Error (Frame.Too_large _ as e) | Error (Frame.Malformed _ as e) ->
       (* The length prefix was consumed without its payload: the stream
          is desynchronized beyond repair — report and hang up. *)
       Obs.incr proto_errors;
-      ignore (respond fd ~ok:false (Frame.error_to_string e))
+      ignore
+        (respond t fd
+           (Frame.One (Error (Errors.Invalid (Frame.error_to_string e)))))
     | exception Unix.Unix_error _ -> Obs.incr proto_errors
   in
   Fun.protect
@@ -187,7 +286,7 @@ let port t = t.bound_port
 
 let start ?(config = default_config) ?save fb =
   match Frame.resolve_host config.host with
-  | Error _ as e -> e
+  | Error e -> Error e
   | Ok addr -> (
     match
       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -212,7 +311,8 @@ let start ?(config = default_config) ?save fb =
        with Invalid_argument _ -> ());
       let t =
         { cfg = config; fb; save; listen_fd = fd; bound_port;
-          fb_lock = Mutex.create (); state = Mutex.create ();
+          locks = Rwlock.Striped.create ~stripes:(max 1 config.stripes) ();
+          state = Mutex.create ();
           running = true; conns = []; next_id = 0;
           accept_thread = None; saver_thread = None }
       in

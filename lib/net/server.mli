@@ -1,42 +1,64 @@
 (** Multi-client TCP server for the ForkBase service verbs.
 
-    Thread-per-connection over one shared {!Fb_core.Forkbase.t}: every
-    {!Fb_core.Service.dispatch} runs under a coarse per-instance lock, so
-    concurrent clients serialize at the verb level and the single-threaded
-    engine underneath never sees parallelism (the scaling story is many
-    connections with short verbs, not parallel storage access).
+    Thread-per-connection over one shared {!Fb_core.Forkbase.t}, with a
+    {e striped reader-writer} concurrency layer in place of a coarse
+    instance mutex: {!Fb_core.Service.classify} sorts every verb into
+    read-only vs. mutating and key-scoped vs. instance-wide.  Read-only
+    verbs ([get], [head], [latest], [diff], [list], [stat], [metrics],
+    …) share their key's stripe and run concurrently; mutating verbs
+    ([put], [merge], [branch], [rename], …) take the stripe exclusively;
+    instance-wide verbs span all stripes.  The locks are
+    write-preferring ({!Rwlock}), so a steady read load cannot starve
+    writers.  Watch callbacks triggered by a mutation are delivered
+    {e after} the exclusive section is released
+    ({!Fb_core.Forkbase.with_deferred_watch}).
+
+    A [Frame.Batch] request (the BATCH wire verb) executes its N
+    sub-requests under a {e single} lock acquisition — exclusive if any
+    sub-request mutates, one stripe when all sub-requests address the
+    same key — and answers with one typed reply per sub-request, in
+    order.
 
     Robustness against bad peers: a per-connection read deadline covers
     the {e whole} frame (a byte-at-a-time writer cannot wedge its thread
-    past the deadline), and frames above [max_frame] are refused before
-    any allocation — both answer the peer with an error response, then
-    close.
+    past the deadline), frames above [max_frame] are refused before any
+    allocation, and the same deadline bounds response writes (a peer
+    that stops draining its socket cannot pin a connection thread).
 
     Durability: an optional [save] callback (typically
-    [Persistent.save ~fsync:true]) runs under the instance lock every
-    [save_every_s] seconds and once more during {!stop}, so SIGTERM
-    leaves an intact, fsynced branch table.
+    [Persistent.save ~fsync:true]) runs under a global exclusive
+    acquisition every [save_every_s] seconds and once more during
+    {!stop}, so SIGTERM leaves an intact, fsynced branch table.
 
     Observability ({!Fb_obs}): counters [fb.net.connections],
     [fb.net.frames], [fb.net.errors] (protocol/transport),
-    [fb.net.request_errors] (verbs answering [ERR]),
-    [fb.net.save_errors]; gauge [fb.net.connections_active]; per-verb
-    latency histograms [fb.net.<verb>_seconds] (lock wait included —
-    that is the latency a client observes). *)
+    [fb.net.request_errors] (verbs answering a typed error),
+    [fb.net.save_errors], [fb.net.batches], [fb.net.batch_subrequests],
+    [fb.net.read_verbs], [fb.net.write_verbs]; gauge
+    [fb.net.connections_active]; per-verb latency histograms
+    [fb.net.<verb>_seconds] (lock wait included — that is the latency a
+    client observes), with batches timed under [fb.net.batch_seconds]. *)
 
 type config = {
   host : string;          (** bind address; default ["127.0.0.1"] *)
   port : int;             (** [0] picks an ephemeral port — see {!port} *)
   backlog : int;
   max_frame : int;
-  read_timeout_s : float; (** per-frame read deadline; [<= 0.] disables *)
+  read_timeout_s : float; (** per-frame read/write deadline; [<= 0.] disables *)
   save_every_s : float;   (** periodic save cadence; [<= 0.] disables *)
   default_user : string;  (** applied when a request carries no user *)
+  concurrency : [ `Striped | `Coarse ];
+  (** [`Striped] (default): classified reader-writer locking as above.
+      [`Coarse]: every request takes a global exclusive section — the
+      pre-v2 behavior, kept selectable for benchmarking and as an
+      operational escape hatch. *)
+  stripes : int;          (** lock stripes; default 16, clamped to >= 1 *)
 }
 
 val default_config : config
 (** [127.0.0.1:7447], backlog 64, {!Frame.default_max_frame}, 30 s read
-    timeout, save every 5 s, user ["anonymous"]. *)
+    timeout, save every 5 s, user ["anonymous"], [`Striped] with 16
+    stripes. *)
 
 type t
 

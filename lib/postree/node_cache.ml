@@ -25,8 +25,14 @@ type 'a node = {
   mutable next : 'a node option;
 }
 
+(* Read-only verbs of the network service share one cache from many
+   threads, and a cache {e read} mutates the recency list — so every
+   entry point runs under [lock].  The store liveness probe in
+   [find_live] (possibly a stat syscall) deliberately happens outside
+   the critical section. *)
 type 'a t = {
   name : string;
+  lock : Mutex.t;
   mutable capacity : int;
   tbl : 'a node Hash.Tbl.t;
   mutable head : 'a node option;  (* most recent *)
@@ -71,42 +77,54 @@ let drop t id =
     unlink t n;
     Hash.Tbl.remove t.tbl id
 
-let invalidate t id =
+let invalidate_locked t id =
   if Hash.Tbl.mem t.tbl id then begin
     drop t id;
     t.invalidations <- t.invalidations + 1
   end
 
+let invalidate t id =
+  Mutex.protect t.lock (fun () -> invalidate_locked t id)
+
 let clear t =
-  Hash.Tbl.reset t.tbl;
-  t.head <- None;
-  t.tail <- None
+  Mutex.protect t.lock (fun () ->
+      Hash.Tbl.reset t.tbl;
+      t.head <- None;
+      t.tail <- None)
 
 let set_capacity t cap =
   if cap < 0 then invalid_arg "Node_cache.set_capacity";
-  t.capacity <- cap;
-  (* Shrinking (or disabling) evicts from the cold end. *)
-  while Hash.Tbl.length t.tbl > cap do
-    match t.tail with
-    | None -> clear t
-    | Some n ->
-      unlink t n;
-      Hash.Tbl.remove t.tbl n.id;
-      t.evictions <- t.evictions + 1
-  done
+  Mutex.protect t.lock (fun () ->
+      t.capacity <- cap;
+      (* Shrinking (or disabling) evicts from the cold end. *)
+      let continue = ref (Hash.Tbl.length t.tbl > cap) in
+      while !continue do
+        (match t.tail with
+         | None ->
+           Hash.Tbl.reset t.tbl;
+           t.head <- None;
+           t.tail <- None
+         | Some n ->
+           unlink t n;
+           Hash.Tbl.remove t.tbl n.id;
+           t.evictions <- t.evictions + 1);
+        continue := Hash.Tbl.length t.tbl > cap
+      done)
 
 let set_capacity_all cap = List.iter (fun f -> f cap) !registry
 
 let stats t =
-  { hits = t.hits;
-    misses = t.misses;
-    evictions = t.evictions;
-    invalidations = t.invalidations;
-    size = Hash.Tbl.length t.tbl }
+  Mutex.protect t.lock (fun () ->
+      { hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        invalidations = t.invalidations;
+        size = Hash.Tbl.length t.tbl })
 
 let create ~name =
   let t =
     { name;
+      lock = Mutex.create ();
       capacity = default_capacity;
       tbl = Hash.Tbl.create 512;
       head = None;
@@ -130,32 +148,43 @@ let create ~name =
   t
 
 let add t id value =
-  if t.capacity > 0 && not (Hash.Tbl.mem t.tbl id) then begin
-    let n = { id; value; prev = None; next = None } in
-    Hash.Tbl.replace t.tbl id n;
-    push_front t n;
-    if Hash.Tbl.length t.tbl > t.capacity then
-      match t.tail with
-      | None -> ()
-      | Some n ->
-        unlink t n;
-        Hash.Tbl.remove t.tbl n.id;
-        t.evictions <- t.evictions + 1
-  end
+  Mutex.protect t.lock (fun () ->
+      if t.capacity > 0 && not (Hash.Tbl.mem t.tbl id) then begin
+        let n = { id; value; prev = None; next = None } in
+        Hash.Tbl.replace t.tbl id n;
+        push_front t n;
+        if Hash.Tbl.length t.tbl > t.capacity then
+          match t.tail with
+          | None -> ()
+          | Some n ->
+            unlink t n;
+            Hash.Tbl.remove t.tbl n.id;
+            t.evictions <- t.evictions + 1
+      end)
 
 let find_live t store id =
-  match Hash.Tbl.find_opt t.tbl id with
-  | Some n when Store.mem store id ->
+  let hit =
+    Mutex.protect t.lock (fun () ->
+        match Hash.Tbl.find_opt t.tbl id with
+        | Some n -> Some n.value
+        | None -> None)
+  in
+  match hit with
+  | Some value when Store.mem store id ->
     (* The liveness probe keeps a hit cheap (hashtable/stat lookup) while
        guaranteeing we never serve a decode for a chunk the store no longer
        holds — even if its deletion bypassed [Store.delete]. *)
-    t.hits <- t.hits + 1;
-    touch t n;
-    Some n.value
+    Mutex.protect t.lock (fun () ->
+        t.hits <- t.hits + 1;
+        match Hash.Tbl.find_opt t.tbl id with
+        | Some n -> touch t n
+        | None -> ());
+    Some value
   | Some _ ->
-    invalidate t id;
-    t.misses <- t.misses + 1;
+    Mutex.protect t.lock (fun () ->
+        invalidate_locked t id;
+        t.misses <- t.misses + 1);
     None
   | None ->
-    t.misses <- t.misses + 1;
+    Mutex.protect t.lock (fun () -> t.misses <- t.misses + 1);
     None

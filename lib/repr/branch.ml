@@ -3,60 +3,90 @@ module Hash = Fb_hash.Hash
 
 let default_branch = "master"
 
-(* key -> branch name -> head uid *)
-type t = (string, (string, Hash.t) Hashtbl.t) Hashtbl.t
+(* Heads are the one piece of mutable state in the system, and with the
+   network service executing read-only verbs concurrently (Fb_net's
+   striped reader-writer locking) the table is read from many threads
+   while a writer on a different key mutates it.  Every operation
+   therefore runs under a private mutex: the table is individually
+   atomic, while multi-operation consistency (e.g. diff reading two
+   heads of one key) is the caller's striped lock's job.  The critical
+   sections are tiny (hashtable probes), so uncontended cost is a few
+   nanoseconds. *)
+type t = {
+  lock : Mutex.t;
+  (* key -> branch name -> head uid *)
+  tbl : (string, (string, Hash.t) Hashtbl.t) Hashtbl.t;
+}
 
-let create () : t = Hashtbl.create 64
+let create () : t = { lock = Mutex.create (); tbl = Hashtbl.create 64 }
 
 let head t ~key ~branch =
-  match Hashtbl.find_opt t key with
-  | None -> None
-  | Some branches -> Hashtbl.find_opt branches branch
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | None -> None
+      | Some branches -> Hashtbl.find_opt branches branch)
 
-let set_head t ~key ~branch uid =
+let set_head_locked t ~key ~branch uid =
   let branches =
-    match Hashtbl.find_opt t key with
+    match Hashtbl.find_opt t.tbl key with
     | Some b -> b
     | None ->
       let b = Hashtbl.create 4 in
-      Hashtbl.replace t key b;
+      Hashtbl.replace t.tbl key b;
       b
   in
   Hashtbl.replace branches branch uid
 
+let set_head t ~key ~branch uid =
+  Mutex.protect t.lock (fun () -> set_head_locked t ~key ~branch uid)
+
 let branches t ~key =
-  match Hashtbl.find_opt t key with
-  | None -> []
-  | Some b ->
-    List.sort
-      (fun (a, _) (b, _) -> String.compare a b)
-      (Hashtbl.fold (fun name uid acc -> (name, uid) :: acc) b [])
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | None -> []
+      | Some b ->
+        List.sort
+          (fun (a, _) (b, _) -> String.compare a b)
+          (Hashtbl.fold (fun name uid acc -> (name, uid) :: acc) b []))
 
 let keys t =
-  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+  Mutex.protect t.lock (fun () ->
+      List.sort String.compare
+        (Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl []))
 
 let exists t ~key ~branch = head t ~key ~branch <> None
 
 let remove t ~key ~branch =
-  match Hashtbl.find_opt t key with
-  | None -> false
-  | Some b ->
-    let existed = Hashtbl.mem b branch in
-    Hashtbl.remove b branch;
-    if Hashtbl.length b = 0 then Hashtbl.remove t key;
-    existed
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | None -> false
+      | Some b ->
+        let existed = Hashtbl.mem b branch in
+        Hashtbl.remove b branch;
+        if Hashtbl.length b = 0 then Hashtbl.remove t.tbl key;
+        existed)
 
 let rename t ~key ~from_branch ~to_branch =
-  match head t ~key ~branch:from_branch with
-  | None -> Error (Printf.sprintf "no branch %S for key %S" from_branch key)
-  | Some uid ->
-    if exists t ~key ~branch:to_branch then
-      Error (Printf.sprintf "branch %S already exists for key %S" to_branch key)
-    else begin
-      ignore (remove t ~key ~branch:from_branch);
-      set_head t ~key ~branch:to_branch uid;
-      Ok ()
-    end
+  Mutex.protect t.lock (fun () ->
+      let head_of branch =
+        match Hashtbl.find_opt t.tbl key with
+        | None -> None
+        | Some b -> Hashtbl.find_opt b branch
+      in
+      match head_of from_branch with
+      | None ->
+        Error (Printf.sprintf "no branch %S for key %S" from_branch key)
+      | Some uid ->
+        if head_of to_branch <> None then
+          Error
+            (Printf.sprintf "branch %S already exists for key %S" to_branch key)
+        else begin
+          (match Hashtbl.find_opt t.tbl key with
+           | None -> ()
+           | Some b -> Hashtbl.remove b from_branch);
+          set_head_locked t ~key ~branch:to_branch uid;
+          Ok ()
+        end)
 
 let serialize t =
   let w = Codec.writer () in

@@ -24,4 +24,5 @@ let () =
       ("baselines", Test_baselines.suite);
       ("workload", Test_workload.suite);
       ("obs", Test_obs.suite);
+      ("rwlock", Test_rwlock.suite);
       ("net", Test_net.suite) ]

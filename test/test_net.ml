@@ -1,10 +1,13 @@
-(* Framed wire protocol and the concurrent TCP server/client. *)
+(* Framed wire protocol (v2: typed status + batching) and the
+   concurrently-readable TCP server/client/remote stack. *)
 
 module FB = Fb_core.Forkbase
+module Errors = Fb_core.Errors
 module Persistent = Fb_core.Persistent
 module Value = Fb_types.Value
 module Frame = Fb_net.Frame
 module Client = Fb_net.Client
+module Remote = Fb_net.Remote
 module Server = Fb_net.Server
 
 let check = Alcotest.check
@@ -14,11 +17,15 @@ let string_ = Alcotest.string
 
 let ok_fb = function
   | Ok v -> v
-  | Error e -> Alcotest.fail (Fb_core.Errors.to_string e)
+  | Error e -> Alcotest.fail (Errors.to_string e)
 
 let ok_net = function
   | Ok v -> v
   | Error e -> Alcotest.fail e
+
+let ok_cl = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Client.error_to_string e)
 
 let with_temp_root f =
   let root =
@@ -38,7 +45,7 @@ let with_server ?(config = test_config) ?save fb f =
   Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv)
 
 let with_client ?user srv f =
-  let c = ok_net (Client.connect ?user ~port:(Server.port srv) ()) in
+  let c = ok_cl (Client.connect ?user ~port:(Server.port srv) ()) in
   Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
 
 (* ---------------- pure framing ---------------- *)
@@ -95,21 +102,56 @@ let qcheck_frame_roundtrip =
       | Ok (`Frame (p, _)) -> String.equal p payload
       | _ -> false)
 
+let request_gen =
+  let open QCheck.Gen in
+  let tokens = small_list (string_size (0 -- 100)) in
+  oneof
+    [ map (fun t -> Frame.Single t) tokens;
+      map (fun b -> Frame.Batch b) (small_list tokens) ]
+
 let qcheck_request_roundtrip =
-  QCheck.Test.make ~count:200 ~name:"request encode/decode round-trip"
-    QCheck.(pair (string_of_size Gen.(0 -- 30))
-              (small_list (string_of_size Gen.(0 -- 200))))
-    (fun (user, tokens) ->
-      match Frame.decode_request (Frame.encode_request ~user tokens) with
-      | Ok (u, ts) -> String.equal u user && ts = tokens
+  QCheck.Test.make ~count:300 ~name:"request encode/decode round-trip"
+    (QCheck.make QCheck.Gen.(pair (string_size (0 -- 20)) request_gen))
+    (fun (user, req) ->
+      match Frame.decode_request (Frame.encode_request ~user req) with
+      | Ok (u, r) -> String.equal u user && r = req
       | Error _ -> false)
 
+(* Every Errors.t constructor, arbitrary fields: the status-tagged reply
+   encoding must reproduce the exact typed value on the far side. *)
+let errors_gen =
+  let open QCheck.Gen in
+  let s = string_size (0 -- 40) in
+  oneof
+    [ map (fun k -> Errors.Key_not_found k) s;
+      map2 (fun key branch -> Errors.Branch_not_found { key; branch }) s s;
+      map (fun v -> Errors.Version_not_found v) s;
+      map2 (fun user action -> Errors.Permission_denied { user; action }) s s;
+      map2
+        (fun key details -> Errors.Merge_conflict { key; details })
+        s (small_list s);
+      map2 (fun expected got -> Errors.Type_mismatch { expected; got }) s s;
+      map (fun m -> Errors.Corrupt m) s;
+      map (fun m -> Errors.Transient m) s;
+      map (fun m -> Errors.Invalid m) s ]
+
+let reply_gen =
+  QCheck.Gen.(
+    oneof
+      [ map Result.ok (string_size (0 -- 500)); map Result.error errors_gen ])
+
+let response_gen =
+  QCheck.Gen.(
+    oneof
+      [ map (fun r -> Frame.One r) reply_gen;
+        map (fun rs -> Frame.Many rs) (small_list reply_gen) ])
+
 let qcheck_response_roundtrip =
-  QCheck.Test.make ~count:200 ~name:"response encode/decode round-trip"
-    QCheck.(pair bool (string_of_size Gen.(0 -- 2000)))
-    (fun (ok, payload) ->
-      match Frame.decode_response (Frame.encode_response ~ok payload) with
-      | Ok (o, p) -> o = ok && String.equal p payload
+  QCheck.Test.make ~count:300 ~name:"typed response encode/decode round-trip"
+    (QCheck.make response_gen)
+    (fun resp ->
+      match Frame.decode_response (Frame.encode_response resp) with
+      | Ok r -> r = resp
       | Error _ -> false)
 
 let test_request_rejects_garbage () =
@@ -118,7 +160,38 @@ let test_request_rejects_garbage () =
   check bool_ "empty" true (Result.is_error (Frame.decode_request ""));
   check bool_ "trailing garbage" true
     (Result.is_error
-       (Frame.decode_request (Frame.encode_request ~user:"u" [ "a" ] ^ "x")))
+       (Frame.decode_request
+          (Frame.encode_request ~user:"u" (Frame.Single [ "a" ]) ^ "x")));
+  check bool_ "unknown request kind" true
+    (Result.is_error (Frame.decode_request "\x02\x07"))
+
+let test_v1_frames_rejected () =
+  let open Fb_codec.Codec in
+  (* Protocol v1 request: u8 1 | bytes user | list tokens.  Rejected by
+     version number with a message naming both versions — old clients get
+     a clean diagnosis, not a misparse. *)
+  let v1_request =
+    to_string
+      (fun w () ->
+        u8 w 1;
+        bytes w "alice";
+        list w bytes [ "get"; "k"; "master" ])
+      ()
+  in
+  (match Frame.decode_request v1_request with
+   | Error e -> check bool_ "names version" true (Tutil.contains e "version")
+   | Ok _ -> Alcotest.fail "v1 request accepted");
+  (* Protocol v1 response: u8 ok-flag | bytes rendered-text.  The v2
+     decoder must refuse it cleanly (an error, never an exception). *)
+  let v1_response =
+    to_string
+      (fun w () ->
+        u8 w 1;
+        bytes w "OK deadbeef")
+      ()
+  in
+  check bool_ "v1 response rejected" true
+    (Result.is_error (Frame.decode_response v1_response))
 
 (* ---------------- server round trips ---------------- *)
 
@@ -129,37 +202,142 @@ let test_server_roundtrip () =
           (* Values with newlines and quotes survive framing verbatim —
              exactly what the line transport could not carry. *)
           let value = "line one\nline two \"quoted\"\nline three" in
-          let uid = ok_net (Client.request c [ "put"; "k"; "master"; value ]) in
+          let uid = ok_cl (Client.request c [ "put"; "k"; "master"; value ]) in
           check bool_ "uid parses" true (Result.is_ok (FB.parse_version uid));
-          check string_ "get" value (ok_net (Client.request c [ "get"; "k"; "master" ]));
-          check string_ "head" uid (ok_net (Client.request c [ "head"; "k"; "master" ]));
-          ignore (ok_net (Client.request c [ "branch"; "k"; "master"; "dev" ]));
-          ignore (ok_net (Client.request c [ "put"; "k"; "dev"; "v2" ]));
-          ignore (ok_net (Client.request c [ "merge"; "k"; "master"; "dev" ]));
-          check string_ "merged" "v2" (ok_net (Client.request c [ "get"; "k"; "master" ]));
+          check string_ "get" value (ok_cl (Client.request c [ "get"; "k"; "master" ]));
+          check string_ "head" uid (ok_cl (Client.request c [ "head"; "k"; "master" ]));
+          ignore (ok_cl (Client.request c [ "branch"; "k"; "master"; "dev" ]));
+          ignore (ok_cl (Client.request c [ "put"; "k"; "dev"; "v2" ]));
+          ignore (ok_cl (Client.request c [ "merge"; "k"; "master"; "dev" ]));
+          check string_ "merged" "v2" (ok_cl (Client.request c [ "get"; "k"; "master" ]));
           (* request_line tokenizes client-side. *)
           check string_ "request_line" "v2"
-            (ok_net (Client.request_line c "get k master"));
-          (* Application errors come back as Error, connection stays up. *)
+            (ok_cl (Client.request_line c "get k master"));
+          (* Application errors come back typed; the connection stays up. *)
           (match Client.request c [ "get"; "missing"; "master" ] with
-          | Error _ -> ()
+          | Error (Client.Remote (Errors.Key_not_found _ | Errors.Branch_not_found _)) -> ()
+          | Error e -> Alcotest.fail ("wrong error: " ^ Client.error_to_string e)
           | Ok _ -> Alcotest.fail "missing key should fail");
           (match Client.request c [ "frobnicate" ] with
-          | Error e -> check bool_ "bad verb" true (Tutil.contains e "bad request")
+          | Error (Client.Remote (Errors.Invalid msg)) ->
+            check bool_ "bad verb" true (Tutil.contains msg "bad request")
+          | Error e -> Alcotest.fail ("wrong error: " ^ Client.error_to_string e)
           | Ok _ -> Alcotest.fail "unknown verb accepted");
           check string_ "still alive" "v2"
-            (ok_net (Client.request c [ "get"; "k"; "master" ]))))
+            (ok_cl (Client.request c [ "get"; "k"; "master" ]))))
+
+let test_batch_roundtrip () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  with_server fb (fun srv ->
+      with_client srv (fun c ->
+          (* Same-key batch: one stripe, one lock acquisition. *)
+          let replies =
+            ok_cl
+              (Client.batch c
+                 [ [ "put"; "k"; "master"; "v1" ];
+                   [ "get"; "k"; "master" ];
+                   [ "get"; "missing"; "master" ];
+                   [ "head"; "k"; "master" ] ])
+          in
+          (match replies with
+           | [ Ok uid; Ok "v1"; Error _; Ok head ] ->
+             check string_ "head matches put" uid head
+           | _ -> Alcotest.fail "unexpected same-key batch replies");
+          (* The failing sub-request poisoned neither its batch nor the
+             connection. *)
+          check string_ "alive after partial failure" "v1"
+            (ok_cl (Client.request c [ "get"; "k"; "master" ]));
+          (* Cross-key batch: the combined scope is global. *)
+          (match
+             ok_cl
+               (Client.batch c
+                  [ [ "put"; "a"; "master"; "1" ];
+                    [ "put"; "b"; "master"; "2" ];
+                    [ "get"; "a"; "master" ];
+                    [ "get"; "b"; "master" ] ])
+           with
+           | [ Ok _; Ok _; Ok "1"; Ok "2" ] -> ()
+           | _ -> Alcotest.fail "cross-key batch failed");
+          (* Read-only batch (shared lock path). *)
+          (match
+             ok_cl (Client.batch c [ [ "get"; "a"; "master" ]; [ "list" ] ])
+           with
+           | [ Ok "1"; Ok keys ] ->
+             check bool_ "list sees keys" true (Tutil.contains keys "k")
+           | _ -> Alcotest.fail "read-only batch failed");
+          (* An empty batch is answered, emptily. *)
+          check int_ "empty batch" 0 (List.length (ok_cl (Client.batch c [])))))
+
+let test_remote_typed () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  with_server fb (fun srv ->
+      let r =
+        match Remote.connect ~port:(Server.port srv) ~user:"alice" () with
+        | Ok r -> r
+        | Error e -> Alcotest.fail (Errors.to_string e)
+      in
+      Fun.protect
+        ~finally:(fun () -> Remote.close r)
+        (fun () ->
+          let uid = ok_fb (Remote.put r ~key:"k" "v1") in
+          check string_ "get" "v1" (ok_fb (Remote.get r ~key:"k"));
+          check bool_ "head = put uid" true
+            (Fb_hash.Hash.equal uid (ok_fb (Remote.head r ~key:"k")));
+          ignore (ok_fb (Remote.fork r ~key:"k" ~new_branch:"dev"));
+          ignore (ok_fb (Remote.put r ~branch:"dev" ~key:"k" "v2"));
+          ignore
+            (ok_fb (Remote.merge r ~key:"k" ~into:"master" ~from_branch:"dev"));
+          check string_ "merged" "v2" (ok_fb (Remote.get r ~key:"k"));
+          ok_fb
+            (Remote.rename_branch r ~key:"k" ~from_branch:"dev"
+               ~to_branch:"feature");
+          let heads = ok_fb (Remote.latest r ~key:"k") in
+          check bool_ "renamed branch listed" true
+            (List.mem_assoc "feature" heads);
+          check bool_ "old name gone" false (List.mem_assoc "dev" heads);
+          check bool_ "master head typed" true
+            (Fb_hash.Hash.equal
+               (List.assoc "master" heads)
+               (ok_fb (FB.head fb ~key:"k")));
+          check bool_ "list_keys" true (List.mem "k" (ok_fb (Remote.list_keys r)));
+          let meta = ok_fb (Remote.meta r (ok_fb (Remote.head r ~key:"k"))) in
+          check bool_ "meta has author" true (Tutil.contains meta "alice");
+          check bool_ "log lines" true
+            (List.length (ok_fb (Remote.log r ~key:"k")) >= 2);
+          (* The same typed constructor a local caller would get. *)
+          (match Remote.get r ~key:"nope" with
+           | Error (Errors.Key_not_found _ | Errors.Branch_not_found _) -> ()
+           | Error e -> Alcotest.fail ("wrong error: " ^ Errors.to_string e)
+           | Ok _ -> Alcotest.fail "missing key should fail");
+          (* Typed batch: uids come back parsed, failures stay per-op. *)
+          match
+            ok_fb
+              (Remote.batch r
+                 [ Remote.Put { key = "b"; branch = "master"; value = "x" };
+                   Remote.Get { key = "b"; branch = "master" };
+                   Remote.Head { key = "b"; branch = "master" };
+                   Remote.Get { key = "nope"; branch = "master" } ])
+          with
+          | [ Ok (Remote.Uid u1); Ok (Remote.Value "x"); Ok (Remote.Uid u2);
+              Error _ ] ->
+            check bool_ "batch put/head agree" true (Fb_hash.Hash.equal u1 u2)
+          | _ -> Alcotest.fail "typed batch replies");
+      (* A closed handle fails fast with a typed transient. *)
+      match Remote.get r ~key:"k" with
+      | Error (Errors.Transient msg) ->
+        check bool_ "network-tagged" true (Tutil.contains msg "network")
+      | _ -> Alcotest.fail "closed handle should be Transient")
 
 let test_server_user_identity () =
   let fb = FB.create (Fb_chunk.Mem_store.create ()) in
   with_server fb (fun srv ->
       with_client ~user:"alice" srv (fun c ->
-          ignore (ok_net (Client.request c [ "put"; "k"; "master"; "v" ]));
-          let log = ok_net (Client.request c [ "log"; "k"; "master" ]) in
+          ignore (ok_cl (Client.request c [ "put"; "k"; "master"; "v" ]));
+          let log = ok_cl (Client.request c [ "log"; "k"; "master" ]) in
           check bool_ "author recorded" true (Tutil.contains log "alice");
           (* Per-request override. *)
-          ignore (ok_net (Client.request ~user:"bob" c [ "put"; "k"; "master"; "w" ]));
-          let log = ok_net (Client.request c [ "log"; "k"; "master" ]) in
+          ignore (ok_cl (Client.request ~user:"bob" c [ "put"; "k"; "master"; "w" ]));
+          let log = ok_cl (Client.request c [ "log"; "k"; "master" ]) in
           check bool_ "override recorded" true (Tutil.contains log "bob")))
 
 let test_server_durability () =
@@ -169,7 +347,7 @@ let test_server_durability () =
       let uid =
         with_server ~save fb (fun srv ->
             with_client srv (fun c ->
-                ok_net (Client.request c [ "put"; "k"; "master"; "durable" ])))
+                ok_cl (Client.request c [ "put"; "k"; "master"; "durable" ])))
       in
       (* with_server stopped the server; stop runs the final save, so a
          fresh instance sees the head. *)
@@ -182,8 +360,8 @@ let test_server_shutdown () =
   let fb = FB.create (Fb_chunk.Mem_store.create ()) in
   let srv = ok_net (Server.start ~config:test_config fb) in
   let port = Server.port srv in
-  let c = ok_net (Client.connect ~port ()) in
-  ignore (ok_net (Client.request c [ "put"; "k"; "master"; "v" ]));
+  let c = ok_cl (Client.connect ~port ()) in
+  ignore (ok_cl (Client.request c [ "put"; "k"; "master"; "v" ]));
   Server.stop srv;
   check bool_ "stopped" false (Server.is_running srv);
   (* The open connection was kicked. *)
@@ -199,7 +377,7 @@ let test_server_shutdown () =
   (* stop is idempotent. *)
   Server.stop srv
 
-(* ---------------- bad peers ---------------- *)
+(* ---------------- bad peers and failed connects ---------------- *)
 
 let raw_connect port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -218,7 +396,8 @@ let test_slow_peer () =
         (fun () ->
           let frame =
             Frame.encode_frame
-              (Frame.encode_request ~user:"slow" [ "put"; "s"; "master"; "v" ])
+              (Frame.encode_request ~user:"slow"
+                 (Frame.Single [ "put"; "s"; "master"; "v" ]))
           in
           String.iter
             (fun ch ->
@@ -228,7 +407,7 @@ let test_slow_peer () =
           match Frame.read_frame ~timeout_s:5.0 fd with
           | Ok payload -> (
             match Frame.decode_response payload with
-            | Ok (true, _) -> ()
+            | Ok (Frame.One (Ok _)) -> ()
             | _ -> Alcotest.fail "slow peer got an error")
           | Error e -> Alcotest.fail (Frame.error_to_string e)))
 
@@ -240,13 +419,14 @@ let test_read_timeout () =
       Fun.protect
         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () ->
-          (* Send nothing: the server must give up on its own. *)
+          (* Send nothing: the server must give up on its own — with a
+             typed Transient, not prose parsing. *)
           match Frame.read_frame ~timeout_s:5.0 fd with
           | Ok payload -> (
             match Frame.decode_response payload with
-            | Ok (false, msg) ->
+            | Ok (Frame.One (Error (Errors.Transient msg))) ->
               check bool_ "timeout reported" true (Tutil.contains msg "timeout")
-            | _ -> Alcotest.fail "expected an error response")
+            | _ -> Alcotest.fail "expected a Transient error response")
           | Error Frame.Eof -> ()  (* already hung up: also acceptable *)
           | Error e -> Alcotest.fail (Frame.error_to_string e)))
 
@@ -254,12 +434,14 @@ let test_max_frame () =
   let fb = FB.create (Fb_chunk.Mem_store.create ()) in
   let config = { test_config with max_frame = 256 } in
   with_server ~config fb (fun srv ->
-      let c = ok_net (Client.connect ~port:(Server.port srv) ()) in
+      let c = ok_cl (Client.connect ~port:(Server.port srv) ()) in
       Fun.protect
         ~finally:(fun () -> Client.close c)
         (fun () ->
           (match Client.request c [ "put"; "k"; "master"; String.make 4096 'x' ] with
-          | Error e -> check bool_ "too large" true (Tutil.contains e "large")
+          | Error (Client.Remote (Errors.Invalid msg)) ->
+            check bool_ "too large" true (Tutil.contains msg "large")
+          | Error e -> Alcotest.fail ("wrong error: " ^ Client.error_to_string e)
           | Ok _ -> Alcotest.fail "oversize frame accepted");
           (* The stream was desynchronized: the server hung up. *)
           check bool_ "connection closed" true
@@ -267,9 +449,50 @@ let test_max_frame () =
   (* A small-but-legal request still works under the same limit. *)
   with_server ~config fb (fun srv ->
       with_client srv (fun c ->
-          ignore (ok_net (Client.request c [ "put"; "k"; "master"; "small" ]))))
+          ignore (ok_cl (Client.request c [ "put"; "k"; "master"; "small" ]))))
 
-(* ---------------- concurrency soak ---------------- *)
+let count_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_connect_failure_leaks_no_fd () =
+  (* Learn a port with nothing listening behind it. *)
+  let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname s with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> Alcotest.fail "no port"
+  in
+  Unix.close s;
+  let before = count_fds () in
+  for _ = 1 to 20 do
+    match Client.connect ~port ~timeout_s:0.5 () with
+    | Error _ -> ()
+    | Ok c -> Client.close c (* something raced onto the port; still no leak *)
+  done;
+  check int_ "no fd leaked by failed connects" before (count_fds ())
+
+(* ---------------- deferred watch ---------------- *)
+
+let test_deferred_watch () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  let events = ref [] in
+  let _w = FB.watch fb (fun (ev : FB.head_event) -> events := ev.new_head :: !events) in
+  let uid, flush =
+    FB.with_deferred_watch fb (fun () ->
+        let u = ok_fb (FB.put fb ~key:"k" (Value.string "v")) in
+        check int_ "not delivered inside the section" 0 (List.length !events);
+        u)
+  in
+  check int_ "not delivered before flush" 0 (List.length !events);
+  flush ();
+  check int_ "delivered by flush" 1 (List.length !events);
+  check bool_ "event carries the committed head" true
+    (Fb_hash.Hash.equal uid (List.hd !events));
+  (* Undeferred delivery still works afterwards. *)
+  ignore (ok_fb (FB.put fb ~key:"k" (Value.string "v2")));
+  check int_ "immediate delivery restored" 2 (List.length !events)
+
+(* ---------------- concurrency soaks ---------------- *)
 
 let test_soak () =
   let fb = FB.create (Fb_chunk.Mem_store.create ()) in
@@ -282,26 +505,28 @@ let test_soak () =
       in
       let worker cid () =
         match Client.connect ~port ~user:(Printf.sprintf "u%d" cid) () with
-        | Error e -> fail "c%d connect: %s" cid e
+        | Error e -> fail "c%d connect: %s" cid (Client.error_to_string e)
         | Ok c ->
           let key = Printf.sprintf "k%d" cid in
           for i = 0 to iterations - 1 do
             let v = Printf.sprintf "%d-%d\npayload line" cid i in
             (match Client.request c [ "put"; key; "master"; v ] with
             | Ok _ -> ()
-            | Error e -> fail "c%d put %d: %s" cid i e);
+            | Error e -> fail "c%d put %d: %s" cid i (Client.error_to_string e));
             (match Client.request c [ "get"; key; "master" ] with
             | Ok got when got = v -> ()
             | Ok got -> fail "c%d get %d: corrupt %S" cid i got
-            | Error e -> fail "c%d get %d: %s" cid i e);
+            | Error e -> fail "c%d get %d: %s" cid i (Client.error_to_string e));
             if i mod 5 = 0 then begin
               let b = Printf.sprintf "dev%d" i in
               (match Client.request c [ "branch"; key; "master"; b ] with
               | Ok _ -> ()
-              | Error e -> fail "c%d branch %d: %s" cid i e);
+              | Error e ->
+                fail "c%d branch %d: %s" cid i (Client.error_to_string e));
               match Client.request c [ "merge"; key; "master"; b ] with
               | Ok _ -> ()
-              | Error e -> fail "c%d merge %d: %s" cid i e
+              | Error e ->
+                fail "c%d merge %d: %s" cid i (Client.error_to_string e)
             end
           done;
           Client.close c
@@ -319,7 +544,7 @@ let test_soak () =
               let frame =
                 Frame.encode_frame
                   (Frame.encode_request ~user:"slow"
-                     [ "put"; "slowkey"; "master"; "slow value" ])
+                     (Frame.Single [ "put"; "slowkey"; "master"; "slow value" ]))
               in
               String.iter
                 (fun ch ->
@@ -329,7 +554,7 @@ let test_soak () =
               match Frame.read_frame ~timeout_s:10.0 fd with
               | Ok payload -> (
                 match Frame.decode_response payload with
-                | Ok (true, _) -> ()
+                | Ok (Frame.One (Ok _)) -> ()
                 | _ -> fail "slow peer: error response")
               | Error e -> fail "slow peer: %s" (Frame.error_to_string e))
       in
@@ -347,6 +572,78 @@ let test_soak () =
           (match v with Value.Primitive (Fb_types.Primitive.String s) -> s | _ -> "?")
       done)
 
+(* 8 readers against 2 writers: every read must be a value some writer
+   actually committed (no torn reads), and the sequence each reader
+   observes on one branch must be monotone (heads never move backwards —
+   a shared-lock read can never see a half-applied or rolled-back
+   write). *)
+let test_mixed_soak () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  with_server fb (fun srv ->
+      let port = Server.port srv in
+      let writers = 2 and readers = 8 and writes = 40 in
+      let errors = Atomic.make 0 in
+      let fail fmt =
+        Printf.ksprintf (fun s -> Atomic.incr errors; prerr_endline s) fmt
+      in
+      (* Seed so readers never race branch creation. *)
+      with_client srv (fun c ->
+          for w = 0 to writers - 1 do
+            ignore
+              (ok_cl
+                 (Client.request c
+                    [ "put"; Printf.sprintf "w%d" w; "master"; "0" ]))
+          done);
+      let writers_done = Atomic.make 0 in
+      let writer wid () =
+        (match Client.connect ~port () with
+        | Error e -> fail "w%d connect: %s" wid (Client.error_to_string e)
+        | Ok c ->
+          let key = Printf.sprintf "w%d" wid in
+          for i = 1 to writes do
+            match Client.request c [ "put"; key; "master"; string_of_int i ] with
+            | Ok _ -> ()
+            | Error e -> fail "w%d put %d: %s" wid i (Client.error_to_string e)
+          done;
+          Client.close c);
+        Atomic.incr writers_done
+      in
+      let reader rid () =
+        match Client.connect ~port () with
+        | Error e -> fail "r%d connect: %s" rid (Client.error_to_string e)
+        | Ok c ->
+          let key = Printf.sprintf "w%d" (rid mod writers) in
+          let last = ref (-1) in
+          let observed = ref 0 in
+          while Atomic.get writers_done < writers do
+            (match Client.request c [ "get"; key; "master" ] with
+            | Ok v -> (
+              incr observed;
+              match int_of_string_opt v with
+              | None -> fail "r%d torn read: %S" rid v
+              | Some n ->
+                if n < !last then
+                  fail "r%d head went backwards: %d after %d" rid n !last;
+                last := n)
+            | Error e -> fail "r%d get: %s" rid (Client.error_to_string e))
+          done;
+          if !observed = 0 then fail "r%d observed nothing" rid;
+          Client.close c
+      in
+      let threads =
+        List.init writers (fun w -> Thread.create (writer w) ())
+        @ List.init readers (fun r -> Thread.create (reader r) ())
+      in
+      List.iter Thread.join threads;
+      check int_ "mixed soak errors" 0 (Atomic.get errors);
+      (* Final state: every writer's last value is the head. *)
+      for w = 0 to writers - 1 do
+        match ok_fb (FB.get fb ~key:(Printf.sprintf "w%d" w)) with
+        | Value.Primitive (Fb_types.Primitive.String s) ->
+          check string_ "final head value" (string_of_int writes) s
+        | _ -> Alcotest.fail "unexpected value shape"
+      done)
+
 let suite =
   [ Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
     Alcotest.test_case "frame stream" `Quick test_frame_stream;
@@ -357,11 +654,18 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_response_roundtrip;
     Alcotest.test_case "request rejects garbage" `Quick
       test_request_rejects_garbage;
+    Alcotest.test_case "v1 frames rejected" `Quick test_v1_frames_rejected;
     Alcotest.test_case "server round-trip" `Quick test_server_roundtrip;
+    Alcotest.test_case "batch round-trip" `Quick test_batch_roundtrip;
+    Alcotest.test_case "typed remote handle" `Quick test_remote_typed;
     Alcotest.test_case "server user identity" `Quick test_server_user_identity;
     Alcotest.test_case "server durability" `Quick test_server_durability;
     Alcotest.test_case "server shutdown" `Quick test_server_shutdown;
     Alcotest.test_case "slow peer" `Quick test_slow_peer;
     Alcotest.test_case "read timeout" `Quick test_read_timeout;
     Alcotest.test_case "max frame" `Quick test_max_frame;
-    Alcotest.test_case "concurrent soak" `Quick test_soak ]
+    Alcotest.test_case "failed connect leaks no fd" `Quick
+      test_connect_failure_leaks_no_fd;
+    Alcotest.test_case "deferred watch delivery" `Quick test_deferred_watch;
+    Alcotest.test_case "concurrent soak" `Quick test_soak;
+    Alcotest.test_case "mixed reader/writer soak" `Quick test_mixed_soak ]

@@ -1,0 +1,209 @@
+(* Write-preferring reader-writer locks and the striped composition. *)
+
+module Rwlock = Fb_net.Rwlock
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+(* The locks block forever on bugs, so every "eventually" assertion needs
+   a deadline; 5 s is far beyond any scheduling hiccup. *)
+let eventually ?(timeout = 5.0) p =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if p () then true
+    else if Unix.gettimeofday () -. t0 > timeout then false
+    else begin
+      Thread.yield ();
+      go ()
+    end
+  in
+  go ()
+
+let test_readers_overlap () =
+  let l = Rwlock.create () in
+  let inside = Atomic.make 0 in
+  let release = Atomic.make false in
+  let reader () =
+    Rwlock.with_read l (fun () ->
+        Atomic.incr inside;
+        ignore (eventually (fun () -> Atomic.get release)))
+  in
+  let ts = List.init 4 (fun _ -> Thread.create reader ()) in
+  (* All four must be inside the shared section at the same time. *)
+  check bool_ "readers overlap" true
+    (eventually (fun () -> Atomic.get inside >= 4));
+  Atomic.set release true;
+  List.iter Thread.join ts
+
+let test_writer_excludes () =
+  let l = Rwlock.create () in
+  let release = Atomic.make false in
+  let writer_in = Atomic.make false in
+  let reader_in = Atomic.make false in
+  let second_writer_in = Atomic.make false in
+  let w =
+    Thread.create
+      (fun () ->
+        Rwlock.with_write l (fun () ->
+            Atomic.set writer_in true;
+            ignore (eventually (fun () -> Atomic.get release))))
+      ()
+  in
+  check bool_ "writer entered" true
+    (eventually (fun () -> Atomic.get writer_in));
+  let r =
+    Thread.create
+      (fun () -> Rwlock.with_read l (fun () -> Atomic.set reader_in true))
+      ()
+  in
+  let w2 =
+    Thread.create
+      (fun () ->
+        Rwlock.with_write l (fun () -> Atomic.set second_writer_in true))
+      ()
+  in
+  Thread.delay 0.05;
+  check bool_ "reader excluded while writer active" false (Atomic.get reader_in);
+  check bool_ "second writer excluded too" false (Atomic.get second_writer_in);
+  Atomic.set release true;
+  Thread.join w;
+  Thread.join r;
+  Thread.join w2;
+  check bool_ "reader ran after release" true (Atomic.get reader_in);
+  check bool_ "second writer ran after release" true
+    (Atomic.get second_writer_in)
+
+let test_write_preference () =
+  let l = Rwlock.create () in
+  let release = Atomic.make false in
+  let r1_in = Atomic.make false in
+  let order = ref [] in
+  let om = Mutex.create () in
+  let record tag = Mutex.protect om (fun () -> order := tag :: !order) in
+  let r1 =
+    Thread.create
+      (fun () ->
+        Rwlock.with_read l (fun () ->
+            Atomic.set r1_in true;
+            ignore (eventually (fun () -> Atomic.get release))))
+      ()
+  in
+  check bool_ "first reader in" true (eventually (fun () -> Atomic.get r1_in));
+  (* A writer queues behind the active reader... *)
+  let w = Thread.create (fun () -> Rwlock.with_write l (fun () -> record `W)) () in
+  Thread.delay 0.05;
+  (* ...and a reader arriving after the writer must NOT slip past it —
+     that is the write-preference that prevents reader streams from
+     starving writers. *)
+  let r2 = Thread.create (fun () -> Rwlock.with_read l (fun () -> record `R2)) () in
+  Thread.delay 0.05;
+  check int_ "both queued while reader holds" 0
+    (Mutex.protect om (fun () -> List.length !order));
+  Atomic.set release true;
+  Thread.join w;
+  Thread.join r2;
+  Thread.join r1;
+  (match List.rev !order with
+   | [ `W; `R2 ] -> ()
+   | _ -> Alcotest.fail "late reader overtook a waiting writer")
+
+let two_keys_in_distinct_stripes s =
+  let rec find i =
+    let k = Printf.sprintf "key-%d" i in
+    if Rwlock.Striped.stripe_index s k <> Rwlock.Striped.stripe_index s "key-0"
+    then k
+    else find (i + 1)
+  in
+  ("key-0", find 1)
+
+let test_striped_independence () =
+  let s = Rwlock.Striped.create () in
+  let ka, kb = two_keys_in_distinct_stripes s in
+  let release = Atomic.make false in
+  let a_in = Atomic.make false in
+  let b_done = Atomic.make false in
+  let a =
+    Thread.create
+      (fun () ->
+        Rwlock.Striped.with_key s ~mode:`Write ka (fun () ->
+            Atomic.set a_in true;
+            ignore (eventually (fun () -> Atomic.get release))))
+      ()
+  in
+  check bool_ "stripe A writer in" true
+    (eventually (fun () -> Atomic.get a_in));
+  (* A writer on a different stripe proceeds while A's stripe is held
+     exclusively — the whole point of striping. *)
+  let b =
+    Thread.create
+      (fun () ->
+        Rwlock.Striped.with_key s ~mode:`Write kb (fun () ->
+            Atomic.set b_done true))
+      ()
+  in
+  check bool_ "stripe B writer unaffected" true
+    (eventually (fun () -> Atomic.get b_done));
+  (* But a same-stripe reader stays excluded. *)
+  let a_read = Atomic.make false in
+  let r =
+    Thread.create
+      (fun () ->
+        Rwlock.Striped.with_key s ~mode:`Read ka (fun () ->
+            Atomic.set a_read true))
+      ()
+  in
+  Thread.delay 0.05;
+  check bool_ "same-stripe reader excluded" false (Atomic.get a_read);
+  Atomic.set release true;
+  List.iter Thread.join [ a; b; r ];
+  check bool_ "same-stripe reader ran after release" true (Atomic.get a_read)
+
+let test_global_excludes_all_keys () =
+  let s = Rwlock.Striped.create () in
+  let release = Atomic.make false in
+  let g_in = Atomic.make false in
+  let key_done = Atomic.make false in
+  let g =
+    Thread.create
+      (fun () ->
+        Rwlock.Striped.with_global s ~mode:`Write (fun () ->
+            Atomic.set g_in true;
+            ignore (eventually (fun () -> Atomic.get release))))
+      ()
+  in
+  check bool_ "global writer in" true (eventually (fun () -> Atomic.get g_in));
+  let k =
+    Thread.create
+      (fun () ->
+        Rwlock.Striped.with_key s ~mode:`Read "anything" (fun () ->
+            Atomic.set key_done true))
+      ()
+  in
+  Thread.delay 0.05;
+  check bool_ "key reader excluded by global writer" false
+    (Atomic.get key_done);
+  Atomic.set release true;
+  Thread.join g;
+  Thread.join k;
+  check bool_ "key reader ran after release" true (Atomic.get key_done)
+
+let test_stripe_index_stable () =
+  let s = Rwlock.Striped.create ~stripes:16 () in
+  check int_ "stripe count" 16 (Rwlock.Striped.stripe_count s);
+  (* Deterministic and in range for arbitrary keys. *)
+  List.iter
+    (fun k ->
+      let i = Rwlock.Striped.stripe_index s k in
+      check bool_ "in range" true (i >= 0 && i < 16);
+      check int_ "stable" i (Rwlock.Striped.stripe_index s k))
+    [ ""; "a"; "key"; String.make 1000 'z'; "\x00\xff\x80" ]
+
+let suite =
+  [ Alcotest.test_case "readers overlap" `Quick test_readers_overlap;
+    Alcotest.test_case "writer excludes" `Quick test_writer_excludes;
+    Alcotest.test_case "write preference" `Quick test_write_preference;
+    Alcotest.test_case "striped independence" `Quick test_striped_independence;
+    Alcotest.test_case "global excludes all keys" `Quick
+      test_global_excludes_all_keys;
+    Alcotest.test_case "stripe index stable" `Quick test_stripe_index_stable ]
