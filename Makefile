@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the real build system.
 
-.PHONY: all build test bench bench-hotpath bench-net check clean
+.PHONY: all build test bench bench-hotpath bench-net bench-durability check clean
 
 all: build
 
@@ -25,12 +25,21 @@ bench-hotpath:
 bench-net:
 	dune exec bench/main.exe -- net-scaling
 
+# Durability benchmark: sustained fully-durable puts through the pack
+# log's group commit vs one-fsync-per-chunk in the directory backend,
+# recovery time with/without a checkpoint, and a crash-matrix smoke;
+# writes BENCH_durability.json and fails if the speedup drops below 5x.
+bench-durability:
+	dune exec bench/main.exe -- durability
+
 # The pre-commit gate: full build, full test suite, the observability
 # self-test (instrumentation overhead + histogram/exposition smoke), a
 # ~1-second hot-path sanity run (kernel equivalence + cache on/off smoke),
 # a ~1-second network smoke (2 concurrent clients over loopback, asserts
-# zero dropped/corrupt frames and a clean shutdown), and a ~1-second
-# concurrency smoke (reader scaling, striped-vs-coarse writes, BATCH).
+# zero dropped/corrupt frames and a clean shutdown), a ~1-second
+# concurrency smoke (reader scaling, striped-vs-coarse writes, BATCH),
+# and a sub-second durability smoke (group commit vs per-chunk fsync,
+# recovery replay, truncation-point crash matrix).
 check:
 	dune build
 	dune runtest
@@ -38,6 +47,7 @@ check:
 	dune exec bench/main.exe -- hotpath-quick
 	dune exec bench/main.exe -- net-quick
 	dune exec bench/main.exe -- net-scaling-quick
+	dune exec bench/main.exe -- durability-quick
 
 clean:
 	dune clean

@@ -4,7 +4,8 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- fig4    -- run one experiment
      experiments: table1 fig2 fig3 fig4 fig5 fig6 siri ablation storage
-     resilience cluster obs micro
+     resilience cluster obs micro hotpath net net-scaling durability
+     (the last four also have sub-second -quick variants)
 
    Absolute numbers are machine-dependent; the reproduced artifact is the
    *shape*: who wins, by what factor, and how quantities scale.
@@ -1648,6 +1649,163 @@ let run_net_scaling ?(quick = false) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Durability: sustained fully-durable puts through the append-only    *)
+(* pack log (group commit) vs the directory backend (one fsync per     *)
+(* chunk), recovery time with and without a checkpoint, and a crash-   *)
+(* matrix smoke.  Writes BENCH_durability.json.                        *)
+(* ------------------------------------------------------------------ *)
+
+module Log_store = Fb_chunk.Log_store
+
+(* ~1 KiB payload, unique per [i] so nothing dedups away. *)
+let durability_blob i =
+  let head = Printf.sprintf "durability-%08d-" i in
+  let pad = String.make (1024 - String.length head) (Char.chr (97 + (i mod 26))) in
+  Fb_chunk.Chunk.v Fb_chunk.Chunk.Leaf_blob (head ^ pad)
+
+let durability_rm_rf dir =
+  ignore (Sys.command ("rm -rf " ^ Filename.quote dir))
+
+let durability_read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let durability_write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let run_durability ?(quick = false) () =
+  header
+    (if quick then "DURABILITY (quick): log vs file under fsync, crash smoke"
+     else "DURABILITY: fsynced puts, recovery replay, crash matrix");
+  let n = if quick then 120 else 2000 in
+  let tmp_root name =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ()) ("fb_bench_dur_" ^ name)
+    in
+    durability_rm_rf d;
+    d
+  in
+  (* Baseline: directory backend with one write+fsync+rename per chunk. *)
+  let file_root = tmp_root "file" in
+  let fstore = Fb_chunk.File_store.create ~fsync:true ~root:file_root () in
+  let (), file_ms =
+    time_ms (fun () ->
+        for i = 0 to n - 1 do
+          ignore (Store.put fstore (durability_blob i))
+        done)
+  in
+  let file_puts = float_of_int n /. (file_ms /. 1000.0) in
+  (* Pack log, default config: fsync on, group commit batches the syncs.
+     The final [sync] is included so both sides end fully durable. *)
+  let log_root = tmp_root "log" in
+  let log = Log_store.create ~root:log_root () in
+  let lstore = Log_store.store log in
+  let (), log_ms =
+    time_ms (fun () ->
+        for i = 0 to n - 1 do
+          ignore (Store.put lstore (durability_blob i))
+        done;
+        Log_store.sync log)
+  in
+  let log_puts = float_of_int n /. (log_ms /. 1000.0) in
+  let speedup = log_puts /. file_puts in
+  let flushes = (Log_store.counters log).Log_store.flushes in
+  Printf.printf "%d puts of 1 KiB, fully durable before return:\n" n;
+  Printf.printf "  file store (fsync per chunk)  %8.0f puts/s\n" file_puts;
+  Printf.printf "  pack log   (group commit)     %8.0f puts/s   (%d fsyncs)\n"
+    log_puts flushes;
+  Printf.printf "  speedup %.1fx\n" speedup;
+  (* Recovery time: reopen against the close-time checkpoint, then delete
+     the side index and reopen again to force a full tail replay. *)
+  let log_path = Log_store.log_path log in
+  let idx_path = Log_store.idx_path log in
+  Log_store.close log;
+  let h, ckpt_ms = time_ms (fun () -> Log_store.create ~root:log_root ()) in
+  let ckpt_replayed = (Log_store.counters h).Log_store.replayed_records in
+  let live = Log_store.live_chunks h in
+  Log_store.close h;
+  Sys.remove idx_path;
+  let h, replay_ms = time_ms (fun () -> Log_store.create ~root:log_root ()) in
+  let replay_replayed = (Log_store.counters h).Log_store.replayed_records in
+  let live' = Log_store.live_chunks h in
+  Log_store.close h;
+  if live <> n || live' <> n then
+    failwith
+      (Printf.sprintf "durability: recovery lost chunks (%d / %d of %d)" live
+         live' n);
+  Printf.printf "recovery (reopen of %d records):\n" n;
+  Printf.printf "  with checkpoint   %7.2f ms  (%d records replayed)\n" ckpt_ms
+    ckpt_replayed;
+  Printf.printf "  full tail replay  %7.2f ms  (%d records replayed)\n"
+    replay_ms replay_replayed;
+  (* Crash-matrix smoke: truncate the log at evenly spaced byte offsets;
+     every cut must recover to a prefix of sealed records, every surviving
+     read must re-hash, and a second reopen must find nothing to repair.
+     (The exhaustive every-byte matrix, including garbled tails, runs in
+     the test suite; this keeps the property exercised from `make check`.) *)
+  let bytes = durability_read_file log_path in
+  let header_size = 16 in
+  let points = if quick then 7 else 25 in
+  let rig = tmp_root "rig" in
+  let crash_ok = ref 0 in
+  for p = 0 to points - 1 do
+    let cut =
+      header_size
+      + (String.length bytes - header_size) * (p + 1) / points
+    in
+    durability_rm_rf rig;
+    Unix.mkdir rig 0o755;
+    durability_write_file (Filename.concat rig "gen-0.log")
+      (String.sub bytes 0 cut);
+    durability_write_file (Filename.concat rig "CURRENT") "0\n";
+    let r = Log_store.create ~root:rig () in
+    let rs = Log_store.store r in
+    (* every surviving read must re-hash to its identity *)
+    let sound = ref true in
+    rs.Store.iter (fun id raw ->
+        match Fb_chunk.Chunk.decode raw with
+        | Ok c ->
+          if not (Fb_hash.Hash.equal (Fb_chunk.Chunk.hash c) id) then
+            sound := false
+        | Error _ -> sound := false);
+    Log_store.close r;
+    let r2 = Log_store.create ~root:rig () in
+    if (Log_store.counters r2).Log_store.truncated_bytes <> 0 then sound := false;
+    Log_store.close r2;
+    if !sound then incr crash_ok
+    else Printf.printf "  crash point at byte %d FAILED\n" cut
+  done;
+  Printf.printf "crash matrix: %d/%d truncation points recovered cleanly\n"
+    !crash_ok points;
+  durability_rm_rf file_root;
+  durability_rm_rf log_root;
+  durability_rm_rf rig;
+  if !crash_ok <> points then failwith "durability: crash matrix failed";
+  if (not quick) && speedup < 5.0 then
+    failwith
+      (Printf.sprintf "durability: group-commit speedup %.1fx below the 5x bar"
+         speedup);
+  if not quick then begin
+    let oc = open_out "BENCH_durability.json" in
+    Printf.fprintf oc
+      "{\"puts\":%d,\"payload_bytes\":1024,\
+       \"file_fsync_puts_per_s\":%.1f,\"log_fsync_puts_per_s\":%.1f,\
+       \"speedup\":%.2f,\"log_fsyncs\":%d,\
+       \"recovery_checkpoint_ms\":%.2f,\"recovery_checkpoint_replayed\":%d,\
+       \"recovery_replay_ms\":%.2f,\"recovery_replay_replayed\":%d,\
+       \"crash_points\":%d,\"crash_points_ok\":%d}\n"
+      n file_puts log_puts speedup flushes ckpt_ms ckpt_replayed replay_ms
+      replay_replayed points !crash_ok;
+    close_out oc;
+    Printf.printf "machine-readable results written to BENCH_durability.json\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("table1", run_table1);
@@ -1668,7 +1826,9 @@ let experiments =
     ("net", fun () -> run_net ());
     ("net-quick", fun () -> run_net ~quick:true ());
     ("net-scaling", fun () -> run_net_scaling ());
-    ("net-scaling-quick", fun () -> run_net_scaling ~quick:true ()) ]
+    ("net-scaling-quick", fun () -> run_net_scaling ~quick:true ());
+    ("durability", fun () -> run_durability ());
+    ("durability-quick", fun () -> run_durability ~quick:true ()) ]
 
 let () =
   let requested =

@@ -2,6 +2,8 @@
    view of Fig. 1).
 
    State layout under --root (default ./.forkbase):
+     log/       crash-consistent append-only pack log (Fb_chunk.Log_store;
+                the default engine for fresh roots)
      chunks/    content-addressed chunk files (Fb_chunk.File_store)
      BRANCHES   serialized branch table (the client-side head record that
                 the tamper-evidence threat model assumes users keep) *)
@@ -446,6 +448,25 @@ let tags_cmd =
   Cmd.v (Cmd.info "tags" ~doc:"List the tags of KEY.")
     Term.(ret (const run $ root_arg $ user_arg $ key_pos))
 
+let backend_arg =
+  let backend_conv =
+    Arg.enum [ ("auto", `Auto); ("log", `Log); ("file", `File) ]
+  in
+  Arg.(value & opt backend_conv `Auto
+       & info [ "backend" ] ~docv:"auto|log|file"
+           ~doc:"Chunk engine: $(b,log) is the crash-consistent append-only \
+                 pack log, $(b,file) is one file per chunk, $(b,auto) \
+                 (default) keeps whatever the root already uses and picks \
+                 $(b,log) for fresh roots.")
+
+let fsync_arg =
+  Arg.(value & opt bool true
+       & info [ "fsync" ] ~docv:"BOOL"
+           ~doc:"Force chunk writes and table saves to stable storage \
+                 before acknowledging them (default on: a power cut must \
+                 not lose acknowledged data).  $(b,--fsync=false) trades \
+                 that guarantee for throughput.")
+
 let port_arg =
   let doc = "TCP port (0 picks an ephemeral port)." in
   Arg.(value & opt int 7447 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
@@ -485,9 +506,16 @@ let serve_cmd =
                    of the striped read/write locking (debugging and A/B \
                    benchmarking escape hatch).")
   in
-  let run root user port host stdio save_every timeout max_frame coarse =
+  let run root user port host stdio save_every timeout max_frame coarse
+      backend fsync =
+    (* The log engine runs its background thread under the daemon: aged
+       group-commit batches are flushed and garbage-heavy generations
+       compacted without any client on the line. *)
+    let log_config =
+      { Fb_chunk.Log_store.default_config with compactor = true }
+    in
     if stdio then
-      match Fb_core.Persistent.open_ ~root () with
+      match Fb_core.Persistent.open_ ~fsync ~backend ~log_config ~root () with
       | Error e -> `Error (false, Errors.to_string e)
       | Ok fb ->
         (* Line-oriented request/response loop on stdin/stdout — the
@@ -499,18 +527,19 @@ let serve_cmd =
           | Some line ->
             print_endline (Fb_core.Service.handle ~user fb line);
             flush stdout;
-            ignore (Fb_core.Persistent.save ~root fb);
+            ignore (Fb_core.Persistent.save ~fsync ~root fb);
             loop ()
         in
         loop ();
+        Fb_core.Persistent.close ~root;
         `Ok ()
     else
       (* Durable daemon: fsync chunk writes and table saves — a SIGTERM
          (or power cut) must leave the branch table intact. *)
-      match Fb_core.Persistent.open_ ~fsync:true ~root () with
+      match Fb_core.Persistent.open_ ~fsync ~backend ~log_config ~root () with
       | Error e -> `Error (false, Errors.to_string e)
       | Ok fb ->
-        let save () = ignore (Fb_core.Persistent.save ~fsync:true ~root fb) in
+        let save () = ignore (Fb_core.Persistent.save ~fsync ~root fb) in
         let config =
           { Fb_net.Server.default_config with
             host; port; default_user = user; save_every_s = save_every;
@@ -523,6 +552,7 @@ let serve_cmd =
           Printf.printf "forkbase: serving %s on %s:%d (SIGINT/SIGTERM to stop)\n%!"
             root host (Fb_net.Server.port srv);
           Fb_net.Server.run srv;
+          Fb_core.Persistent.close ~root;
           Printf.printf "forkbase: shut down cleanly\n%!";
           `Ok ())
   in
@@ -533,7 +563,8 @@ let serve_cmd =
              framing, or on stdin/stdout with $(b,--stdio).")
     Term.(ret (const run $ root_arg $ user_arg $ port_arg
                $ host_arg ~doc:"Address to bind." $ stdio_arg
-               $ save_every_arg $ timeout_arg $ max_frame_arg $ coarse_arg))
+               $ save_every_arg $ timeout_arg $ max_frame_arg $ coarse_arg
+               $ backend_arg $ fsync_arg))
 
 let client_cmd =
   let request_pos =
@@ -597,11 +628,14 @@ let scrub_cmd =
   let run root user dry_run repair_from =
     with_instance root (fun fb ->
         ignore user;
-        let replica =
-          Option.map
-            (fun dir ->
-              Fb_chunk.File_store.create ~root:(Filename.concat dir "chunks") ())
-            repair_from
+        (* The replica root is opened through Persistent so either engine
+           (log or per-file chunks) can donate healthy bytes. *)
+        let* replica =
+          match repair_from with
+          | None -> Ok None
+          | Some dir ->
+            let* rfb = Fb_core.Persistent.open_ ~root:dir () in
+            Ok (Some (FB.store rfb))
         in
         (* Keep the damaged bytes for forensics before they are deleted. *)
         let qdir = Filename.concat root "quarantine" in
@@ -615,10 +649,24 @@ let scrub_cmd =
             (fun () -> output_string oc raw)
         in
         let report = FB.scrub ?replica ~quarantine ~dry_run fb in
-        let ok = Fb_chunk.Scrub.clean report in
+        (* Under the log engine the chunk-level pass cannot see the log's
+           own physical structure (record seals, checkpoint agreement,
+           torn tails, crashed-compaction leftovers): fsck it too. *)
+        let log_fsck, log_ok =
+          match Fb_core.Persistent.log_handle ~root with
+          | None -> ("", true)
+          | Some h ->
+            Fb_chunk.Log_store.sync h;
+            (match Fb_chunk.Scrub.fsck_log ~root:(Filename.concat root "log") with
+            | Error e -> (Printf.sprintf "log fsck failed: %s\n" e, false)
+            | Ok r ->
+              ( Format.asprintf "%a@." Fb_chunk.Scrub.pp_fsck_log r,
+                Fb_chunk.Scrub.fsck_log_clean r ))
+        in
+        let ok = Fb_chunk.Scrub.clean report && log_ok in
         Ok
-          (Format.asprintf "%a@.%s@."
-             Fb_chunk.Scrub.pp_report report
+          (Format.asprintf "%a@.%s%s@."
+             Fb_chunk.Scrub.pp_report report log_fsck
              (if ok then "store is clean"
               else if dry_run then "damage found (re-run without --dry-run)"
               else "damage remains: restore a replica and re-run")))
@@ -637,13 +685,29 @@ let gc_cmd =
     with_instance root (fun fb ->
         ignore user;
         let r = FB.gc fb in
+        (* Under the log engine a sweep only appends tombstones; compaction
+           rewrites the surviving records into a fresh generation and is
+           what actually returns the bytes to the filesystem. *)
+        let compacted =
+          match Fb_core.Persistent.log_handle ~root with
+          | None -> ""
+          | Some h ->
+            let before = Fb_chunk.Log_store.file_bytes h in
+            Fb_chunk.Log_store.compact h;
+            Printf.sprintf "log compacted: %d -> %d bytes (generation %d)\n"
+              before
+              (Fb_chunk.Log_store.file_bytes h)
+              (Fb_chunk.Log_store.generation h)
+        in
         Ok
-          (Printf.sprintf "live: %d chunks; swept: %d chunks (%d bytes)\n"
+          (Printf.sprintf "live: %d chunks; swept: %d chunks (%d bytes)\n%s"
              r.Fb_chunk.Gc.live_chunks r.Fb_chunk.Gc.swept_chunks
-             r.Fb_chunk.Gc.swept_bytes))
+             r.Fb_chunk.Gc.swept_bytes compacted))
   in
   Cmd.v
-    (Cmd.info "gc" ~doc:"Delete chunks unreachable from any branch head.")
+    (Cmd.info "gc"
+       ~doc:"Delete chunks unreachable from any branch head (and compact \
+             the log engine's active generation).")
     Term.(ret (const run $ root_arg $ user_arg))
 
 let metrics_cmd =

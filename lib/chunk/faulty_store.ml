@@ -9,6 +9,7 @@ type config = {
   transient_put_p : float;
   bit_flip_p : float;
   torn_write_p : float;
+  torn_append_p : float;
   fail_nth_read : int option;
   crash_on_put : int option;
 }
@@ -19,6 +20,7 @@ let calm =
     transient_put_p = 0.0;
     bit_flip_p = 0.0;
     torn_write_p = 0.0;
+    torn_append_p = 0.0;
     fail_nth_read = None;
     crash_on_put = None }
 
@@ -29,18 +31,19 @@ type counters = {
   mutable transient_puts : int;
   mutable bit_flips : int;
   mutable torn_writes : int;
+  mutable torn_appends : int;
   mutable crashes : int;
 }
 
 let total_faults c =
   c.transient_reads + c.transient_puts + c.bit_flips + c.torn_writes
-  + c.crashes
+  + c.torn_appends + c.crashes
 
 let wrap config (inner : Store.t) =
   let rng = Prng.create config.seed in
   let c =
     { reads = 0; puts = 0; transient_reads = 0; transient_puts = 0;
-      bit_flips = 0; torn_writes = 0; crashes = 0 }
+      bit_flips = 0; torn_writes = 0; torn_appends = 0; crashes = 0 }
   in
   (* Damaged writes never reach [inner]: the torn bytes live here, served
      under the identity the caller was promised — exactly what a crashed
@@ -61,6 +64,24 @@ let wrap config (inner : Store.t) =
     (* A torn write persists only a prefix (always strictly shorter). *)
     if String.length s <= 1 then ""
     else String.sub s 0 (Prng.next_int rng (String.length s))
+  in
+  let garble_tail s =
+    (* A torn append keeps the full length but the tail sectors never made
+       it: from a seeded cut point onward the medium holds stale garbage.
+       The byte at the cut is forced to differ, so the damage is certain
+       (and deterministic under the seed). *)
+    if String.length s = 0 then s
+    else begin
+      let b = Bytes.of_string s in
+      let cut = Prng.next_int rng (Bytes.length b) in
+      Bytes.set b cut
+        (Char.chr
+           (Char.code (Bytes.get b cut) lxor (1 + Prng.next_int rng 255)));
+      for i = cut + 1 to Bytes.length b - 1 do
+        Bytes.set b i (Char.chr (Prng.next_int rng 256))
+      done;
+      Bytes.to_string b
+    end
   in
   let stored id =
     match Hash.Tbl.find_opt torn id with
@@ -124,6 +145,11 @@ let wrap config (inner : Store.t) =
     else if (not (inner.Store.mem id)) && draw config.torn_write_p then begin
       Hash.Tbl.replace torn id (tear (Chunk.encode chunk));
       c.torn_writes <- c.torn_writes + 1;
+      id
+    end
+    else if (not (inner.Store.mem id)) && draw config.torn_append_p then begin
+      Hash.Tbl.replace torn id (garble_tail (Chunk.encode chunk));
+      c.torn_appends <- c.torn_appends + 1;
       id
     end
     else inner.Store.put chunk

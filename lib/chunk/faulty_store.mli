@@ -17,6 +17,10 @@
       its declared identity.  Like a real content-addressed store, a
       later re-put of the same chunk sees the name already taken and
       skips the write — only [delete] followed by [put] repairs it.
+    - {b torn appends} persist the full length but with a garbage tail:
+      from a seeded cut point onward the bytes are stale junk — the shape
+      a power cut leaves at the end of an append-only log, where the tail
+      sectors were never written.  Re-put semantics match torn writes.
     - {b crash} ([crash_on_put = Some n]) tears the [n]-th put and raises
       {!Crash}, simulating the process dying mid-write.
 
@@ -32,6 +36,9 @@ type config = {
   transient_put_p : float;  (** probability a put raises {!Store.Transient} *)
   bit_flip_p : float;  (** probability a served read has one bit flipped *)
   torn_write_p : float;  (** probability a new put persists only a prefix *)
+  torn_append_p : float;
+      (** probability a new put persists with a garbage tail (partial
+          append: full length, stale bytes past a seeded cut point) *)
   fail_nth_read : int option;  (** force exactly the [n]-th read to fail *)
   crash_on_put : int option;  (** tear the [n]-th put, then raise {!Crash} *)
 }
@@ -47,6 +54,7 @@ type counters = {
   mutable transient_puts : int;
   mutable bit_flips : int;
   mutable torn_writes : int;
+  mutable torn_appends : int;
   mutable crashes : int;
 }
 (** One counter per injected fault kind, plus total reads/puts observed. *)

@@ -1,0 +1,867 @@
+module Hash = Fb_hash.Hash
+module Crc32 = Fb_hash.Crc32
+module Obs = Fb_obs.Obs
+
+(* On-disk layout (see the .mli for the contract):
+     <root>/gen-<N>.log   header, then CRC-sealed records
+     <root>/gen-<N>.idx   checkpoint of the (id -> off, len) index
+     <root>/CURRENT       ASCII generation number, swapped atomically
+
+   Log header:  magic (8) | generation (8, BE)
+   Record:      kind (1) | length (4, BE) | id (32) | payload | crc32 (4, BE)
+                kind 0 = append, 1 = delete tombstone (length 0);
+                the CRC covers kind..payload.
+   Checkpoint:  magic (8) | generation (8) | covered (8) | count (8)
+                | count * (id 32, off 8, len 8) | crc32 (4)
+                [covered] is the log prefix the entries describe; replay
+                resumes there. *)
+
+let log_magic = "FBLOG01\n"
+let idx_magic = "FBLOGIX\n"
+let header_size = 16
+let rec_head_size = 1 + 4 + 32 (* kind, length, id *)
+let rec_overhead = rec_head_size + 4 (* + crc *)
+let max_payload = 1 lsl 30
+
+type config = {
+  fsync : bool;
+  group_chunks : int;
+  group_window_s : float;
+  checkpoint_bytes : int;
+  compactor : bool;
+  tick_s : float;
+  auto_compact : float;
+  compact_min_bytes : int;
+}
+
+let default_config =
+  { fsync = true;
+    group_chunks = 64;
+    group_window_s = 0.01;
+    checkpoint_bytes = 1 lsl 20;
+    compactor = false;
+    tick_s = 0.05;
+    auto_compact = 0.5;
+    compact_min_bytes = 1 lsl 16 }
+
+type counters = {
+  mutable appends : int;
+  mutable deletes : int;
+  mutable flushes : int;
+  mutable checkpoints : int;
+  mutable compactions : int;
+  mutable auto_compactions : int;
+  mutable replayed_records : int;
+  mutable truncated_bytes : int;
+  mutable background_errors : int;
+}
+
+type entry = { off : int; len : int } (* payload position in the log file *)
+
+type compact_stage = After_data | Before_switch | After_switch
+
+type t = {
+  root : string;
+  config : config;
+  lock : Mutex.t;
+  mutable gen : int;
+  mutable wfd : Unix.file_descr;
+  mutable rfd : Unix.file_descr;
+  mutable file_len : int;
+  mutable synced_len : int;
+  mutable ckpt_len : int; (* file_len as of the last checkpoint *)
+  mutable pending : int; (* records appended since the last sync *)
+  mutable pending_since : float;
+  index : entry Hash.Tbl.t;
+  mutable live_payload : int; (* sum of live entry lengths *)
+  mutable closed : bool;
+  mutable thread : Thread.t option;
+  c : counters;
+  (* Store.t session stats *)
+  mutable puts : int;
+  mutable gets : int;
+  mutable dedup_hits : int;
+  mutable logical_bytes : int;
+}
+
+(* ------------------------- small file helpers ------------------------- *)
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    end
+  in
+  go dir
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let write_file_atomic ~fsync path data =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc data;
+     if fsync then begin
+       flush oc;
+       Unix.fsync (Unix.descr_of_out_channel oc)
+     end;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
+  if fsync then fsync_dir (Filename.dirname path)
+
+let read_file_opt path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | data -> Some data
+  | exception (Sys_error _ | End_of_file) -> None
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let n = ref 0 in
+  while !n < len do
+    n := !n + Unix.write fd bytes !n (len - !n)
+  done
+
+let u32be s pos =
+  Int32.to_int (String.get_int32_be s pos) land 0xFFFFFFFF
+
+let u64be s pos = Int64.to_int (String.get_int64_be s pos)
+
+(* ------------------------- paths ------------------------- *)
+
+let log_file root gen = Filename.concat root (Printf.sprintf "gen-%d.log" gen)
+let idx_file root gen = Filename.concat root (Printf.sprintf "gen-%d.idx" gen)
+let current_file root = Filename.concat root "CURRENT"
+
+let gen_of_filename name =
+  if String.length name > 8 && String.sub name 0 4 = "gen-" then
+    let stem = Filename.remove_extension name in
+    let ext = Filename.extension name in
+    if ext = ".log" || ext = ".idx" then
+      int_of_string_opt (String.sub stem 4 (String.length stem - 4))
+    else None
+  else None
+
+(* ------------------------- record encoding ------------------------- *)
+
+let encode_record ~kind ~id ~payload =
+  let len = String.length payload in
+  let b = Bytes.create (rec_overhead + len) in
+  Bytes.set b 0 (Char.chr kind);
+  Bytes.set_int32_be b 1 (Int32.of_int len);
+  Bytes.blit_string (Hash.to_raw id) 0 b 5 32;
+  Bytes.blit_string payload 0 b rec_head_size len;
+  let crc = Crc32.update_bytes_sub Crc32.empty b ~pos:0 ~len:(rec_head_size + len) in
+  Bytes.set_int32_be b (rec_head_size + len) (Int32.of_int crc);
+  b
+
+let header_bytes gen =
+  let b = Bytes.create header_size in
+  Bytes.blit_string log_magic 0 b 0 8;
+  Bytes.set_int64_be b 8 (Int64.of_int gen);
+  b
+
+(* ------------------------- replay ------------------------- *)
+
+(* Scan sealed records from [start]; [apply] sees each one in log order.
+   Returns the offset one past the last sealed record — everything after
+   is a torn tail.  [verify_hash] additionally re-hashes append payloads
+   (fsck); replay proper trusts the CRC seal. *)
+let scan_records path ~start ~size ?(verify_hash = fun _ _ -> ()) apply =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      seek_in ic start;
+      let pos = ref start in
+      let records = ref 0 in
+      let sealed = ref true in
+      while !sealed do
+        if !pos + rec_overhead > size then sealed := false
+        else begin
+          match really_input_string ic rec_head_size with
+          | exception End_of_file -> sealed := false
+          | head ->
+            let kind = Char.code head.[0] in
+            let len = u32be head 1 in
+            if
+              kind > 1 || len > max_payload
+              || (kind = 1 && len <> 0)
+              || !pos + rec_overhead + len > size
+            then sealed := false
+            else begin
+              match
+                let payload = really_input_string ic len in
+                let stored_crc = u32be (really_input_string ic 4) 0 in
+                (payload, stored_crc)
+              with
+              | exception End_of_file -> sealed := false
+              | payload, stored_crc ->
+                let crc =
+                  Crc32.update_sub
+                    (Crc32.update_sub Crc32.empty head ~pos:0 ~len:rec_head_size)
+                    payload ~pos:0 ~len
+                in
+                if crc <> stored_crc then sealed := false
+                else begin
+                  let id = Hash.of_raw_exn (String.sub head 5 32) in
+                  if kind = 0 then verify_hash id payload;
+                  apply ~kind ~id ~off:(!pos + rec_head_size) ~len ~payload;
+                  pos := !pos + rec_overhead + len;
+                  incr records
+                end
+            end
+        end
+      done;
+      (!pos, !records))
+
+(* ------------------------- checkpoint index ------------------------- *)
+
+let write_checkpoint_file ~fsync path ~gen ~covered index =
+  let count = Hash.Tbl.length index in
+  let b = Buffer.create (36 + (count * 48)) in
+  Buffer.add_string b idx_magic;
+  let add64 v =
+    let s = Bytes.create 8 in
+    Bytes.set_int64_be s 0 (Int64.of_int v);
+    Buffer.add_bytes b s
+  in
+  add64 gen;
+  add64 covered;
+  add64 count;
+  Hash.Tbl.iter
+    (fun id e ->
+      Buffer.add_string b (Hash.to_raw id);
+      add64 e.off;
+      add64 e.len)
+    index;
+  let body = Buffer.contents b in
+  let crc = Crc32.string body in
+  let s = Bytes.create 4 in
+  Bytes.set_int32_be s 0 (Int32.of_int crc);
+  write_file_atomic ~fsync path (body ^ Bytes.to_string s)
+
+(* Returns [Some (covered, entries)] when the checkpoint verifies and
+   describes a prefix of the current log file; anything suspicious makes
+   recovery fall back to a full replay. *)
+let load_checkpoint path ~gen ~file_size =
+  match read_file_opt path with
+  | None -> None
+  | Some raw ->
+    let n = String.length raw in
+    (* Header: magic(8) gen(8) covered(8) count(8) = 32 bytes, then
+       count * (id 32, off 8, len 8), then the CRC. *)
+    if n < 32 + 4 then None
+    else if not (String.equal (String.sub raw 0 8) idx_magic) then None
+    else if Crc32.update_sub Crc32.empty raw ~pos:0 ~len:(n - 4) <> u32be raw (n - 4)
+    then None
+    else begin
+      let g = u64be raw 8 in
+      let covered = u64be raw 16 in
+      let count = u64be raw 24 in
+      if
+        g <> gen || count < 0
+        || n <> 32 + (count * 48) + 4
+        || covered < header_size || covered > file_size
+      then None
+      else begin
+        let entries = Hash.Tbl.create (max 16 count) in
+        let ok = ref true in
+        (try
+           for i = 0 to count - 1 do
+             let base = 32 + (i * 48) in
+             let id = Hash.of_raw_exn (String.sub raw base 32) in
+             let off = u64be raw (base + 32) in
+             let len = u64be raw (base + 40) in
+             if off < header_size || len < 0 || off + len > covered then
+               ok := false;
+             Hash.Tbl.replace entries id { off; len }
+           done
+         with _ -> ok := false);
+        if !ok then Some (covered, entries) else None
+      end
+    end
+
+(* ------------------------- observability ------------------------- *)
+
+let register_gauges t =
+  let g name f = Obs.gauge ("log." ^ t.root ^ "." ^ name) f in
+  let gi name f = g name (fun () -> float_of_int (f ())) in
+  gi "generation" (fun () -> t.gen);
+  gi "file_bytes" (fun () -> t.file_len);
+  gi "synced_bytes" (fun () -> t.synced_len);
+  gi "live_chunks" (fun () -> Hash.Tbl.length t.index);
+  gi "live_bytes" (fun () -> t.live_payload);
+  gi "garbage_bytes" (fun () ->
+      t.file_len - header_size - t.live_payload
+      - (rec_overhead * Hash.Tbl.length t.index));
+  gi "appends" (fun () -> t.c.appends);
+  gi "deletes" (fun () -> t.c.deletes);
+  gi "flushes" (fun () -> t.c.flushes);
+  gi "checkpoints" (fun () -> t.c.checkpoints);
+  gi "compactions" (fun () -> t.c.compactions);
+  gi "auto_compactions" (fun () -> t.c.auto_compactions);
+  gi "replayed_records" (fun () -> t.c.replayed_records);
+  gi "truncated_bytes" (fun () -> t.c.truncated_bytes);
+  gi "background_errors" (fun () -> t.c.background_errors)
+
+(* ------------------------- locked core ------------------------- *)
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let garbage_locked t =
+  t.file_len - header_size - t.live_payload
+  - (rec_overhead * Hash.Tbl.length t.index)
+
+let checkpoint_locked t =
+  write_checkpoint_file ~fsync:t.config.fsync (idx_file t.root t.gen)
+    ~gen:t.gen ~covered:t.synced_len t.index;
+  t.ckpt_len <- t.synced_len;
+  t.c.checkpoints <- t.c.checkpoints + 1
+
+(* The group commit point: push appended records to stable storage, then
+   checkpoint if enough log has accumulated since the last one.  The
+   checkpoint can only cover a synced prefix — its entries must never
+   point past what a power cut can preserve. *)
+let sync_locked t =
+  if t.synced_len < t.file_len || t.pending > 0 then begin
+    if t.config.fsync then Unix.fsync t.wfd;
+    t.synced_len <- t.file_len;
+    t.pending <- 0;
+    t.c.flushes <- t.c.flushes + 1
+  end;
+  if t.synced_len - t.ckpt_len >= t.config.checkpoint_bytes then
+    checkpoint_locked t
+
+let maybe_group_commit_locked t =
+  t.pending <- t.pending + 1;
+  if t.pending = 1 then t.pending_since <- Unix.gettimeofday ();
+  if
+    t.pending >= t.config.group_chunks
+    || Unix.gettimeofday () -. t.pending_since >= t.config.group_window_s
+  then sync_locked t
+
+let append_record_locked t ~kind ~id ~payload =
+  let b = encode_record ~kind ~id ~payload in
+  write_all t.wfd b;
+  let payload_off = t.file_len + rec_head_size in
+  t.file_len <- t.file_len + Bytes.length b;
+  maybe_group_commit_locked t;
+  payload_off
+
+let pread_locked t off len =
+  match
+    ignore (Unix.lseek t.rfd off Unix.SEEK_SET);
+    let b = Bytes.create len in
+    let n = ref 0 in
+    let eof = ref false in
+    while (not !eof) && !n < len do
+      let r = Unix.read t.rfd b !n (len - !n) in
+      if r = 0 then eof := true else n := !n + r
+    done;
+    if !n < len then None else Some (Bytes.unsafe_to_string b)
+  with
+  | r -> r
+  | exception Unix.Unix_error _ -> None
+
+let ensure_open t = if t.closed then failwith ("log store closed: " ^ t.root)
+
+(* ------------------------- recovery / open ------------------------- *)
+
+let valid_header path gen =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        if in_channel_length ic < header_size then `Short
+        else
+          let h = really_input_string ic header_size in
+          if
+            String.equal (String.sub h 0 8) log_magic
+            && u64be h 8 = gen
+          then `Ok
+          else `Bad)
+  with
+  | v -> v
+  | exception (Sys_error _ | End_of_file) -> `Short
+
+let init_generation root gen =
+  let path = log_file root gen in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      write_all fd (header_bytes gen);
+      Unix.fsync fd);
+  write_file_atomic ~fsync:true (current_file root) (string_of_int gen ^ "\n")
+
+let pick_generation root =
+  let on_disk =
+    if Sys.file_exists root && Sys.is_directory root then
+      Array.to_list (Sys.readdir root)
+      |> List.filter_map (fun f ->
+             if Filename.check_suffix f ".log" then gen_of_filename f else None)
+      |> List.sort_uniq compare
+    else []
+  in
+  let classify g = valid_header (log_file root g) g in
+  let from_current =
+    match read_file_opt (current_file root) with
+    | None -> None
+    | Some s -> int_of_string_opt (String.trim s)
+  in
+  match from_current with
+  | Some g when List.mem g on_disk && classify g = `Ok -> `Use g
+  | _ -> (
+    (* CURRENT missing or stale (crash during init or swap): newest
+       generation with an intact header wins. *)
+    match List.filter (fun g -> classify g = `Ok) on_disk with
+    | _ :: _ as ok -> `Use (List.fold_left max (List.hd ok) ok)
+    | [] -> (
+      (* A file shorter than its header is a crash during creation —
+         nothing in it was ever acknowledged, so it is re-initializable.
+         A full-size file with a wrong magic is damage, not a crash. *)
+      match List.filter (fun g -> classify g = `Short) on_disk with
+      | _ :: _ as short -> `Reinit (List.fold_left max (List.hd short) short)
+      | [] -> if on_disk = [] then `Fresh else `Corrupt))
+
+let remove_orphans root gen =
+  if Sys.file_exists root && Sys.is_directory root then
+    Array.iter
+      (fun f ->
+        let stale =
+          match gen_of_filename f with
+          | Some g -> g <> gen
+          | None -> Filename.check_suffix f ".tmp"
+        in
+        if stale then
+          try Sys.remove (Filename.concat root f) with Sys_error _ -> ())
+      (Sys.readdir root)
+
+let recover t =
+  let path = log_file t.root t.gen in
+  let size = (Unix.stat path).Unix.st_size in
+  (match valid_header path t.gen with
+  | `Ok -> ()
+  | `Short | `Bad when size < header_size ->
+    (* Crash before the first header sync completed: nothing was ever
+       acknowledged from this file — re-initialize it. *)
+    init_generation t.root t.gen
+  | `Short | `Bad -> failwith (Printf.sprintf "log: bad header in %s" path));
+  let size = (Unix.stat path).Unix.st_size in
+  let start =
+    match load_checkpoint (idx_file t.root t.gen) ~gen:t.gen ~file_size:size with
+    | Some (covered, entries) ->
+      Hash.Tbl.iter (fun id e -> Hash.Tbl.replace t.index id e) entries;
+      covered
+    | None -> header_size
+  in
+  let stop, replayed =
+    scan_records path ~start ~size (fun ~kind ~id ~off ~len ~payload:_ ->
+        if kind = 0 then Hash.Tbl.replace t.index id { off; len }
+        else Hash.Tbl.remove t.index id)
+  in
+  t.c.replayed_records <- t.c.replayed_records + replayed;
+  if stop < size then begin
+    (* Torn tail: physically drop it so the next append starts on a
+       record boundary and a later scan sees only sealed records. *)
+    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        Unix.ftruncate fd stop;
+        if t.config.fsync then Unix.fsync fd);
+    t.c.truncated_bytes <- t.c.truncated_bytes + (size - stop)
+  end;
+  t.file_len <- stop;
+  t.synced_len <- stop;
+  t.ckpt_len <- stop;
+  t.live_payload <- Hash.Tbl.fold (fun _ e acc -> acc + e.len) t.index 0
+
+(* ------------------------- compaction ------------------------- *)
+
+let reopen_fds_locked t =
+  (try Unix.close t.wfd with Unix.Unix_error _ -> ());
+  (try Unix.close t.rfd with Unix.Unix_error _ -> ());
+  let path = log_file t.root t.gen in
+  t.wfd <- Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644;
+  t.rfd <- Unix.openfile path [ Unix.O_RDONLY ] 0
+
+let compact_locked ?(live = fun _ -> true) ?(on_stage = fun _ -> ()) t =
+  ensure_open t;
+  sync_locked t;
+  let new_gen = t.gen + 1 in
+  let new_log = log_file t.root new_gen in
+  let tmp = new_log ^ ".tmp" in
+  let new_index = Hash.Tbl.create (max 16 (Hash.Tbl.length t.index)) in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let new_len = ref header_size in
+  (try
+     Fun.protect
+       ~finally:(fun () -> Unix.close fd)
+       (fun () ->
+         write_all fd (header_bytes new_gen);
+         (* Rewrite in offset order: sequential reads of the old file. *)
+         let entries =
+           Hash.Tbl.fold (fun id e acc -> (id, e) :: acc) t.index []
+           |> List.sort (fun (_, a) (_, b) -> compare a.off b.off)
+         in
+         List.iter
+           (fun (id, e) ->
+             if live id then
+               match pread_locked t e.off e.len with
+               | None -> () (* unreadable record: dropped, fsck's territory *)
+               | Some payload ->
+                 let b = encode_record ~kind:0 ~id ~payload in
+                 write_all fd b;
+                 Hash.Tbl.replace new_index id
+                   { off = !new_len + rec_head_size; len = e.len };
+                 new_len := !new_len + Bytes.length b)
+           entries;
+         if t.config.fsync then Unix.fsync fd)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp new_log;
+  if t.config.fsync then fsync_dir t.root;
+  write_checkpoint_file ~fsync:t.config.fsync (idx_file t.root new_gen)
+    ~gen:new_gen ~covered:!new_len new_index;
+  on_stage After_data;
+  on_stage Before_switch;
+  (* The commit point: CURRENT flips atomically to the new generation. *)
+  write_file_atomic ~fsync:true (current_file t.root)
+    (string_of_int new_gen ^ "\n");
+  on_stage After_switch;
+  let old_gen = t.gen in
+  t.gen <- new_gen;
+  reopen_fds_locked t;
+  (try Sys.remove (log_file t.root old_gen) with Sys_error _ -> ());
+  (try Sys.remove (idx_file t.root old_gen) with Sys_error _ -> ());
+  Hash.Tbl.reset t.index;
+  Hash.Tbl.iter (fun id e -> Hash.Tbl.replace t.index id e) new_index;
+  t.file_len <- !new_len;
+  t.synced_len <- !new_len;
+  t.ckpt_len <- !new_len;
+  t.pending <- 0;
+  t.live_payload <- Hash.Tbl.fold (fun _ e acc -> acc + e.len) t.index 0;
+  t.c.compactions <- t.c.compactions + 1
+
+(* ------------------------- background thread ------------------------- *)
+
+let background_loop t =
+  while not t.closed do
+    Thread.delay t.config.tick_s;
+    Mutex.lock t.lock;
+    (try
+       if not t.closed then begin
+         if
+           t.pending > 0
+           && Unix.gettimeofday () -. t.pending_since >= t.config.group_window_s
+         then sync_locked t;
+         if t.config.auto_compact > 0.0 then begin
+           let total = t.file_len - header_size in
+           let garbage = garbage_locked t in
+           if
+             total > 0
+             && garbage >= t.config.compact_min_bytes
+             && float_of_int garbage > t.config.auto_compact *. float_of_int total
+           then begin
+             compact_locked t;
+             t.c.auto_compactions <- t.c.auto_compactions + 1
+           end
+         end
+       end
+     with _ -> t.c.background_errors <- t.c.background_errors + 1);
+    Mutex.unlock t.lock
+  done
+
+(* ------------------------- construction ------------------------- *)
+
+let create ?(config = default_config) ~root () =
+  mkdir_p root;
+  let gen =
+    match pick_generation root with
+    | `Use g -> g
+    | `Reinit g ->
+      init_generation root g;
+      g
+    | `Fresh ->
+      init_generation root 0;
+      0
+    | `Corrupt -> failwith ("log: no intact generation under " ^ root)
+  in
+  remove_orphans root gen;
+  let path = log_file root gen in
+  let t =
+    { root;
+      config;
+      lock = Mutex.create ();
+      gen;
+      (* placeholders; recover/reopen set the real state below *)
+      wfd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644;
+      rfd = Unix.openfile path [ Unix.O_RDONLY ] 0;
+      file_len = 0;
+      synced_len = 0;
+      ckpt_len = 0;
+      pending = 0;
+      pending_since = 0.0;
+      index = Hash.Tbl.create 1024;
+      live_payload = 0;
+      closed = false;
+      thread = None;
+      c =
+        { appends = 0; deletes = 0; flushes = 0; checkpoints = 0;
+          compactions = 0; auto_compactions = 0; replayed_records = 0;
+          truncated_bytes = 0; background_errors = 0 };
+      puts = 0;
+      gets = 0;
+      dedup_hits = 0;
+      logical_bytes = 0 }
+  in
+  recover t;
+  register_gauges t;
+  if config.compactor then t.thread <- Some (Thread.create background_loop t);
+  t
+
+let sync t = locked t (fun () -> ensure_open t; sync_locked t)
+
+let checkpoint t =
+  locked t (fun () ->
+      ensure_open t;
+      sync_locked t;
+      checkpoint_locked t)
+
+let compact ?live ?on_stage t = locked t (fun () -> compact_locked ?live ?on_stage t)
+
+let close t =
+  let first =
+    locked t (fun () ->
+        if t.closed then None
+        else begin
+          t.closed <- true;
+          let th = t.thread in
+          t.thread <- None;
+          Some th
+        end)
+  in
+  match first with
+  | None -> () (* second close: already torn down *)
+  | Some th ->
+    Option.iter Thread.join th;
+    locked t (fun () ->
+        (* closed is already set; flush and seal directly. *)
+        (if t.synced_len < t.file_len || t.pending > 0 then begin
+           if t.config.fsync then Unix.fsync t.wfd;
+           t.synced_len <- t.file_len;
+           t.pending <- 0;
+           t.c.flushes <- t.c.flushes + 1
+         end);
+        checkpoint_locked t;
+        (try Unix.close t.wfd with Unix.Unix_error _ -> ());
+        (try Unix.close t.rfd with Unix.Unix_error _ -> ()))
+
+(* ------------------------- introspection ------------------------- *)
+
+let generation t = locked t (fun () -> t.gen)
+let file_bytes t = locked t (fun () -> t.file_len)
+let synced_bytes t = locked t (fun () -> t.synced_len)
+let garbage_bytes t = locked t (fun () -> garbage_locked t)
+let live_chunks t = locked t (fun () -> Hash.Tbl.length t.index)
+let counters t = t.c
+let log_path t = log_file t.root t.gen
+let idx_path t = idx_file t.root t.gen
+
+(* ------------------------- Store.t view ------------------------- *)
+
+let store t =
+  let put chunk =
+    locked t (fun () ->
+        ensure_open t;
+        let id = Chunk.hash chunk in
+        let size = Chunk.encoded_size chunk in
+        t.puts <- t.puts + 1;
+        t.logical_bytes <- t.logical_bytes + size;
+        if Hash.Tbl.mem t.index id then begin
+          t.dedup_hits <- t.dedup_hits + 1;
+          id
+        end
+        else begin
+          let payload = Chunk.encode chunk in
+          let off = append_record_locked t ~kind:0 ~id ~payload in
+          Hash.Tbl.replace t.index id { off; len = size };
+          t.live_payload <- t.live_payload + size;
+          t.c.appends <- t.c.appends + 1;
+          id
+        end)
+  in
+  let read ?(count = true) id =
+    locked t (fun () ->
+        ensure_open t;
+        if count then t.gets <- t.gets + 1;
+        match Hash.Tbl.find_opt t.index id with
+        | None -> None
+        | Some e -> pread_locked t e.off e.len)
+  in
+  let get_raw id = read id in
+  let get id =
+    match get_raw id with
+    | None -> None
+    | Some raw -> (
+      match Chunk.decode raw with Ok c -> Some c | Error _ -> None)
+  in
+  let peek id = read ~count:false id in
+  let mem id = locked t (fun () -> Hash.Tbl.mem t.index id) in
+  let delete id =
+    locked t (fun () ->
+        ensure_open t;
+        match Hash.Tbl.find_opt t.index id with
+        | None -> false
+        | Some e ->
+          ignore (append_record_locked t ~kind:1 ~id ~payload:"");
+          Hash.Tbl.remove t.index id;
+          t.live_payload <- t.live_payload - e.len;
+          t.c.deletes <- t.c.deletes + 1;
+          true)
+  in
+  let iter f =
+    (* Snapshot the ids, then re-look each one up: a compaction between
+       the snapshot and the read invalidates offsets but not ids, and a
+       concurrently deleted id is an absence (File_store's TOCTOU rule). *)
+    let ids = locked t (fun () -> Hash.Tbl.fold (fun id _ acc -> id :: acc) t.index []) in
+    List.iter
+      (fun id -> match peek id with Some raw -> f id raw | None -> ())
+      ids
+  in
+  let stats () =
+    locked t (fun () ->
+        { Store.physical_chunks = Hash.Tbl.length t.index;
+          physical_bytes = t.live_payload;
+          puts = t.puts;
+          dedup_hits = t.dedup_hits;
+          logical_bytes = t.logical_bytes;
+          gets = t.gets })
+  in
+  { Store.name = "log:" ^ t.root; put; get; get_raw; peek; mem; stats; iter;
+    delete }
+
+let export_pack t ~path =
+  let entries = ref [] in
+  (store t).Store.iter (fun id raw -> entries := (id, raw) :: !entries);
+  Pack.write_file ~path !entries
+
+(* ------------------------- fsck ------------------------- *)
+
+type fsck_report = {
+  fsck_generation : int;
+  fsck_records : int;
+  fsck_live : int;
+  fsck_bytes : int;
+  fsck_torn_bytes : int;
+  fsck_bad_hash : Hash.t list;
+  fsck_idx_valid : bool;
+  fsck_idx_consistent : bool;
+  fsck_orphan_gens : int list;
+}
+
+let fsck_clean r =
+  r.fsck_bad_hash = [] && r.fsck_torn_bytes = 0 && r.fsck_orphan_gens = []
+  && r.fsck_idx_valid && r.fsck_idx_consistent
+
+let pp_fsck ppf r =
+  Format.fprintf ppf
+    "gen %d: %d records (%d live, %d bytes), %d torn tail bytes, %d bad \
+     hashes, idx %s/%s, %d orphan generations"
+    r.fsck_generation r.fsck_records r.fsck_live r.fsck_bytes
+    r.fsck_torn_bytes
+    (List.length r.fsck_bad_hash)
+    (if r.fsck_idx_valid then "valid" else "INVALID")
+    (if r.fsck_idx_consistent then "consistent" else "INCONSISTENT")
+    (List.length r.fsck_orphan_gens)
+
+let same_index a b =
+  Hash.Tbl.length a = Hash.Tbl.length b
+  && Hash.Tbl.fold
+       (fun id (e : entry) acc ->
+         acc
+         && match Hash.Tbl.find_opt b id with
+            | Some e' -> e.off = e'.off && e.len = e'.len
+            | None -> false)
+       a true
+
+let fsck ~root =
+  if not (Sys.file_exists root && Sys.is_directory root) then
+    Error (Printf.sprintf "fsck: %s is not a log root" root)
+  else
+    match pick_generation root with
+    | `Fresh | `Corrupt | `Reinit _ ->
+      Error (Printf.sprintf "fsck: no intact generation under %s" root)
+    | `Use gen -> (
+      let path = log_file root gen in
+      match
+        let size = (Unix.stat path).Unix.st_size in
+        let bad = ref [] in
+        let full = Hash.Tbl.create 256 in
+        let stop, records =
+          scan_records path ~start:header_size ~size
+            ~verify_hash:(fun id payload ->
+              if not (Hash.equal (Hash.of_string payload) id) then
+                bad := id :: !bad)
+            (fun ~kind ~id ~off ~len ~payload:_ ->
+              if kind = 0 then Hash.Tbl.replace full id { off; len }
+              else Hash.Tbl.remove full id)
+        in
+        let idx_valid, idx_consistent =
+          if not (Sys.file_exists (idx_file root gen)) then (true, true)
+          else
+            match load_checkpoint (idx_file root gen) ~gen ~file_size:stop with
+            | None -> (false, false)
+            | Some (covered, entries) ->
+              let via_idx = Hash.Tbl.create (Hash.Tbl.length entries) in
+              Hash.Tbl.iter (fun id e -> Hash.Tbl.replace via_idx id e) entries;
+              ignore
+                (scan_records path ~start:covered ~size:stop
+                   (fun ~kind ~id ~off ~len ~payload:_ ->
+                     if kind = 0 then Hash.Tbl.replace via_idx id { off; len }
+                     else Hash.Tbl.remove via_idx id));
+              (true, same_index full via_idx)
+        in
+        let orphans =
+          Array.to_list (Sys.readdir root)
+          |> List.filter_map gen_of_filename
+          |> List.sort_uniq compare
+          |> List.filter (fun g -> g <> gen)
+        in
+        { fsck_generation = gen;
+          fsck_records = records;
+          fsck_live = Hash.Tbl.length full;
+          fsck_bytes = size;
+          fsck_torn_bytes = size - stop;
+          fsck_bad_hash = List.rev !bad;
+          fsck_idx_valid = idx_valid;
+          fsck_idx_consistent = idx_consistent;
+          fsck_orphan_gens = orphans }
+      with
+      | r -> Ok r
+      | exception Sys_error e -> Error ("fsck: " ^ e)
+      | exception Unix.Unix_error (e, _, _) ->
+        Error ("fsck: " ^ Unix.error_message e))

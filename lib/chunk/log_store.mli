@@ -1,0 +1,162 @@
+(** Crash-consistent append-only pack log — the durable chunk engine.
+
+    One generation file [gen-<N>.log] holds every chunk as a CRC-sealed
+    record appended in arrival order; a side index [gen-<N>.idx] is a
+    periodic checkpoint of the in-memory (id -> offset, length) table; the
+    [CURRENT] file names the active generation.  This is the irmin-pack /
+    single-file-repository layout: appends are sequential, random reads
+    are one positioned read, and directory metadata is touched only at
+    checkpoint and compaction boundaries.
+
+    {b Record framing.}  Each record is
+
+    {v kind(1) | length(4, BE) | id(32) | payload(length) | crc32(4, BE) v}
+
+    where [kind] is 0 for a chunk append (payload = encoded chunk) and 1
+    for a delete tombstone (length 0), and the CRC covers everything
+    before it.  A record is facts-on-disk only once it is complete and
+    its CRC verifies; recovery treats the first incomplete or unsealed
+    record as the end of the log and truncates the torn tail.
+
+    {b Group commit.}  Appends go to the OS immediately (one [write]) but
+    [fsync] is batched: the log syncs after [group_chunks] unsynced
+    records, when the oldest unsynced record is older than
+    [group_window_s], or on an explicit {!sync}.  A chunk is
+    {e acknowledged} — guaranteed to survive a power cut — only once a
+    sync covering it returns.  {!Fb_core.Persistent.save} syncs the log
+    before publishing the branch table, so a saved table never references
+    an unacknowledged chunk.
+
+    {b Recovery.}  Opening a root replays: pick the generation named by
+    [CURRENT] (falling back to the newest generation with a valid
+    header), delete orphan generations left by a crashed compaction, load
+    the checkpoint index if it verifies, replay the log tail past the
+    checkpoint, and physically truncate a torn final record.
+
+    {b Compaction.}  {!compact} rewrites live records (optionally
+    filtered by a GC liveness predicate) into generation [N+1], writes
+    its checkpoint, and atomically swaps [CURRENT]; a crash at any point
+    leaves either the old or the new generation fully intact.
+
+    A root must be driven by one process at a time (same contract as
+    [File_store]); within a process every operation is thread-safe. *)
+
+type t
+
+type config = {
+  fsync : bool;       (** sync at group-commit boundaries (off = OS-buffered) *)
+  group_chunks : int; (** sync after this many unsynced records *)
+  group_window_s : float;
+      (** ... or when the oldest unsynced record is this old (seconds) *)
+  checkpoint_bytes : int;
+      (** write an index checkpoint every this many appended bytes *)
+  compactor : bool;
+      (** run the background thread (aged-group flush + auto compaction) *)
+  tick_s : float;  (** background thread wake-up interval *)
+  auto_compact : float;
+      (** compact when garbage exceeds this fraction of the file; 0 = never *)
+  compact_min_bytes : int;
+      (** ... and at least this many garbage bytes accumulated *)
+}
+
+val default_config : config
+(** fsync on, groups of 64 chunks / 10 ms, 1 MiB checkpoints, background
+    thread off, auto-compaction at 50% garbage (>= 64 KiB). *)
+
+type counters = {
+  mutable appends : int;
+  mutable deletes : int;
+  mutable flushes : int;           (** group-commit syncs performed *)
+  mutable checkpoints : int;
+  mutable compactions : int;
+  mutable auto_compactions : int;  (** subset triggered by the background thread *)
+  mutable replayed_records : int;  (** records replayed past the checkpoint on open *)
+  mutable truncated_bytes : int;   (** torn tail bytes discarded by recovery *)
+  mutable background_errors : int;
+}
+
+val create : ?config:config -> root:string -> unit -> t
+(** Open (creating or recovering) the log rooted at directory [root].
+    Registers the instance's counters as [log.<root>.*] observability
+    gauges.  @raise Failure on a corrupt generation header. *)
+
+val store : t -> Store.t
+(** The {!Store.t} view: [put] appends (content-addressed dedup against
+    the index), [get]/[get_raw]/[peek] are positioned reads, [delete]
+    appends a tombstone, [iter] walks the live index. *)
+
+val sync : t -> unit
+(** Force the group commit: every record appended so far is acknowledged
+    when this returns.  Writes a checkpoint when one is due. *)
+
+val checkpoint : t -> unit
+(** {!sync}, then unconditionally write the index checkpoint. *)
+
+val close : t -> unit
+(** Stop the background thread, sync, checkpoint, release descriptors.
+    Idempotent; using the {!store} view afterwards raises. *)
+
+type compact_stage =
+  | After_data      (** new generation data + index written, [CURRENT] still old *)
+  | Before_switch   (** about to atomically swap [CURRENT] *)
+  | After_switch    (** [CURRENT] names the new generation; old files not yet removed *)
+
+val compact : ?live:(Fb_hash.Hash.t -> bool) ->
+  ?on_stage:(compact_stage -> unit) -> t -> unit
+(** Rewrite live records into a fresh generation and swap atomically.
+    [live] additionally drops records a GC marked unreachable (without
+    needing per-chunk tombstones).  [on_stage] is a test hook for crash
+    injection at the labelled points; if it raises, the store instance is
+    dead but the on-disk state recovers to a consistent generation on the
+    next {!create}. *)
+
+(** {1 Introspection} *)
+
+val generation : t -> int
+
+val file_bytes : t -> int
+(** Bytes in the active generation file. *)
+
+val synced_bytes : t -> int
+(** Prefix guaranteed durable — the acknowledgment boundary. *)
+
+val garbage_bytes : t -> int
+(** Dead record bytes a compaction would reclaim. *)
+
+val live_chunks : t -> int
+val counters : t -> counters
+
+val log_path : t -> string
+(** Active generation file (for test harnesses). *)
+
+val idx_path : t -> string
+(** Its checkpoint file. *)
+
+val export_pack : t -> path:string -> (int, string) result
+(** Freeze the live chunks into an immutable {!Pack} archive. *)
+
+(** {1 Offline verification (fsck)} *)
+
+type fsck_report = {
+  fsck_generation : int;
+  fsck_records : int;         (** sealed records in the active generation *)
+  fsck_live : int;            (** live chunks after replaying tombstones *)
+  fsck_bytes : int;           (** active generation file size *)
+  fsck_torn_bytes : int;      (** trailing bytes past the last sealed record *)
+  fsck_bad_hash : Fb_hash.Hash.t list;
+      (** sealed records whose payload does not hash to their id *)
+  fsck_idx_valid : bool;      (** checkpoint absent counts as valid *)
+  fsck_idx_consistent : bool;
+      (** checkpoint + tail replay reaches the full-replay state *)
+  fsck_orphan_gens : int list; (** stray generations a crashed compaction left *)
+}
+
+val fsck_clean : fsck_report -> bool
+(** No damaged records, no torn tail, index consistent, no orphans. *)
+
+val fsck : root:string -> (fsck_report, string) result
+(** Offline check of a log root: replays every generation record,
+    re-hashes payloads, validates the checkpoint against a full replay.
+    Read-only — never repairs; recovery happens on {!create}. *)
+
+val pp_fsck : Format.formatter -> fsck_report -> unit

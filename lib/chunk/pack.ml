@@ -18,7 +18,16 @@ type t = {
   lengths : int array;
 }
 
-let write_file ~path entries =
+(* Push directory metadata (the rename) to stable storage; best-effort. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let write_file ?(fsync = false) ~path entries =
   let rec check = function
     | [] -> Ok ()
     | (id, encoded) :: rest ->
@@ -55,8 +64,16 @@ let write_file ~path entries =
            off := !off + String.length encoded)
          entries;
        List.iter (fun (_, encoded) -> output_string oc encoded) entries;
+       (* The tmp bytes must be stable before the rename publishes them,
+          or a crash can promote a torn pack (same ordering as the branch
+          table save). *)
+       if fsync then begin
+         flush oc;
+         Unix.fsync (Unix.descr_of_out_channel oc)
+       end;
        close_out oc;
        Sys.rename (path ^ ".tmp") path;
+       if fsync then fsync_dir (Filename.dirname path);
        Ok n
      with e ->
        close_out_noerr oc;

@@ -11,10 +11,13 @@ type t
 (** An open pack (index resident, data read on demand). *)
 
 val write_file :
+  ?fsync:bool ->
   path:string -> (Fb_hash.Hash.t * string) list -> (int, string) result
 (** Write a pack holding the given (id, encoded bytes) pairs; returns the
     chunk count.  Entries whose bytes do not hash to their id are refused —
-    a pack can only hold honest chunks. *)
+    a pack can only hold honest chunks.  With [fsync] (default [false])
+    the bytes are synced before the atomic rename publishes the pack, so
+    a power cut never promotes a torn archive. *)
 
 val pack_store : Store.t -> path:string -> (int, string) result
 (** Freeze every chunk of a store into a pack file. *)

@@ -23,6 +23,14 @@ let pp_report ppf r =
     (List.length r.unrepaired) (List.length r.orphans)
     (List.length r.missing)
 
+(* Log generations need more than the per-chunk hash check [run] applies
+   through [Store.iter]: record seals, checkpoint/replay agreement and
+   leftover generations are log-level facts.  Delegate to the log engine's
+   offline verifier so one scrub entry point covers both backends. *)
+let fsck_log ~root = Log_store.fsck ~root
+let pp_fsck_log = Log_store.pp_fsck
+let fsck_log_clean = Log_store.fsck_clean
+
 let run ?children ?(roots = []) ?replica ?quarantine ?(dry_run = false)
     (store : Store.t) =
   Fb_obs.Obs.with_span "scrub.run"

@@ -55,3 +55,16 @@ val run :
     under [dry_run] every corrupt chunk is also listed [unrepaired].
     Without [children]/[roots] only the physical passes run ([orphans]
     and [missing] stay empty). *)
+
+(** {1 Log-backend generations}
+
+    A {!Log_store} root has integrity structure {!run} cannot see through
+    the [Store.t] surface: record CRC seals, the checkpoint-vs-replay
+    agreement, torn tails and leftover generations from a crashed
+    compaction.  These delegate to the log engine's offline verifier. *)
+
+val fsck_log : root:string -> (Log_store.fsck_report, string) result
+(** Read-only fsck of a log root (see {!Log_store.fsck}). *)
+
+val fsck_log_clean : Log_store.fsck_report -> bool
+val pp_fsck_log : Format.formatter -> Log_store.fsck_report -> unit

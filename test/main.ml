@@ -16,6 +16,7 @@ let () =
       ("proof", Test_proof.suite);
       ("json", Test_json.suite);
       ("persistent", Test_persistent.suite);
+      ("log", Test_log.suite);
       ("soak", Test_soak.suite);
       ("edge", Test_edge.suite);
       ("faults", Test_faults.suite);

@@ -189,6 +189,53 @@ let test_torn_write_recovery () =
     (Store.get store2 id2 = None);
   check bool_ "counted unrecovered" true (rs2.Resilient_store.unrecovered >= 1)
 
+(* A torn append keeps the declared length but the tail is garbage — the
+   power-cut shape at the end of an append-only log.  Deterministic under
+   the seed; re-put does not repair (name taken). *)
+let test_torn_append_garbage_tail () =
+  let cfg = { Faulty_store.calm with seed = 11L; torn_append_p = 1.0 } in
+  let run () =
+    let faulty, fc = Faulty_store.wrap cfg (Mem_store.create ()) in
+    let c = Chunk.v Chunk.Leaf_blob "append victim" in
+    let id = Store.put faulty c in
+    (faulty, fc, c, id)
+  in
+  let faulty, fc, c, id = run () in
+  let encoded = Chunk.encode c in
+  check int_ "append tore" 1 fc.Faulty_store.torn_appends;
+  check bool_ "mem sees torn append" true (Store.mem faulty id);
+  (match Store.peek faulty id with
+   | Some raw ->
+     check int_ "full length survives" (String.length encoded)
+       (String.length raw);
+     check bool_ "tail is garbage" false (Hash.equal (Hash.of_string raw) id)
+   | None -> Alcotest.fail "peek should see the torn append");
+  (* Content-addressed re-put sees the name taken and skips the write. *)
+  ignore (Store.put faulty c);
+  (match Store.peek faulty id with
+   | Some raw ->
+     check bool_ "still garbled after re-put" false
+       (Hash.equal (Hash.of_string raw) id)
+   | None -> Alcotest.fail "torn append vanished");
+  (* Same seed, same op sequence: byte-identical damage. *)
+  let faulty2, fc2, _, id2 = run () in
+  check bool_ "same id" true (Hash.equal id id2);
+  check int_ "deterministic count" fc.Faulty_store.torn_appends
+    fc2.Faulty_store.torn_appends;
+  (match (Store.peek faulty id, Store.peek faulty2 id2) with
+   | Some a, Some b ->
+     check bool_ "deterministic garbage" true (String.equal a b)
+   | _ -> Alcotest.fail "torn bytes missing");
+  (* Resilient stack with a replica recovers; without one the damage
+     surfaces as absence, never as wrong bytes. *)
+  let faulty3, _ = Faulty_store.wrap cfg (Mem_store.create ()) in
+  let store3, rs3 = Resilient_store.wrap ~max_retries:2 faulty3 in
+  let id3 = Store.put store3 c in
+  check bool_ "unrecoverable garbled read is None" true
+    (Store.get store3 id3 = None);
+  check bool_ "counted unrecovered" true
+    (rs3.Resilient_store.unrecovered >= 1)
+
 (* ---------------- typed surfacing at the API ---------------- *)
 
 let test_api_surfaces_transient () =
@@ -222,10 +269,13 @@ let test_api_fault_matrix () =
       ("bitflip",
        fun seed -> { Faulty_store.calm with seed; bit_flip_p = 0.25 });
       ("torn", fun seed -> { Faulty_store.calm with seed; torn_write_p = 0.3 });
+      ("torn-append",
+       fun seed -> { Faulty_store.calm with seed; torn_append_p = 0.3 });
       ("mixed",
        fun seed ->
          { Faulty_store.calm with seed; transient_read_p = 0.15;
-           transient_put_p = 0.1; bit_flip_p = 0.1; torn_write_p = 0.15 }) ]
+           transient_put_p = 0.1; bit_flip_p = 0.1; torn_write_p = 0.1;
+           torn_append_p = 0.1 }) ]
   in
   List.iter
     (fun seed ->
@@ -508,8 +558,10 @@ let test_verified_mem_checks () =
      | None -> false)
 
 let test_persistent_crash_recovery () =
+  (* File engine specifically: the crash artifact is a torn per-chunk tmp
+     file; the log engine's recovery is exercised in test_log.ml. *)
   with_temp_dir (fun dir ->
-      (match Fb_core.Persistent.open_ ~root:dir () with
+      (match Fb_core.Persistent.open_ ~backend:`File ~root:dir () with
        | Error e -> Alcotest.fail (Errors.to_string e)
        | Ok fb ->
          (match FB.put fb ~key:"k" (Value.string "v") with
@@ -607,6 +659,8 @@ let suite =
       test_read_repair_from_replica;
     Alcotest.test_case "resilient: torn writes recovered or surfaced" `Quick
       test_torn_write_recovery;
+    Alcotest.test_case "faulty: torn append garbles the tail" `Quick
+      test_torn_append_garbage_tail;
     Alcotest.test_case "api: transient surfaces as typed error" `Quick
       test_api_surfaces_transient;
     Alcotest.test_case "api: fault matrix, seeds x kinds" `Quick

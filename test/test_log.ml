@@ -1,0 +1,707 @@
+(* Log_store: the crash-consistent append-only pack log.
+
+   The centerpiece is a power-cut simulator: build a reference log with a
+   known acknowledgment boundary, then replay recovery at EVERY byte
+   offset — the file truncated there (a short write) and the file garbled
+   from there (tail sectors that never made it).  At each point the
+   recovered store must hold exactly the maximal sealed-record prefix: no
+   acknowledged chunk lost, no torn record served. *)
+
+module Log_store = Fb_chunk.Log_store
+module Store = Fb_chunk.Store
+module Chunk = Fb_chunk.Chunk
+module Scrub = Fb_chunk.Scrub
+module Hash = Fb_hash.Hash
+module FB = Fb_core.Forkbase
+module Persistent = Fb_core.Persistent
+module Errors = Fb_core.Errors
+module Value = Fb_types.Value
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fb_log_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command ("rm -rf " ^ Filename.quote dir)))
+    (fun () -> f dir)
+
+(* Recovery semantics do not depend on fsync actually reaching the
+   platters; keep the matrix fast. *)
+let quick_config = { Log_store.default_config with fsync = false }
+
+let blob i = Chunk.v Chunk.Leaf_blob (Printf.sprintf "log payload %d" i)
+let blob_id i = Hash.of_string (Chunk.encode (blob i))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data)
+
+let live_ids store =
+  let acc = ref [] in
+  store.Store.iter (fun id _ -> acc := id :: !acc);
+  List.sort_uniq Hash.compare !acc
+
+(* ------------------------- basics ------------------------- *)
+
+let test_roundtrip_reopen () =
+  with_temp_dir (fun dir ->
+      let h = Log_store.create ~config:quick_config ~root:dir () in
+      let s = Log_store.store h in
+      let ids = List.init 20 (fun i -> (i, Store.put s (blob i))) in
+      (* Tombstone a few, including a re-put that must dedup. *)
+      check bool_ "delete" true (Store.delete s (blob_id 3));
+      check bool_ "delete" true (Store.delete s (blob_id 7));
+      check bool_ "delete absent is false" false (Store.delete s (blob_id 3));
+      ignore (Store.put s (blob 0));
+      check int_ "dedup hit" 1 (Store.stats s).Store.dedup_hits;
+      Log_store.close h;
+      let h2 = Log_store.create ~config:quick_config ~root:dir () in
+      let s2 = Log_store.store h2 in
+      (* Close checkpointed the full prefix: nothing left to replay. *)
+      check int_ "no tail replay after clean close" 0
+        (Log_store.counters h2).Log_store.replayed_records;
+      List.iter
+        (fun (i, id) ->
+          if i = 3 || i = 7 then
+            check bool_ "tombstoned stays dead" false (Store.mem s2 id)
+          else
+            match Store.get s2 id with
+            | Some c ->
+              check bool_ "payload intact" true
+                (String.equal c.Chunk.payload (Printf.sprintf "log payload %d" i))
+            | None -> Alcotest.fail "chunk lost across reopen")
+        ids;
+      check int_ "live count" 18 (Log_store.live_chunks h2);
+      Log_store.close h2)
+
+let test_full_replay_without_idx () =
+  with_temp_dir (fun dir ->
+      let h = Log_store.create ~config:quick_config ~root:dir () in
+      let s = Log_store.store h in
+      ignore (Store.put s (blob 1));
+      ignore (Store.put s (blob 2));
+      ignore (Store.delete s (blob_id 1));
+      Log_store.close h;
+      (* Without the checkpoint the whole log replays — same state. *)
+      Sys.remove (Filename.concat dir "gen-0.idx");
+      let h2 = Log_store.create ~config:quick_config ~root:dir () in
+      let s2 = Log_store.store h2 in
+      check int_ "all records replayed" 3
+        (Log_store.counters h2).Log_store.replayed_records;
+      check bool_ "tombstone replayed" false (Store.mem s2 (blob_id 1));
+      check bool_ "live replayed" true (Store.mem s2 (blob_id 2));
+      Log_store.close h2)
+
+let test_group_commit () =
+  with_temp_dir (fun dir ->
+      let config =
+        { quick_config with group_chunks = 4; group_window_s = 3600.0 }
+      in
+      let h = Log_store.create ~config ~root:dir () in
+      let s = Log_store.store h in
+      for i = 0 to 2 do
+        ignore (Store.put s (blob i))
+      done;
+      (* Three appends: under the group size, nothing flushed yet. *)
+      check int_ "no flush below group size" 0
+        (Log_store.counters h).Log_store.flushes;
+      check bool_ "unsynced tail exists" true
+        (Log_store.synced_bytes h < Log_store.file_bytes h);
+      ignore (Store.put s (blob 3));
+      check int_ "group boundary flushes" 1
+        (Log_store.counters h).Log_store.flushes;
+      check int_ "ack boundary caught up" (Log_store.file_bytes h)
+        (Log_store.synced_bytes h);
+      ignore (Store.put s (blob 4));
+      Log_store.sync h;
+      check int_ "explicit sync flushes" 2
+        (Log_store.counters h).Log_store.flushes;
+      Log_store.close h)
+
+(* ------------------------- the power-cut matrix ------------------------- *)
+
+(* Parse the sealed records of a generation file: (end_offset, kind, id)
+   per record, computed independently of the store's own replay. *)
+let parse_records bytes =
+  let header_size = 16 in
+  let rec_head = 37 in
+  let u32 s pos = Int32.to_int (String.get_int32_be s pos) land 0xFFFFFFFF in
+  let rec go pos acc =
+    if pos + rec_head + 4 > String.length bytes then List.rev acc
+    else
+      let kind = Char.code bytes.[pos] in
+      let len = u32 bytes (pos + 1) in
+      let stop = pos + rec_head + len + 4 in
+      if stop > String.length bytes then List.rev acc
+      else
+        let id = Hash.of_raw_exn (String.sub bytes (pos + 5) 32) in
+        go stop ((stop, kind, id) :: acc)
+  in
+  go header_size []
+
+(* The live set a correct recovery reaches when every sealed record
+   ending at or before [cut] survives and nothing after it does. *)
+let expected_live records cut =
+  List.fold_left
+    (fun acc (stop, kind, id) ->
+      if stop > cut then acc
+      else if kind = 0 then id :: List.filter (fun x -> not (Hash.equal x id)) acc
+      else List.filter (fun x -> not (Hash.equal x id)) acc)
+    [] records
+  |> List.sort_uniq Hash.compare
+
+(* Deterministic garbage that always differs from the byte it replaces:
+   a power cut that left stale sectors, not a no-op. *)
+let garble bytes cut =
+  let b = Bytes.of_string bytes in
+  for i = cut to Bytes.length b - 1 do
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xA5))
+  done;
+  Bytes.to_string b
+
+let test_power_cut_matrix () =
+  with_temp_dir (fun dir ->
+      let src = Filename.concat dir "src" in
+      let h = Log_store.create ~config:quick_config ~root:src () in
+      let s = Log_store.store h in
+      (* Acknowledged prefix: five puts and a delete, then a sync. *)
+      for i = 0 to 4 do
+        ignore (Store.put s (blob i))
+      done;
+      ignore (Store.delete s (blob_id 1));
+      Log_store.sync h;
+      let ack = Log_store.synced_bytes h in
+      let acked = live_ids s in
+      (* Unacknowledged tail: three more puts, NO sync, no close. *)
+      for i = 5 to 7 do
+        ignore (Store.put s (blob i))
+      done;
+      let bytes = read_file (Log_store.log_path h) in
+      check int_ "file holds the full tail" (String.length bytes)
+        (Log_store.file_bytes h);
+      let records = parse_records bytes in
+      check int_ "reference parse sees every record" 9 (List.length records);
+      (* The simulated crash: [h] is abandoned, never closed. *)
+      let header_size = 16 in
+      let rig = Filename.concat dir "rig" in
+      let cases = ref 0 in
+      for cut = 0 to String.length bytes do
+        List.iter
+          (fun (variant, data) ->
+            incr cases;
+            let ctx what =
+              Printf.sprintf "%s cut=%d %s" variant cut what
+            in
+            ignore (Sys.command ("rm -rf " ^ Filename.quote rig));
+            Unix.mkdir rig 0o755;
+            write_file (Filename.concat rig "gen-0.log") data;
+            write_file (Filename.concat rig "CURRENT") "0\n";
+            match Log_store.create ~config:quick_config ~root:rig () with
+            | exception Failure _
+              when String.equal variant "tear" && cut < header_size ->
+              (* The header was fsynced before anything was acknowledged,
+                 so a full-size file with garbled magic is media damage,
+                 not a crash shape — refusing it (rather than silently
+                 re-initializing) is the correct recovery. *)
+              ()
+            | r ->
+            let rs = Log_store.store r in
+            let expected =
+              if cut < header_size then [] else expected_live records cut
+            in
+            let got = live_ids rs in
+            check int_ (ctx "live count") (List.length expected)
+              (List.length got);
+            check bool_ (ctx "live set exact") true
+              (List.for_all2 Hash.equal expected got);
+            (* No torn record surfaced: every served read re-hashes. *)
+            List.iter
+              (fun id ->
+                match rs.Store.get_raw id with
+                | Some raw ->
+                  check bool_ (ctx "read hashes to id") true
+                    (Hash.equal (Hash.of_string raw) id)
+                | None -> Alcotest.fail (ctx "live chunk unreadable"))
+              got;
+            (* No acknowledged chunk lost once the cut spares the synced
+               prefix. *)
+            if cut >= ack then
+              List.iter
+                (fun id ->
+                  if not (Store.mem rs id) then
+                    Alcotest.fail (ctx "acknowledged chunk lost"))
+                acked;
+            (* The torn tail was physically dropped: a second open has
+               nothing left to repair. *)
+            let stop = Log_store.file_bytes r in
+            check bool_ (ctx "no torn bytes retained") true
+              (stop
+              = List.fold_left
+                  (fun acc (e, _, _) -> if e <= cut then max acc e else acc)
+                  header_size records
+              || cut < header_size);
+            Log_store.close r;
+            let r2 = Log_store.create ~config:quick_config ~root:rig () in
+            check int_ (ctx "recovery is stable") 0
+              (Log_store.counters r2).Log_store.truncated_bytes;
+            Log_store.close r2)
+          [ ("truncate", String.sub bytes 0 cut);
+            ("tear", if cut < String.length bytes then garble bytes cut else bytes) ]
+      done;
+      check bool_ "matrix covered both variants at every offset" true
+        (!cases = 2 * (String.length bytes + 1)))
+
+(* A cut inside the checkpoint file must never corrupt recovery: any
+   damaged index falls back to a full replay with identical state. *)
+let test_idx_cut_matrix () =
+  with_temp_dir (fun dir ->
+      let src = Filename.concat dir "src" in
+      let h = Log_store.create ~config:quick_config ~root:src () in
+      let s = Log_store.store h in
+      for i = 0 to 4 do
+        ignore (Store.put s (blob i))
+      done;
+      Log_store.checkpoint h;
+      let idx = read_file (Log_store.idx_path h) in
+      for i = 5 to 7 do
+        ignore (Store.put s (blob i))
+      done;
+      ignore (Store.delete s (blob_id 0));
+      Log_store.sync h;
+      let bytes = read_file (Log_store.log_path h) in
+      let full_live = live_ids s in
+      check int_ "reference live" 7 (List.length full_live);
+      let rig = Filename.concat dir "rig" in
+      let variants cut =
+        [ ("truncate", String.sub idx 0 cut);
+          ("tear", if cut < String.length idx then garble idx cut else idx) ]
+      in
+      for cut = 0 to String.length idx do
+        List.iter
+          (fun (variant, data) ->
+            let ctx what =
+              Printf.sprintf "idx %s cut=%d %s" variant cut what
+            in
+            ignore (Sys.command ("rm -rf " ^ Filename.quote rig));
+            Unix.mkdir rig 0o755;
+            write_file (Filename.concat rig "gen-0.log") bytes;
+            write_file (Filename.concat rig "gen-0.idx") data;
+            write_file (Filename.concat rig "CURRENT") "0\n";
+            let r = Log_store.create ~config:quick_config ~root:rig () in
+            let got = live_ids (Log_store.store r) in
+            check int_ (ctx "live count") (List.length full_live)
+              (List.length got);
+            check bool_ (ctx "checkpoint damage never changes state") true
+              (List.for_all2 Hash.equal full_live got);
+            Log_store.close r)
+          (variants cut)
+      done;
+      Log_store.close h)
+
+(* ------------------------- checkpoint equivalence ------------------------- *)
+
+(* QCheck: for ANY operation sequence, recovery through the checkpoint
+   (when intact) and a full replay (checkpoint deleted) reach exactly the
+   state a model Hashtbl predicts. *)
+let qcheck_checkpoint_replay_equivalence =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [ (6, map (fun i -> `Put (i mod 12)) (int_bound 100));
+          (3, map (fun i -> `Delete (i mod 12)) (int_bound 100));
+          (1, return `Sync);
+          (1, return `Checkpoint) ])
+  in
+  let ops_arb =
+    QCheck.make
+      ~print:(fun ops ->
+        String.concat ";"
+          (List.map
+             (function
+               | `Put i -> Printf.sprintf "put %d" i
+               | `Delete i -> Printf.sprintf "del %d" i
+               | `Sync -> "sync"
+               | `Checkpoint -> "ckpt")
+             ops))
+      QCheck.Gen.(list_size (int_range 1 40) op_gen)
+  in
+  QCheck.Test.make ~name:"log: checkpoint replay == full replay == model"
+    ~count:30 ops_arb (fun ops ->
+      with_temp_dir (fun dir ->
+          let model : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+          let h = Log_store.create ~config:quick_config ~root:dir () in
+          let s = Log_store.store h in
+          List.iter
+            (function
+              | `Put i ->
+                ignore (Store.put s (blob i));
+                Hashtbl.replace model (Hash.to_hex (blob_id i)) ()
+              | `Delete i ->
+                ignore (Store.delete s (blob_id i));
+                Hashtbl.remove model (Hash.to_hex (blob_id i))
+              | `Sync -> Log_store.sync h
+              | `Checkpoint -> Log_store.checkpoint h)
+            ops;
+          Log_store.close h;
+          let agrees () =
+            let r = Log_store.create ~config:quick_config ~root:dir () in
+            let got = live_ids (Log_store.store r) in
+            Log_store.close r;
+            List.length got = Hashtbl.length model
+            && List.for_all
+                 (fun id -> Hashtbl.mem model (Hash.to_hex id))
+                 got
+          in
+          let via_checkpoint = agrees () in
+          (try Sys.remove (Filename.concat dir "gen-0.idx")
+           with Sys_error _ -> ());
+          let via_full_replay = agrees () in
+          via_checkpoint && via_full_replay))
+
+(* ------------------------- compaction ------------------------- *)
+
+let test_compaction () =
+  with_temp_dir (fun dir ->
+      let h = Log_store.create ~config:quick_config ~root:dir () in
+      let s = Log_store.store h in
+      let _ids = List.init 10 (fun i -> Store.put s (blob i)) in
+      for i = 0 to 4 do
+        ignore (Store.delete s (blob_id i))
+      done;
+      check bool_ "garbage accumulated" true (Log_store.garbage_bytes h > 0);
+      let before = Log_store.file_bytes h in
+      Log_store.compact h;
+      check int_ "generation advanced" 1 (Log_store.generation h);
+      check bool_ "file shrank" true (Log_store.file_bytes h < before);
+      check int_ "garbage reclaimed" 0 (Log_store.garbage_bytes h);
+      check bool_ "old generation deleted" false
+        (Sys.file_exists (Filename.concat dir "gen-0.log"));
+      for i = 5 to 9 do
+        match Store.get s (blob_id i) with
+        | Some c ->
+          check bool_ "survivor intact" true
+            (String.equal c.Chunk.payload (Printf.sprintf "log payload %d" i))
+        | None -> Alcotest.fail "live chunk lost by compaction"
+      done;
+      (* Writes keep flowing into the new generation, and a reopen sees
+         everything. *)
+      ignore (Store.put s (blob 42));
+      Log_store.close h;
+      let h2 = Log_store.create ~config:quick_config ~root:dir () in
+      check int_ "post-compaction state persists" 6 (Log_store.live_chunks h2);
+      check bool_ "post-compaction append persists" true
+        (Store.mem (Log_store.store h2) (blob_id 42));
+      Log_store.close h2)
+
+let test_compaction_gc_liveness () =
+  with_temp_dir (fun dir ->
+      let h = Log_store.create ~config:quick_config ~root:dir () in
+      let s = Log_store.store h in
+      ignore (List.init 6 (fun i -> Store.put s (blob i)));
+      (* A GC marks only even blobs reachable — no tombstones needed. *)
+      let keep = List.init 3 (fun i -> blob_id (2 * i)) in
+      Log_store.compact ~live:(fun id -> List.exists (Hash.equal id) keep) h;
+      check int_ "only live survive" 3 (Log_store.live_chunks h);
+      List.iter
+        (fun id -> check bool_ "kept" true (Store.mem s id))
+        keep;
+      check bool_ "dropped" false (Store.mem s (blob_id 1));
+      Log_store.close h)
+
+(* Crash at each labelled point of the compaction protocol: recovery must
+   land on a fully intact generation (old before the CURRENT swap, new
+   after) with no stray files. *)
+let test_compaction_crash_stages () =
+  List.iter
+    (fun (stage, expect_gen) ->
+      with_temp_dir (fun dir ->
+          let h = Log_store.create ~config:quick_config ~root:dir () in
+          let s = Log_store.store h in
+          ignore (List.init 8 (fun i -> Store.put s (blob i)));
+          ignore (Store.delete s (blob_id 0));
+          Log_store.sync h;
+          let want = live_ids s in
+          (match
+             Log_store.compact
+               ~on_stage:(fun st -> if st = stage then raise Exit)
+               h
+           with
+          | () -> Alcotest.fail "stage hook did not fire"
+          | exception Exit -> ());
+          (* The process is gone; [h] is abandoned un-closed. *)
+          let r = Log_store.create ~config:quick_config ~root:dir () in
+          let ctx what =
+            Printf.sprintf "crash@%s %s"
+              (match stage with
+              | Log_store.After_data -> "after-data"
+              | Log_store.Before_switch -> "before-switch"
+              | Log_store.After_switch -> "after-switch")
+              what
+          in
+          check int_ (ctx "generation") expect_gen (Log_store.generation r);
+          let got = live_ids (Log_store.store r) in
+          check int_ (ctx "live count") (List.length want) (List.length got);
+          check bool_ (ctx "live set") true (List.for_all2 Hash.equal want got);
+          (* Only the surviving generation's files remain on disk. *)
+          let keep_prefix = Printf.sprintf "gen-%d." expect_gen in
+          let strays =
+            Array.to_list (Sys.readdir dir)
+            |> List.filter (fun f ->
+                   (Filename.check_suffix f ".log"
+                   || Filename.check_suffix f ".idx"
+                   || Filename.check_suffix f ".tmp")
+                   && not
+                        (String.length f >= String.length keep_prefix
+                        && String.equal
+                             (String.sub f 0 (String.length keep_prefix))
+                             keep_prefix))
+          in
+          check int_ (ctx "no stray generation files") 0 (List.length strays);
+          Log_store.close r))
+    [ (Log_store.After_data, 0);
+      (Log_store.Before_switch, 0);
+      (Log_store.After_switch, 1) ]
+
+let test_background_compactor () =
+  with_temp_dir (fun dir ->
+      let config =
+        { quick_config with
+          compactor = true; tick_s = 0.005; group_window_s = 0.01;
+          auto_compact = 0.2; compact_min_bytes = 1 }
+      in
+      let h = Log_store.create ~config ~root:dir () in
+      let s = Log_store.store h in
+      ignore (List.init 20 (fun i -> Store.put s (blob i)));
+      for i = 0 to 15 do
+        ignore (Store.delete s (blob_id i))
+      done;
+      (* The thread must flush the aged group and compact the garbage
+         away without any explicit sync/compact call. *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec wait () =
+        let c = Log_store.counters h in
+        if c.Log_store.auto_compactions >= 1 then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "background compactor never ran"
+        else begin
+          Thread.delay 0.01;
+          wait ()
+        end
+      in
+      wait ();
+      check bool_ "generation advanced" true (Log_store.generation h >= 1);
+      check int_ "synced to the tip" (Log_store.file_bytes h)
+        (Log_store.synced_bytes h);
+      for i = 16 to 19 do
+        check bool_ "survivors readable" true (Store.mem s (blob_id i))
+      done;
+      check int_ "no background errors" 0
+        (Log_store.counters h).Log_store.background_errors;
+      Log_store.close h)
+
+(* ------------------------- fsck ------------------------- *)
+
+let test_fsck () =
+  with_temp_dir (fun dir ->
+      let h = Log_store.create ~config:quick_config ~root:dir () in
+      let s = Log_store.store h in
+      ignore (List.init 5 (fun i -> Store.put s (blob i)));
+      ignore (Store.delete s (blob_id 0));
+      Log_store.close h;
+      (match Scrub.fsck_log ~root:dir with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+        check bool_ "clean after close" true (Scrub.fsck_log_clean r);
+        check int_ "records" 6 r.Log_store.fsck_records;
+        check int_ "live" 4 r.Log_store.fsck_live;
+        check int_ "no torn tail" 0 r.Log_store.fsck_torn_bytes);
+      (* A flipped payload byte breaks that record's seal: fsck must see
+         the damage (truncated coverage / index disagreement). *)
+      let path = Filename.concat dir "gen-0.log" in
+      let bytes = Bytes.of_string (read_file path) in
+      let mid = Bytes.length bytes - 10 in
+      Bytes.set bytes mid
+        (Char.chr (Char.code (Bytes.get bytes mid) lxor 0x40));
+      write_file path (Bytes.to_string bytes);
+      (match Scrub.fsck_log ~root:dir with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+        check bool_ "damage detected" false (Scrub.fsck_log_clean r);
+        check bool_ "torn bytes reported" true
+          (r.Log_store.fsck_torn_bytes > 0));
+      (* A stray generation from a crashed compaction is reported too. *)
+      write_file (Filename.concat dir "gen-9.log") "leftover";
+      (match Scrub.fsck_log ~root:dir with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+        check bool_ "orphan generation listed" true
+          (r.Log_store.fsck_orphan_gens = [ 9 ])))
+
+let test_fsck_bad_hash () =
+  with_temp_dir (fun dir ->
+      let h = Log_store.create ~config:quick_config ~root:dir () in
+      ignore (Store.put (Log_store.store h) (blob 1));
+      Log_store.close h;
+      (* Hand-craft a sealed record whose payload does not hash to its
+         declared id: the CRC passes (physical integrity) but the
+         content-address lies — only fsck's re-hash pass can tell. *)
+      let payload = Chunk.encode (blob 2) in
+      let fake_id = blob_id 3 in
+      let len = String.length payload in
+      let b = Bytes.create (41 + len) in
+      Bytes.set b 0 '\000';
+      Bytes.set_int32_be b 1 (Int32.of_int len);
+      Bytes.blit_string (Hash.to_raw fake_id) 0 b 5 32;
+      Bytes.blit_string payload 0 b 37 len;
+      let crc = Fb_hash.Crc32.update_bytes_sub Fb_hash.Crc32.empty b ~pos:0 ~len:(37 + len) in
+      Bytes.set_int32_be b (37 + len) (Int32.of_int crc);
+      let path = Filename.concat dir "gen-0.log" in
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_bytes oc b;
+      close_out oc;
+      match Scrub.fsck_log ~root:dir with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+        check bool_ "dishonest record caught" false (Scrub.fsck_log_clean r);
+        check bool_ "bad hash attributed" true
+          (match r.Log_store.fsck_bad_hash with
+          | [ id ] -> Hash.equal id fake_id
+          | _ -> false);
+        check int_ "physically sealed" 0 r.Log_store.fsck_torn_bytes)
+
+(* ------------------------- the Persistent seam ------------------------- *)
+
+(* The fsync-ordering invariant end to end: after [save], a power cut
+   anywhere at or past the log's acknowledgment boundary leaves a root
+   whose branch table and log agree — every saved head loads, reads and
+   verifies. *)
+let test_persistent_power_cut () =
+  with_temp_dir (fun dir ->
+      let src = Filename.concat dir "src" in
+      let ok = function
+        | Ok v -> v
+        | Error e -> Alcotest.fail (Errors.to_string e)
+      in
+      let fb = ok (Persistent.open_ ~fsync:false ~backend:`Log ~root:src ()) in
+      let keys = [ "alpha"; "beta"; "gamma" ] in
+      List.iter
+        (fun k -> ignore (ok (FB.put fb ~key:k (Value.string ("v-" ^ k)))))
+        keys;
+      ok (Persistent.save ~root:src fb);
+      let h =
+        match Persistent.log_handle ~root:src with
+        | Some h -> h
+        | None -> Alcotest.fail "log engine not registered"
+      in
+      let ack = Log_store.synced_bytes h in
+      check int_ "save acknowledged the whole log" (Log_store.file_bytes h) ack;
+      (* Unacknowledged work after the save: lost by the cut, harmless. *)
+      ignore (ok (FB.put fb ~key:"delta" (Value.string "not saved")));
+      let log_bytes = read_file (Log_store.log_path h) in
+      let branches = read_file (Filename.concat src "BRANCHES") in
+      let cuts =
+        [ ack; min (ack + 1) (String.length log_bytes);
+          (ack + String.length log_bytes) / 2; String.length log_bytes ]
+      in
+      List.iteri
+        (fun n cut ->
+          let rig = Filename.concat dir (Printf.sprintf "rig%d" n) in
+          Unix.mkdir rig 0o755;
+          Unix.mkdir (Filename.concat rig "log") 0o755;
+          write_file (Filename.concat rig "BRANCHES") branches;
+          write_file
+            (Filename.concat (Filename.concat rig "log") "gen-0.log")
+            (String.sub log_bytes 0 cut);
+          write_file (Filename.concat (Filename.concat rig "log") "CURRENT") "0\n";
+          let fb2 = ok (Persistent.open_ ~fsync:false ~root:rig ()) in
+          List.iter
+            (fun k ->
+              (match FB.get fb2 ~key:k with
+              | Ok v ->
+                check bool_
+                  (Printf.sprintf "cut=%d saved key %s intact" cut k)
+                  true
+                  (Value.equal v (Value.string ("v-" ^ k)))
+              | Error e ->
+                Alcotest.fail
+                  (Printf.sprintf "cut=%d saved key %s lost: %s" cut k
+                     (Errors.to_string e)));
+              let uid = ok (FB.head fb2 ~key:k) in
+              check bool_ (Printf.sprintf "cut=%d %s verifies" cut k) true
+                (Result.is_ok (FB.verify fb2 uid)))
+            keys;
+          Persistent.close ~root:rig)
+        cuts;
+      Persistent.close ~root:src)
+
+let test_persistent_backend_autodetect () =
+  with_temp_dir (fun dir ->
+      let ok = function
+        | Ok v -> v
+        | Error e -> Alcotest.fail (Errors.to_string e)
+      in
+      (* A fresh root gets the log engine... *)
+      let file_root = Filename.concat dir "file" in
+      let log_root = Filename.concat dir "log" in
+      let fb = ok (Persistent.open_ ~root:log_root ()) in
+      ignore (ok (FB.put fb ~key:"k" (Value.string "v")));
+      ok (Persistent.save ~root:log_root fb);
+      check bool_ "fresh root is log-backed" true
+        (Persistent.log_handle ~root:log_root <> None);
+      check bool_ "log dir exists" true
+        (Sys.file_exists (Filename.concat log_root "log"));
+      Persistent.close ~root:log_root;
+      (* ...an existing chunks/ root keeps the file engine... *)
+      let fbf =
+        ok (Persistent.open_ ~backend:`File ~root:file_root ())
+      in
+      ignore (ok (FB.put fbf ~key:"k" (Value.string "v")));
+      ok (Persistent.save ~root:file_root fbf);
+      let fbf2 = ok (Persistent.open_ ~root:file_root ()) in
+      check bool_ "chunks root stays file-backed" true
+        (Persistent.log_handle ~root:file_root = None);
+      check bool_ "file data readable" true
+        (Result.is_ok (FB.get fbf2 ~key:"k"));
+      (* ...and a log root auto-detects on reopen. *)
+      let fb2 = ok (Persistent.open_ ~root:log_root ()) in
+      check bool_ "log root reopens onto the log" true
+        (Persistent.log_handle ~root:log_root <> None);
+      check bool_ "log data readable" true (Result.is_ok (FB.get fb2 ~key:"k"));
+      Persistent.close ~root:log_root)
+
+let suite =
+  [ Alcotest.test_case "roundtrip and reopen" `Quick test_roundtrip_reopen;
+    Alcotest.test_case "full replay without idx" `Quick
+      test_full_replay_without_idx;
+    Alcotest.test_case "group commit boundaries" `Quick test_group_commit;
+    Alcotest.test_case "power-cut matrix: every offset, torn and truncated"
+      `Quick test_power_cut_matrix;
+    Alcotest.test_case "power-cut matrix: checkpoint file" `Quick
+      test_idx_cut_matrix;
+    QCheck_alcotest.to_alcotest qcheck_checkpoint_replay_equivalence;
+    Alcotest.test_case "compaction" `Quick test_compaction;
+    Alcotest.test_case "compaction honours gc liveness" `Quick
+      test_compaction_gc_liveness;
+    Alcotest.test_case "compaction crash stages" `Quick
+      test_compaction_crash_stages;
+    Alcotest.test_case "background compactor" `Quick test_background_compactor;
+    Alcotest.test_case "fsck" `Quick test_fsck;
+    Alcotest.test_case "fsck: dishonest sealed record" `Quick
+      test_fsck_bad_hash;
+    Alcotest.test_case "persistent: power cut after save" `Quick
+      test_persistent_power_cut;
+    Alcotest.test_case "persistent: backend autodetect" `Quick
+      test_persistent_backend_autodetect ]
