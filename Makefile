@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the real build system.
 
-.PHONY: all build test bench bench-hotpath bench-net bench-durability check clean
+.PHONY: all build test bench bench-hotpath bench-net bench-durability bench-obs check clean
 
 all: build
 
@@ -32,22 +32,32 @@ bench-net:
 bench-durability:
 	dune exec bench/main.exe -- durability
 
+# Observability benchmark: instrumentation overhead (warmed, best-of-3),
+# operation latency distributions, wire tracing cost enabled vs FB_OBS=0;
+# writes BENCH_obs.json.  (`-- obs-quick` is the smoke variant below: it
+# shrinks the sweeps and does not overwrite the artifact.)
+bench-obs:
+	dune exec bench/main.exe -- obs
+
 # The pre-commit gate: full build, full test suite, the observability
-# self-test (instrumentation overhead + histogram/exposition smoke), a
-# ~1-second hot-path sanity run (kernel equivalence + cache on/off smoke),
-# a ~1-second network smoke (2 concurrent clients over loopback, asserts
-# zero dropped/corrupt frames and a clean shutdown), a ~1-second
-# concurrency smoke (reader scaling, striped-vs-coarse writes, BATCH),
-# and a sub-second durability smoke (group commit vs per-chunk fsync,
-# recovery replay, truncation-point crash matrix).
+# smoke (instrumentation overhead + histogram/exposition/tracing smoke,
+# artifact untouched), a ~1-second hot-path sanity run (kernel
+# equivalence + cache on/off smoke), a ~1-second network smoke (2
+# concurrent clients over loopback, asserts zero dropped/corrupt frames
+# and a clean shutdown), a ~1-second concurrency smoke (reader scaling,
+# striped-vs-coarse writes, BATCH), a sub-second durability smoke (group
+# commit vs per-chunk fsync, recovery replay, truncation-point crash
+# matrix), and one `forkbase top` render against a throwaway in-process
+# node (exercises the METRICS-JSON wire path end to end).
 check:
 	dune build
 	dune runtest
-	dune exec bench/main.exe -- obs
+	dune exec bench/main.exe -- obs-quick
 	dune exec bench/main.exe -- hotpath-quick
 	dune exec bench/main.exe -- net-quick
 	dune exec bench/main.exe -- net-scaling-quick
 	dune exec bench/main.exe -- durability-quick
+	dune exec bin/forkbase_cli.exe -- top --demo --once --interval 0.5
 
 clean:
 	dune clean

@@ -992,43 +992,62 @@ let run_micro () =
 (* Observability: histogram readout, self-overhead, trace spans.      *)
 (* ------------------------------------------------------------------ *)
 
-let run_obs () =
+let run_obs ?(quick = false) () =
   header
     "OBSERVABILITY: fb_obs latency histograms, self-overhead, trace spans";
   (* 1. Instrumentation overhead on the lookup hot path.  Three configs
      over the same 20k-entry tree: bare store, metered store with the
      registry enabled, metered store with the registry disabled.  The
      bare and enabled configs both pay the postree/forkbase span hooks,
-     so their delta isolates Metered_store's per-op timing. *)
-  let n = 20_000 and lookups = 30_000 in
+     so their delta isolates Metered_store's per-op timing.
+
+     Methodology matters here: a single timed sweep after a 2k-op warmup
+     reported the enabled overhead anywhere from 3% to 12% run to run —
+     the measurement was dominated by allocator/GC phase, not by the
+     instrumentation (see DESIGN.md §7).  Each config now gets a full
+     warmup sweep plus best-of-3 measured sweeps, interleaved round-robin
+     so slow drift (GC heap growth) hits all three configs equally. *)
+  let n = 20_000 in
+  let lookups = if quick then 10_000 else 30_000 in
+  let rounds = 3 in
   let small = List.init n (fun i -> (Printf.sprintf "key-%06d" i, "v")) in
-  let bench_find store =
+  let make_bench store =
     let t = Pmap.of_bindings store small in
     let sweep count rng =
       for _ = 1 to count do
         ignore (Pmap.find t (Printf.sprintf "key-%06d" (Prng.next_int rng n)))
       done
     in
-    sweep 2_000 (Prng.create 7L);
-    let (), ms = time_ms (fun () -> sweep lookups (Prng.create 7L)) in
-    1000.0 *. ms /. float_of_int lookups
+    sweep lookups (Prng.create 7L);
+    fun () ->
+      let (), ms = time_ms (fun () -> sweep lookups (Prng.create 7L)) in
+      1000.0 *. ms /. float_of_int lookups
   in
-  let bare = bench_find (Mem_store.create ()) in
-  let on_us =
-    bench_find (Fb_chunk.Metered_store.wrap ~prefix:"bench.ovh" (Mem_store.create ()))
+  let bare_bench = make_bench (Mem_store.create ()) in
+  let on_bench =
+    make_bench (Fb_chunk.Metered_store.wrap ~prefix:"bench.ovh" (Mem_store.create ()))
   in
-  Obs.set_enabled false;
-  let off_us =
-    bench_find (Fb_chunk.Metered_store.wrap ~prefix:"bench.ovh" (Mem_store.create ()))
+  let off_store =
+    Fb_chunk.Metered_store.wrap ~prefix:"bench.ovh" (Mem_store.create ())
   in
-  Obs.set_enabled true;
+  let off_bench = make_bench off_store in
+  let bare = ref infinity and on_us = ref infinity and off_us = ref infinity in
+  for _ = 1 to rounds do
+    bare := Float.min !bare (bare_bench ());
+    on_us := Float.min !on_us (on_bench ());
+    Obs.set_enabled false;
+    off_us := Float.min !off_us (off_bench ());
+    Obs.set_enabled true
+  done;
+  let bare = !bare and on_us = !on_us and off_us = !off_us in
   let pct x = 100.0 *. (x -. bare) /. bare in
   Printf.printf
-    "overhead on %d lookups (us/op):\n\
-    \  bare store          %8.3f\n\
-    \  metered, enabled    %8.3f  (%+.1f%%, target < 5%%)\n\
-    \  metered, disabled   %8.3f  (%+.1f%%, target ~ 0%%)\n"
-    lookups bare on_us (pct on_us) off_us (pct off_us);
+    "overhead on %d lookups, best of %d (us/op):\n\
+    \  bare store          %8.3f  (tree hooks enabled, store untimed)\n\
+    \  metered, enabled    %8.3f  (%+.1f%% = Metered_store's own cost)\n\
+    \  metered, disabled   %8.3f  (%+.1f%% = FB_OBS=0 removes ALL hooks,\n\
+    \                                incl. the tree hooks bare pays)\n"
+    lookups rounds bare on_us (pct on_us) off_us (pct off_us);
   (* 2. Operation-level latency distributions through the public API:
      warmup, then N measured reps feeding the fb.* histograms. *)
   Obs.reset ();
@@ -1036,7 +1055,8 @@ let run_obs () =
     Fb_chunk.Metered_store.wrap ~prefix:"bench.store" (Mem_store.create ())
   in
   let fb = FB.create store in
-  let n_ops = 2_000 and n_merges = 200 in
+  let n_ops = if quick then 500 else 2_000 in
+  let n_merges = if quick then 50 else 200 in
   let put i =
     ignore
       (ok_fb
@@ -1095,19 +1115,75 @@ let run_obs () =
   Printf.printf "\nsample trace (one fork+merge cycle, then one get):\n%s"
     (Format.asprintf "%a" Obs.pp_spans ());
   Obs.set_span_capacity 512;
-  (* 4. Machine-readable artifact for tracking runs over time. *)
-  let json =
-    Printf.sprintf
-      "{\"overhead_us\":{\"bare\":%.4f,\"metered_enabled\":%.4f,\
-       \"metered_disabled\":%.4f,\"enabled_pct\":%.2f,\"disabled_pct\":%.2f},\n\
-       \"registry\":%s}\n"
-      bare on_us off_us (pct on_us) (pct off_us)
-      (Obs.dump_json ())
+  (* 4. Wire tracing overhead: the same single-client put/get loop
+     against an in-process server with the registry (spans + trace
+     headers + histograms) enabled vs disabled.  FB_OBS=0 must keep the
+     served path within ~5% of its instrumented self — the trace header
+     is only ever stamped when a client span exists, so disabling the
+     registry removes it from the wire too. *)
+  let net_reqs = if quick then 1_000 else 5_000 in
+  let net_rps () =
+    let fb = FB.create (Mem_store.create ()) in
+    let config =
+      { Fb_net.Server.default_config with port = 0; save_every_s = 0.0 }
+    in
+    match Fb_net.Server.start ~config fb with
+    | Error e -> failwith ("obs net bench: " ^ e)
+    | Ok srv ->
+      Fun.protect
+        ~finally:(fun () -> Fb_net.Server.stop srv)
+        (fun () ->
+          match
+            Fb_net.Client.connect ~port:(Fb_net.Server.port srv) ~user:"bench" ()
+          with
+          | Error e -> failwith (Fb_net.Client.error_to_string e)
+          | Ok c ->
+            Fun.protect
+              ~finally:(fun () -> Fb_net.Client.close c)
+              (fun () ->
+                let req i =
+                  let key = Printf.sprintf "k%d" (i mod 32) in
+                  ignore (Fb_net.Client.request c [ "put"; key; "master"; "v" ]);
+                  ignore (Fb_net.Client.request c [ "get"; key; "master" ])
+                in
+                for i = 0 to (net_reqs / 10) - 1 do req i done;
+                let (), ms =
+                  time_ms (fun () -> for i = 0 to net_reqs - 1 do req i done)
+                in
+                2.0 *. float_of_int net_reqs /. (ms /. 1000.0)))
   in
-  let oc = open_out "BENCH_obs.json" in
-  output_string oc json;
-  close_out oc;
-  Printf.printf "\nmachine-readable registry written to BENCH_obs.json\n"
+  let net_on = net_rps () in
+  Obs.set_enabled false;
+  let net_off = net_rps () in
+  Obs.set_enabled true;
+  let tracing_pct = 100.0 *. (net_off -. net_on) /. net_off in
+  Printf.printf
+    "\nwire path, 1 client, %d put+get pairs (req/s):\n\
+    \  tracing enabled     %10.0f  (spans + trace headers + histograms)\n\
+    \  FB_OBS=0            %10.0f  (tracing costs %.1f%% when on; the\n\
+    \                                 FB_OBS=0 path must match the\n\
+    \                                 untraced build within noise)\n"
+    net_reqs net_on net_off tracing_pct;
+  (* 5. Machine-readable artifact for tracking runs over time (skipped
+     in quick mode: make-check smoke must not clobber the recorded
+     numbers of a full run). *)
+  if not quick then begin
+    let json =
+      Printf.sprintf
+        "{\"overhead_us\":{\"bare\":%.4f,\"metered_enabled\":%.4f,\
+         \"metered_disabled\":%.4f,\"enabled_pct\":%.2f,\"disabled_pct\":%.2f},\n\
+         \"net\":{\"requests_per_s_enabled\":%.0f,\"requests_per_s_disabled\":%.0f,\
+         \"tracing_pct\":%.2f},\n\
+         \"registry\":%s}\n"
+        bare on_us off_us (pct on_us) (pct off_us)
+        net_on net_off tracing_pct
+        (Obs.dump_json ())
+    in
+    let oc = open_out "BENCH_obs.json" in
+    output_string oc json;
+    close_out oc;
+    Printf.printf "\nmachine-readable registry written to BENCH_obs.json\n"
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Hot path: SHA-256 kernel, chunker scan, node-cache tree ops.       *)
@@ -1819,7 +1895,8 @@ let experiments =
     ("storage", run_storage);
     ("resilience", run_resilience);
     ("cluster", run_cluster);
-    ("obs", run_obs);
+    ("obs", fun () -> run_obs ());
+    ("obs-quick", fun () -> run_obs ~quick:true ());
     ("micro", run_micro);
     ("hotpath", fun () -> run_hotpath ());
     ("hotpath-quick", fun () -> run_hotpath ~quick:true ());

@@ -506,8 +506,23 @@ let serve_cmd =
                    of the striped read/write locking (debugging and A/B \
                    benchmarking escape hatch).")
   in
+  let metrics_port_arg =
+    Arg.(value & opt (some int) None
+         & info [ "metrics-port" ] ~docv:"PORT"
+             ~doc:"Also serve HTTP telemetry on $(docv) (0 picks an \
+                   ephemeral port): /metrics (Prometheus), /healthz, \
+                   /tracez (recent slow traces), /trace.json (Chrome \
+                   trace of the span ring).")
+  in
+  let slow_ms_arg =
+    Arg.(value & opt (some float) None
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Log requests taking $(docv) ms or more (structured \
+                   Warn event + span tree kept for /tracez).  Default: \
+                   the FB_SLOW_MS environment variable, else disabled.")
+  in
   let run root user port host stdio save_every timeout max_frame coarse
-      backend fsync =
+      backend fsync metrics_port slow_ms =
     (* The log engine runs its background thread under the daemon: aged
        group-commit batches are flushed and garbage-heavy generations
        compacted without any client on the line. *)
@@ -544,13 +559,20 @@ let serve_cmd =
           { Fb_net.Server.default_config with
             host; port; default_user = user; save_every_s = save_every;
             read_timeout_s = timeout; max_frame;
-            concurrency = (if coarse then `Coarse else `Striped) }
+            concurrency = (if coarse then `Coarse else `Striped);
+            metrics_port;
+            slow_ms =
+              Option.value slow_ms
+                ~default:Fb_net.Server.default_config.slow_ms }
         in
         (match Fb_net.Server.start ~config ~save fb with
         | Error e -> `Error (false, e)
         | Ok srv ->
-          Printf.printf "forkbase: serving %s on %s:%d (SIGINT/SIGTERM to stop)\n%!"
-            root host (Fb_net.Server.port srv);
+          Printf.printf "forkbase: serving %s on %s:%d%s (SIGINT/SIGTERM to stop)\n%!"
+            root host (Fb_net.Server.port srv)
+            (match Fb_net.Server.metrics_port srv with
+             | Some mp -> Printf.sprintf ", metrics on http://%s:%d" host mp
+             | None -> "");
           Fb_net.Server.run srv;
           Fb_core.Persistent.close ~root;
           Printf.printf "forkbase: shut down cleanly\n%!";
@@ -564,7 +586,7 @@ let serve_cmd =
     Term.(ret (const run $ root_arg $ user_arg $ port_arg
                $ host_arg ~doc:"Address to bind." $ stdio_arg
                $ save_every_arg $ timeout_arg $ max_frame_arg $ coarse_arg
-               $ backend_arg $ fsync_arg))
+               $ backend_arg $ fsync_arg $ metrics_port_arg $ slow_ms_arg))
 
 let client_cmd =
   let request_pos =
@@ -725,7 +747,13 @@ let metrics_cmd =
                    dump carries live latency distributions.  The workload \
                    never touches the on-disk store.")
   in
-  let run root user json n =
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Also write the span ring as Chrome trace_event JSON \
+                   to $(docv) (open in chrome://tracing or Perfetto).")
+  in
+  let run root user json n trace_out =
     with_instance root (fun fb ->
         ignore user;
         (* Touching stats registers the persistent store's gauges. *)
@@ -782,6 +810,13 @@ let metrics_cmd =
             merges 0
           end
         in
+        (match trace_out with
+         | None -> ()
+         | Some file ->
+           let oc = open_out_bin file in
+           Fun.protect
+             ~finally:(fun () -> close_out_noerr oc)
+             (fun () -> output_string oc (Fb_obs.Obs.dump_chrome_trace ())));
         Ok
           (if json then Fb_obs.Obs.dump_json ~include_spans:true ()
            else Fb_obs.Obs.dump_prometheus ()))
@@ -790,8 +825,299 @@ let metrics_cmd =
     (Cmd.info "metrics"
        ~doc:"Dump the observability registry (counters, gauges, latency \
              histograms) in Prometheus text format, or JSON with --json.  \
-             Use --workload N to exercise an in-memory instance first.")
-    Term.(ret (const run $ root_arg $ user_arg $ json_arg $ workload_arg))
+             Use --workload N to exercise an in-memory instance first, \
+             --trace-out FILE to export the span ring for chrome://tracing.")
+    Term.(ret (const run $ root_arg $ user_arg $ json_arg $ workload_arg
+               $ trace_out_arg))
+
+(* ------------------------- top ------------------------- *)
+
+(* Live node telemetry: poll METRICS-JSON over the typed Remote, rebuild
+   histogram snapshots from the wire buckets, and diff consecutive
+   samples into interval rates and quantiles (Obs.snapshot_sub) — the
+   lifetime aggregates a node reports are useless for "what is it doing
+   right now". *)
+module Top = struct
+  module Obs = Fb_obs.Obs
+  module Json = Fb_types.Json
+
+  type sample = {
+    at : float;
+    counters : (string * float) list;
+    gauges : (string * float) list;
+    hists : (string * Obs.snapshot) list;
+  }
+
+  let parse_sample body =
+    match Json.parse body with
+    | Error e -> Error ("bad metrics-json: " ^ e)
+    | Ok j ->
+      let obj name =
+        match Json.member name j with Some (Json.Object o) -> o | _ -> []
+      in
+      let number = function Json.Number n -> Some n | _ -> None in
+      let counters =
+        List.filter_map
+          (fun (k, v) -> Option.map (fun n -> (k, n)) (number v))
+          (obj "counters")
+      in
+      let gauges =
+        List.filter_map
+          (fun (k, v) -> Option.map (fun n -> (k, n)) (number v))
+          (obj "gauges")
+      in
+      let hists =
+        List.filter_map
+          (fun (k, v) ->
+            match v with
+            | Json.Object fields ->
+              let num name =
+                match List.assoc_opt name fields with
+                | Some (Json.Number n) -> n
+                | _ -> 0.0
+              in
+              let buckets =
+                match List.assoc_opt "buckets" fields with
+                | Some (Json.Array pairs) ->
+                  List.filter_map
+                    (function
+                      | Json.Array [ Json.Number i; Json.Number c ] ->
+                        Some (int_of_float i, int_of_float c)
+                      | _ -> None)
+                    pairs
+                | _ -> []
+              in
+              Some
+                ( k,
+                  Obs.snapshot_of_buckets
+                    ~count:(int_of_float (num "count"))
+                    ~sum:(num "sum") buckets )
+            | _ -> None)
+          (obj "histograms")
+      in
+      Ok { at = Unix.gettimeofday (); counters; gauges; hists }
+
+  let fetch r =
+    match Fb_net.Remote.raw r [ "metrics-json" ] with
+    | Error e -> Error (Errors.to_string e)
+    | Ok body -> parse_sample body
+
+  let assoc name l = Option.value (List.assoc_opt name l) ~default:0.0
+
+  let fmt_seconds v =
+    if v <= 0.0 then "-"
+    else if v >= 1.0 then Printf.sprintf "%.2f s" v
+    else if v >= 1e-3 then Printf.sprintf "%.2f ms" (v *. 1e3)
+    else Printf.sprintf "%.0f us" (v *. 1e6)
+
+  let fmt_bytes v =
+    if v >= 1048576.0 then Printf.sprintf "%.1f MiB" (v /. 1048576.0)
+    else if v >= 1024.0 then Printf.sprintf "%.1f KiB" (v /. 1024.0)
+    else Printf.sprintf "%.0f B" v
+
+  let starts_with ~prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+
+  let ends_with ~suffix s =
+    let n = String.length s and m = String.length suffix in
+    n >= m && String.sub s (n - m) m = suffix
+
+  (* fb.net.<verb>_seconds -> <verb> *)
+  let verb_of_hist name =
+    let prefix = "fb.net." and suffix = "_seconds" in
+    if starts_with ~prefix name && ends_with ~suffix name then
+      Some
+        (String.sub name (String.length prefix)
+           (String.length name - String.length prefix - String.length suffix))
+    else None
+
+  let render ~target prev cur =
+    let dt = Float.max 1e-9 (cur.at -. prev.at) in
+    let cdelta name = Float.max 0.0 (assoc name cur.counters -. assoc name prev.counters) in
+    let buf = Buffer.create 2048 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+    line "forkbase top — %s — interval %.1f s" target dt;
+    line "requests: %6.1f/s   batches: %5.1f/s   errors: %4.1f/s   conns: %.0f"
+      (cdelta "fb.net.frames" /. dt)
+      (cdelta "fb.net.batches" /. dt)
+      ((cdelta "fb.net.errors" +. cdelta "fb.net.request_errors") /. dt)
+      (assoc "fb.net.connections_active" cur.gauges);
+    line "";
+    line "%-14s %10s %10s %10s %10s" "verb" "ops/s" "p50" "p99" "count";
+    let rows =
+      List.filter_map
+        (fun (name, snap) ->
+          match verb_of_hist name with
+          | None -> None
+          | Some verb ->
+            let prev_snap =
+              Option.value (List.assoc_opt name prev.hists)
+                ~default:Obs.empty_snapshot
+            in
+            let d = Obs.snapshot_sub snap prev_snap in
+            let n = Obs.snapshot_total d in
+            if n = 0 && Obs.snapshot_total snap = 0 then None
+            else Some (verb, n, d, snap))
+        cur.hists
+    in
+    let rows = List.sort (fun (_, a, _, _) (_, b, _, _) -> compare b a) rows in
+    List.iter
+      (fun (verb, n, d, lifetime) ->
+        let q snap p =
+          if Obs.snapshot_total snap = 0 then "-"
+          else fmt_seconds (Obs.snapshot_quantile snap p)
+        in
+        if n > 0 then
+          line "%-14s %10.1f %10s %10s %10d" verb
+            (float_of_int n /. dt)
+            (q d 0.5) (q d 0.99) (Obs.snapshot_total lifetime)
+        else
+          line "%-14s %10s %10s %10s %10d" verb "-" (q lifetime 0.5)
+            (q lifetime 0.99)
+            (Obs.snapshot_total lifetime))
+      rows;
+    let section title picks =
+      if picks <> [] then begin
+        line "";
+        line "%s" title;
+        List.iter (fun (k, v) -> line "  %-40s %s" k v) picks
+      end
+    in
+    section "caches"
+      (List.filter_map
+         (fun (k, v) ->
+           if ends_with ~suffix:".hit_ratio" k then
+             Some (k, Printf.sprintf "%5.1f%% hits" (v *. 100.0))
+           else None)
+         cur.gauges);
+    section "log store"
+      (List.filter_map
+         (fun (k, v) ->
+           if not (starts_with ~prefix:"log." k) then None
+           else if ends_with ~suffix:".generation" k
+                   || ends_with ~suffix:".live_chunks" k
+                   || ends_with ~suffix:".compactions" k then
+             Some (k, Printf.sprintf "%.0f" v)
+           else if ends_with ~suffix:".file_bytes" k
+                   || ends_with ~suffix:".synced_bytes" k
+                   || ends_with ~suffix:".garbage_bytes" k then
+             Some (k, fmt_bytes v)
+           else None)
+         cur.gauges);
+    let wait = assoc "fb.rwlock.wait_seconds" (List.map (fun (k, s) -> (k, float_of_int (Obs.snapshot_total s))) cur.hists) in
+    if wait > 0.0 then begin
+      match List.assoc_opt "fb.rwlock.wait_seconds" cur.hists with
+      | Some snap ->
+        let prev_snap =
+          Option.value
+            (List.assoc_opt "fb.rwlock.wait_seconds" prev.hists)
+            ~default:Obs.empty_snapshot
+        in
+        let d = Obs.snapshot_sub snap prev_snap in
+        let use = if Obs.snapshot_total d > 0 then d else snap in
+        line "";
+        line "lock wait: p50 %s  p99 %s"
+          (fmt_seconds (Obs.snapshot_quantile use 0.5))
+          (fmt_seconds (Obs.snapshot_quantile use 0.99))
+      | None -> ()
+    end;
+    Buffer.contents buf
+
+  (* --demo: an in-process server over a Mem store plus a background
+     workload, so the dashboard (and make check) can run with no
+     external node to point at. *)
+  let with_demo f =
+    let store = Fb_chunk.Metered_store.wrap (Fb_chunk.Mem_store.create ()) in
+    let fb = FB.create store in
+    let config =
+      { Fb_net.Server.default_config with port = 0; save_every_s = 0.0 }
+    in
+    match Fb_net.Server.start ~config fb with
+    | Error e -> `Error (false, "demo server: " ^ e)
+    | Ok srv ->
+      let port = Fb_net.Server.port srv in
+      let stop_flag = Atomic.make false in
+      let worker =
+        Thread.create
+          (fun () ->
+            match Fb_net.Remote.connect ~port ~user:"demo" () with
+            | Error _ -> ()
+            | Ok r ->
+              let i = ref 0 in
+              while not (Atomic.get stop_flag) do
+                let key = Printf.sprintf "demo-%d" (!i mod 8) in
+                ignore (Fb_net.Remote.put r ~key (Printf.sprintf "v%d" !i));
+                ignore (Fb_net.Remote.get r ~key);
+                incr i;
+                Thread.delay 0.002
+              done;
+              Fb_net.Remote.close r)
+          ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stop_flag true;
+          Thread.join worker;
+          Fb_net.Server.stop srv)
+        (fun () -> f port)
+
+  let run host port user interval once demo =
+    let interval = Float.max 0.1 interval in
+    let poll target port =
+      match Fb_net.Remote.connect ~host ~port ~user () with
+      | Error e -> `Error (false, Errors.to_string e)
+      | Ok r ->
+        Fun.protect
+          ~finally:(fun () -> Fb_net.Remote.close r)
+          (fun () ->
+            match fetch r with
+            | Error e -> `Error (false, e)
+            | Ok first ->
+              let rec loop prev =
+                Thread.delay interval;
+                match fetch r with
+                | Error e -> `Error (false, e)
+                | Ok cur ->
+                  if not once then print_string "\027[H\027[2J";
+                  print_string (render ~target prev cur);
+                  flush stdout;
+                  if once then `Ok () else loop cur
+              in
+              loop first)
+    in
+    if demo then with_demo (fun p -> poll (Printf.sprintf "demo:%d" p) p)
+    else poll (Printf.sprintf "%s:%d" host port) port
+end
+
+let top_cmd =
+  let interval_arg =
+    Arg.(value & opt float 2.0
+         & info [ "i"; "interval" ] ~docv:"SECONDS"
+             ~doc:"Refresh interval (also the window of the rate/quantile \
+                   deltas).")
+  in
+  let once_arg =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Render a single interval and exit (no screen clearing) \
+                   — for scripts and smoke tests.")
+  in
+  let demo_arg =
+    Arg.(value & flag
+         & info [ "demo" ]
+             ~doc:"Start a throwaway in-memory server with a synthetic \
+                   workload and watch it — a self-contained demo needing \
+                   no running node.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live telemetry of a running $(b,forkbase serve): ops/s and \
+             interval p50/p99 per verb (from METRICS-JSON histogram \
+             snapshots), cache hit ratios, log-store gauges and lock \
+             wait, refreshed every --interval seconds.")
+    Term.(ret (const Top.run $ host_arg ~doc:"Server address." $ port_arg
+               $ user_arg $ interval_arg $ once_arg $ demo_arg))
 
 let main =
   let doc = "Git-like, tamper-evident storage for branchable applications" in
@@ -801,6 +1127,7 @@ let main =
       branch_cmd; rename_cmd; delete_branch_cmd; diff_cmd; merge_cmd;
       verify_cmd; export_cmd; bundle_cmd; unbundle_cmd; history_cmd;
       tag_cmd; tags_cmd;
-      serve_cmd; client_cmd; stat_cmd; gc_cmd; scrub_cmd; metrics_cmd ]
+      serve_cmd; client_cmd; stat_cmd; gc_cmd; scrub_cmd; metrics_cmd;
+      top_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -57,13 +57,22 @@ let log_handle ~root =
 let sync_logs root =
   List.iter (fun h -> try Log_store.sync h with Failure _ -> ()) (handles_of root)
 
+(* Once the last handle of a root is gone, its [log.<dir>.*] gauges read
+   a dead engine's final state forever — retire them.  Obs registration
+   is last-writer-wins, so a reopen re-registers under the same names
+   and simply takes them back. *)
+let retire_gauges_if_last root =
+  if handles_of root = [] then
+    Fb_obs.Obs.unregister_gauges_prefix ("log." ^ log_dir root ^ ".")
+
 let close ~root =
   let hs = handles_of root in
   with_registry (fun () ->
       while Hashtbl.mem log_handles root do
         Hashtbl.remove log_handles root
       done);
-  List.iter (fun h -> try Log_store.close h with Failure _ -> ()) hs
+  List.iter (fun h -> try Log_store.close h with Failure _ -> ()) hs;
+  retire_gauges_if_last root
 
 let read_table path =
   if not (Sys.file_exists path) then Ok (Branch.create ())
@@ -166,7 +175,8 @@ let open_handle ?acl ?fsync ?(backend = `Auto) ?log_config ~root () =
       (match handle with
       | Some h ->
         unregister root h;
-        Log_store.close h
+        Log_store.close h;
+        retire_gauges_if_last root
       | None -> ());
       e)
   with
@@ -193,7 +203,8 @@ let with_instance ?acl ?fsync ?backend ?log_config ~root f =
       match handle with
       | Some h ->
         unregister root h;
-        (try Log_store.close h with Failure _ -> ())
+        (try Log_store.close h with Failure _ -> ());
+        retire_gauges_if_last root
       | None -> ())
     (fun () ->
       let* result = f fb in

@@ -159,7 +159,10 @@ let dispatch ?user fb tokens =
              s.Forkbase.keys s.Forkbase.branches s.Forkbase.versions
              s.Forkbase.store.Fb_chunk.Store.physical_bytes)
       | "metrics", [] -> Ok (Fb_obs.Obs.dump_prometheus ())
-      | "metrics-json", [] -> Ok (Fb_obs.Obs.dump_json ~include_spans:true ())
+      | "metrics-json", [] ->
+        (* Buckets ride along so a remote consumer (forkbase top) can
+           rebuild snapshots and compute interval quantiles. *)
+        Ok (Fb_obs.Obs.dump_json ~include_spans:true ~include_buckets:true ())
       | "fsck", [] ->
         let report = Forkbase.scrub ~dry_run:true fb in
         Ok (Format.asprintf "%a" Fb_chunk.Scrub.pp_report report)

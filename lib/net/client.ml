@@ -1,4 +1,5 @@
 module Errors = Fb_core.Errors
+module Obs = Fb_obs.Obs
 
 type error =
   | Remote of Errors.t
@@ -72,6 +73,15 @@ let close t =
     (try Unix.close t.fd with Unix.Unix_error _ -> ())
   end
 
+(* The trace header stamped on outgoing frames: the calling thread's
+   innermost open span, if tracing is on.  Server-side spans of this
+   request will join that trace as children of the client span. *)
+let current_trace () =
+  Option.map
+    (fun (c : Obs.context) ->
+      { Frame.trace_id = c.trace_id; parent_span = c.span_id })
+    (Obs.current_context ())
+
 (* One framed round trip.  Transport failures poison the connection
    (the stream may be desynchronized); typed server-side errors do not. *)
 let roundtrip ?user t req =
@@ -81,7 +91,7 @@ let roundtrip ?user t req =
     match
       match
         Frame.write_frame ?timeout_s:t.timeout_s t.fd
-          (Frame.encode_request ~user req)
+          (Frame.encode_request ~user ?trace:(current_trace ()) req)
       with
       | Ok () ->
         Frame.read_frame ~max_frame:t.max_frame ?timeout_s:t.timeout_s t.fd
@@ -100,16 +110,29 @@ let roundtrip ?user t req =
       close t;
       Error (Transport (Unix.error_message err))
 
-let request ?user t tokens =
-  match roundtrip ?user t (Frame.Single tokens) with
-  | Error _ as e -> e
-  | Ok (Frame.One (Ok payload)) -> Ok payload
-  | Ok (Frame.One (Error e)) -> Error (Remote e)
-  | Ok (Frame.Many _) ->
-    close t;
-    Error (Transport "batch response to a single request")
+let verb_of = function
+  | v :: _ -> String.lowercase_ascii v
+  | [] -> "(empty)"
 
-let batch ?user t reqs =
+(* request/batch open a client-side span around the round trip: the span
+   mints (or continues) the trace id, the header stamped by [roundtrip]
+   carries it, and the wall time it records is the latency the caller
+   saw — wire + server, attributable by diffing against the server span
+   of the same trace. *)
+let request ?user t tokens =
+  Obs.with_span
+    ~attrs:[ ("verb", verb_of tokens) ]
+    "net.client.request"
+    (fun () ->
+      match roundtrip ?user t (Frame.Single tokens) with
+      | Error _ as e -> e
+      | Ok (Frame.One (Ok payload)) -> Ok payload
+      | Ok (Frame.One (Error e)) -> Error (Remote e)
+      | Ok (Frame.Many _) ->
+        close t;
+        Error (Transport "batch response to a single request"))
+
+let batch_roundtrip ?user t reqs =
   match roundtrip ?user t (Frame.Batch reqs) with
   | Error _ as e -> e
   | Ok (Frame.Many replies) when List.length replies = List.length reqs ->
@@ -123,6 +146,12 @@ let batch ?user t reqs =
   | Ok (Frame.One _) ->
     close t;
     Error (Transport "single response to a batch request")
+
+let batch ?user t reqs =
+  Obs.with_span
+    ~attrs:[ ("n", string_of_int (List.length reqs)) ]
+    "net.client.batch"
+    (fun () -> batch_roundtrip ?user t reqs)
 
 let request_line ?user t line =
   match Fb_core.Service.tokenize line with

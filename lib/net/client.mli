@@ -7,7 +7,13 @@
     the connection (every later call fails fast).  Most applications
     want the {!Remote} module on top, which mirrors the typed
     {!Fb_core.Forkbase} surface; this layer is the escape hatch for raw
-    verbs and the REPL. *)
+    verbs and the REPL.
+
+    When observability is enabled, every {!request}/{!batch} runs inside
+    a [net.client.request]/[net.client.batch] span and stamps the frame
+    with the calling thread's trace context ({!Frame.trace}), so the
+    server's spans for this request join the caller's trace.  With
+    [FB_OBS=0] no header is sent. *)
 
 type error =
   | Remote of Fb_core.Errors.t  (** the verb failed server-side *)

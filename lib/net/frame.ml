@@ -48,22 +48,37 @@ let protocol_version = 2
 
 type request = Single of string list | Batch of string list list
 
+type trace = { trace_id : string; parent_span : int }
+
 let kind_single = 0
 let kind_batch = 1
 
-let encode_request ~user req =
+(* Trace context rides in the same v2 envelope behind a flag bit on the
+   kind byte: a header-less v2 frame (kind byte 0 or 1) is still a valid
+   v2 frame, so tracing-unaware peers and FB_OBS=0 clients interoperate
+   unchanged.  The header sits between [user] and the body. *)
+let flag_trace = 0x80
+let kind_mask = 0x7f
+
+let encode_request ~user ?trace req =
   Codec.to_string
     (fun w () ->
       Codec.u8 w protocol_version;
-      (match req with
-       | Single tokens ->
-         Codec.u8 w kind_single;
-         Codec.bytes w user;
-         Codec.list w Codec.bytes tokens
-       | Batch reqs ->
-         Codec.u8 w kind_batch;
-         Codec.bytes w user;
-         Codec.list w (fun w tokens -> Codec.list w Codec.bytes tokens) reqs))
+      let kind =
+        (match req with Single _ -> kind_single | Batch _ -> kind_batch)
+        lor (match trace with Some _ -> flag_trace | None -> 0)
+      in
+      Codec.u8 w kind;
+      Codec.bytes w user;
+      (match trace with
+       | Some t ->
+         Codec.bytes w t.trace_id;
+         Codec.zigzag w t.parent_span
+       | None -> ());
+      match req with
+      | Single tokens -> Codec.list w Codec.bytes tokens
+      | Batch reqs ->
+        Codec.list w (fun w tokens -> Codec.list w Codec.bytes tokens) reqs)
     ()
 
 let decode_request payload =
@@ -76,12 +91,22 @@ let decode_request payload =
              (Printf.sprintf
                 "unsupported protocol version %d (this server speaks %d)" v
                 protocol_version));
-      let kind = Codec.read_u8 r in
+      let kind_byte = Codec.read_u8 r in
+      let kind = kind_byte land kind_mask in
       let user = Codec.read_bytes r in
+      let trace =
+        if kind_byte land flag_trace <> 0 then begin
+          let trace_id = Codec.read_bytes r in
+          let parent_span = Codec.read_zigzag r in
+          Some { trace_id; parent_span }
+        end
+        else None
+      in
       if kind = kind_single then
-        (user, Single (Codec.read_list r Codec.read_bytes))
+        (user, trace, Single (Codec.read_list r Codec.read_bytes))
       else if kind = kind_batch then
         ( user,
+          trace,
           Batch (Codec.read_list r (fun r -> Codec.read_list r Codec.read_bytes))
         )
       else

@@ -10,7 +10,9 @@
     Frame payloads are themselves {!Fb_codec} values:
 
     {v
-    request  ::= u8 version(=2) | u8 kind | bytes user | body
+    request  ::= u8 version(=2) | u8 kind' | bytes user | trace? | body
+      kind' = kind lor 0x80 when the optional trace header is present
+      trace           : bytes trace-id | zigzag parent-span-id
       kind 0 (single) : body = list<bytes> tokens
       kind 1 (batch)  : body = list< list<bytes> > sub-requests
     response ::= u8 kind | body
@@ -20,6 +22,14 @@
       status 0        : bytes payload
       status 1..9     : the fields of the matching Errors.t constructor
     v}
+
+    The trace header carries the caller's {!Fb_obs.Obs} position — a
+    128-bit trace id (32 hex chars) and the client span id that server
+    spans should parent under — so one trace id links client-side and
+    server-side spans of a request.  It is strictly optional: a
+    header-less v2 frame (kind byte [0]/[1]) parses exactly as before,
+    which keeps tracing-unaware peers and [FB_OBS=0] clients
+    compatible.
 
     [tokens] is the verb + arguments exactly as {!Fb_core.Service.dispatch}
     consumes them — no re-tokenization happens server-side.  A batch
@@ -69,11 +79,15 @@ type request =
   | Single of string list          (** one verb + arguments *)
   | Batch of string list list      (** N sub-requests, one lock, N replies *)
 
-val encode_request : user:string -> request -> string
+type trace = { trace_id : string; parent_span : int }
+(** The optional trace header: the caller's trace id and the span the
+    server should record its request span under. *)
 
-val decode_request : string -> (string * request, string) result
-(** [(user, request)]; rejects unknown protocol versions (including v1),
-    unknown kinds and trailing garbage. *)
+val encode_request : user:string -> ?trace:trace -> request -> string
+
+val decode_request : string -> (string * trace option * request, string) result
+(** [(user, trace, request)]; rejects unknown protocol versions
+    (including v1), unknown kinds and trailing garbage. *)
 
 type reply = (string, Fb_core.Errors.t) result
 (** What one verb returns across the wire — same type the local

@@ -1,0 +1,188 @@
+(* Minimal HTTP/1.0 sidecar for scrape endpoints (/metrics, /healthz,
+   /tracez, /trace.json).  Deliberately tiny: GET only, one response per
+   connection, Connection: close — exactly what curl and a Prometheus
+   scraper need, and nothing a request smuggler can play with.  Runs its
+   own accept thread; each connection is handled on a short-lived thread
+   with a hard header deadline so a wedged scraper cannot block the
+   next one. *)
+
+type reply = { status : int; content_type : string; body : string }
+
+type handler = string -> reply option
+
+type t = {
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  handler : handler;
+  state : Mutex.t;
+  mutable running : bool;
+  mutable accept_thread : Thread.t option;
+}
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | _ -> "Error"
+
+let header_deadline_s = 5.0
+let max_header_bytes = 8192
+
+let contains_blank_line s =
+  let n = String.length s in
+  let rec go i =
+    if i + 1 >= n then false
+    else if s.[i] = '\n' && (s.[i + 1] = '\n' || (i + 2 < n && s.[i + 1] = '\r' && s.[i + 2] = '\n'))
+    then true
+    else go (i + 1)
+  in
+  go 0
+
+(* Read until the blank line ending the request head (we never read a
+   body: GET only), bounded in bytes and time. *)
+let read_head fd =
+  let deadline = Frame.deadline_of_timeout (Some header_deadline_s) in
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > max_header_bytes then None
+    else
+      let s = Buffer.contents buf in
+      if contains_blank_line s then Some s
+      else
+        match Frame.wait_readable fd deadline with
+        | Error _ -> None
+        | Ok () -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> None
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception Unix.Unix_error _ -> None)
+  in
+  go ()
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      match Unix.write fd b off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error _ -> ()
+  in
+  go 0
+
+let send fd reply =
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+        Connection: close\r\n\r\n%s"
+       reply.status (status_text reply.status) reply.content_type
+       (String.length reply.body) reply.body)
+
+let text body = { status = 200; content_type = "text/plain; charset=utf-8"; body }
+let json body = { status = 200; content_type = "application/json"; body }
+
+let not_found =
+  { status = 404; content_type = "text/plain; charset=utf-8";
+    body = "not found\n" }
+
+let handle_conn handler fd =
+  Fun.protect
+    ~finally:(fun () -> close_quiet fd)
+    (fun () ->
+      match read_head fd with
+      | None -> ()
+      | Some head ->
+        let line =
+          match String.index_opt head '\n' with
+          | Some i -> String.trim (String.sub head 0 i)
+          | None -> String.trim head
+        in
+        let reply =
+          match String.split_on_char ' ' line with
+          | [ "GET"; target; _version ] ->
+            (* Route on the bare path: query strings are accepted and
+               ignored, fragments don't reach servers. *)
+            let path =
+              match String.index_opt target '?' with
+              | Some i -> String.sub target 0 i
+              | None -> target
+            in
+            Option.value (handler path) ~default:not_found
+          | "GET" :: _ | [] | [ _ ] ->
+            { status = 400; content_type = "text/plain; charset=utf-8";
+              body = "bad request\n" }
+          | _ ->
+            { status = 405; content_type = "text/plain; charset=utf-8";
+              body = "method not allowed\n" }
+        in
+        send fd reply)
+
+let is_running t = Mutex.protect t.state (fun () -> t.running)
+
+let accept_loop t =
+  let rec go () =
+    if is_running t then
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        ignore (Thread.create (fun () -> handle_conn t.handler fd) ());
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let port t = t.bound_port
+
+let start ?(host = "127.0.0.1") ~port handler =
+  match Frame.resolve_host host with
+  | Error e -> Error e
+  | Ok addr -> (
+    match
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (addr, port));
+         Unix.listen fd 16
+       with e ->
+         close_quiet fd;
+         raise e);
+      fd
+    with
+    | fd ->
+      let bound_port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      let t =
+        { listen_fd = fd; bound_port; handler; state = Mutex.create ();
+          running = true; accept_thread = None }
+      in
+      t.accept_thread <- Some (Thread.create accept_loop t);
+      Ok t
+    | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Printf.sprintf "metrics listen %s:%d: %s" host port
+           (Unix.error_message err)))
+
+let stop t =
+  let was_running =
+    Mutex.protect t.state (fun () ->
+        let r = t.running in
+        t.running <- false;
+        r)
+  in
+  if was_running then begin
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    close_quiet t.listen_fd;
+    match t.accept_thread with Some th -> Thread.join th | None -> ()
+  end

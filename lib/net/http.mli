@@ -1,0 +1,35 @@
+(** Minimal HTTP/1.0 sidecar serving the node's scrape endpoints.
+
+    Deliberately tiny: GET only, one response per connection,
+    [Connection: close], hard deadline and size bound on the request
+    head — enough for [curl], a Prometheus scraper or a browser tab, by
+    construction free of keep-alive/pipelining/body attack surface.
+    It binds its own port (the server's [--metrics-port]) so operational
+    traffic never mixes with the binary protocol socket.
+
+    The route table lives in the handler: it receives the request path
+    (query string stripped) and returns a reply, or [None] for 404. *)
+
+type reply = { status : int; content_type : string; body : string }
+
+type handler = string -> reply option
+
+val text : string -> reply
+(** 200 [text/plain; charset=utf-8]. *)
+
+val json : string -> reply
+(** 200 [application/json]. *)
+
+type t
+
+val start : ?host:string -> port:int -> handler -> (t, string) result
+(** Bind and start the accept thread.  [port = 0] binds an ephemeral
+    port (see {!port}).  Default host ["127.0.0.1"] — expose a node's
+    telemetry beyond localhost deliberately, not by default. *)
+
+val port : t -> int
+(** The bound port (resolves [port = 0]). *)
+
+val stop : t -> unit
+(** Close the listener and join the accept thread.  Idempotent.
+    In-flight connection threads finish on their own deadline. *)

@@ -1,5 +1,14 @@
 (* Write-preferring reader-writer lock, and a striped variant keyed by
-   string for per-key exclusion.  Built on stdlib Mutex/Condition only. *)
+   string for per-key exclusion.  Built on stdlib Mutex/Condition only.
+
+   Acquisition paths record an Obs "rwlock.wait" span (plus the
+   fb.rwlock.wait_seconds histogram), so a traced request shows lock
+   wait as a distinct child span — the difference between "the store is
+   slow" and "the request queued behind a writer". *)
+
+module Obs = Fb_obs.Obs
+
+let wait_hist = Obs.histogram "fb.rwlock.wait_seconds"
 
 type t = {
   m : Mutex.t;
@@ -54,16 +63,25 @@ let release_write t =
   else Condition.broadcast t.can_read;
   Mutex.unlock t.m
 
-let with_read t f =
-  acquire_read t;
-  Fun.protect ~finally:(fun () -> release_read t) f
+let mode_name = function `Read -> "read" | `Write -> "write"
 
-let with_write t f =
-  acquire_write t;
-  Fun.protect ~finally:(fun () -> release_write t) f
+let acquire_spanned ?(scope = "stripe") t mode =
+  Obs.with_span
+    ~attrs:[ ("mode", mode_name mode); ("scope", scope) ]
+    "rwlock.wait"
+    (fun () ->
+      Obs.time wait_hist (fun () ->
+          match mode with `Read -> acquire_read t | `Write -> acquire_write t))
+
+let release_mode t mode =
+  match mode with `Read -> release_read t | `Write -> release_write t
 
 let with_mode t mode f =
-  match mode with `Read -> with_read t f | `Write -> with_write t f
+  acquire_spanned t mode;
+  Fun.protect ~finally:(fun () -> release_mode t mode) f
+
+let with_read t f = with_mode t `Read f
+let with_write t f = with_mode t `Write f
 
 module Striped = struct
   type rw = t
@@ -94,9 +112,33 @@ module Striped = struct
 
   (* Global sections take every stripe, always in index order so two
      concurrent global writers (or a global writer vs. a key writer)
-     cannot deadlock. *)
+     cannot deadlock.  One wait span covers the whole sweep — the wait
+     a global op actually experiences is the sum over stripes. *)
   let with_global t ~mode f =
     let n = Array.length t in
-    let rec go i = if i >= n then f () else with_mode t.(i) mode (fun () -> go (i + 1)) in
-    go 0
+    let acquired = ref 0 in
+    let acquire_all () =
+      Obs.with_span
+        ~attrs:[ ("mode", mode_name mode); ("scope", "global") ]
+        "rwlock.wait"
+        (fun () ->
+          Obs.time wait_hist (fun () ->
+              while !acquired < n do
+                (match mode with
+                 | `Read -> acquire_read t.(!acquired)
+                 | `Write -> acquire_write t.(!acquired));
+                incr acquired
+              done))
+    in
+    let release_all () =
+      for i = !acquired - 1 downto 0 do
+        release_mode t.(i) mode
+      done
+    in
+    (match acquire_all () with
+     | () -> ()
+     | exception e ->
+       release_all ();
+       raise e);
+    Fun.protect ~finally:release_all f
 end

@@ -10,7 +10,13 @@
     starve writers; when the writer backlog drains, the whole waiting
     reader cohort is released at once (bounded reader wait: the writers
     queued at its arrival).  Locks are not reentrant — a thread taking
-    the same lock (or stripe) twice deadlocks. *)
+    the same lock (or stripe) twice deadlocks.
+
+    Every acquisition records an {!Fb_obs.Obs} ["rwlock.wait"] span
+    (attrs [mode=read|write], [scope=stripe|global]) and feeds the
+    [fb.rwlock.wait_seconds] histogram, so traced requests expose lock
+    wait separately from store work.  Free when observability is
+    disabled. *)
 
 type t
 

@@ -13,7 +13,18 @@ type config = {
   default_user : string;
   concurrency : [ `Striped | `Coarse ];
   stripes : int;
+  metrics_port : int option;
+  slow_ms : float;
 }
+
+(* FB_SLOW_MS seeds the default slow-request threshold so an operator
+   can turn the slow log on without touching the launch command;
+   [infinity] disables it. *)
+let default_slow_ms =
+  match Sys.getenv_opt "FB_SLOW_MS" with
+  | Some s -> (
+    match float_of_string_opt s with Some v when v >= 0.0 -> v | _ -> infinity)
+  | None -> infinity
 
 let default_config =
   { host = "127.0.0.1";
@@ -24,7 +35,23 @@ let default_config =
     save_every_s = 5.0;
     default_user = "anonymous";
     concurrency = `Striped;
-    stripes = Rwlock.Striped.default_stripes }
+    stripes = Rwlock.Striped.default_stripes;
+    metrics_port = None;
+    slow_ms = default_slow_ms }
+
+(* One entry of the slow-request ring behind /tracez: enough to render
+   "what was slow, when, for whom" with the span tree captured at the
+   moment the request finished (the ring would have evicted it later). *)
+type slow_trace = {
+  st_time : float;
+  st_verb : string;
+  st_user : string;
+  st_ms : float;
+  st_trace_id : string;
+  st_tree : string;
+}
+
+let max_slow_traces = 32
 
 type t = {
   cfg : config;
@@ -32,6 +59,7 @@ type t = {
   save : (unit -> unit) option;
   listen_fd : Unix.file_descr;
   bound_port : int;
+  started_at : float;
   (* Striped reader-writer locking replaces PR 4's coarse instance
      mutex: read-only verbs share their key's stripe, mutating verbs
      take it exclusively, instance-wide verbs span all stripes. *)
@@ -42,6 +70,8 @@ type t = {
   mutable next_id : int;
   mutable accept_thread : Thread.t option;
   mutable saver_thread : Thread.t option;
+  mutable metrics_http : Http.t option;
+  mutable slow_traces : slow_trace list;  (* newest first, bounded *)
 }
 
 (* ------------------------- metrics ------------------------- *)
@@ -134,9 +164,19 @@ let classify_batch reqs =
 
 (* Dispatch under the computed lock; mutations run with watch delivery
    deferred so callbacks fire after the exclusive section is released
-   (a slow observer must not extend writer-held time). *)
+   (a slow observer must not extend writer-held time).  Each sub-request
+   gets its own [net.server.<verb>] span inside the lock, so a traced
+   BATCH shows one child span per sub-request under the batch span (and
+   a Single shows dispatch time distinct from lock wait). *)
 let dispatch_locked t ~user ~access ~scope reqs =
-  let run () = List.map (fun tokens -> Service.dispatch ~user t.fb tokens) reqs in
+  let dispatch_one tokens =
+    let verb =
+      match tokens with v :: _ -> String.lowercase_ascii v | [] -> "(empty)"
+    in
+    Obs.with_span ("net.server." ^ verb) (fun () ->
+        Service.dispatch ~user t.fb tokens)
+  in
+  let run () = List.map dispatch_one reqs in
   let replies, flush =
     locked t ~access ~scope (fun () ->
         match access with
@@ -161,6 +201,40 @@ let respond t fd resp =
   | Error _ -> false
   | exception Unix.Unix_error _ -> false
 
+(* The remote caller's trace position, as an Obs context: request spans
+   opened under it join the client's trace, with the client span as
+   (remote) parent. *)
+let span_ctx trace =
+  Option.map
+    (fun (tr : Frame.trace) ->
+      { Obs.trace_id = tr.trace_id; span_id = tr.parent_span })
+    trace
+
+(* Slow-request log: a structured Warn event plus a /tracez ring entry
+   carrying the request's span tree, rendered now — by the time an
+   operator looks, the span ring would have evicted it. *)
+let record_slow t ~verb ~user ~ms trace_ref =
+  match !trace_ref with
+  | None -> ()
+  | Some (ctx : Obs.context) ->
+    let trace_id = ctx.trace_id in
+    Obs.log_event ~fields:
+        [ ("verb", verb); ("user", user);
+          ("ms", Printf.sprintf "%.3f" ms); ("trace", trace_id) ]
+      Obs.Warn "slow request";
+    let entry =
+      { st_time = Unix.gettimeofday (); st_verb = verb; st_user = user;
+        st_ms = ms; st_trace_id = trace_id;
+        st_tree = Obs.render_trace trace_id }
+    in
+    Mutex.protect t.state (fun () ->
+        let keep =
+          if List.length t.slow_traces >= max_slow_traces then
+            List.filteri (fun i _ -> i < max_slow_traces - 1) t.slow_traces
+          else t.slow_traces
+        in
+        t.slow_traces <- entry :: keep)
+
 let serve_request t fd payload =
   Obs.incr frames_total;
   match Frame.decode_request payload with
@@ -169,9 +243,15 @@ let serve_request t fd payload =
     (* Frame boundaries are intact, only this payload was bad: answer and
        keep the connection. *)
     respond t fd (Frame.One (Error (Errors.Invalid ("bad request: " ^ e))))
-  | Ok (user, req) ->
+  | Ok (user, trace, req) ->
     let user = if user = "" then t.cfg.default_user else user in
-    let resp =
+    let ctx = span_ctx trace in
+    (* Captured inside the request span: its own context (the trace id
+       is minted there when the client sent no header), for slow-log
+       attribution after the span closes. *)
+    let trace_ref = ref None in
+    let t0 = Unix.gettimeofday () in
+    let label, resp =
       match req with
       | Frame.Single tokens ->
         let verb =
@@ -183,28 +263,40 @@ let serve_request t fd payload =
            | Service.Read -> read_verbs_total
            | Service.Write -> write_verbs_total);
         let reply =
-          Obs.time (verb_hist verb) (fun () ->
-              match dispatch_locked t ~user ~access ~scope [ tokens ] with
-              | [ r ] -> r
-              | _ -> Error (Errors.Invalid "internal: reply count mismatch"))
+          Obs.with_span ?ctx
+            ~attrs:[ ("verb", verb); ("user", user) ]
+            "net.server.request"
+            (fun () ->
+              trace_ref := Obs.current_context ();
+              Obs.time (verb_hist verb) (fun () ->
+                  match dispatch_locked t ~user ~access ~scope [ tokens ] with
+                  | [ r ] -> r
+                  | _ -> Error (Errors.Invalid "internal: reply count mismatch")))
         in
         (match reply with
          | Ok _ -> ()
          | Error _ -> Obs.incr request_errors);
-        Frame.One reply
+        (verb, Frame.One reply)
       | Frame.Batch reqs ->
         Obs.incr batches_total;
         Obs.add batch_subrequests_total (List.length reqs);
         let access, scope = classify_batch reqs in
         let replies =
-          Obs.time (verb_hist "batch") (fun () ->
-              dispatch_locked t ~user ~access ~scope reqs)
+          Obs.with_span ?ctx
+            ~attrs:[ ("n", string_of_int (List.length reqs)); ("user", user) ]
+            "net.server.batch"
+            (fun () ->
+              trace_ref := Obs.current_context ();
+              Obs.time (verb_hist "batch") (fun () ->
+                  dispatch_locked t ~user ~access ~scope reqs))
         in
         List.iter
           (function Ok _ -> () | Error _ -> Obs.incr request_errors)
           replies;
-        Frame.Many replies
+        ("batch", Frame.Many replies)
     in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    if ms >= t.cfg.slow_ms then record_slow t ~verb:label ~user ~ms trace_ref;
     respond t fd resp
 
 let handle_conn t id fd =
@@ -280,9 +372,60 @@ let saver_loop t =
   in
   go 0.0
 
+(* ------------------------- scrape endpoints ------------------------- *)
+
+let healthz_body t =
+  let conns = Mutex.protect t.state (fun () -> List.length t.conns) in
+  Printf.sprintf
+    "{\"status\":\"ok\",\"uptime_s\":%.1f,\"connections_active\":%d,\
+     \"port\":%d,\"slow_traces\":%d}"
+    (Unix.gettimeofday () -. t.started_at)
+    conns t.bound_port
+    (Mutex.protect t.state (fun () -> List.length t.slow_traces))
+
+let tracez_body t =
+  let entries = Mutex.protect t.state (fun () -> t.slow_traces) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "slow requests (threshold %.1f ms, %d kept)\n\n"
+       t.cfg.slow_ms (List.length entries));
+  if entries = [] then Buffer.add_string buf "(none recorded)\n"
+  else
+    List.iter
+      (fun e ->
+        Buffer.add_string buf
+          (Printf.sprintf "[%.3f] %s user=%s %.3f ms trace=%s\n%s\n" e.st_time
+             e.st_verb e.st_user e.st_ms e.st_trace_id e.st_tree))
+      entries;
+  Buffer.contents buf
+
+(* The sidecar's route table.  Everything it serves is read-only
+   telemetry rendered at request time; it never touches the store, so a
+   scrape cannot contend with the binary protocol path. *)
+let http_handler t path =
+  match path with
+  | "/metrics" -> Some (Http.text (Obs.dump_prometheus ()))
+  | "/healthz" -> Some (Http.json (healthz_body t))
+  | "/tracez" -> Some (Http.text (tracez_body t))
+  | "/trace.json" -> Some (Http.json (Obs.dump_chrome_trace ()))
+  | "/" ->
+    Some
+      (Http.text
+         "forkbase metrics sidecar\n\
+          /metrics    Prometheus exposition\n\
+          /healthz    liveness + uptime JSON\n\
+          /tracez     recent slow-request traces\n\
+          /trace.json Chrome trace_event dump of the span ring\n")
+  | _ -> None
+
+let slow_trace_count t =
+  Mutex.protect t.state (fun () -> List.length t.slow_traces)
+
 (* ------------------------- lifecycle ------------------------- *)
 
 let port t = t.bound_port
+
+let metrics_port t = Option.map Http.port t.metrics_http
 
 let start ?(config = default_config) ?save fb =
   match Frame.resolve_host config.host with
@@ -311,16 +454,36 @@ let start ?(config = default_config) ?save fb =
        with Invalid_argument _ -> ());
       let t =
         { cfg = config; fb; save; listen_fd = fd; bound_port;
+          started_at = Unix.gettimeofday ();
           locks = Rwlock.Striped.create ~stripes:(max 1 config.stripes) ();
           state = Mutex.create ();
           running = true; conns = []; next_id = 0;
-          accept_thread = None; saver_thread = None }
+          accept_thread = None; saver_thread = None;
+          metrics_http = None; slow_traces = [] }
       in
       Obs.gauge "fb.net.connections_active" (fun () ->
           float_of_int (Mutex.protect t.state (fun () -> List.length t.conns)));
+      (match config.metrics_port with
+       | None -> ()
+       | Some mport -> (
+         match Http.start ~host:config.host ~port:mport (http_handler t) with
+         | Ok http -> t.metrics_http <- Some http
+         | Error e ->
+           (* A node that cannot serve its binary port must not start;
+              one that cannot serve telemetry should — log and go on. *)
+           Obs.log_event ~fields:[ ("error", e) ] Obs.Error
+             "metrics sidecar failed to start"));
       t.accept_thread <- Some (Thread.create accept_loop t);
       if config.save_every_s > 0.0 && save <> None then
         t.saver_thread <- Some (Thread.create saver_loop t);
+      Obs.log_event
+        ~fields:
+          [ ("host", config.host); ("port", string_of_int bound_port);
+            ("metrics_port",
+             match metrics_port t with
+             | Some p -> string_of_int p
+             | None -> "off") ]
+        Obs.Info "server started";
       Ok t
     | exception Unix.Unix_error (err, _, _) ->
       Error
@@ -352,8 +515,16 @@ let stop t =
     done;
     (match t.accept_thread with Some th -> Thread.join th | None -> ());
     (match t.saver_thread with Some th -> Thread.join th | None -> ());
+    (match t.metrics_http with
+     | Some http ->
+       Http.stop http;
+       t.metrics_http <- None
+     | None -> ());
     (* Final save so SIGTERM leaves the branch table current on disk. *)
-    do_save t
+    do_save t;
+    Obs.log_event
+      ~fields:[ ("port", string_of_int t.bound_port) ]
+      Obs.Info "server stopped"
   end
 
 let run t =

@@ -37,7 +37,22 @@
     [fb.net.read_verbs], [fb.net.write_verbs]; gauge
     [fb.net.connections_active]; per-verb latency histograms
     [fb.net.<verb>_seconds] (lock wait included — that is the latency a
-    client observes), with batches timed under [fb.net.batch_seconds]. *)
+    client observes), with batches timed under [fb.net.batch_seconds].
+
+    Tracing: every request runs inside a [net.server.request] (or
+    [net.server.batch]) span.  When the frame carries a trace header
+    ({!Frame.trace}, stamped by {!Client}), the span joins the client's
+    trace as a child of the client span — one trace id across both
+    processes.  Each BATCH sub-request gets its own [net.server.<verb>]
+    child span, and lock acquisition shows up as the [rwlock.wait] span
+    {!Rwlock} records.  Requests slower than [slow_ms] emit a [Warn]
+    event ({!Fb_obs.Obs.log_event}) and park their rendered span tree in
+    a bounded ring served at [/tracez].
+
+    Telemetry sidecar: with [metrics_port] set, a tiny HTTP/1.0 listener
+    ({!Http}) serves [/metrics] (Prometheus exposition), [/healthz]
+    (liveness JSON), [/tracez] (recent slow traces) and [/trace.json]
+    (Chrome [trace_event] dump of the span ring) on a separate port. *)
 
 type config = {
   host : string;          (** bind address; default ["127.0.0.1"] *)
@@ -53,12 +68,19 @@ type config = {
       pre-v2 behavior, kept selectable for benchmarking and as an
       operational escape hatch. *)
   stripes : int;          (** lock stripes; default 16, clamped to >= 1 *)
+  metrics_port : int option;
+  (** bind the HTTP telemetry sidecar here ([Some 0] = ephemeral, see
+      {!metrics_port}); [None] (default) = no sidecar *)
+  slow_ms : float;
+  (** slow-request threshold in milliseconds; requests at or above it
+      are logged and kept for [/tracez].  Default: [FB_SLOW_MS] from the
+      environment, else [infinity] (disabled). *)
 }
 
 val default_config : config
 (** [127.0.0.1:7447], backlog 64, {!Frame.default_max_frame}, 30 s read
     timeout, save every 5 s, user ["anonymous"], [`Striped] with 16
-    stripes. *)
+    stripes, no metrics sidecar, slow log per [FB_SLOW_MS]. *)
 
 type t
 
@@ -71,6 +93,14 @@ val start :
 
 val port : t -> int
 (** The bound port — the ephemeral port when [config.port = 0]. *)
+
+val metrics_port : t -> int option
+(** The sidecar's bound port when [config.metrics_port] was set and the
+    sidecar started; [None] otherwise. *)
+
+val slow_trace_count : t -> int
+(** Entries currently held in the slow-request ring (exposed for tests
+    and [/healthz]). *)
 
 val is_running : t -> bool
 

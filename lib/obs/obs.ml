@@ -1,15 +1,20 @@
 (* In-process observability substrate: a metrics registry (counters,
-   callback gauges, log-bucketed latency histograms) plus Dapper-style
-   trace spans in a bounded ring buffer.
+   callback gauges, log-bucketed latency histograms), Dapper-style trace
+   spans in a bounded ring buffer, and a leveled structured event log.
 
    Design constraints (see DESIGN.md "Observability"):
    - near-zero cost when disabled: every record path starts with one
      boolean load and returns immediately;
-   - constant memory: histograms are fixed bucket arrays, traces a fixed
-     ring — no allocation proportional to traffic is retained;
+   - constant memory: histograms are fixed bucket arrays, traces and
+     events fixed rings — no allocation proportional to traffic is
+     retained;
    - pull-model exposition: gauges are callbacks read at dump time, so
      existing mutable stats records (Store.stats, cache stats, retry
-     stats) fold into the registry without double bookkeeping. *)
+     stats) fold into the registry without double bookkeeping;
+   - thread-safe tracing: the network server records spans from many
+     connection threads, so span parenthood is tracked per thread and
+     the ring is mutex-guarded.  Counters/histograms stay lock-free
+     (increments may race; a lost tick is acceptable, a crash is not). *)
 
 let enabled_flag =
   ref
@@ -71,9 +76,28 @@ let incr c = if !enabled_flag then c.value <- c.value + 1
 let add c n = if !enabled_flag then c.value <- c.value + n
 let counter_value c = c.value
 
-(* A gauge is re-registered freely: the latest callback wins, so wrapping
-   a fresh store under a name used by a dead one just works. *)
+(* Registration is idempotent by name with last-writer-wins: re-wrapping
+   a fresh store (e.g. a Persistent root closed and reopened in-process)
+   under a name used by a dead handle simply takes the name over — the
+   registry never holds two callbacks for one name. *)
 let gauge name read = Hashtbl.replace gauges name read
+
+let unregister_gauge name = Hashtbl.remove gauges name
+
+(* Drop every gauge whose name starts with [prefix] — how a closing
+   Persistent root retires the gauges of its log engine instead of
+   leaving callbacks that read a dead handle's last state forever. *)
+let unregister_gauges_prefix prefix =
+  let plen = String.length prefix in
+  let doomed =
+    Hashtbl.fold
+      (fun name _ acc ->
+        if String.length name >= plen && String.sub name 0 plen = prefix then
+          name :: acc
+        else acc)
+      gauges []
+  in
+  List.iter (Hashtbl.remove gauges) doomed
 
 let histogram name =
   match Hashtbl.find_opt histograms name with
@@ -143,16 +167,111 @@ let reset_histogram h =
   h.min_seen <- infinity;
   h.max_seen <- neg_infinity
 
+(* ---------------- histogram snapshots ---------------- *)
+
+(* An immutable sparse copy of a histogram, subtractable: two snapshots
+   taken an interval apart yield the distribution of that interval alone
+   — how `forkbase top` turns lifetime histograms into live p50/p99.
+   Snapshots travel as (bucket index, count) pairs, so they also
+   reconstruct from a METRICS-JSON body on the far side of the wire. *)
+
+type snapshot = {
+  snap_count : int;
+  snap_sum : float;
+  snap_buckets : (int * int) list;  (* ascending bucket index, count > 0 *)
+}
+
+let snapshot h =
+  let b = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then b := (i, h.buckets.(i)) :: !b
+  done;
+  { snap_count = h.count; snap_sum = h.sum; snap_buckets = !b }
+
+let snapshot_of_buckets ~count ~sum buckets =
+  let buckets =
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      (List.filter (fun (i, c) -> i >= 0 && i < n_buckets && c > 0) buckets)
+  in
+  { snap_count = count; snap_sum = sum; snap_buckets = buckets }
+
+let empty_snapshot = { snap_count = 0; snap_sum = 0.0; snap_buckets = [] }
+
+(* [after - before], clamped at zero per bucket: a histogram only grows,
+   so negative deltas mean the far side was reset — treat as fresh. *)
+let snapshot_sub after before =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (i, c) -> Hashtbl.replace tbl i c) after.snap_buckets;
+  List.iter
+    (fun (i, c) ->
+      let cur = Option.value (Hashtbl.find_opt tbl i) ~default:0 in
+      let d = cur - c in
+      if d > 0 then Hashtbl.replace tbl i d else Hashtbl.remove tbl i)
+    before.snap_buckets;
+  let buckets =
+    List.sort compare (Hashtbl.fold (fun i c acc -> (i, c) :: acc) tbl [])
+  in
+  { snap_count = max 0 (after.snap_count - before.snap_count);
+    snap_sum = Float.max 0.0 (after.snap_sum -. before.snap_sum);
+    snap_buckets = buckets }
+
+let snapshot_total s =
+  List.fold_left (fun acc (_, c) -> acc + c) 0 s.snap_buckets
+
+let snapshot_quantile s q =
+  let total = snapshot_total s in
+  if total = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int total)) in
+      if r < 1 then 1 else if r > total then total else r
+    in
+    let rec go seen = function
+      | [] -> 0.0
+      | (i, c) :: rest ->
+        let seen = seen + c in
+        if seen >= rank then bucket_midpoint i else go seen rest
+    in
+    go 0 s.snap_buckets
+  end
+
+(* ---------------- trace ids ---------------- *)
+
+(* 128-bit trace ids as 32 lowercase hex chars, from a splitmix64 stream
+   seeded with wall clock + pid: unique enough to join client and server
+   spans across processes, dependency-free (fb_obs stays a leaf). *)
+let trace_prng =
+  ref
+    Int64.(
+      logxor
+        (of_float (Unix.gettimeofday () *. 1e6))
+        (shift_left (of_int (Unix.getpid ())) 40))
+
+let next64 () =
+  let open Int64 in
+  trace_prng := add !trace_prng 0x9e3779b97f4a7c15L;
+  let z = !trace_prng in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let gen_trace_id () = Printf.sprintf "%016Lx%016Lx" (next64 ()) (next64 ())
+
 (* ---------------- trace spans ---------------- *)
 
 type span = {
   id : int;
   parent : int;  (* id of the enclosing span, or -1 for a root span *)
+  trace : string;  (* 32-hex trace id shared by every span of one request *)
+  tid : int;  (* recording thread, for Chrome trace lanes *)
   name : string;
   start : float;     (* Unix time, seconds *)
   duration : float;  (* seconds *)
   attrs : (string * string) list;
 }
+
+type context = { trace_id : string; span_id : int }
 
 let default_span_capacity = 512
 
@@ -165,18 +284,28 @@ type ring = {
 let ring =
   { slots = Array.make default_span_capacity None; pos = 0; recorded = 0 }
 
-let span_stack : int list ref = ref []
+(* Guards the ring, the per-thread span stacks and the trace PRNG.  A
+   leaf lock: nothing is called while holding it. *)
+let trace_lock = Mutex.create ()
+
+(* Per-thread stack of open spans as (span id, trace id); entries are
+   removed when a thread's stack empties so dead connection threads do
+   not accumulate. *)
+let span_stacks : (int, (int * string) list) Hashtbl.t = Hashtbl.create 16
 let next_span_id = ref 0
+
+let self_tid () = Thread.id (Thread.self ())
 
 let set_span_capacity n =
   if n < 1 then invalid_arg "Obs.set_span_capacity";
-  ring.slots <- Array.make n None;
-  ring.pos <- 0;
-  ring.recorded <- 0
+  Mutex.protect trace_lock (fun () ->
+      ring.slots <- Array.make n None;
+      ring.pos <- 0;
+      ring.recorded <- 0)
 
 let span_capacity () = Array.length ring.slots
 
-let record_span s =
+let record_span_locked s =
   ring.slots.(ring.pos) <- Some s;
   ring.pos <- (ring.pos + 1) mod Array.length ring.slots;
   ring.recorded <- ring.recorded + 1
@@ -187,27 +316,62 @@ let spans_recorded () = ring.recorded
    so a parent id may refer to a span later in (or already evicted from)
    the list; consumers key on [id]/[parent], not position. *)
 let spans () =
-  let cap = Array.length ring.slots in
-  let out = ref [] in
-  for k = 0 to cap - 1 do
-    match ring.slots.((ring.pos + k) mod cap) with
-    | Some s -> out := s :: !out
-    | None -> ()
-  done;
-  List.rev !out
+  Mutex.protect trace_lock (fun () ->
+      let cap = Array.length ring.slots in
+      let out = ref [] in
+      for k = 0 to cap - 1 do
+        match ring.slots.((ring.pos + k) mod cap) with
+        | Some s -> out := s :: !out
+        | None -> ()
+      done;
+      List.rev !out)
 
-let with_span ?(attrs = []) name f =
+let current_context () =
+  if not !enabled_flag then None
+  else
+    let tid = self_tid () in
+    Mutex.protect trace_lock (fun () ->
+        match Hashtbl.find_opt span_stacks tid with
+        | Some ((span_id, trace_id) :: _) -> Some { trace_id; span_id }
+        | Some [] | None -> None)
+
+let with_span ?(attrs = []) ?ctx name f =
   if not !enabled_flag then f ()
   else begin
-    let id = !next_span_id in
-    next_span_id := id + 1;
-    let parent = match !span_stack with [] -> -1 | p :: _ -> p in
-    span_stack := id :: !span_stack;
+    let tid = self_tid () in
+    let id, parent, trace =
+      Mutex.protect trace_lock (fun () ->
+          let id = !next_span_id in
+          next_span_id := id + 1;
+          let stack =
+            Option.value (Hashtbl.find_opt span_stacks tid) ~default:[]
+          in
+          let parent, trace =
+            match ctx with
+            | Some c ->
+              (* Remote parent: this span roots the local tree but joins
+                 the caller's trace (its parent id names a span recorded
+                 on the far side). *)
+              (c.span_id, c.trace_id)
+            | None -> (
+              match stack with
+              | (pid, tr) :: _ -> (pid, tr)
+              | [] -> (-1, gen_trace_id ()))
+          in
+          Hashtbl.replace span_stacks tid ((id, trace) :: stack);
+          (id, parent, trace))
+    in
     let start = now () in
     let finish () =
-      (match !span_stack with _ :: rest -> span_stack := rest | [] -> ());
-      record_span
-        { id; parent; name; start; duration = now () -. start; attrs }
+      let duration = now () -. start in
+      Mutex.protect trace_lock (fun () ->
+          (match Hashtbl.find_opt span_stacks tid with
+           | Some (_ :: rest) ->
+             if rest = [] then Hashtbl.remove span_stacks tid
+             else Hashtbl.replace span_stacks tid rest
+           | Some [] | None -> ());
+          record_span_locked
+            { id; parent; trace; tid; name; start; duration; attrs })
     in
     match f () with
     | v ->
@@ -218,17 +382,161 @@ let with_span ?(attrs = []) name f =
       raise e
   end
 
+(* ---------------- structured event log ---------------- *)
+
+(* Leveled JSON-lines events.  With a sink installed (explicitly or via
+   FB_LOG=stderr|<path>) every event is rendered and written through; with
+   no sink, events land in a bounded in-memory ring — free black-box
+   recording that a post-mortem (or /tracez) can read back. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_value = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+let level_name = function
+  | Debug -> "debug" | Info -> "info" | Warn -> "warn" | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type event = {
+  ev_time : float;
+  ev_level : level;
+  ev_msg : string;
+  ev_fields : (string * string) list;
+  ev_trace : string option;  (* trace id of the span active at emit time *)
+}
+
+let log_threshold =
+  ref
+    (match Sys.getenv_opt "FB_LOG_LEVEL" with
+     | Some s -> Option.value (level_of_string s) ~default:Info
+     | None -> Info)
+
+let set_log_level l = log_threshold := l
+
+type sink_state =
+  | No_sink
+  | Fn of (string -> unit)
+  | Pending_file of string  (* opened lazily on the first event *)
+
+let sink =
+  ref
+    (match Sys.getenv_opt "FB_LOG" with
+     | None | Some "" -> No_sink
+     | Some "stderr" -> Fn prerr_endline
+     | Some path -> Pending_file path)
+
+let set_log_sink f =
+  sink := (match f with None -> No_sink | Some f -> Fn f)
+
+let default_event_capacity = 256
+let event_ring : event Queue.t = Queue.create ()
+let event_capacity = ref default_event_capacity
+let event_lock = Mutex.create ()
+
+let set_event_capacity n =
+  if n < 1 then invalid_arg "Obs.set_event_capacity";
+  Mutex.protect event_lock (fun () ->
+      event_capacity := n;
+      while Queue.length event_ring > n do
+        ignore (Queue.pop event_ring)
+      done)
+
+let events () =
+  Mutex.protect event_lock (fun () ->
+      List.rev (Queue.fold (fun acc e -> e :: acc) [] event_ring))
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let event_to_json e =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"ts\":%.6f,\"level\":\"%s\",\"msg\":\"%s\"" e.ev_time
+       (level_name e.ev_level) (json_escape e.ev_msg));
+  (match e.ev_trace with
+   | Some t -> Buffer.add_string buf (Printf.sprintf ",\"trace\":\"%s\"" (json_escape t))
+   | None -> ());
+  (match e.ev_fields with
+   | [] -> ()
+   | fields ->
+     Buffer.add_string buf ",\"fields\":{";
+     Buffer.add_string buf
+       (String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+             fields));
+     Buffer.add_string buf "}");
+  Buffer.add_string buf "}";
+  Buffer.contents buf
+
+let push_event e =
+  Mutex.protect event_lock (fun () ->
+      Queue.push e event_ring;
+      while Queue.length event_ring > !event_capacity do
+        ignore (Queue.pop event_ring)
+      done)
+
+let log_event ?(fields = []) level msg =
+  if !enabled_flag && level_value level >= level_value !log_threshold then begin
+    let ev_trace = Option.map (fun c -> c.trace_id) (current_context ()) in
+    let e =
+      { ev_time = now (); ev_level = level; ev_msg = msg;
+        ev_fields = fields; ev_trace }
+    in
+    match !sink with
+    | No_sink -> push_event e
+    | Fn f -> (try f (event_to_json e) with _ -> ())
+    | Pending_file path -> (
+      match
+        open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+      with
+      | oc ->
+        let f line =
+          output_string oc line;
+          output_char oc '\n';
+          flush oc
+        in
+        sink := Fn f;
+        (try f (event_to_json e) with _ -> ())
+      | exception Sys_error _ ->
+        (* Unwritable FB_LOG path: fall back to the ring, once. *)
+        sink := No_sink;
+        push_event e)
+  end
+
 (* ---------------- reset ---------------- *)
 
-(* Zeroes counters, histograms and the span ring; gauge registrations are
-   kept (they are read-only callbacks). *)
+(* Zeroes counters, histograms, the span ring and the event ring; gauge
+   registrations are kept (they are read-only callbacks). *)
 let reset () =
   Hashtbl.iter (fun _ c -> c.value <- 0) counters;
   Hashtbl.iter (fun _ h -> reset_histogram h) histograms;
-  Array.fill ring.slots 0 (Array.length ring.slots) None;
-  ring.pos <- 0;
-  ring.recorded <- 0;
-  span_stack := []
+  Mutex.protect trace_lock (fun () ->
+      Array.fill ring.slots 0 (Array.length ring.slots) None;
+      ring.pos <- 0;
+      ring.recorded <- 0;
+      Hashtbl.reset span_stacks);
+  Mutex.protect event_lock (fun () -> Queue.clear event_ring)
 
 (* ---------------- exposition ---------------- *)
 
@@ -247,6 +555,14 @@ let prom_name name =
 
 let read_gauge g = try g () with _ -> nan
 
+(* The text exposition spells special values the way the Prometheus
+   grammar does; "%g" would print "nan"/"inf", which scrapers reject. *)
+let prom_float v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else Printf.sprintf "%.17g" v
+
 let dump_prometheus () =
   let buf = Buffer.create 1024 in
   List.iter
@@ -259,7 +575,7 @@ let dump_prometheus () =
     (fun (name, g) ->
       let n = prom_name name in
       Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
-      Buffer.add_string buf (Printf.sprintf "%s %.17g\n" n (read_gauge g)))
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" n (prom_float (read_gauge g))))
     (sorted_items gauges);
   List.iter
     (fun (name, h) ->
@@ -268,28 +584,14 @@ let dump_prometheus () =
       List.iter
         (fun q ->
           Buffer.add_string buf
-            (Printf.sprintf "%s{quantile=\"%g\"} %.9g\n" n q (quantile h q)))
+            (Printf.sprintf "%s{quantile=\"%g\"} %s\n" n q
+               (prom_float (quantile h q))))
         [ 0.5; 0.9; 0.99 ];
-      Buffer.add_string buf (Printf.sprintf "%s_sum %.9g\n" n h.sum);
+      Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" n (prom_float h.sum));
       Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n h.count);
-      Buffer.add_string buf (Printf.sprintf "%s_max %.9g\n" n (hist_max h)))
+      Buffer.add_string buf
+        (Printf.sprintf "%s_max %s\n" n (prom_float (hist_max h))))
     (sorted_items histograms);
-  Buffer.contents buf
-
-let json_escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
   Buffer.contents buf
 
 let json_float v =
@@ -298,7 +600,25 @@ let json_float v =
     Printf.sprintf "%.0f" v
   else Printf.sprintf "%.9g" v
 
-let dump_json ?(include_spans = false) () =
+let span_json s =
+  Printf.sprintf
+    "{\"id\":%d,\"parent\":%d,\"trace\":\"%s\",\"tid\":%d,\"name\":\"%s\",\
+     \"start\":%s,\"duration_us\":%s%s}"
+    s.id s.parent (json_escape s.trace) s.tid (json_escape s.name)
+    (json_float s.start)
+    (json_float (s.duration *. 1e6))
+    (match s.attrs with
+     | [] -> ""
+     | attrs ->
+       ",\"attrs\":{"
+       ^ String.concat ","
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+              attrs)
+       ^ "}")
+
+let dump_json ?(include_spans = false) ?(include_buckets = false) () =
   let buf = Buffer.create 1024 in
   let obj fields = "{" ^ String.concat "," fields ^ "}" in
   Buffer.add_string buf "{\"counters\":";
@@ -321,48 +641,67 @@ let dump_json ?(include_spans = false) () =
     (obj
        (List.map
           (fun (name, h) ->
+            let buckets =
+              if not include_buckets then ""
+              else
+                let s = snapshot h in
+                Printf.sprintf ",\"buckets\":[%s]"
+                  (String.concat ","
+                     (List.map
+                        (fun (i, c) -> Printf.sprintf "[%d,%d]" i c)
+                        s.snap_buckets))
+            in
             Printf.sprintf
-              "\"%s\":{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s}"
+              "\"%s\":{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s%s}"
               (json_escape name) h.count (json_float h.sum)
               (json_float (hist_min h))
               (json_float (hist_max h))
               (json_float (quantile h 0.5))
               (json_float (quantile h 0.9))
-              (json_float (quantile h 0.99)))
+              (json_float (quantile h 0.99))
+              buckets)
           (sorted_items histograms)));
   if include_spans then begin
     Buffer.add_string buf ",\"spans\":[";
-    Buffer.add_string buf
-      (String.concat ","
-         (List.map
-            (fun s ->
-              Printf.sprintf
-                "{\"id\":%d,\"parent\":%d,\"name\":\"%s\",\"start\":%s,\"duration_us\":%s%s}"
-                s.id s.parent (json_escape s.name) (json_float s.start)
-                (json_float (s.duration *. 1e6))
-                (match s.attrs with
-                 | [] -> ""
-                 | attrs ->
-                   ",\"attrs\":"
-                   ^ obj
-                       (List.map
-                          (fun (k, v) ->
-                            Printf.sprintf "\"%s\":\"%s\"" (json_escape k)
-                              (json_escape v))
-                          attrs)))
-            (spans ())));
+    Buffer.add_string buf (String.concat "," (List.map span_json (spans ())));
     Buffer.add_string buf "]"
   end;
   Buffer.add_string buf "}";
   Buffer.contents buf
 
-(* Render the span ring as an indented tree (roots at margin), newest
-   trace data last — the human view of "where did that request go". *)
-let pp_spans ppf () =
-  let all = spans () in
-  let children =
-    List.filter (fun (s : span) -> s.parent >= 0) all
-  in
+(* Chrome trace_event JSON (chrome://tracing, Perfetto): complete events
+   ("ph":"X") with microsecond timestamps, one lane per recording thread.
+   Span/trace linkage rides in [args] so a flamegraph row can be joined
+   back to the wire trace id. *)
+let dump_chrome_trace () =
+  let pid = Unix.getpid () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  List.iter
+    (fun s ->
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"fb\",\"ph\":\"X\",\"ts\":%.3f,\
+            \"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"trace\":\"%s\",\
+            \"span\":%d,\"parent\":%d%s}}"
+           (json_escape s.name) (s.start *. 1e6) (s.duration *. 1e6) pid s.tid
+           (json_escape s.trace) s.id s.parent
+           (String.concat ""
+              (List.map
+                 (fun (k, v) ->
+                   Printf.sprintf ",\"%s\":\"%s\"" (json_escape k)
+                     (json_escape v))
+                 s.attrs))))
+    (spans ());
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* ---------------- span-tree rendering ---------------- *)
+
+let render_tree ppf all roots =
+  let children = List.filter (fun (s : span) -> s.parent >= 0) all in
   let rec render indent (s : span) =
     Format.fprintf ppf "%s%s %.1f us%s@."
       (String.make (2 * indent) ' ')
@@ -378,10 +717,33 @@ let pp_spans ppf () =
       (fun (c : span) -> if c.parent = s.id then render (indent + 1) c)
       children
   in
-  List.iter
-    (fun (s : span) ->
-      (* A span whose parent has been evicted from the ring renders as a
-         root: the trace is bounded, not lossless. *)
-      if s.parent < 0 || not (List.exists (fun (p : span) -> p.id = s.parent) all)
-      then render 0 s)
-    all
+  List.iter (render 0) roots
+
+(* Render the span ring as an indented tree (roots at margin), newest
+   trace data last — the human view of "where did that request go". *)
+let pp_spans ppf () =
+  let all = spans () in
+  render_tree ppf all
+    (List.filter
+       (fun (s : span) ->
+         (* A span whose parent has been evicted from the ring renders as
+            a root: the trace is bounded, not lossless. *)
+         s.parent < 0
+         || not (List.exists (fun (p : span) -> p.id = s.parent) all))
+       all)
+
+(* One trace's tree, as text: the spans in the ring sharing [trace_id],
+   rooted at those whose parent is remote or already evicted.  This is
+   what the slow-request log and /tracez emit per offending request. *)
+let render_trace trace_id =
+  let all =
+    List.filter (fun (s : span) -> String.equal s.trace trace_id) (spans ())
+  in
+  let roots =
+    List.filter
+      (fun (s : span) ->
+        s.parent < 0
+        || not (List.exists (fun (p : span) -> p.id = s.parent) all))
+      all
+  in
+  Format.asprintf "%a" (fun ppf () -> render_tree ppf all roots) ()

@@ -1,21 +1,27 @@
-(** In-process observability: metrics registry and trace spans.
+(** In-process observability: metrics registry, trace spans, event log.
 
     One global registry holds named counters, callback gauges and
     log-bucketed latency histograms, plus a bounded ring buffer of trace
-    spans.  Everything is constant-memory and near-zero-cost when
-    disabled (a single boolean load per record call).
+    spans and a bounded ring of structured log events.  Everything is
+    constant-memory and near-zero-cost when disabled (a single boolean
+    load per record call).
 
     Histograms use geometric buckets with ratio 1.1, so any reported
     quantile is within ~5% (relative) of the true sample value; [min],
     [max], [sum] and [count] are exact.  Observations are in seconds.
 
-    Spans are Dapper-style [(name, start, duration, parent, attrs)]
-    records kept in a fixed ring: a long run keeps only the most recent
-    spans, which is exactly what "why was that request slow" needs.
+    Spans are Dapper-style [(trace, id, parent, name, start, duration,
+    attrs)] records kept in a fixed ring: a long run keeps only the most
+    recent spans, which is exactly what "why was that request slow"
+    needs.  Every root span mints a 128-bit trace id; {!current_context}
+    / the [?ctx] argument of {!with_span} carry that id across process
+    boundaries so client and server spans of one request share it.
 
-    The registry is process-global and not thread-safe (the engine is
-    single-threaded); disable with [set_enabled false] or by exporting
-    [FB_OBS=0]. *)
+    Tracing is thread-safe: span parenthood is tracked per thread and
+    the ring is mutex-guarded, so server connection threads can record
+    concurrently.  Counter/histogram increments stay lock-free (a racing
+    tick may be lost; the structures never corrupt).  Disable everything
+    with [set_enabled false] or by exporting [FB_OBS=0]. *)
 
 val set_enabled : bool -> unit
 val is_enabled : unit -> bool
@@ -39,7 +45,16 @@ val counter_value : counter -> int
     retry counters) fold into the registry without double bookkeeping. *)
 
 val gauge : string -> (unit -> float) -> unit
-(** Register (or replace) the gauge under a name. *)
+(** Register (or replace) the gauge under a name.  Registration is
+    idempotent by name with last-writer-wins: reopening a store under a
+    name used by a closed handle takes the name over. *)
+
+val unregister_gauge : string -> unit
+(** Remove one gauge registration; unknown names are ignored. *)
+
+val unregister_gauges_prefix : string -> unit
+(** Remove every gauge whose name starts with the prefix — used when a
+    handle owning a family of gauges (e.g. [log.<root>.*]) closes. *)
 
 (** {1 Histograms} *)
 
@@ -67,21 +82,77 @@ val hist_min : histogram -> float
 val hist_max : histogram -> float
 val reset_histogram : histogram -> unit
 
+(** {2 Snapshots}
+
+    An immutable sparse copy of a histogram's buckets.  Two snapshots
+    taken an interval apart subtract into the distribution of that
+    interval alone — how [forkbase top] turns lifetime histograms into
+    live p50/p99 and ops/s.  Snapshots also reconstruct from the
+    [buckets] pairs of a METRICS-JSON body, so the delta math works
+    against a remote node. *)
+
+type snapshot = {
+  snap_count : int;
+  snap_sum : float;
+  snap_buckets : (int * int) list;
+      (** ascending (bucket index, count), counts > 0 *)
+}
+
+val snapshot : histogram -> snapshot
+
+val snapshot_of_buckets : count:int -> sum:float -> (int * int) list -> snapshot
+(** Build a snapshot from raw (index, count) pairs (any order; non-positive
+    counts and out-of-range indices are dropped). *)
+
+val empty_snapshot : snapshot
+
+val snapshot_sub : snapshot -> snapshot -> snapshot
+(** [snapshot_sub after before]: per-bucket difference clamped at zero
+    (histograms only grow; a negative delta means the source was reset). *)
+
+val snapshot_total : snapshot -> int
+(** Total bucket count — the number of observations the snapshot holds. *)
+
+val snapshot_quantile : snapshot -> float -> float
+(** Quantile over the snapshot's buckets (geometric bucket midpoint,
+    ~5% relative error; no exact min/max clamp); 0 when empty. *)
+
 (** {1 Trace spans} *)
 
 type span = {
   id : int;
   parent : int;  (** id of the enclosing span, or -1 for a root span *)
+  trace : string;
+      (** 32-hex 128-bit trace id shared by every span of one request,
+          including spans recorded in other processes *)
+  tid : int;  (** recording thread id, for Chrome trace lanes *)
   name : string;
   start : float;     (** Unix time, seconds *)
   duration : float;  (** seconds *)
   attrs : (string * string) list;
 }
 
-val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
-(** Run the thunk inside a span.  Nesting is tracked dynamically: a span
-    opened while another is running records it as parent.  The record is
-    written on completion — also on exception. *)
+type context = { trace_id : string; span_id : int }
+(** A position in a trace — what crosses the wire: the trace id plus the
+    id of the span that should become the remote child's parent. *)
+
+val current_context : unit -> context option
+(** The innermost open span of the calling thread, or [None] outside any
+    span (or when disabled). *)
+
+val with_span :
+  ?attrs:(string * string) list ->
+  ?ctx:context ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** Run the thunk inside a span.  Nesting is tracked dynamically per
+    thread: a span opened while another is running on the same thread
+    records it as parent and inherits its trace id; a thread-outermost
+    span mints a fresh trace id.  [?ctx] overrides both — the span joins
+    [ctx.trace_id] with [ctx.span_id] as its (remote) parent, which is
+    how a server request becomes a child of the client's span.  The
+    record is written on completion — also on exception. *)
 
 val spans : unit -> span list
 (** Completed spans still in the ring, oldest first.  Children complete
@@ -97,24 +168,78 @@ val set_span_capacity : int -> unit
 
 val span_capacity : unit -> int
 
+(** {1 Structured event log}
+
+    Leveled JSON-lines events.  With a sink installed — explicitly via
+    {!set_log_sink} or by exporting [FB_LOG=stderr] / [FB_LOG=<path>] —
+    each event is rendered to one JSON line and written through.  With
+    no sink, events land in a bounded in-memory ring readable via
+    {!events}: free black-box recording for post-mortems.  Events below
+    the threshold level ([FB_LOG_LEVEL], default [info]) are dropped at
+    the call site.  An event emitted inside a span carries that span's
+    trace id, linking log lines to traces. *)
+
+type level = Debug | Info | Warn | Error
+
+type event = {
+  ev_time : float;
+  ev_level : level;
+  ev_msg : string;
+  ev_fields : (string * string) list;
+  ev_trace : string option;
+      (** trace id of the span open at emit time, if any *)
+}
+
+val log_event : ?fields:(string * string) list -> level -> string -> unit
+val level_name : level -> string
+val level_of_string : string -> level option
+val set_log_level : level -> unit
+val set_log_sink : (string -> unit) option -> unit
+(** [set_log_sink (Some f)] routes each rendered JSON line to [f];
+    [set_log_sink None] reverts to the in-memory ring. *)
+
+val events : unit -> event list
+(** Events in the ring, oldest first (empty while a sink is installed). *)
+
+val set_event_capacity : int -> unit
+(** Resize (and trim) the event ring.  Default capacity: 256.
+    @raise Invalid_argument if not positive. *)
+
+val event_to_json : event -> string
+(** One JSON line: [{"ts":..,"level":"..","msg":"..","trace":".."?,
+    "fields":{..}?}] (no trailing newline). *)
+
 (** {1 Reset and exposition} *)
 
 val reset : unit -> unit
-(** Zero all counters and histograms and clear the span ring.  Gauge
-    registrations (read-only callbacks) are kept. *)
+(** Zero all counters and histograms, clear the span and event rings.
+    Gauge registrations (read-only callbacks) are kept. *)
 
 val dump_prometheus : unit -> string
 (** Prometheus text exposition: counters, gauges, and histograms as
     summaries with [quantile="0.5"/"0.9"/"0.99"] plus [_sum], [_count]
-    and [_max] lines.  Metric names are sanitized ([.] becomes [_]). *)
+    and [_max] lines.  Metric names are sanitized ([.] becomes [_]);
+    non-finite gauge values print as [NaN]/[+Inf]/[-Inf] per the
+    text-format grammar. *)
 
-val dump_json : ?include_spans:bool -> unit -> string
+val dump_json : ?include_spans:bool -> ?include_buckets:bool -> unit -> string
 (** The same registry as a JSON object:
     [{"counters":{..},"gauges":{..},"histograms":{name:{count,sum,min,
-    max,p50,p90,p99}},"spans":[..]?}].  Spans (with [duration_us]) are
-    included only on request — they are the bulky part. *)
+    max,p50,p90,p99,buckets?}},"spans":[..]?}].  Spans (with
+    [duration_us], [trace], [tid]) and sparse histogram [buckets] pairs
+    ([[index,count],..], for {!snapshot_of_buckets} on the consumer
+    side) are included only on request — they are the bulky parts. *)
+
+val dump_chrome_trace : unit -> string
+(** The span ring as Chrome [trace_event] JSON
+    ([{"traceEvents":[{"ph":"X",..}]}]) loadable in chrome://tracing or
+    Perfetto; one lane per recording thread, span/trace ids in [args]. *)
 
 val pp_spans : Format.formatter -> unit -> unit
 (** Human view of the span ring: indented per-trace tree with durations
     in microseconds.  Spans whose parent has been evicted render as
     roots. *)
+
+val render_trace : string -> string
+(** The spans of one trace id as an indented text tree — what the
+    slow-request log and the /tracez endpoint emit per request. *)

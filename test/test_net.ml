@@ -114,8 +114,68 @@ let qcheck_request_roundtrip =
     (QCheck.make QCheck.Gen.(pair (string_size (0 -- 20)) request_gen))
     (fun (user, req) ->
       match Frame.decode_request (Frame.encode_request ~user req) with
-      | Ok (u, r) -> String.equal u user && r = req
+      | Ok (u, None, r) -> String.equal u user && r = req
+      | _ -> false)
+
+(* The trace header (any trace-id bytes, any — including negative —
+   parent span id) must survive the envelope exactly, and its absence
+   must decode as [None]. *)
+let trace_gen =
+  QCheck.Gen.(
+    opt
+      (map2
+         (fun trace_id parent_span -> { Frame.trace_id; parent_span })
+         (string_size (0 -- 40))
+         (map2
+            (fun sign n -> if sign then n else -n - 1)
+            bool (int_bound ((1 lsl 30) - 1)))))
+
+let qcheck_trace_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"trace header encode/decode round-trip"
+    (QCheck.make
+       QCheck.Gen.(triple (string_size (0 -- 20)) trace_gen request_gen))
+    (fun (user, trace, req) ->
+      match Frame.decode_request (Frame.encode_request ~user ?trace req) with
+      | Ok (u, t, r) -> String.equal u user && t = trace && r = req
       | Error _ -> false)
+
+let test_headerless_v2_compat () =
+  (* A v2 frame written by a tracing-unaware peer — version byte, bare
+     kind byte (no 0x80 flag), user, body, built by hand so this pins
+     the wire bytes rather than today's encoder. *)
+  let open Fb_codec.Codec in
+  let payload =
+    to_string
+      (fun w () ->
+        u8 w 2;
+        u8 w 0 (* Single, no trace flag *);
+        bytes w "alice";
+        list w bytes [ "get"; "k"; "master" ])
+      ()
+  in
+  (match Frame.decode_request payload with
+   | Ok ("alice", None, Frame.Single [ "get"; "k"; "master" ]) -> ()
+   | Ok _ -> Alcotest.fail "header-less v2 frame misparsed"
+   | Error e -> Alcotest.failf "header-less v2 frame rejected: %s" e);
+  (* And the flagged form decodes the header. *)
+  let traced =
+    to_string
+      (fun w () ->
+        u8 w 2;
+        u8 w (1 lor 0x80) (* Batch + trace flag *);
+        bytes w "bob";
+        bytes w "00112233445566778899aabbccddeeff";
+        zigzag w 42;
+        list w (fun w t -> list w bytes t) [ [ "list" ] ])
+      ()
+  in
+  match Frame.decode_request traced with
+  | Ok ("bob", Some t, Frame.Batch [ [ "list" ] ]) ->
+    check string_ "trace id" "00112233445566778899aabbccddeeff"
+      t.Frame.trace_id;
+    check int_ "parent span" 42 t.Frame.parent_span
+  | Ok _ -> Alcotest.fail "traced v2 frame misparsed"
+  | Error e -> Alcotest.failf "traced v2 frame rejected: %s" e
 
 (* Every Errors.t constructor, arbitrary fields: the status-tagged reply
    encoding must reproduce the exact typed value on the far side. *)
@@ -644,6 +704,175 @@ let test_mixed_soak () =
         | _ -> Alcotest.fail "unexpected value shape"
       done)
 
+(* ---------------- tracing & telemetry ---------------- *)
+
+module Obs = Fb_obs.Obs
+
+let span_named name spans = List.filter (fun s -> s.Obs.name = name) spans
+
+(* One request, one trace: the client stamps its span into the frame
+   header, the server joins it — the span ring (shared here because
+   client and server are one process) must show a single trace id
+   spanning both sides, with the server span parented on the client span
+   and the lock wait visible inside it. *)
+let test_trace_propagation () =
+  Obs.reset ();
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  with_server fb (fun srv ->
+      with_client srv (fun c ->
+          ignore (ok_cl (Client.request c [ "put"; "k"; "master"; "v" ]))));
+  let spans = Obs.spans () in
+  match span_named "net.client.request" spans,
+        span_named "net.server.request" spans with
+  | [ cl ], [ sv ] ->
+    check string_ "client and server share one trace id" cl.Obs.trace
+      sv.Obs.trace;
+    check int_ "server span is a child of the client span" cl.Obs.id
+      sv.Obs.parent;
+    let waits =
+      List.filter
+        (fun s -> s.Obs.name = "rwlock.wait" && s.Obs.trace = cl.Obs.trace)
+        spans
+    in
+    check bool_ "rwlock wait span joins the trace" true (waits <> []);
+    (match span_named "net.server.put" spans with
+     | [ d ] ->
+       check string_ "dispatch span in trace" cl.Obs.trace d.Obs.trace;
+       check int_ "dispatch span under server span" sv.Obs.id d.Obs.parent
+     | l -> Alcotest.failf "expected 1 dispatch span, got %d" (List.length l));
+    (* The Chrome export carries the same trace id. *)
+    check bool_ "chrome trace export carries the trace id" true
+      (Tutil.contains (Obs.dump_chrome_trace ()) cl.Obs.trace)
+  | cl, sv ->
+    Alcotest.failf "expected 1 client + 1 server span, got %d + %d"
+      (List.length cl) (List.length sv)
+
+(* A BATCH is one wire frame but N dispatches: each sub-request must get
+   its own child span under the server batch span, all in the client's
+   trace. *)
+let test_batch_trace_spans () =
+  Obs.reset ();
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  with_server fb (fun srv ->
+      with_client srv (fun c ->
+          match
+            Client.batch c
+              [ [ "put"; "k"; "master"; "v1" ]; [ "get"; "k"; "master" ] ]
+          with
+          | Ok [ Ok _; Ok "v1" ] -> ()
+          | Ok _ -> Alcotest.fail "unexpected batch replies"
+          | Error e -> Alcotest.fail (Client.error_to_string e)));
+  let spans = Obs.spans () in
+  match span_named "net.client.batch" spans,
+        span_named "net.server.batch" spans with
+  | [ cl ], [ sv ] ->
+    check string_ "batch trace id propagated" cl.Obs.trace sv.Obs.trace;
+    check int_ "server batch parented on client batch" cl.Obs.id sv.Obs.parent;
+    List.iter
+      (fun name ->
+        match span_named name spans with
+        | [ sub ] ->
+          check string_ (name ^ " in batch trace") sv.Obs.trace sub.Obs.trace;
+          (* Children of the batch span via the lock-wait-free path:
+             parent chain must reach the server batch span. *)
+          let rec reaches id =
+            id = sv.Obs.id
+            || match List.find_opt (fun s -> s.Obs.id = id) spans with
+               | Some s when s.Obs.parent >= 0 -> reaches s.Obs.parent
+               | _ -> false
+          in
+          check bool_ (name ^ " descends from batch span") true
+            (reaches sub.Obs.parent)
+        | l ->
+          Alcotest.failf "expected 1 %s span, got %d" name (List.length l))
+      [ "net.server.put"; "net.server.get" ]
+  | cl, sv ->
+    Alcotest.failf "expected 1 client + 1 server batch span, got %d + %d"
+      (List.length cl) (List.length sv)
+
+let http_get port path =
+  let fd = raw_connect port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+      in
+      drain ();
+      Buffer.contents buf)
+
+let status_of reply =
+  match String.index_opt reply ' ' with
+  | Some i when String.length reply >= i + 4 -> String.sub reply (i + 1) 3
+  | _ -> "???"
+
+let test_metrics_sidecar () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  let config = { test_config with metrics_port = Some 0 } in
+  with_server ~config fb (fun srv ->
+      let mport =
+        match Server.metrics_port srv with
+        | Some p -> p
+        | None -> Alcotest.fail "sidecar did not start"
+      in
+      with_client srv (fun c ->
+          ignore (ok_cl (Client.request c [ "put"; "k"; "master"; "v" ])));
+      let metrics = http_get mport "/metrics" in
+      check string_ "metrics 200" "200" (status_of metrics);
+      check bool_ "prometheus exposition has the frame counter" true
+        (Tutil.contains metrics "fb_net_frames");
+      check bool_ "per-verb histogram exported" true
+        (Tutil.contains metrics "fb_net_put_seconds");
+      let healthz = http_get mport "/healthz" in
+      check string_ "healthz 200" "200" (status_of healthz);
+      check bool_ "healthz reports ok" true (Tutil.contains healthz "\"ok\"");
+      check string_ "tracez 200" "200" (status_of (http_get mport "/tracez"));
+      let trace_json = http_get mport "/trace.json" in
+      check string_ "trace.json 200" "200" (status_of trace_json);
+      check bool_ "chrome trace payload" true
+        (Tutil.contains trace_json "traceEvents");
+      check string_ "unknown path is 404" "404"
+        (status_of (http_get mport "/nope"));
+      (* A second scrape must work: connections are one-shot
+         (Connection: close), not keep-alive. *)
+      check string_ "second scrape" "200"
+        (status_of (http_get mport "/metrics")))
+
+let test_slow_request_log () =
+  Obs.reset ();
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  (* Threshold 0: every request is "slow", so one put must land in the
+     ring and emit a Warn event carrying its trace id. *)
+  let config = { test_config with slow_ms = 0.0 } in
+  with_server ~config fb (fun srv ->
+      with_client srv (fun c ->
+          ignore (ok_cl (Client.request c [ "put"; "k"; "master"; "v" ])));
+      check bool_ "slow ring captured the request" true
+        (Server.slow_trace_count srv > 0));
+  let warns =
+    List.filter
+      (fun (e : Obs.event) -> e.Obs.ev_level = Obs.Warn
+                              && e.Obs.ev_msg = "slow request")
+      (Obs.events ())
+  in
+  match warns with
+  | [] -> Alcotest.fail "no slow-request event logged"
+  | e :: _ ->
+    check bool_ "event names the verb" true
+      (List.mem_assoc "verb" e.Obs.ev_fields);
+    let trace = Option.value (List.assoc_opt "trace" e.Obs.ev_fields) ~default:"" in
+    check bool_ "event carries a trace id" true (String.length trace = 32);
+    check bool_ "span tree renders for that trace" true
+      (Tutil.contains (Obs.render_trace trace) "net.server.request")
+
 let suite =
   [ Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
     Alcotest.test_case "frame stream" `Quick test_frame_stream;
@@ -651,6 +880,9 @@ let suite =
     Alcotest.test_case "frame limits" `Quick test_frame_limits;
     QCheck_alcotest.to_alcotest qcheck_frame_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_request_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_trace_roundtrip;
+    Alcotest.test_case "header-less v2 compatibility" `Quick
+      test_headerless_v2_compat;
     QCheck_alcotest.to_alcotest qcheck_response_roundtrip;
     Alcotest.test_case "request rejects garbage" `Quick
       test_request_rejects_garbage;
@@ -668,4 +900,9 @@ let suite =
       test_connect_failure_leaks_no_fd;
     Alcotest.test_case "deferred watch delivery" `Quick test_deferred_watch;
     Alcotest.test_case "concurrent soak" `Quick test_soak;
-    Alcotest.test_case "mixed reader/writer soak" `Quick test_mixed_soak ]
+    Alcotest.test_case "mixed reader/writer soak" `Quick test_mixed_soak;
+    Alcotest.test_case "trace propagation end-to-end" `Quick
+      test_trace_propagation;
+    Alcotest.test_case "batch sub-request spans" `Quick test_batch_trace_spans;
+    Alcotest.test_case "metrics sidecar" `Quick test_metrics_sidecar;
+    Alcotest.test_case "slow request log" `Quick test_slow_request_log ]
