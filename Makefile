@@ -18,11 +18,15 @@ bench:
 bench-hotpath:
 	dune exec bench/main.exe -- hotpath
 
-# Network concurrency benchmark: reader sweep 1->8 over the striped
-# read/write locking, striped-vs-coarse write p50, and 32-op BATCH
-# frames vs single round trips; writes BENCH_net.json.  (The older
-# mixed-workload soak is `-- net`, writing BENCH_net_mixed.json.)
+# Network benchmarks.  net-c10k: idle+active connection sweep of the
+# event-loop engine vs the thread-per-connection engine plus pipelined
+# depth 1/8/32 on one connection; writes BENCH_net.json.  net-scaling:
+# reader sweep 1->8 over the striped read/write locking,
+# striped-vs-coarse write p50, and 32-op BATCH frames vs single round
+# trips; writes BENCH_net_scaling.json.  (The older mixed-workload soak
+# is `-- net`, writing BENCH_net_mixed.json.)
 bench-net:
+	dune exec bench/main.exe -- net-c10k
 	dune exec bench/main.exe -- net-scaling
 
 # Durability benchmark: sustained fully-durable puts through the pack
@@ -45,10 +49,12 @@ bench-obs:
 # equivalence + cache on/off smoke), a ~1-second network smoke (2
 # concurrent clients over loopback, asserts zero dropped/corrupt frames
 # and a clean shutdown), a ~1-second concurrency smoke (reader scaling,
-# striped-vs-coarse writes, BATCH), a sub-second durability smoke (group
-# commit vs per-chunk fsync, recovery replay, truncation-point crash
-# matrix), and one `forkbase top` render against a throwaway in-process
-# node (exercises the METRICS-JSON wire path end to end).
+# striped-vs-coarse writes, BATCH), an event-loop smoke (event vs
+# threaded connection sweep, SUBSCRIBE push, pipelined depths — fails if
+# the event engine drops a connection), a sub-second durability smoke
+# (group commit vs per-chunk fsync, recovery replay, truncation-point
+# crash matrix), and one `forkbase top` render against a throwaway
+# in-process node (exercises the METRICS-JSON wire path end to end).
 check:
 	dune build
 	dune runtest
@@ -56,6 +62,7 @@ check:
 	dune exec bench/main.exe -- hotpath-quick
 	dune exec bench/main.exe -- net-quick
 	dune exec bench/main.exe -- net-scaling-quick
+	dune exec bench/main.exe -- net-c10k-quick
 	dune exec bench/main.exe -- durability-quick
 	dune exec bin/forkbase_cli.exe -- top --demo --once --interval 0.5
 

@@ -4,7 +4,8 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- fig4    -- run one experiment
      experiments: table1 fig2 fig3 fig4 fig5 fig6 siri ablation storage
-     resilience cluster obs micro hotpath net net-scaling durability
+     resilience cluster obs micro hotpath net net-scaling net-c10k
+     durability
      (the last four also have sub-second -quick variants)
 
    Absolute numbers are machine-dependent; the reproduced artifact is the
@@ -1718,6 +1719,430 @@ let run_net_scaling ?(quick = false) () =
       read_scaling (1e6 *. striped_p50) (1e6 *. coarse_p50) write_regression
       batch_size batch_ops_per_s single_ops_per_s batch_speedup
       (Atomic.get errors);
+    let oc = open_out "BENCH_net_scaling.json" in
+    Buffer.output_buffer oc b;
+    close_out oc;
+    Printf.printf "machine-readable results written to BENCH_net_scaling.json\n"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* net-c10k: connection scalability of the event-loop engine against  *)
+(* the thread-per-connection engine, plus single-connection request   *)
+(* pipelining.  Three claims, measured:                                *)
+(*   1. the event engine holds >= 10x the concurrent connections the   *)
+(*      threaded engine sustains (which is select/thread-bound),       *)
+(*   2. its active-request p99 stays flat (<= 1.5x) as idle            *)
+(*      connections pile up,                                           *)
+(*   3. pipelining depth 32 on one connection beats depth 1 by >= 5x.  *)
+(* Writes BENCH_net.json.                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The soft RLIMIT_NOFILE, read from /proc (no getrlimit binding in the
+   stdlib).  None on hosts without procfs: the guard then only skips
+   nothing, and a genuinely capped host fails connect — visibly. *)
+let fd_limit () =
+  match open_in "/proc/self/limits" with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go () =
+          match input_line ic with
+          | exception End_of_file -> None
+          | line ->
+            if
+              String.length line >= 14
+              && String.equal (String.sub line 0 14) "Max open files"
+            then
+              match
+                String.split_on_char ' ' line
+                |> List.filter (fun s -> s <> "")
+              with
+              | "Max" :: "open" :: "files" :: soft :: _ ->
+                int_of_string_opt soft
+              | _ -> None
+            else go ()
+        in
+        go ())
+
+let percentile_ms lats p =
+  match lats with
+  | [] -> -1.0
+  | _ ->
+    let a = Array.of_list lats in
+    Array.sort compare a;
+    let n = Array.length a in
+    let idx = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    1000.0 *. a.(max 0 (min (n - 1) idx))
+
+type c10k_point = {
+  ck_mode : string;
+  ck_conns : int;
+  ck_established : int;
+  ck_alive : int;
+  ck_p99_ms : float;
+  ck_ops_per_s : float;
+  ck_events : int;
+  ck_errors : int;
+  ck_sustained : bool;
+}
+
+let run_net_c10k ?(quick = false) () =
+  header
+    (if quick then "net-c10k-quick: event vs threaded connection smoke"
+     else
+       "net-c10k: idle+active connection sweep (event vs threaded), \
+        pipelined depth 1/8/32");
+  let limit = fd_limit () in
+  (match limit with
+   | Some l -> Printf.printf "fd limit (ulimit -n): %d\n" l
+   | None -> Printf.printf "fd limit: unknown (no /proc/self/limits)\n");
+  let with_server mode f =
+    let fb = FB.create (Mem_store.create ()) in
+    let config =
+      { Fb_net.Server.default_config with
+        port = 0; save_every_s = 0.0; read_timeout_s = 120.0;
+        backlog = 1024; mode }
+    in
+    match Fb_net.Server.start ~config fb with
+    | Error e -> failwith ("net-c10k: " ^ e)
+    | Ok srv ->
+      Fun.protect
+        ~finally:(fun () -> Fb_net.Server.stop srv)
+        (fun () -> f (Fb_net.Server.port srv))
+  in
+  (* timeout_s = 0 disables every select-based deadline in the client, so
+     the bench process itself has no FD_SETSIZE ceiling; the servers
+     under test keep their own discipline (which is the thing measured). *)
+  let connect port =
+    match Fb_net.Client.connect ~port ~user:"bench" ~timeout_s:0.0 () with
+    | Ok c -> Some c
+    | Error _ -> None
+  in
+  let mode_name = function `Event -> "event" | `Threaded -> "threaded" in
+  let active_reqs = if quick then 50 else 300 in
+  let hot_writes = if quick then 10 else 50 in
+  let point mode port n =
+    (* Hold [n] idle connections open for the duration of the point. *)
+    let idles = Array.init n (fun _ -> connect port) in
+    let established =
+      Array.fold_left
+        (fun acc -> function Some _ -> acc + 1 | None -> acc)
+        0 idles
+    in
+    let errors = Atomic.make 0 in
+    let lat_mu = Mutex.create () in
+    let lats = ref [] in
+    (* SUBSCRIBE under load (event engine only): one pushed watch while
+       the getters hammer and a writer moves a branch head. *)
+    let events_seen = Atomic.make 0 in
+    let sub =
+      if mode = `Event then
+        match
+          Fb_net.Mux.connect ~port ~user:"bench" ~timeout_s:0.0 ()
+        with
+        | Error _ ->
+          Atomic.incr errors;
+          None
+        | Ok mux -> (
+          match
+            Fb_net.Mux.subscribe ~key:"hot" mux (fun _ _ ->
+                Atomic.incr events_seen)
+          with
+          | Ok _ -> Some mux
+          | Error _ ->
+            Atomic.incr errors;
+            Fb_net.Mux.close mux;
+            None)
+      else None
+    in
+    let t0 = Unix.gettimeofday () in
+    let getters =
+      List.init 4 (fun _ ->
+          Thread.create
+            (fun () ->
+              match connect port with
+              | None -> Atomic.incr errors
+              | Some c ->
+                let mine = ref [] in
+                (* Unmeasured warmup: first round trips pay connection
+                   and thread ramp-up, not steady-state latency. *)
+                for _ = 1 to 10 do
+                  ignore (Fb_net.Client.request c [ "get"; "k0"; "master" ])
+                done;
+                for _ = 1 to active_reqs do
+                  let r0 = Unix.gettimeofday () in
+                  match Fb_net.Client.request c [ "get"; "k0"; "master" ] with
+                  | Ok _ -> mine := (Unix.gettimeofday () -. r0) :: !mine
+                  | Error _ -> Atomic.incr errors
+                done;
+                Mutex.protect lat_mu (fun () -> lats := !mine @ !lats);
+                Fb_net.Client.close c)
+            ())
+    in
+    let writer =
+      Thread.create
+        (fun () ->
+          match connect port with
+          | None -> Atomic.incr errors
+          | Some c ->
+            for i = 1 to hot_writes do
+              match
+                Fb_net.Client.request c
+                  [ "put"; "hot"; "master"; Printf.sprintf "h%d" i ]
+              with
+              | Ok _ -> ()
+              | Error _ -> Atomic.incr errors
+            done;
+            Fb_net.Client.close c)
+        ()
+    in
+    List.iter Thread.join getters;
+    Thread.join writer;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let ok_gets = List.length !lats in
+    (match sub with
+     | Some mux ->
+       (* Give the last push a beat to arrive before tearing down. *)
+       let deadline = Unix.gettimeofday () +. 2.0 in
+       while
+         Atomic.get events_seen < hot_writes
+         && Unix.gettimeofday () < deadline
+       do
+         Thread.delay 0.02
+       done;
+       Fb_net.Mux.close mux
+     | None -> ());
+    (* Probe every idle connection: a round trip proves the server still
+       owns the socket (the threaded engine silently drops connections
+       past its select ceiling). *)
+    let alive = ref 0 in
+    Array.iter
+      (function
+        | None -> ()
+        | Some c ->
+          (match Fb_net.Client.request c [ "get"; "k0"; "master" ] with
+           | Ok _ -> incr alive
+           | Error _ -> ());
+          Fb_net.Client.close c)
+      idles;
+    let p99 = percentile_ms !lats 99.0 in
+    let pt =
+      { ck_mode = mode_name mode;
+        ck_conns = n;
+        ck_established = established;
+        ck_alive = !alive;
+        ck_p99_ms = p99;
+        ck_ops_per_s =
+          (if elapsed > 0.0 then float_of_int ok_gets /. elapsed else 0.0);
+        ck_events = Atomic.get events_seen;
+        ck_errors = Atomic.get errors;
+        ck_sustained =
+          established = n && !alive = n && Atomic.get errors = 0 }
+    in
+    Printf.printf
+      "%-8s conns=%-5d held=%d/%d  p99=%6.2f ms  %8.0f gets/s  \
+       events=%d/%d%s\n%!"
+      pt.ck_mode n pt.ck_alive n pt.ck_p99_ms pt.ck_ops_per_s pt.ck_events
+      (if mode = `Event then hot_writes else 0)
+      (if pt.ck_sustained then "" else "  [NOT SUSTAINED]");
+    pt
+  in
+  let shared_points = if quick then [ 1; 64 ] else [ 1; 64; 256; 1024 ] in
+  let event_points =
+    shared_points @ (if quick then [ 256 ] else [ 4096; 8192 ])
+  in
+  (* Every connection costs two fds in-process (client end + server
+     end); skip points the rlimit cannot fit instead of dying on EMFILE. *)
+  let fits n =
+    match limit with None -> true | Some l -> (2 * n) + 128 <= l
+  in
+  let run_mode mode points =
+    with_server mode (fun port ->
+        (match connect port with
+         | Some c ->
+           ignore (Fb_net.Client.request c [ "put"; "k0"; "master"; "v0" ]);
+           ignore (Fb_net.Client.request c [ "put"; "hot"; "master"; "h0" ]);
+           Fb_net.Client.close c
+         | None -> failwith "net-c10k: populate connect failed");
+        List.filter_map
+          (fun n ->
+            if fits n then Some (point mode port n)
+            else begin
+              Printf.printf
+                "%-8s conns=%-5d skipped (needs %d fds, limit %s)\n"
+                (mode_name mode) n
+                ((2 * n) + 128)
+                (match limit with
+                 | Some l -> string_of_int l
+                 | None -> "unknown")
+              ;
+              None
+            end)
+          points)
+  in
+  let threaded = run_mode `Threaded shared_points in
+  let event = run_mode `Event event_points in
+  let max_sustained pts =
+    List.fold_left
+      (fun acc p -> if p.ck_sustained then max acc p.ck_conns else acc)
+      0 pts
+  in
+  let threaded_max = max_sustained threaded in
+  let event_max = max_sustained event in
+  let conn_ratio =
+    if threaded_max > 0 then
+      float_of_int event_max /. float_of_int threaded_max
+    else infinity
+  in
+  let p99_at pts n =
+    List.find_map
+      (fun p -> if p.ck_conns = n && p.ck_p99_ms >= 0.0 then Some p.ck_p99_ms
+                else None)
+      pts
+  in
+  let event_base_p99 = p99_at event (List.hd event_points) in
+  let event_max_p99 = p99_at event event_max in
+  let p99_flatness =
+    match event_base_p99, event_max_p99 with
+    | Some b, Some m when b > 0.0 -> m /. b
+    | _ -> nan
+  in
+  Printf.printf
+    "max sustained: event %d conns, threaded %d conns (%.1fx); event p99 \
+     %s -> %s ms across the sweep (%.2fx)\n"
+    event_max threaded_max conn_ratio
+    (match event_base_p99 with Some v -> Printf.sprintf "%.2f" v | None -> "?")
+    (match event_max_p99 with Some v -> Printf.sprintf "%.2f" v | None -> "?")
+    p99_flatness;
+
+  (* Pipelining: one mux connection, a window of [depth] tagged requests
+     kept in flight; depth 1 degenerates to strict request/response.
+     The store carries the same simulated device latency as net-scaling:
+     on a single-core host a pure in-memory get is CPU-bound, so whether
+     the pipeline overlaps anything is decided by whether requests block
+     on storage — the variable this leg isolates.  Depth 1 pays the full
+     storage wait per round trip; deeper windows overlap those waits
+     across the worker pool. *)
+  let pipeline_total = if quick then 400 else 4_000 in
+  let pipeline_depths = [ 1; 8; 32 ] in
+  let with_pipeline_server f =
+    let store =
+      slow_store ~delay_s:net_scaling_delay_s
+        (Fb_chunk.Metered_store.wrap (Mem_store.create ()))
+    in
+    let fb = FB.create store in
+    let config =
+      { Fb_net.Server.default_config with
+        port = 0; save_every_s = 0.0; read_timeout_s = 120.0;
+        backlog = 1024; mode = `Event; workers = 8 }
+    in
+    match Fb_net.Server.start ~config fb with
+    | Error e -> failwith ("net-c10k: " ^ e)
+    | Ok srv ->
+      Fun.protect
+        ~finally:(fun () -> Fb_net.Server.stop srv)
+        (fun () -> f (Fb_net.Server.port srv))
+  in
+  let pipeline_results =
+    with_pipeline_server (fun port ->
+        (match connect port with
+         | Some c ->
+           ignore (Fb_net.Client.request c [ "put"; "k0"; "master"; "v0" ]);
+           Fb_net.Client.close c
+         | None -> failwith "net-c10k: populate connect failed");
+        match Fb_net.Mux.connect ~port ~user:"bench" ~timeout_s:0.0 () with
+        | Error e ->
+          failwith ("net-c10k mux: " ^ Fb_net.Client.error_to_string e)
+        | Ok mux ->
+          Fun.protect
+            ~finally:(fun () -> Fb_net.Mux.close mux)
+            (fun () ->
+              List.map
+                (fun depth ->
+                  let inflight = Queue.create () in
+                  let failed = ref 0 in
+                  let await_one () =
+                    match Fb_net.Mux.await mux (Queue.pop inflight) with
+                    | Ok (Fb_net.Frame.One (Ok _)) -> ()
+                    | _ -> incr failed
+                  in
+                  let t0 = Unix.gettimeofday () in
+                  for _ = 1 to pipeline_total do
+                    if Queue.length inflight >= depth then await_one ();
+                    match
+                      Fb_net.Mux.send mux
+                        (Fb_net.Frame.Single [ "get"; "k0"; "master" ])
+                    with
+                    | Ok ticket -> Queue.push ticket inflight
+                    | Error _ -> incr failed
+                  done;
+                  while not (Queue.is_empty inflight) do
+                    await_one ()
+                  done;
+                  let ops =
+                    float_of_int pipeline_total
+                    /. (Unix.gettimeofday () -. t0)
+                  in
+                  if !failed > 0 then
+                    failwith
+                      (Printf.sprintf "net-c10k: %d pipelined failures"
+                         !failed);
+                  Printf.printf "pipeline depth=%-3d  %8.0f ops/s\n%!" depth
+                    ops;
+                  (depth, ops))
+                pipeline_depths))
+  in
+  let depth_ops d = List.assoc d pipeline_results in
+  let pipeline_speedup = depth_ops 32 /. depth_ops 1 in
+  Printf.printf "pipelining speedup depth-32 over depth-1: %.2fx\n"
+    pipeline_speedup;
+  (* The event engine must be spotless: any error or dropped connection
+     on its side of the sweep is a real regression, not a limitation
+     being documented. *)
+  List.iter
+    (fun p ->
+      if not p.ck_sustained then
+        failwith
+          (Printf.sprintf
+             "net-c10k: event engine failed to sustain %d connections \
+              (held %d, errors %d)"
+             p.ck_conns p.ck_alive p.ck_errors))
+    event;
+  if not quick then begin
+    let b = Buffer.create 1024 in
+    let backend =
+      let probe = Fb_net.Ev.create () in
+      let name = Fb_net.Ev.backend_name probe in
+      Fb_net.Ev.close probe;
+      name
+    in
+    Printf.bprintf b "{\"fd_limit\":%s,\"backend\":\"%s\",\"sweep\":["
+      (match limit with Some l -> string_of_int l | None -> "null")
+      backend;
+    List.iteri
+      (fun i p ->
+        Printf.bprintf b
+          "%s{\"mode\":\"%s\",\"conns\":%d,\"established\":%d,\"alive\":%d,\
+           \"p99_ms\":%.3f,\"gets_per_s\":%.1f,\"events_pushed\":%d,\
+           \"errors\":%d,\"sustained\":%b}"
+          (if i > 0 then "," else "")
+          p.ck_mode p.ck_conns p.ck_established p.ck_alive p.ck_p99_ms
+          p.ck_ops_per_s p.ck_events p.ck_errors p.ck_sustained)
+      (threaded @ event);
+    Printf.bprintf b
+      "],\"threaded_max_sustained\":%d,\"event_max_sustained\":%d,\
+       \"conn_ratio\":%.2f,\"event_p99_flatness\":%.3f,\"pipeline\":["
+      threaded_max event_max conn_ratio p99_flatness;
+    List.iteri
+      (fun i (d, ops) ->
+        Printf.bprintf b "%s{\"depth\":%d,\"ops_per_s\":%.1f}"
+          (if i > 0 then "," else "")
+          d ops)
+      pipeline_results;
+    Printf.bprintf b "],\"pipeline_speedup_32_over_1\":%.3f}\n"
+      pipeline_speedup;
     let oc = open_out "BENCH_net.json" in
     Buffer.output_buffer oc b;
     close_out oc;
@@ -1904,6 +2329,8 @@ let experiments =
     ("net-quick", fun () -> run_net ~quick:true ());
     ("net-scaling", fun () -> run_net_scaling ());
     ("net-scaling-quick", fun () -> run_net_scaling ~quick:true ());
+    ("net-c10k", fun () -> run_net_c10k ());
+    ("net-c10k-quick", fun () -> run_net_c10k ~quick:true ());
     ("durability", fun () -> run_durability ());
     ("durability-quick", fun () -> run_durability ~quick:true ()) ]
 

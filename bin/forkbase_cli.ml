@@ -521,8 +521,35 @@ let serve_cmd =
                    Warn event + span tree kept for /tracez).  Default: \
                    the FB_SLOW_MS environment variable, else disabled.")
   in
+  let threaded_arg =
+    Arg.(value & flag
+         & info [ "threaded" ]
+             ~doc:"Serve with the thread-per-connection engine instead \
+                   of the event loop (A/B benchmarking and escape hatch; \
+                   SUBSCRIBE push is unavailable in this mode).")
+  in
+  let workers_arg =
+    Arg.(value & opt int Fb_net.Server.default_config.workers
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Event loop: dispatch worker threads.")
+  in
+  let max_outbox_arg =
+    Arg.(value & opt int Fb_net.Server.default_config.max_outbox
+         & info [ "max-outbox" ] ~docv:"BYTES"
+             ~doc:"Event loop: per-connection reply backlog before the \
+                   server stops reading from that connection \
+                   (backpressure on slow consumers).")
+  in
+  let write_stall_arg =
+    Arg.(value & opt float Fb_net.Server.default_config.write_stall_s
+         & info [ "write-stall" ] ~docv:"SECONDS"
+             ~doc:"Event loop: disconnect a peer whose pending replies \
+                   make no write progress for $(docv) seconds; 0 \
+                   disables.")
+  in
   let run root user port host stdio save_every timeout max_frame coarse
-      backend fsync metrics_port slow_ms =
+      backend fsync metrics_port slow_ms threaded workers max_outbox
+      write_stall =
     (* The log engine runs its background thread under the daemon: aged
        group-commit batches are flushed and garbage-heavy generations
        compacted without any client on the line. *)
@@ -563,7 +590,9 @@ let serve_cmd =
             metrics_port;
             slow_ms =
               Option.value slow_ms
-                ~default:Fb_net.Server.default_config.slow_ms }
+                ~default:Fb_net.Server.default_config.slow_ms;
+            mode = (if threaded then `Threaded else `Event);
+            workers; max_outbox; write_stall_s = write_stall }
         in
         (match Fb_net.Server.start ~config ~save fb with
         | Error e -> `Error (false, e)
@@ -586,7 +615,9 @@ let serve_cmd =
     Term.(ret (const run $ root_arg $ user_arg $ port_arg
                $ host_arg ~doc:"Address to bind." $ stdio_arg
                $ save_every_arg $ timeout_arg $ max_frame_arg $ coarse_arg
-               $ backend_arg $ fsync_arg $ metrics_port_arg $ slow_ms_arg))
+               $ backend_arg $ fsync_arg $ metrics_port_arg $ slow_ms_arg
+               $ threaded_arg $ workers_arg $ max_outbox_arg
+               $ write_stall_arg))
 
 let client_cmd =
   let request_pos =
@@ -636,6 +667,58 @@ let client_cmd =
              master)), or a stdin REPL when no request is given.")
     Term.(ret (const run $ host_arg ~doc:"Server address." $ port_arg
                $ user_arg $ request_pos))
+
+let watch_cmd =
+  let key_pos =
+    Arg.(value & pos 0 string "*"
+         & info [] ~docv:"KEY" ~doc:"Key to watch ($(b,*) for all keys).")
+  in
+  let branch_pos =
+    Arg.(value & pos 1 string "*"
+         & info [] ~docv:"BRANCH"
+             ~doc:"Branch to watch ($(b,*) for all branches).")
+  in
+  let run host port user key branch =
+    match Fb_net.Remote.connect ~host ~port ~user () with
+    | Error e -> `Error (false, Errors.to_string e)
+    | Ok r ->
+      Fun.protect
+        ~finally:(fun () -> Fb_net.Remote.close r)
+        (fun () ->
+          let render (ev : Fb_core.Forkbase.head_event) =
+            Printf.printf "%s %s %s%s\n%!" ev.key ev.branch
+              (Fb_core.Forkbase.version_string ev.new_head)
+              (match ev.old_head with
+               | Some old ->
+                 " (was " ^ Fb_core.Forkbase.version_string old ^ ")"
+               | None -> " (created)")
+          in
+          match Fb_net.Remote.subscribe ~key ~branch r render with
+          | Error e -> `Error (false, Errors.to_string e)
+          | Ok _sid ->
+            Printf.eprintf "forkbase: watching key=%s branch=%s on %s:%d \
+                            (Ctrl-C to stop)\n%!" key branch host port;
+            (* Head events print from the connection's reader thread;
+               this thread just waits for the connection (or the user)
+               to end. *)
+            let stop = ref false in
+            let finish _ = stop := true in
+            Sys.set_signal Sys.sigint (Sys.Signal_handle finish);
+            Sys.set_signal Sys.sigterm (Sys.Signal_handle finish);
+            while (not !stop) && Fb_net.Remote.is_open r do
+              Thread.delay 0.2
+            done;
+            if not (Fb_net.Remote.is_open r) && not !stop then
+              `Error (false, "connection closed by server")
+            else `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Subscribe to branch-head movements on a running $(b,forkbase \
+             serve) (event-loop mode) and print one line per update: \
+             $(i,KEY BRANCH NEW-VERSION (was OLD-VERSION)).")
+    Term.(ret (const run $ host_arg ~doc:"Server address." $ port_arg
+               $ user_arg $ key_pos $ branch_pos))
 
 let scrub_cmd =
   let dry_run_arg =
@@ -1127,7 +1210,7 @@ let main =
       branch_cmd; rename_cmd; delete_branch_cmd; diff_cmd; merge_cmd;
       verify_cmd; export_cmd; bundle_cmd; unbundle_cmd; history_cmd;
       tag_cmd; tags_cmd;
-      serve_cmd; client_cmd; stat_cmd; gc_cmd; scrub_cmd; metrics_cmd;
+      serve_cmd; client_cmd; watch_cmd; stat_cmd; gc_cmd; scrub_cmd; metrics_cmd;
       top_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -19,8 +19,7 @@ type t = {
 
 exception Connect_failed of string
 
-let connect ?(host = "127.0.0.1") ?(port = 7447) ?(user = "anonymous")
-    ?(max_frame = Frame.default_max_frame) ?(timeout_s = 30.0) () =
+let dial ?(host = "127.0.0.1") ?(port = 7447) ?(timeout_s = 30.0) () =
   match Frame.resolve_host host with
   | Error e -> Error (Transport e)
   | Ok addr ->
@@ -48,11 +47,7 @@ let connect ?(host = "127.0.0.1") ?(port = 7447) ?(user = "anonymous")
           Unix.clear_nonblock fd);
        Unix.setsockopt fd Unix.TCP_NODELAY true
      with
-    | () ->
-      Ok
-        { fd; user; max_frame;
-          timeout_s = (if timeout_s > 0.0 then Some timeout_s else None);
-          closed = false }
+    | () -> Ok fd
     | exception e ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       (match e with
@@ -64,6 +59,16 @@ let connect ?(host = "127.0.0.1") ?(port = 7447) ?(user = "anonymous")
        | Connect_failed msg ->
          Error (Transport (Printf.sprintf "%s (%s:%d)" msg host port))
        | e -> raise e))
+
+let connect ?host ?port ?(user = "anonymous")
+    ?(max_frame = Frame.default_max_frame) ?(timeout_s = 30.0) () =
+  match dial ?host ?port ~timeout_s () with
+  | Error _ as e -> e
+  | Ok fd ->
+    Ok
+      { fd; user; max_frame;
+        timeout_s = (if timeout_s > 0.0 then Some timeout_s else None);
+        closed = false }
 
 let is_open t = not t.closed
 
@@ -99,7 +104,7 @@ let roundtrip ?user t req =
     with
     | Ok payload -> (
       match Frame.decode_response payload with
-      | Ok resp -> Ok resp
+      | Ok (_, _, resp) -> Ok resp
       | Error e ->
         close t;
         Error (Transport ("bad response frame: " ^ e)))
@@ -130,7 +135,12 @@ let request ?user t tokens =
       | Ok (Frame.One (Error e)) -> Error (Remote e)
       | Ok (Frame.Many _) ->
         close t;
-        Error (Transport "batch response to a single request"))
+        Error (Transport "batch response to a single request")
+      | Ok (Frame.Event _) ->
+        (* The blocking client never subscribes; an event frame means the
+           stream is not what we think it is. *)
+        close t;
+        Error (Transport "unexpected event frame"))
 
 let batch_roundtrip ?user t reqs =
   match roundtrip ?user t (Frame.Batch reqs) with
@@ -146,6 +156,9 @@ let batch_roundtrip ?user t reqs =
   | Ok (Frame.One _) ->
     close t;
     Error (Transport "single response to a batch request")
+  | Ok (Frame.Event _) ->
+    close t;
+    Error (Transport "unexpected event frame")
 
 let batch ?user t reqs =
   Obs.with_span

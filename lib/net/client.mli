@@ -24,6 +24,17 @@ val error_to_string : error -> string
 
 type t
 
+val dial :
+  ?host:string ->
+  ?port:int ->
+  ?timeout_s:float ->
+  unit ->
+  (Unix.file_descr, error) result
+(** The deadline-bounded TCP dial underneath {!connect} — resolve,
+    non-blocking connect bounded by [timeout_s], [TCP_NODELAY]; on any
+    failure the socket fd is closed before the error is returned.
+    Exposed so {!Mux} shares the exact same dial policy. *)
+
 val connect :
   ?host:string ->
   ?port:int ->

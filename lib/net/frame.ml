@@ -53,28 +53,58 @@ type trace = { trace_id : string; parent_span : int }
 let kind_single = 0
 let kind_batch = 1
 
-(* Trace context rides in the same v2 envelope behind a flag bit on the
-   kind byte: a header-less v2 frame (kind byte 0 or 1) is still a valid
-   v2 frame, so tracing-unaware peers and FB_OBS=0 clients interoperate
-   unchanged.  The header sits between [user] and the body. *)
-let flag_trace = 0x80
-let kind_mask = 0x7f
+(* Trace context and the pipelining sequence id ride in the same v2
+   envelope behind flag bits on the kind byte: a header-less v2 frame
+   (kind byte 0 or 1) is still a valid v2 frame, so tracing-unaware and
+   pipelining-unaware peers interoperate unchanged.  The trace header
+   sits between [user] and the body; the sequence id follows it.
 
-let encode_request ~user ?trace req =
+   The sequence id is what makes request pipelining safe: a client may
+   keep many tagged requests in flight on one socket, the server answers
+   each reply (and server-initiated watch events) tagged, and the client
+   matches replies out of order.  Requests without a sequence id keep
+   strict in-order request/response semantics. *)
+let flag_trace = 0x80
+let flag_seq = 0x40
+let kind_mask = 0x3f
+
+let write_envelope_headers w ~trace ~seq =
+  (match trace with
+   | Some t ->
+     Codec.bytes w t.trace_id;
+     Codec.zigzag w t.parent_span
+   | None -> ());
+  match seq with Some s -> Codec.varint w s | None -> ()
+
+let flags_of ~trace ~seq =
+  (match trace with Some _ -> flag_trace | None -> 0)
+  lor (match seq with Some _ -> flag_seq | None -> 0)
+
+let read_envelope_headers r kind_byte =
+  let trace =
+    if kind_byte land flag_trace <> 0 then begin
+      let trace_id = Codec.read_bytes r in
+      let parent_span = Codec.read_zigzag r in
+      Some { trace_id; parent_span }
+    end
+    else None
+  in
+  let seq =
+    if kind_byte land flag_seq <> 0 then Some (Codec.read_varint r) else None
+  in
+  (trace, seq)
+
+let encode_request ~user ?trace ?seq req =
   Codec.to_string
     (fun w () ->
       Codec.u8 w protocol_version;
       let kind =
         (match req with Single _ -> kind_single | Batch _ -> kind_batch)
-        lor (match trace with Some _ -> flag_trace | None -> 0)
+        lor flags_of ~trace ~seq
       in
       Codec.u8 w kind;
       Codec.bytes w user;
-      (match trace with
-       | Some t ->
-         Codec.bytes w t.trace_id;
-         Codec.zigzag w t.parent_span
-       | None -> ());
+      write_envelope_headers w ~trace ~seq;
       match req with
       | Single tokens -> Codec.list w Codec.bytes tokens
       | Batch reqs ->
@@ -94,19 +124,13 @@ let decode_request payload =
       let kind_byte = Codec.read_u8 r in
       let kind = kind_byte land kind_mask in
       let user = Codec.read_bytes r in
-      let trace =
-        if kind_byte land flag_trace <> 0 then begin
-          let trace_id = Codec.read_bytes r in
-          let parent_span = Codec.read_zigzag r in
-          Some { trace_id; parent_span }
-        end
-        else None
-      in
+      let trace, seq = read_envelope_headers r kind_byte in
       if kind = kind_single then
-        (user, trace, Single (Codec.read_list r Codec.read_bytes))
+        (user, trace, seq, Single (Codec.read_list r Codec.read_bytes))
       else if kind = kind_batch then
         ( user,
           trace,
+          seq,
           Batch (Codec.read_list r (fun r -> Codec.read_list r Codec.read_bytes))
         )
       else
@@ -180,7 +204,20 @@ let read_error r code : Errors.t =
 
 type reply = (string, Errors.t) result
 
-type response = One of reply | Many of reply list
+(* Server-initiated push: one branch-head movement delivered to one
+   subscription (the SUBSCRIBE verb).  Heads travel in their rendered
+   (Base32) form like every other uid on this protocol. *)
+type event = {
+  sub_id : int;
+  ev_key : string;
+  ev_branch : string;
+  new_head : string;
+  old_head : string option;
+}
+
+type response = One of reply | Many of reply list | Event of event
+
+let kind_event = 2
 
 let write_reply w (reply : reply) =
   match reply with
@@ -193,27 +230,58 @@ let read_reply r : reply =
   let code = Codec.read_u8 r in
   if code = status_ok then Ok (Codec.read_bytes r) else Error (read_error r code)
 
-let encode_response resp =
+let encode_response ?trace ?seq resp =
   Codec.to_string
     (fun w () ->
+      let kind =
+        (match resp with
+         | One _ -> kind_single
+         | Many _ -> kind_batch
+         | Event _ -> kind_event)
+        lor flags_of ~trace ~seq
+      in
+      Codec.u8 w kind;
+      write_envelope_headers w ~trace ~seq;
       match resp with
-      | One reply ->
-        Codec.u8 w kind_single;
-        write_reply w reply
-      | Many replies ->
-        Codec.u8 w kind_batch;
-        Codec.list w write_reply replies)
+      | One reply -> write_reply w reply
+      | Many replies -> Codec.list w write_reply replies
+      | Event e ->
+        Codec.varint w e.sub_id;
+        Codec.bytes w e.ev_key;
+        Codec.bytes w e.ev_branch;
+        Codec.bytes w e.new_head;
+        (match e.old_head with
+         | None -> Codec.bool w false
+         | Some h ->
+           Codec.bool w true;
+           Codec.bytes w h))
     ()
 
 let decode_response payload =
   Codec.of_string
     (fun r ->
-      let kind = Codec.read_u8 r in
-      if kind = kind_single then One (read_reply r)
-      else if kind = kind_batch then Many (Codec.read_list r read_reply)
-      else
-        raise
-          (Codec.Decode_error (Printf.sprintf "unknown response kind %d" kind)))
+      let kind_byte = Codec.read_u8 r in
+      let kind = kind_byte land kind_mask in
+      let trace, seq = read_envelope_headers r kind_byte in
+      let resp =
+        if kind = kind_single then One (read_reply r)
+        else if kind = kind_batch then Many (Codec.read_list r read_reply)
+        else if kind = kind_event then begin
+          let sub_id = Codec.read_varint r in
+          let ev_key = Codec.read_bytes r in
+          let ev_branch = Codec.read_bytes r in
+          let new_head = Codec.read_bytes r in
+          let old_head =
+            if Codec.read_bool r then Some (Codec.read_bytes r) else None
+          in
+          Event { sub_id; ev_key; ev_branch; new_head; old_head }
+        end
+        else
+          raise
+            (Codec.Decode_error
+               (Printf.sprintf "unknown response kind %d" kind))
+      in
+      (trace, seq, resp))
     payload
 
 (* ------------------------- socket IO ------------------------- *)

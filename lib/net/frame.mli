@@ -10,14 +10,18 @@
     Frame payloads are themselves {!Fb_codec} values:
 
     {v
-    request  ::= u8 version(=2) | u8 kind' | bytes user | trace? | body
-      kind' = kind lor 0x80 when the optional trace header is present
+    request  ::= u8 version(=2) | u8 kind' | bytes user | trace? | seq? | body
+      kind' = kind lor 0x80 (trace header present)
+                   lor 0x40 (sequence id present)
       trace           : bytes trace-id | zigzag parent-span-id
+      seq             : varint sequence-id
       kind 0 (single) : body = list<bytes> tokens
       kind 1 (batch)  : body = list< list<bytes> > sub-requests
-    response ::= u8 kind | body
+    response ::= u8 kind' | trace? | seq? | body
       kind 0 (single) : body = reply
       kind 1 (batch)  : body = list<reply>
+      kind 2 (event)  : body = varint sub-id | bytes key | bytes branch
+                             | bytes new-head | bool | bytes old-head?
     reply    ::= u8 status | fields
       status 0        : bytes payload
       status 1..9     : the fields of the matching Errors.t constructor
@@ -30,6 +34,17 @@
     header-less v2 frame (kind byte [0]/[1]) parses exactly as before,
     which keeps tracing-unaware peers and [FB_OBS=0] clients
     compatible.
+
+    The sequence id (flag [0x40], alongside the [0x80] trace bit) is the
+    pipelining handle: a client may keep many tagged requests in flight
+    on one connection; the server echoes each request's sequence id on
+    its reply, which may therefore arrive out of order.  Requests
+    without a sequence id retain strict in-order request/response
+    semantics.  Response kind [2] is a {e server-initiated} frame: a
+    branch-head movement pushed to a SUBSCRIBE registration, tagged with
+    the subscription id (never a sequence id) and — when the mutating
+    request was traced — the writer's trace header, so a push can be
+    correlated with the write that caused it.
 
     [tokens] is the verb + arguments exactly as {!Fb_core.Service.dispatch}
     consumes them — no re-tokenization happens server-side.  A batch
@@ -83,20 +98,37 @@ type trace = { trace_id : string; parent_span : int }
 (** The optional trace header: the caller's trace id and the span the
     server should record its request span under. *)
 
-val encode_request : user:string -> ?trace:trace -> request -> string
+val encode_request :
+  user:string -> ?trace:trace -> ?seq:int -> request -> string
+(** [seq] must be non-negative (it travels as an unsigned varint). *)
 
-val decode_request : string -> (string * trace option * request, string) result
-(** [(user, trace, request)]; rejects unknown protocol versions
+val decode_request :
+  string -> (string * trace option * int option * request, string) result
+(** [(user, trace, seq, request)]; rejects unknown protocol versions
     (including v1), unknown kinds and trailing garbage. *)
 
 type reply = (string, Fb_core.Errors.t) result
 (** What one verb returns across the wire — same type the local
     {!Fb_core.Service.dispatch} produces. *)
 
-type response = One of reply | Many of reply list
+type event = {
+  sub_id : int;            (** the SUBSCRIBE registration this is for *)
+  ev_key : string;
+  ev_branch : string;
+  new_head : string;       (** rendered (Base32) version uid *)
+  old_head : string option;  (** [None] when the branch was created *)
+}
+(** A branch-head movement pushed by the server — the wire form of
+    {!Fb_core.Forkbase.head_event}. *)
 
-val encode_response : response -> string
-val decode_response : string -> (response, string) result
+type response = One of reply | Many of reply list | Event of event
+
+val encode_response : ?trace:trace -> ?seq:int -> response -> string
+val decode_response :
+  string -> (trace option * int option * response, string) result
+(** [(trace, seq, response)].  [seq] echoes the request's sequence id
+    (always absent on [Event] frames); [trace] appears on [Event] frames
+    pushed on behalf of a traced write. *)
 
 (** {1 Socket IO} *)
 

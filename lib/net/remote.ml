@@ -1,31 +1,107 @@
 module Errors = Fb_core.Errors
 module Forkbase = Fb_core.Forkbase
+module Service = Fb_core.Service
+module Obs = Fb_obs.Obs
 
 type uid = Forkbase.uid
 
-type t = { c : Client.t }
+(* Dial parameters, kept verbatim for the transparent reconnect. *)
+type params = {
+  host : string option;
+  port : int option;
+  user : string option;
+  max_frame : int option;
+  timeout_s : float option;
+}
+
+type t = {
+  p : params;
+  mu : Mutex.t;  (* guards [mux] swap and [user_closed] *)
+  mutable mux : Mux.t;
+  mutable user_closed : bool;
+}
+
+type subscription = int
 
 (* The one place transport failures become typed: a dead socket is a
    transient condition (retry against the same or another server), not a
    storage-semantics error. *)
 let of_client_error = function
-  | Client.Remote e -> e
-  | Client.Transport msg -> Errors.Transient ("network: " ^ msg)
+  | Mux.Remote e -> e
+  | Mux.Transport msg -> Errors.Transient ("network: " ^ msg)
 
 let lift = function
   | Ok _ as ok -> ok
   | Error e -> Error (of_client_error e)
 
 let connect ?host ?port ?user ?max_frame ?timeout_s () =
-  match Client.connect ?host ?port ?user ?max_frame ?timeout_s () with
-  | Ok c -> Ok { c }
+  match Mux.connect ?host ?port ?user ?max_frame ?timeout_s () with
+  | Ok mux ->
+    Ok
+      { p = { host; port; user; max_frame; timeout_s };
+        mu = Mutex.create (); mux; user_closed = false }
   | Error e -> Error (of_client_error e)
 
-let close t = Client.close t.c
-let is_open t = Client.is_open t.c
+let close t =
+  let mux =
+    Mutex.protect t.mu (fun () ->
+        t.user_closed <- true;
+        t.mux)
+  in
+  Mux.close mux
 
-let raw ?user t tokens = lift (Client.request ?user t.c tokens)
-let raw_line ?user t line = lift (Client.request_line ?user t.c line)
+let is_open t =
+  Mutex.protect t.mu (fun () -> (not t.user_closed) && Mux.is_open t.mux)
+
+(* One transparent reconnect: when the transport died under us (not by
+   an explicit [close]), re-dial with the original parameters and retry
+   — but only requests whose classification is [Read].  A mutating verb
+   may have been applied before the connection tore; replaying it could
+   double-apply, so it surfaces as [Transient] for the caller to decide. *)
+let reconnect_for t dead =
+  Mutex.protect t.mu (fun () ->
+      if t.user_closed then None
+      else if t.mux != dead then Some t.mux  (* another caller already did *)
+      else begin
+        Mux.close dead;
+        match
+          Mux.connect ?host:t.p.host ?port:t.p.port ?user:t.p.user
+            ?max_frame:t.p.max_frame ?timeout_s:t.p.timeout_s ()
+        with
+        | Ok mux ->
+          t.mux <- mux;
+          Obs.log_event Obs.Info "remote reconnected";
+          Some mux
+        | Error _ -> None
+      end)
+
+let run ~retryable t f =
+  let mux = Mutex.protect t.mu (fun () -> t.mux) in
+  match f mux with
+  | Ok _ as ok -> ok
+  | Error (Mux.Remote _) as e -> e
+  | Error (Mux.Transport _) as e ->
+    if not retryable then e
+    else if Mutex.protect t.mu (fun () -> t.user_closed) then e
+    else (
+      match reconnect_for t mux with
+      | None -> e
+      | Some mux -> f mux)
+
+let tokens_retryable tokens =
+  match Service.classify tokens with
+  | Service.Read, _ -> true
+  | Service.Write, _ -> false
+
+let raw ?user t tokens =
+  lift
+    (run ~retryable:(tokens_retryable tokens) t (fun mux ->
+         Mux.request ?user mux tokens))
+
+let raw_line ?user t line =
+  match Fb_core.Service.tokenize line with
+  | Error e -> Error (Errors.Invalid e)
+  | Ok tokens -> raw ?user t tokens
 
 let uid_of payload = Forkbase.parse_version payload
 
@@ -107,6 +183,42 @@ let prove ?user ?(branch = default_branch) t ~key ~entry_key =
 let stat ?user t = raw ?user t [ "stat" ]
 let metrics ?user t = raw ?user t [ "metrics" ]
 
+(* ------------------------- subscriptions ------------------------- *)
+
+(* Bridge the wire event back into the local watch vocabulary: heads are
+   parsed to uids, and the callback runs inside a [net.client.event]
+   span joined to the writer's trace when the push carried one — the
+   same trace id `forkbase top` / /tracez show for the write itself. *)
+let subscribe ?user ?key ?branch t cb =
+  let wrapped trace (ev : Frame.event) =
+    match Forkbase.parse_version ev.new_head with
+    | Error _ -> ()  (* unintelligible push; drop rather than crash *)
+    | Ok new_head ->
+      let old_head =
+        Option.bind ev.old_head (fun s ->
+            Result.to_option (Forkbase.parse_version s))
+      in
+      let ctx =
+        Option.map
+          (fun (tr : Frame.trace) ->
+            { Obs.trace_id = tr.trace_id; span_id = tr.parent_span })
+          trace
+      in
+      Obs.with_span ?ctx
+        ~attrs:[ ("key", ev.ev_key); ("branch", ev.ev_branch) ]
+        "net.client.event"
+        (fun () ->
+          cb
+            { Forkbase.key = ev.ev_key; branch = ev.ev_branch;
+              new_head; old_head })
+  in
+  let mux = Mutex.protect t.mu (fun () -> t.mux) in
+  lift (Mux.subscribe ?user ?key ?branch mux wrapped)
+
+let unsubscribe ?user t sid =
+  let mux = Mutex.protect t.mu (fun () -> t.mux) in
+  lift (Mux.unsubscribe ?user mux sid)
+
 (* ------------------------- batching ------------------------- *)
 
 type op_req =
@@ -127,9 +239,18 @@ let reply_of_op o (reply : Frame.reply) =
   | (Put _ | Head _), Ok payload -> Result.map (fun u -> Uid u) (uid_of payload)
   | Get _, Ok payload -> Ok (Value payload)
 
+let batch_tokens_retryable reqs = List.for_all tokens_retryable reqs
+
 let batch ?user t ops =
-  match Client.batch ?user t.c (List.map tokens_of_op ops) with
+  let reqs = List.map tokens_of_op ops in
+  match
+    run ~retryable:(batch_tokens_retryable reqs) t (fun mux ->
+        Mux.batch ?user mux reqs)
+  with
   | Error e -> Error (of_client_error e)
   | Ok replies -> Ok (List.map2 reply_of_op ops replies)
 
-let batch_raw ?user t reqs = lift (Client.batch ?user t.c reqs)
+let batch_raw ?user t reqs =
+  lift
+    (run ~retryable:(batch_tokens_retryable reqs) t (fun mux ->
+         Mux.batch ?user mux reqs))

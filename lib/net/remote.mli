@@ -14,10 +14,18 @@
     {!Fb_core.Forkbase.uid} before they reach the caller.  String
     rendering of errors stays at the CLI edge ({!Fb_core.Errors.to_string}).
 
-    One handle wraps one {!Client} connection: one outstanding request
-    at a time; a transport failure poisons the handle (every later call
-    fails fast with [Transient]).  [?user] defaults to the user given at
-    {!connect}. *)
+    One handle wraps one {!Mux} connection, so concurrent calls from
+    several threads pipeline over a single socket.  When the transport
+    dies {e underneath} the handle (server restart, torn connection),
+    the next read-classified operation performs one transparent
+    reconnect with the original dial parameters and retries; mutating
+    operations are never replayed (the write may have been applied
+    before the tear — replaying could double-apply) and surface
+    [Transient] directly.  After an explicit {!close}, every call fails
+    fast with [Transient] — no reconnect.  Subscriptions do not survive
+    a reconnect: deliveries stop and the caller re-subscribes.
+
+    [?user] defaults to the user given at {!connect}. *)
 
 type uid = Fb_core.Forkbase.uid
 
@@ -102,6 +110,32 @@ val prove :
 
 val stat : ?user:string -> t -> (string, Fb_core.Errors.t) result
 val metrics : ?user:string -> t -> (string, Fb_core.Errors.t) result
+
+(** {1 Subscriptions}
+
+    The server-side counterpart of {!Fb_core.Forkbase.watch}, pushed
+    over the wire: SUBSCRIBE registers a branch-head watch on an
+    event-mode {!Server}, and every matching head movement — whoever
+    caused it — arrives as a {!Fb_core.Forkbase.head_event} with heads
+    parsed back to uids.  Callbacks run on the connection's reader
+    thread (keep them quick; never call back into the same handle), and
+    run inside a [net.client.event] span joined to the {e writer's}
+    trace when the mutating request was traced — the same trace id the
+    server's /tracez and [forkbase top] show for the write. *)
+
+type subscription
+
+val subscribe :
+  ?user:string -> ?key:string -> ?branch:string ->
+  t -> (Fb_core.Forkbase.head_event -> unit) ->
+  (subscription, Fb_core.Errors.t) result
+(** [key]/[branch] omitted (or ["*"]) match everything.  A threaded-mode
+    server answers [Error (Invalid _)]. *)
+
+val unsubscribe :
+  ?user:string -> t -> subscription -> (unit, Fb_core.Errors.t) result
+(** Local deliveries stop immediately; the server registration is torn
+    down before returning. *)
 
 (** {1 Batching}
 

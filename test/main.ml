@@ -26,4 +26,5 @@ let () =
       ("workload", Test_workload.suite);
       ("obs", Test_obs.suite);
       ("rwlock", Test_rwlock.suite);
-      ("net", Test_net.suite) ]
+      ("net", Test_net.suite);
+      ("pipeline", Test_pipeline.suite) ]

@@ -114,7 +114,7 @@ let qcheck_request_roundtrip =
     (QCheck.make QCheck.Gen.(pair (string_size (0 -- 20)) request_gen))
     (fun (user, req) ->
       match Frame.decode_request (Frame.encode_request ~user req) with
-      | Ok (u, None, r) -> String.equal u user && r = req
+      | Ok (u, None, None, r) -> String.equal u user && r = req
       | _ -> false)
 
 (* The trace header (any trace-id bytes, any — including negative —
@@ -136,8 +136,8 @@ let qcheck_trace_roundtrip =
        QCheck.Gen.(triple (string_size (0 -- 20)) trace_gen request_gen))
     (fun (user, trace, req) ->
       match Frame.decode_request (Frame.encode_request ~user ?trace req) with
-      | Ok (u, t, r) -> String.equal u user && t = trace && r = req
-      | Error _ -> false)
+      | Ok (u, t, None, r) -> String.equal u user && t = trace && r = req
+      | _ -> false)
 
 let test_headerless_v2_compat () =
   (* A v2 frame written by a tracing-unaware peer — version byte, bare
@@ -154,7 +154,7 @@ let test_headerless_v2_compat () =
       ()
   in
   (match Frame.decode_request payload with
-   | Ok ("alice", None, Frame.Single [ "get"; "k"; "master" ]) -> ()
+   | Ok ("alice", None, None, Frame.Single [ "get"; "k"; "master" ]) -> ()
    | Ok _ -> Alcotest.fail "header-less v2 frame misparsed"
    | Error e -> Alcotest.failf "header-less v2 frame rejected: %s" e);
   (* And the flagged form decodes the header. *)
@@ -170,7 +170,7 @@ let test_headerless_v2_compat () =
       ()
   in
   match Frame.decode_request traced with
-  | Ok ("bob", Some t, Frame.Batch [ [ "list" ] ]) ->
+  | Ok ("bob", Some t, None, Frame.Batch [ [ "list" ] ]) ->
     check string_ "trace id" "00112233445566778899aabbccddeeff"
       t.Frame.trace_id;
     check int_ "parent span" 42 t.Frame.parent_span
@@ -211,8 +211,8 @@ let qcheck_response_roundtrip =
     (QCheck.make response_gen)
     (fun resp ->
       match Frame.decode_response (Frame.encode_response resp) with
-      | Ok r -> r = resp
-      | Error _ -> false)
+      | Ok (None, None, r) -> r = resp
+      | _ -> false)
 
 let test_request_rejects_garbage () =
   check bool_ "bad version" true
@@ -467,7 +467,7 @@ let test_slow_peer () =
           match Frame.read_frame ~timeout_s:5.0 fd with
           | Ok payload -> (
             match Frame.decode_response payload with
-            | Ok (Frame.One (Ok _)) -> ()
+            | Ok (_, _, Frame.One (Ok _)) -> ()
             | _ -> Alcotest.fail "slow peer got an error")
           | Error e -> Alcotest.fail (Frame.error_to_string e)))
 
@@ -484,7 +484,7 @@ let test_read_timeout () =
           match Frame.read_frame ~timeout_s:5.0 fd with
           | Ok payload -> (
             match Frame.decode_response payload with
-            | Ok (Frame.One (Error (Errors.Transient msg))) ->
+            | Ok (_, _, Frame.One (Error (Errors.Transient msg))) ->
               check bool_ "timeout reported" true (Tutil.contains msg "timeout")
             | _ -> Alcotest.fail "expected a Transient error response")
           | Error Frame.Eof -> ()  (* already hung up: also acceptable *)
@@ -614,7 +614,7 @@ let test_soak () =
               match Frame.read_frame ~timeout_s:10.0 fd with
               | Ok payload -> (
                 match Frame.decode_response payload with
-                | Ok (Frame.One (Ok _)) -> ()
+                | Ok (_, _, Frame.One (Ok _)) -> ()
                 | _ -> fail "slow peer: error response")
               | Error e -> fail "slow peer: %s" (Frame.error_to_string e))
       in
