@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the real build system.
 
-.PHONY: all build test bench bench-hotpath bench-net bench-durability bench-obs check clean
+.PHONY: all build test bench bench-hotpath bench-net bench-durability bench-obs bench-sync check clean
 
 all: build
 
@@ -36,6 +36,13 @@ bench-net:
 bench-durability:
 	dune exec bench/main.exe -- durability
 
+# Delta-sync benchmark: Merkle-DAG push/pull of ~1M records over
+# loopback, then a 1%-edit update — measures bytes on the wire for the
+# delta vs the full transfer; writes BENCH_sync.json and fails if the
+# delta ships more than 10% of the full-transfer bytes.
+bench-sync:
+	dune exec bench/main.exe -- sync
+
 # Observability benchmark: instrumentation overhead (warmed, best-of-3),
 # operation latency distributions, wire tracing cost enabled vs FB_OBS=0;
 # writes BENCH_obs.json.  (`-- obs-quick` is the smoke variant below: it
@@ -53,8 +60,10 @@ bench-obs:
 # threaded connection sweep, SUBSCRIBE push, pipelined depths — fails if
 # the event engine drops a connection), a sub-second durability smoke
 # (group commit vs per-chunk fsync, recovery replay, truncation-point
-# crash matrix), and one `forkbase top` render against a throwaway
-# in-process node (exercises the METRICS-JSON wire path end to end).
+# crash matrix), a ~1-second delta-sync smoke (full push/pull then a
+# 1%-edit delta over loopback, verifying the frontier cut), and one
+# `forkbase top` render against a throwaway in-process node (exercises
+# the METRICS-JSON wire path end to end).
 check:
 	dune build
 	dune runtest
@@ -64,6 +73,7 @@ check:
 	dune exec bench/main.exe -- net-scaling-quick
 	dune exec bench/main.exe -- net-c10k-quick
 	dune exec bench/main.exe -- durability-quick
+	dune exec bench/main.exe -- sync-quick
 	dune exec bin/forkbase_cli.exe -- top --demo --once --interval 0.5
 
 clean:

@@ -2307,6 +2307,140 @@ let run_durability ?(quick = false) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* sync: Merkle-DAG delta sync — bytes on the wire for a 1%-edit      *)
+(* update vs the full transfer.  Writes BENCH_sync.json.              *)
+(* ------------------------------------------------------------------ *)
+
+let run_sync ?(quick = false) () =
+  header
+    (if quick then "sync-quick: delta push/pull smoke (wire bytes vs full)"
+     else "sync: delta sync of a 1%-edit update across ~1M records");
+  let n = if quick then 20_000 else 1_000_000 in
+  let edits = n / 100 in
+  let key_of i = Printf.sprintf "r%07d" i in
+  let base = List.init n (fun i -> (key_of i, Printf.sprintf "v%d" i)) in
+  (* The 1% edit is a contiguous key range: the update story of the
+     paper's dataset workloads (a segment of rows revised), and the
+     case chunk-level dedup is built to exploit. *)
+  let edited =
+    List.init n (fun i ->
+        ( key_of i,
+          if i < edits then Printf.sprintf "EDITED%d" i
+          else Printf.sprintf "v%d" i ))
+  in
+  let src_store = Mem_store.create () in
+  let src = FB.create src_store in
+  let (), build_ms =
+    time_ms (fun () ->
+        ignore
+          (ok_fb
+             (FB.put src ~key:"table" (Value.map_of_bindings src_store base))))
+  in
+  Printf.printf "built v1 (%d records) in %.0f ms\n%!" n build_ms;
+  let srv_fb = FB.create (Mem_store.create ()) in
+  let config =
+    { Fb_net.Server.default_config with port = 0; save_every_s = 0.0 }
+  in
+  let srv =
+    match Fb_net.Server.start ~config srv_fb with
+    | Ok s -> s
+    | Error e -> failwith ("sync bench: " ^ e)
+  in
+  let r =
+    match Fb_net.Remote.connect ~port:(Fb_net.Server.port srv) () with
+    | Ok r -> r
+    | Error e -> failwith ("sync bench: " ^ Fb_core.Errors.to_string e)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Fb_net.Remote.close r;
+      Fb_net.Server.stop srv)
+    (fun () ->
+      let show verb (s : Fb_core.Sync.stats) ms =
+        Printf.printf
+          "  %-10s %6d chunks  %9.1f KiB on wire  %6d skipped  %4d rounds  \
+           %7.0f ms\n%!"
+          verb s.Fb_core.Sync.chunks_moved (kb s.Fb_core.Sync.bytes_moved)
+          s.Fb_core.Sync.chunks_skipped s.Fb_core.Sync.rounds ms
+      in
+      (* Full transfer: the server starts empty. *)
+      let (_, full_push), full_push_ms =
+        time_ms (fun () -> ok_fb (Fb_net.Remote.push r src ~key:"table"))
+      in
+      show "push-full" full_push full_push_ms;
+      let dst = FB.create (Mem_store.create ()) in
+      let (_, full_pull), full_pull_ms =
+        time_ms (fun () -> ok_fb (Fb_net.Remote.pull r dst ~key:"table"))
+      in
+      show "pull-full" full_pull full_pull_ms;
+      (* The 1% edit, then the same sync again: only the frontier moves. *)
+      let (), edit_ms =
+        time_ms (fun () ->
+            ignore
+              (ok_fb
+                 (FB.put src ~key:"table"
+                    (Value.map_of_bindings src_store edited))))
+      in
+      Printf.printf "committed 1%% edit (%d records) in %.0f ms\n%!" edits
+        edit_ms;
+      let (_, delta_push), delta_push_ms =
+        time_ms (fun () -> ok_fb (Fb_net.Remote.push r src ~key:"table"))
+      in
+      show "push-delta" delta_push delta_push_ms;
+      let (_, delta_pull), delta_pull_ms =
+        time_ms (fun () -> ok_fb (Fb_net.Remote.pull r dst ~key:"table"))
+      in
+      show "pull-delta" delta_pull delta_pull_ms;
+      if not (Hash.equal (ok_fb (FB.head dst ~key:"table"))
+                (ok_fb (FB.head src ~key:"table")))
+      then failwith "sync bench: replica head diverged from source";
+      let ratio what (delta : Fb_core.Sync.stats) (full : Fb_core.Sync.stats) =
+        let r =
+          float_of_int delta.Fb_core.Sync.bytes_moved
+          /. float_of_int (max 1 full.Fb_core.Sync.bytes_moved)
+        in
+        Printf.printf "  %s delta/full wire bytes: %.2f%%\n" what (100.0 *. r);
+        r
+      in
+      let push_ratio = ratio "push" delta_push full_push in
+      let pull_ratio = ratio "pull" delta_pull full_pull in
+      if (not quick) && (push_ratio > 0.10 || pull_ratio > 0.10) then
+        failwith
+          (Printf.sprintf
+             "sync: 1%%-edit delta shipped %.1f%%/%.1f%% of full-transfer \
+              bytes, above the 10%% bar"
+             (100.0 *. push_ratio) (100.0 *. pull_ratio));
+      if not quick then begin
+        let oc = open_out "BENCH_sync.json" in
+        Printf.fprintf oc
+          "{\"records\":%d,\"edited_records\":%d,\
+           \"full_push\":{\"chunks\":%d,\"bytes\":%d,\"skipped\":%d,\
+           \"rounds\":%d,\"ms\":%.0f},\
+           \"full_pull\":{\"chunks\":%d,\"bytes\":%d,\"skipped\":%d,\
+           \"rounds\":%d,\"ms\":%.0f},\
+           \"delta_push\":{\"chunks\":%d,\"bytes\":%d,\"skipped\":%d,\
+           \"rounds\":%d,\"ms\":%.0f},\
+           \"delta_pull\":{\"chunks\":%d,\"bytes\":%d,\"skipped\":%d,\
+           \"rounds\":%d,\"ms\":%.0f},\
+           \"push_delta_over_full\":%.4f,\"pull_delta_over_full\":%.4f}\n"
+          n edits full_push.Fb_core.Sync.chunks_moved
+          full_push.Fb_core.Sync.bytes_moved
+          full_push.Fb_core.Sync.chunks_skipped full_push.Fb_core.Sync.rounds
+          full_push_ms full_pull.Fb_core.Sync.chunks_moved
+          full_pull.Fb_core.Sync.bytes_moved
+          full_pull.Fb_core.Sync.chunks_skipped full_pull.Fb_core.Sync.rounds
+          full_pull_ms delta_push.Fb_core.Sync.chunks_moved
+          delta_push.Fb_core.Sync.bytes_moved
+          delta_push.Fb_core.Sync.chunks_skipped delta_push.Fb_core.Sync.rounds
+          delta_push_ms delta_pull.Fb_core.Sync.chunks_moved
+          delta_pull.Fb_core.Sync.bytes_moved
+          delta_pull.Fb_core.Sync.chunks_skipped delta_pull.Fb_core.Sync.rounds
+          delta_pull_ms push_ratio pull_ratio;
+        close_out oc;
+        Printf.printf "machine-readable results written to BENCH_sync.json\n"
+      end)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("table1", run_table1);
@@ -2332,7 +2466,9 @@ let experiments =
     ("net-c10k", fun () -> run_net_c10k ());
     ("net-c10k-quick", fun () -> run_net_c10k ~quick:true ());
     ("durability", fun () -> run_durability ());
-    ("durability-quick", fun () -> run_durability ~quick:true ()) ]
+    ("durability-quick", fun () -> run_durability ~quick:true ());
+    ("sync", fun () -> run_sync ());
+    ("sync-quick", fun () -> run_sync ~quick:true ()) ]
 
 let () =
   let requested =

@@ -693,7 +693,18 @@ let watch_cmd =
                  " (was " ^ Fb_core.Forkbase.version_string old ^ ")"
                | None -> " (created)")
           in
-          match Fb_net.Remote.subscribe ~key ~branch r render with
+          let render_event = function
+            | Fb_net.Remote.Head_moved ev -> render ev
+            | Fb_net.Remote.Gap { resubscribed } ->
+              (* Updates may have been missed across the reconnect; tell
+                 the consumer on stderr so the stdout stream stays
+                 machine-parsable. *)
+              Printf.eprintf "forkbase: %s\n%!"
+                (if resubscribed then
+                   "reconnected; updates may have been missed (resync)"
+                 else "reconnected but resubscription failed; retrying")
+          in
+          match Fb_net.Remote.subscribe_events ~key ~branch r render_event with
           | Error e -> `Error (false, Errors.to_string e)
           | Ok _sid ->
             Printf.eprintf "forkbase: watching key=%s branch=%s on %s:%d \
@@ -719,6 +730,57 @@ let watch_cmd =
              $(i,KEY BRANCH NEW-VERSION (was OLD-VERSION)).")
     Term.(ret (const run $ host_arg ~doc:"Server address." $ port_arg
                $ user_arg $ key_pos $ branch_pos))
+
+(* push/pull: Merkle-DAG delta sync between the local --root instance
+   and a running server.  Only chunks the other side lacks cross the
+   wire; every ingested chunk is re-hashed against its announced id. *)
+
+let sync_branch_pos =
+  Arg.(value & pos 1 string Branch.default_branch
+       & info [] ~docv:"BRANCH" ~doc:"Branch to sync.")
+
+let render_sync_stats verb uid (s : Fb_core.Sync.stats) =
+  Printf.sprintf
+    "%s %s: %d chunks / %d bytes on wire, %d shared chunks skipped, %d \
+     round trips\n"
+    verb
+    (Fb_core.Forkbase.version_string uid)
+    s.Fb_core.Sync.chunks_moved s.Fb_core.Sync.bytes_moved
+    s.Fb_core.Sync.chunks_skipped s.Fb_core.Sync.rounds
+
+let sync_cmd name ~doc ~verb sync =
+  let run root host port user key branch =
+    match Fb_net.Remote.connect ~host ~port ~user () with
+    | Error e -> `Error (false, Errors.to_string e)
+    | Ok r ->
+      Fun.protect
+        ~finally:(fun () -> Fb_net.Remote.close r)
+        (fun () ->
+          with_instance root (fun fb ->
+              let* uid, stats = sync ~user ~branch r fb ~key in
+              Ok (render_sync_stats verb uid stats)))
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(ret (const run $ root_arg $ host_arg ~doc:"Server address."
+               $ port_arg $ user_arg $ key_pos $ sync_branch_pos))
+
+let push_cmd =
+  sync_cmd "push"
+    ~doc:"Replicate KEY/BRANCH from the local $(b,--root) store to a \
+          running $(b,forkbase serve), shipping only the chunks the \
+          server lacks (Merkle-DAG delta sync).  The server re-hashes \
+          every chunk and fast-forwards the branch head atomically."
+    ~verb:"pushed"
+    (fun ~user ~branch r fb ~key -> Fb_net.Remote.push ~user ~branch r fb ~key)
+
+let pull_cmd =
+  sync_cmd "pull"
+    ~doc:"Replicate KEY/BRANCH from a running $(b,forkbase serve) into \
+          the local $(b,--root) store (created if absent), fetching only \
+          missing chunks and re-hashing each against its announced id \
+          before anything is stored."
+    ~verb:"pulled"
+    (fun ~user ~branch r fb ~key -> Fb_net.Remote.pull ~user ~branch r fb ~key)
 
 let scrub_cmd =
   let dry_run_arg =
@@ -1210,7 +1272,7 @@ let main =
       branch_cmd; rename_cmd; delete_branch_cmd; diff_cmd; merge_cmd;
       verify_cmd; export_cmd; bundle_cmd; unbundle_cmd; history_cmd;
       tag_cmd; tags_cmd;
-      serve_cmd; client_cmd; watch_cmd; stat_cmd; gc_cmd; scrub_cmd; metrics_cmd;
-      top_cmd ]
+      serve_cmd; client_cmd; watch_cmd; push_cmd; pull_cmd; stat_cmd; gc_cmd;
+      scrub_cmd; metrics_cmd; top_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -909,6 +909,79 @@ let verify_entry_proof ~uid ~key ~entry_key proof =
         | Error e -> Error (Errors.Corrupt e))
       | _ -> Errors.corrupt "proof: unsupported multi-root value"
 
+(* ---------------- delta sync ---------------- *)
+
+(* Fast-forward a branch head onto [root], whose closure must already be
+   in the store — the atomic final step of both bundle import and a
+   PUSH/PULL sync session.  Refuses absent roots, cross-key roots, and
+   non-fast-forward moves; funnels through [move_head] so local watchers
+   and remote SUBSCRIBE sessions observe the jump as one event. *)
+let advance_head ?(user = default_user) ?(branch = Branch.default_branch) t
+    ~key root =
+  guard @@ fun () ->
+  let* () = check t ~user ~key ~branch Acl.Write in
+  let* () =
+    if Store.mem t.store root then Ok ()
+    else Error (Errors.Version_not_found (Hash.to_hex root))
+  in
+  let* fnode = load_fnode t root in
+  if not (String.equal fnode.Fnode.key key) then
+    Errors.invalid "version belongs to key %S, not %S" fnode.Fnode.key key
+  else
+    let* () =
+      match Branch.head t.branches ~key ~branch with
+      | None -> Ok ()
+      | Some current ->
+        if Hash.equal current root then Ok ()
+        else (
+          match Dag.is_ancestor t.store ~ancestor:current root with
+          | Ok true -> Ok ()
+          | Ok false ->
+            Errors.invalid
+              "version is not a fast-forward of %s/%s; sync to a side branch \
+               and merge"
+              key branch
+          | Error e -> Error (Errors.Corrupt e))
+    in
+    move_head t ~key ~branch root;
+    Ok root
+
+(* Ingest one chunk from a sync peer.  The bytes must hash to the id they
+   were announced under ([Sync.verify_encoded]) and every chunk-level
+   child must already be present — senders stream child-first
+   ([Sync.plan_order]), so honoring this keeps the store closure-complete
+   at every instant and [advance_head] needs no O(history) closure walk. *)
+let sync_put ?(user = default_user) ?(branch = Branch.default_branch) t ~key
+    id encoded =
+  guard @@ fun () ->
+  let* () = check t ~user ~key ~branch Acl.Write in
+  let* chunk = Sync.verify_encoded id encoded in
+  match
+    List.filter
+      (fun c -> not (Store.mem t.store c))
+      (Dag.fnode_children chunk)
+  with
+  | [] -> Ok (Store.put t.store chunk)
+  | absent ->
+    Errors.invalid "sync: chunk %s references %d absent children; send \
+                    children first"
+      (Hash.short id) (List.length absent)
+
+(* Membership probes and raw chunk reads for the sync walk.  Chunk ids
+   are not scoped to a key, so these demand the instance-wide read grant
+   (key pattern "*"). *)
+let sync_have ?(user = default_user) t ids =
+  guard @@ fun () ->
+  let* () = check t ~user ~key:"*" ~branch:"*" Acl.Read in
+  Ok (List.map (Store.mem t.store) ids)
+
+let sync_chunk ?(user = default_user) t id =
+  guard @@ fun () ->
+  let* () = check t ~user ~key:"*" ~branch:"*" Acl.Read in
+  match t.store.Store.get_raw id with
+  | Some encoded -> Ok encoded
+  | None -> Error (Errors.Version_not_found (Hash.to_hex id))
+
 (* ---------------- bundles ---------------- *)
 
 let export_bundle ?(user = default_user) ?(branch = Branch.default_branch) t
@@ -934,28 +1007,7 @@ let import_bundle ?(user = default_user) ?(branch = Branch.default_branch) t
     | [ r ] -> Ok r
     | _ -> Errors.invalid "bundle carries %d roots, expected 1" (List.length roots)
   in
-  let* fnode = load_fnode t root in
-  if not (String.equal fnode.Fnode.key key) then
-    Errors.invalid "bundle version belongs to key %S, not %S" fnode.Fnode.key
-      key
-  else
-    let* () =
-      match Branch.head t.branches ~key ~branch with
-      | None -> Ok ()
-      | Some current ->
-        if Hash.equal current root then Ok ()
-        else (
-          match Dag.is_ancestor t.store ~ancestor:current root with
-          | Ok true -> Ok ()
-          | Ok false ->
-            Errors.invalid
-              "bundle is not a fast-forward of %s/%s; import to a side \
-               branch and merge"
-              key branch
-          | Error e -> Error (Errors.Corrupt e))
-    in
-    move_head t ~key ~branch root;
-    Ok root
+  advance_head ~user ~branch t ~key root
 
 (* ---------------- stats / maintenance ---------------- *)
 

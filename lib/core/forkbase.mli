@@ -288,6 +288,41 @@ val verify_entry_proof :
     table row for {!Fb_types.Table.decode_row}).  [Ok None]: provably
     absent.  [Error _]: the proof does not authenticate. *)
 
+(** {1 Delta sync (chunk-level exchange)}
+
+    Server-side primitives of the PUSH/PULL protocol (see {!Sync} and
+    [Fb_net.Remote.push]/[pull]).  A sender streams frontier chunks
+    child-first through {!sync_put}, probing with {!sync_have} to cut
+    descent at shared subtrees, then commits the transfer with
+    {!advance_head}. *)
+
+val advance_head :
+  ?user:string -> ?branch:string -> t -> key:string -> uid ->
+  (uid, Errors.t) result
+(** Fast-forward [branch] of [key] onto an already-stored version.  The
+    root must be present, must belong to [key], and the current head (if
+    any) must be its ancestor; watchers and SUBSCRIBE sessions observe
+    the move as a single head event.  Needs [Write] on the key. *)
+
+val sync_put :
+  ?user:string -> ?branch:string -> t -> key:string -> uid -> string ->
+  (uid, Errors.t) result
+(** Ingest one encoded chunk announced under the given id.  The bytes are
+    re-hashed and must match the id ([Error (Corrupt _)] otherwise — the
+    tamper-evidence gate), and every chunk-level child must already be
+    present so the store stays closure-complete ([Error (Invalid _)]
+    otherwise).  Needs [Write] on the key. *)
+
+val sync_have : ?user:string -> t -> uid list -> (bool list, Errors.t) result
+(** Positional membership probe: [true] for each id held locally.  Chunk
+    ids are not key-scoped, so this needs an instance-wide read grant
+    (key pattern ["*"]). *)
+
+val sync_chunk : ?user:string -> t -> uid -> (string, Errors.t) result
+(** Encoded bytes of one chunk, unverified as stored — receivers re-hash.
+    [Error (Version_not_found _)] if absent.  Instance-wide read grant
+    required, as for {!sync_have}. *)
+
 (** {1 Bundles (data exchange)} *)
 
 val export_bundle :

@@ -59,11 +59,14 @@ let classify tokens =
     match String.lowercase_ascii verb, args with
     | ("put" | "put-csv" | "branch" | "merge" | "rename"), key :: _ ->
       (Write, Key key)
+    | ("sync-put" | "sync-advance"), key :: _ -> (Write, Key key)
     | "scrub", _ -> (Write, Global)
     | ( ( "get" | "head" | "latest" | "log" | "diff" | "verify" | "prove"
         | "get-json" | "diff-json" | "log-json" | "latest-json" ),
         key :: _ ) ->
       (Read, Key key)
+    (* Chunk-addressed sync reads: no key scope, safely retryable. *)
+    | ("sync-have" | "sync-get"), _ -> (Read, Global)
     | _ -> (Read, Global))
 
 let render_value = function
@@ -184,6 +187,40 @@ let dispatch ?user fb tokens =
       | "latest-json", [ key ] ->
         let* heads = Forkbase.latest ?user fb ~key in
         Ok (Fb_types.Json.to_string (Webview.branches_json heads))
+      (* Delta-sync verbs (PUSH/PULL sessions).  Ids travel as hex; chunk
+         bytes ride in a raw binary token — the v2 framing is
+         length-prefixed, so no escaping is needed. *)
+      | "sync-have", (_ :: _ as ids) ->
+        let* ids =
+          List.fold_left
+            (fun acc hex ->
+              let* acc = acc in
+              match Hash.of_hex hex with
+              | Ok id -> Ok (id :: acc)
+              | Error _ -> Errors.invalid "sync-have: bad chunk id %S" hex)
+            (Ok []) ids
+        in
+        let* bits = Forkbase.sync_have ?user fb (List.rev ids) in
+        Ok (Sync.encode_have bits)
+      | "sync-get", [ hex ] ->
+        let* id =
+          match Hash.of_hex hex with
+          | Ok id -> Ok id
+          | Error _ -> Errors.invalid "sync-get: bad chunk id %S" hex
+        in
+        Forkbase.sync_chunk ?user fb id
+      | "sync-put", [ key; branch; hex; bytes ] ->
+        let* id =
+          match Hash.of_hex hex with
+          | Ok id -> Ok id
+          | Error _ -> Errors.invalid "sync-put: bad chunk id %S" hex
+        in
+        let* _id = Forkbase.sync_put ?user ~branch fb ~key id bytes in
+        Ok ""
+      | "sync-advance", [ key; branch; head ] ->
+        let* root = Forkbase.parse_version head in
+        let* uid = Forkbase.advance_head ?user ~branch fb ~key root in
+        Ok (Forkbase.version_string uid)
       | "prove", [ key; branch; entry_key ] ->
         (* Hex-encoded entry proof a light client verifies offline against
            the branch head uid. *)

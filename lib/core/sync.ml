@@ -1,0 +1,79 @@
+module Chunk = Fb_chunk.Chunk
+module Hash = Fb_hash.Hash
+module Dag = Fb_repr.Dag
+
+type stats = {
+  chunks_moved : int;
+  bytes_moved : int;
+  chunks_skipped : int;
+  rounds : int;
+}
+
+let empty_stats =
+  { chunks_moved = 0; bytes_moved = 0; chunks_skipped = 0; rounds = 0 }
+
+(* Batch shaping for the BATCH frames a sync session streams.  Membership
+   probes are cheap (one hex id per token); chunk transfers are bounded
+   by payload bytes as well as count so a batch can never approach the
+   16 MiB frame ceiling even when every chunk is a full leaf. *)
+let have_batch = 256
+let get_batch = 64
+let put_batch = 128
+let put_batch_bytes = 4 * 1024 * 1024
+
+let children = Dag.fnode_children
+
+(* The ingest gate: the bytes must hash to the id they were announced
+   under (chunk identity is the SHA-256 of the encoded bytes, so this is
+   the whole tamper-evidence check) and must decode as a chunk.  Nothing
+   that fails here may reach a store. *)
+let verify_encoded id encoded =
+  match Chunk.decode encoded with
+  | Error e ->
+    Errors.corrupt "sync: chunk %s does not decode: %s" (Hash.short id) e
+  | Ok chunk ->
+    let actual = Chunk.hash chunk in
+    if Hash.equal actual id then Ok chunk
+    else
+      Errors.corrupt
+        "sync: chunk announced as %s hashes to %s; refusing tampered bytes"
+        (Hash.to_hex id) (Hash.to_hex actual)
+
+(* Child-first (reverse topological) order of the subgraph [missing]
+   admits under [roots]: every id appears after all of its missing
+   children, so a receiver that insists every child is already present
+   when a chunk arrives (the closure invariant) accepts the stream
+   as-is.  Iterative DFS postorder — version DAGs and POS-Trees can be
+   deep, and the explicit stack keeps the walk off the call stack.
+   [children] is consulted only for ids [missing] admits. *)
+let plan_order ~children ~missing ~roots =
+  let seen = Hash.Tbl.create 64 in
+  let order = ref [] in
+  let rec go stack =
+    match stack with
+    | [] -> ()
+    | `Enter id :: rest ->
+      if Hash.Tbl.mem seen id || not (missing id) then go rest
+      else begin
+        Hash.Tbl.replace seen id ();
+        go
+          (List.fold_left
+             (fun acc c -> `Enter c :: acc)
+             (`Exit id :: rest) (children id))
+      end
+    | `Exit id :: rest ->
+      order := id :: !order;
+      go rest
+  in
+  go (List.map (fun r -> `Enter r) roots);
+  List.rev !order
+
+(* The sync-have reply: one byte per probed id, '1' = the peer holds it.
+   Positional, so the caller must keep its probe order. *)
+let encode_have bits =
+  String.concat "" (List.map (fun b -> if b then "1" else "0") bits)
+
+let decode_have s =
+  if String.for_all (fun c -> c = '0' || c = '1') s then
+    Ok (List.init (String.length s) (fun i -> s.[i] = '1'))
+  else Error (Errors.Invalid ("sync: unparsable have reply: " ^ s))

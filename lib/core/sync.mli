@@ -1,0 +1,70 @@
+(** Merkle-DAG delta sync — the pure pieces shared by both ends of a
+    PUSH/PULL session (ROADMAP item 4; the Fossil tip-exchange protocol
+    over ForkBase's content-addressed chunks).
+
+    A sync session exchanges branch heads, walks the version DAG and
+    POS-Tree structure from each head to find the {e missing-chunk
+    frontier} — descent stops at any chunk the peer already has, because
+    content addressing makes an equal id an equal subtree — and streams
+    only the frontier chunks.  The receiver re-hashes every chunk
+    ({!verify_encoded}) and refuses mismatches, so a replica built over
+    sync carries the same tamper-evidence as a local store.
+
+    The wire verbs themselves live in {!Service} (sync-have / sync-get /
+    sync-put / sync-advance); the client-side walk lives in
+    [Fb_net.Remote.push]/[pull].  This module holds what both ends and
+    their tests share: verification, ordering, and the have-bitmap
+    codec. *)
+
+type stats = {
+  chunks_moved : int;   (** chunks that crossed the wire *)
+  bytes_moved : int;    (** their encoded bytes — the delta-sync payoff *)
+  chunks_skipped : int; (** frontier cuts: probed chunks the peer already had *)
+  rounds : int;         (** request round trips (probes + transfers + advance) *)
+}
+
+val empty_stats : stats
+
+(** {1 Batch shaping} *)
+
+val have_batch : int
+(** Ids per sync-have probe request. *)
+
+val get_batch : int
+(** sync-get sub-requests per BATCH frame. *)
+
+val put_batch : int
+val put_batch_bytes : int
+(** sync-put sub-requests per BATCH frame are capped by count {e and}
+    cumulative encoded bytes, so a batch stays well under the frame
+    ceiling. *)
+
+val children : Fb_chunk.Chunk.t -> Fb_hash.Hash.t list
+(** Chunk-level children for the frontier walk: FNode bases + value
+    roots, POS-Tree index fan-out, nothing for leaves (alias of
+    {!Fb_repr.Dag.fnode_children}). *)
+
+val verify_encoded :
+  Fb_hash.Hash.t -> string -> (Fb_chunk.Chunk.t, Errors.t) result
+(** [verify_encoded id bytes] re-hashes [bytes] and decodes them: the
+    result is [Ok chunk] only when the bytes really are the chunk named
+    [id].  [Error (Corrupt _)] otherwise — the ingest gate both ends
+    apply to every received chunk. *)
+
+val plan_order :
+  children:(Fb_hash.Hash.t -> Fb_hash.Hash.t list) ->
+  missing:(Fb_hash.Hash.t -> bool) ->
+  roots:Fb_hash.Hash.t list ->
+  Fb_hash.Hash.t list
+(** Child-first order of the subgraph of [missing] ids reachable from
+    [roots]: every id appears after all of its missing children.
+    Streaming in this order lets the receiver maintain the closure
+    invariant (no stored chunk ever references an absent one) by
+    checking only the incoming chunk's direct children. *)
+
+(** {1 Have-bitmap codec} *)
+
+val encode_have : bool list -> string
+(** One byte per probed id, ['1'] = held, positional. *)
+
+val decode_have : string -> (bool list, Errors.t) result

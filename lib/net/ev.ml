@@ -99,7 +99,7 @@ let grow_poll t n =
   t.p_events <- Array.make cap 0;
   t.p_revents <- Array.make cap 0
 
-let rec poll_wait t ~timeout_ms =
+let poll_wait t ~timeout_ms =
   let n = Hashtbl.length t.registered in
   if n > Array.length t.p_fds then grow_poll t n;
   let i = ref 0 in
@@ -111,7 +111,11 @@ let rec poll_wait t ~timeout_ms =
       incr i)
     t.registered;
   match poll_raw t.p_fds t.p_events t.p_revents n timeout_ms with
-  | -1 -> poll_wait t ~timeout_ms (* EINTR *)
+  (* EINTR: surface as "nothing ready" rather than retrying with the
+     full timeout — under a signal storm the retry would restart the
+     clock every time and the caller's lifecycle check (e.g.
+     [Server.stop]'s is_running flag) could be starved indefinitely. *)
+  | -1 -> 0
   | _ ->
     (* Compact ready entries to the front of the output arrays, bounded
        like the epoll path. *)
@@ -125,9 +129,9 @@ let rec poll_wait t ~timeout_ms =
     done;
     !out
 
-let rec epoll_wait epfd t ~timeout_ms =
+let epoll_wait epfd t ~timeout_ms =
   match epoll_wait_raw epfd t.ready_fds t.ready_evs max_ready timeout_ms with
-  | -1 -> epoll_wait epfd t ~timeout_ms (* EINTR *)
+  | -1 -> 0 (* EINTR: same treatment as the poll path above *)
   | ready -> ready
 
 (* Block until an fd is ready or [timeout_ms] elapses (-1 = forever);

@@ -31,7 +31,10 @@ val remove : t -> Unix.file_descr -> unit
 val wait : t -> timeout_ms:int -> int
 (** Block until an fd is ready or [timeout_ms] elapses ([-1] = forever);
     returns the number of ready entries, read via {!ready_fd} /
-    {!ready_events}.  Retries [EINTR].
+    {!ready_events}.  A signal interruption ([EINTR]) returns 0 ready
+    entries instead of retrying, so the calling loop re-checks its
+    lifecycle promptly even under a signal storm; it never escapes as
+    an exception.
     @raise Unix.Unix_error on genuine backend failure. *)
 
 val ready_fd : t -> int -> int

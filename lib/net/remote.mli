@@ -22,8 +22,11 @@
     operations are never replayed (the write may have been applied
     before the tear — replaying could double-apply) and surface
     [Transient] directly.  After an explicit {!close}, every call fails
-    fast with [Transient] — no reconnect.  Subscriptions do not survive
-    a reconnect: deliveries stop and the caller re-subscribes.
+    fast with [Transient] — no reconnect.  Subscriptions {e do} survive
+    a reconnect: a monitor thread re-dials while any subscription is
+    live, re-issues the registrations on the fresh connection, and
+    delivers a {!sub_event.Gap} marker so the caller knows pushes may
+    have been missed in between.
 
     [?user] defaults to the user given at {!connect}. *)
 
@@ -124,18 +127,39 @@ val metrics : ?user:string -> t -> (string, Fb_core.Errors.t) result
     server's /tracez and [forkbase top] show for the write. *)
 
 type subscription
+(** A local handle, stable across reconnects (the server-side id it maps
+    to changes when a subscription is resurrected). *)
+
+type sub_event =
+  | Head_moved of Fb_core.Forkbase.head_event
+    (** A branch head moved on the server. *)
+  | Gap of { resubscribed : bool }
+    (** The connection died and was re-dialed: pushes may have been
+        missed.  [resubscribed = true] means deliveries resume on the
+        new connection; [false] means re-registration failed (e.g. the
+        server came back in threaded mode) and the monitor will try
+        again on the next reconnect.  Callers that must not miss a
+        movement should re-read the heads they track on [Gap]. *)
 
 val subscribe :
   ?user:string -> ?key:string -> ?branch:string ->
   t -> (Fb_core.Forkbase.head_event -> unit) ->
   (subscription, Fb_core.Errors.t) result
 (** [key]/[branch] omitted (or ["*"]) match everything.  A threaded-mode
-    server answers [Error (Invalid _)]. *)
+    server answers [Error (Invalid _)].  Gap markers are dropped; use
+    {!subscribe_events} to observe them. *)
+
+val subscribe_events :
+  ?user:string -> ?key:string -> ?branch:string ->
+  t -> (sub_event -> unit) ->
+  (subscription, Fb_core.Errors.t) result
+(** Like {!subscribe} but the callback also receives {!sub_event.Gap}
+    markers around reconnects. *)
 
 val unsubscribe :
   ?user:string -> t -> subscription -> (unit, Fb_core.Errors.t) result
 (** Local deliveries stop immediately; the server registration is torn
-    down before returning. *)
+    down before returning.  Idempotent. *)
 
 (** {1 Batching}
 
@@ -156,6 +180,32 @@ type op_reply =
 val batch :
   ?user:string -> t -> op_req list ->
   ((op_reply, Fb_core.Errors.t) result list, Fb_core.Errors.t) result
+
+(** {1 Delta sync (PUSH/PULL)}
+
+    Merkle-DAG replication between a local {!Fb_core.Forkbase.t} and the
+    server: exchange branch heads, walk the version DAG and POS-Tree
+    from the newer head probing which chunks the other side already has
+    (a held chunk roots a shared subtree — descent stops there), and
+    ship only the missing frontier in BATCH frames.  Both directions
+    re-hash every chunk that crosses the wire and refuse mismatches; the
+    receiving side stores child-first and finally fast-forwards the
+    branch head atomically, so an aborted or tampered transfer leaves it
+    unchanged.  Non-fast-forward histories are refused — sync to a side
+    branch and {!merge}. *)
+
+val push :
+  ?user:string -> ?branch:string -> t -> Fb_core.Forkbase.t -> key:string ->
+  (uid * Fb_core.Sync.stats, Fb_core.Errors.t) result
+(** Replicate [key]/[branch] from the local instance {e to} the server;
+    returns the advanced head and what moved. *)
+
+val pull :
+  ?user:string -> ?branch:string -> t -> Fb_core.Forkbase.t -> key:string ->
+  (uid * Fb_core.Sync.stats, Fb_core.Errors.t) result
+(** Replicate [key]/[branch] from the server {e into} the local
+    instance.  Nothing reaches the local store until the complete
+    missing closure has been fetched and verified. *)
 
 (** {1 Escape hatch} *)
 

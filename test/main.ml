@@ -27,4 +27,5 @@ let () =
       ("obs", Test_obs.suite);
       ("rwlock", Test_rwlock.suite);
       ("net", Test_net.suite);
-      ("pipeline", Test_pipeline.suite) ]
+      ("pipeline", Test_pipeline.suite);
+      ("sync", Test_sync.suite) ]

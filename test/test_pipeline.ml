@@ -340,7 +340,9 @@ let test_slow_reader_backpressure () =
              was buffered ends in EOF or a reset, never fresh data
              forever. *)
           let buf = Bytes.create 65536 in
-          let deadline = Unix.gettimeofday () +. 5.0 in
+          (* Generous: under a fully loaded test machine the kernel can
+             take a while to hand us the backlog before the EOF. *)
+          let deadline = Unix.gettimeofday () +. 20.0 in
           let rec drain () =
             if Unix.gettimeofday () > deadline then
               Alcotest.fail "peer socket still alive after disconnect"
@@ -552,6 +554,204 @@ let test_remote_reconnect () =
              the healed client does next). *)
           check string_ "read heals" "1" (ok_fb (Remote.get r3 ~key:"w"))))
 
+(* ---------------- push racing the subscribe reply ---------------- *)
+
+(* The window documented in mux.mli: a kind-2 push for a new
+   subscription can arrive immediately behind the SUBSCRIBE reply — in
+   the same TCP segment.  The reader thread installs the callback at
+   reply-completion time, before decoding the next frame, so the push
+   must be delivered, never dropped. *)
+let test_push_races_subscribe_reply () =
+  with_fake_server
+    (fun fd ->
+      let seq =
+        match Frame.read_frame ~timeout_s:5.0 fd with
+        | Ok p -> (
+          match Frame.decode_request p with
+          | Ok (_, _, Some seq, Frame.Single ("subscribe" :: _)) -> seq
+          | _ -> Alcotest.fail "fake server: expected a tagged subscribe")
+        | Error e -> Alcotest.fail (Frame.error_to_string e)
+      in
+      (* Reply and push in ONE write so both land in one segment: the
+         client cannot see a gap between them. *)
+      let wire =
+        Frame.encode_frame
+          (Frame.encode_response ~seq (Frame.One (Ok "7")))
+        ^ Frame.encode_frame
+            (Frame.encode_response
+               (Frame.Event
+                  { Frame.sub_id = 7; ev_key = "k"; ev_branch = "master";
+                    new_head = "deadbeef"; old_head = None }))
+      in
+      ignore (Unix.write_substring fd wire 0 (String.length wire));
+      (* Hold the connection open: a drop must not be masked by EOF. *)
+      ignore (Frame.read_frame ~timeout_s:5.0 fd))
+    (fun port ->
+      let m = ok_cl (Mux.connect ~port ()) in
+      Fun.protect
+        ~finally:(fun () -> Mux.close m)
+        (fun () ->
+          let mu = Mutex.create () in
+          let got = ref [] in
+          let sid =
+            ok_cl
+              (Mux.subscribe ~key:"k" m (fun _ ev ->
+                   Mutex.protect mu (fun () -> got := ev :: !got)))
+          in
+          check int_ "server-assigned sid" 7 sid;
+          check bool_ "the racing push is delivered, not dropped" true
+            (eventually (fun () -> Mutex.protect mu (fun () -> !got <> [])));
+          match Mutex.protect mu (fun () -> !got) with
+          | [ (ev : Frame.event) ] ->
+            check string_ "event key" "k" ev.Frame.ev_key;
+            check string_ "event head" "deadbeef" ev.Frame.new_head
+          | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)))
+
+(* ---------------- subscriptions survive a server bounce ---------------- *)
+
+(* Satellite regression: a server restart under an active subscription
+   must not silently kill the watch (`forkbase watch` used to hang
+   forever).  The handle's monitor re-dials, re-issues the registration,
+   and delivers a Gap marker; pushes then flow again. *)
+let test_watch_survives_restart () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  let srv1 = ok_net (Server.start ~config:test_config fb) in
+  let port = Server.port srv1 in
+  let r =
+    match Remote.connect ~port () with
+    | Ok r -> r
+    | Error e -> Alcotest.fail (Errors.to_string e)
+  in
+  Fun.protect
+    ~finally:(fun () -> Remote.close r)
+    (fun () ->
+      let mu = Mutex.create () in
+      let heads = ref [] and gaps = ref [] in
+      let sub =
+        ok_fb
+          (Remote.subscribe_events ~key:"w" r (function
+            | Remote.Head_moved ev ->
+              Mutex.protect mu (fun () -> heads := ev :: !heads)
+            | Remote.Gap { resubscribed } ->
+              Mutex.protect mu (fun () -> gaps := resubscribed :: !gaps)))
+      in
+      ignore (ok_fb (Remote.put r ~key:"w" "v1"));
+      check bool_ "push before the bounce" true
+        (eventually (fun () -> Mutex.protect mu (fun () -> !heads <> [])));
+      (* Bounce the server.  While it is down, the subscribed handle
+         still reports open — the monitor is dialing on its behalf. *)
+      Server.stop srv1;
+      check bool_ "subscribed handle stays open through the outage" true
+        (Remote.is_open r);
+      let srv2 = ok_net (Server.start ~config:{ test_config with port } fb) in
+      Fun.protect
+        ~finally:(fun () -> Server.stop srv2)
+        (fun () ->
+          check bool_ "gap marker delivered after resubscribe" true
+            (eventually ~timeout:10.0 (fun () ->
+                 Mutex.protect mu (fun () -> List.mem true !gaps)));
+          (* A write from a different client reaches the original
+             callback through the resurrected subscription. *)
+          with_mux srv2 (fun m ->
+              ignore (ok_cl (Mux.request m [ "put"; "w"; "master"; "v2" ])));
+          check bool_ "push after the bounce" true
+            (eventually ~timeout:10.0 (fun () ->
+                 Mutex.protect mu (fun () -> List.length !heads >= 2)));
+          ok_fb (Remote.unsubscribe r sub)))
+
+(* ---------------- EINTR under a signal storm ---------------- *)
+
+(* [Server.stop] must complete promptly while signals interrupt the
+   event loop's poll/epoll wait continuously: the wait path treats
+   EINTR as a zero-ready wakeup instead of retrying with a fresh
+   timeout, so the loop keeps re-checking its lifecycle flag. *)
+let test_stop_under_signal_storm () =
+  let previous = Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> ())) in
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigusr1 previous)
+    (fun () ->
+      let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+      let srv = ok_net (Server.start ~config:test_config fb) in
+      let port = Server.port srv in
+      (* A live connection so stop has real teardown to do. *)
+      let m = ok_cl (Mux.connect ~port ()) in
+      ignore (ok_cl (Mux.request m [ "put"; "k"; "master"; "v" ]));
+      let storming = Atomic.make true in
+      let pid = Unix.getpid () in
+      let storm =
+        Thread.create
+          (fun () ->
+            while Atomic.get storming do
+              Unix.kill pid Sys.sigusr1;
+              Thread.delay 0.001
+            done)
+          ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set storming false;
+          Thread.join storm;
+          Mux.close m)
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          Server.stop srv;
+          let elapsed = Unix.gettimeofday () -. t0 in
+          check bool_
+            (Printf.sprintf "stop completed under the storm (%.2fs)" elapsed)
+            true (elapsed < 5.0));
+      (* The port is genuinely free again: a fresh server binds on it
+         and serves. *)
+      let srv2 = ok_net (Server.start ~config:{ test_config with port } fb) in
+      Fun.protect
+        ~finally:(fun () -> Server.stop srv2)
+        (fun () ->
+          with_mux srv2 (fun m2 ->
+              check string_ "fresh server serves after the storm" "v"
+                (ok_cl (Mux.request m2 [ "get"; "k"; "master" ])))))
+
+(* ---------------- threaded A/B engine parity ---------------- *)
+
+(* The serial engine answers a deep tagged pipeline correctly: requests
+   queue in the socket and are processed in order, but every reply must
+   echo its request's sequence id so the demux matches them up. *)
+let test_threaded_pipelined_depth () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  let config = { test_config with mode = `Threaded } in
+  with_server ~config fb (fun srv ->
+      with_mux srv (fun m ->
+          let depth = 64 in
+          let tickets =
+            List.init depth (fun i ->
+                ok_cl
+                  (Mux.send m
+                     (Frame.Single
+                        [ "put"; "k"; "master"; Printf.sprintf "v%d" i ])))
+          in
+          List.iter
+            (fun tk ->
+              match Mux.await m tk with
+              | Ok (Frame.One (Ok uid)) ->
+                check bool_ "uid parses" true
+                  (Result.is_ok (FB.parse_version uid))
+              | _ -> Alcotest.fail "pipelined put failed on threaded engine")
+            (List.rev tickets);
+          check string_ "last pipelined write won"
+            (Printf.sprintf "v%d" (depth - 1))
+            (ok_cl (Mux.request m [ "get"; "k"; "master" ]))))
+
+(* Both halves of the conn-verb pair are rejected typed, not ignored. *)
+let test_unsubscribe_rejected_threaded () =
+  let fb = FB.create (Fb_chunk.Mem_store.create ()) in
+  let config = { test_config with mode = `Threaded } in
+  with_server ~config fb (fun srv ->
+      with_mux srv (fun m ->
+          match Mux.request m [ "unsubscribe"; "1" ] with
+          | Error (Mux.Remote (Errors.Invalid msg)) ->
+            check bool_ "typed rejection points at the event loop" true
+              (Tutil.contains msg "event-loop")
+          | Ok _ -> Alcotest.fail "threaded server accepted unsubscribe"
+          | Error e -> Alcotest.fail (Client.error_to_string e)))
+
 (* ---------------- event-loop health introspection ---------------- *)
 
 let http_get port path =
@@ -628,5 +828,15 @@ let suite =
       test_subscribe_rejected_threaded;
     Alcotest.test_case "remote transparent reconnect" `Quick
       test_remote_reconnect;
+    Alcotest.test_case "push racing the subscribe reply" `Quick
+      test_push_races_subscribe_reply;
+    Alcotest.test_case "watch survives a server restart" `Quick
+      test_watch_survives_restart;
+    Alcotest.test_case "stop under a signal storm" `Quick
+      test_stop_under_signal_storm;
+    Alcotest.test_case "threaded pipelined depth" `Quick
+      test_threaded_pipelined_depth;
+    Alcotest.test_case "unsubscribe rejected in threaded mode" `Quick
+      test_unsubscribe_rejected_threaded;
     Alcotest.test_case "event-loop health introspection" `Quick
       test_loop_health ]
