@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the real build system.
 
-.PHONY: all build test bench bench-hotpath bench-net bench-durability bench-obs bench-sync check clean
+.PHONY: all build test bench bench-hotpath bench-net bench-durability bench-obs bench-sync bench-cluster check clean
 
 all: build
 
@@ -43,6 +43,15 @@ bench-durability:
 bench-sync:
 	dune exec bench/main.exe -- sync
 
+# Cluster benchmark: 3 live forkbase nodes over TCP at W=2 — read
+# availability and failover latency under a node kill, read-repair
+# convergence after an empty restart, and the rebalance delta vs the
+# ideal hash-ring delta on membership growth; writes BENCH_cluster.json
+# and fails if availability drops below 99% or rebalance moves anything
+# beyond the ring delta.
+bench-cluster:
+	dune exec bench/main.exe -- cluster
+
 # Observability benchmark: instrumentation overhead (warmed, best-of-3),
 # operation latency distributions, wire tracing cost enabled vs FB_OBS=0;
 # writes BENCH_obs.json.  (`-- obs-quick` is the smoke variant below: it
@@ -61,9 +70,11 @@ bench-obs:
 # the event engine drops a connection), a sub-second durability smoke
 # (group commit vs per-chunk fsync, recovery replay, truncation-point
 # crash matrix), a ~1-second delta-sync smoke (full push/pull then a
-# 1%-edit delta over loopback, verifying the frontier cut), and one
-# `forkbase top` render against a throwaway in-process node (exercises
-# the METRICS-JSON wire path end to end).
+# 1%-edit delta over loopback, verifying the frontier cut), a ~1-second
+# cluster smoke (3 live nodes at W=2: node kill, failover reads, read
+# repair, rebalance-equals-ring-delta), and one `forkbase top` render
+# against a throwaway in-process node (exercises the METRICS-JSON wire
+# path end to end).
 check:
 	dune build
 	dune runtest
@@ -74,6 +85,7 @@ check:
 	dune exec bench/main.exe -- net-c10k-quick
 	dune exec bench/main.exe -- durability-quick
 	dune exec bench/main.exe -- sync-quick
+	dune exec bench/main.exe -- cluster-quick
 	dune exec bin/forkbase_cli.exe -- top --demo --once --interval 0.5
 
 clean:

@@ -4,9 +4,9 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- fig4    -- run one experiment
      experiments: table1 fig2 fig3 fig4 fig5 fig6 siri ablation storage
-     resilience cluster obs micro hotpath net net-scaling net-c10k
-     durability
-     (the last four also have sub-second -quick variants)
+     resilience sharded cluster obs micro hotpath net net-scaling
+     net-c10k durability
+     (cluster and the last four also have sub-second -quick variants)
 
    Absolute numbers are machine-dependent; the reproduced artifact is the
    *shape*: who wins, by what factor, and how quantities scale.
@@ -853,13 +853,14 @@ let run_resilience () =
     (pct p) (pct r)
 
 (* ------------------------------------------------------------------ *)
-(* Cluster: ForkBase on the sharded/replicated store (the simulated   *)
-(* distributed deployment; DESIGN.md substitutions).                  *)
+(* Sharded: ForkBase on the in-process sharded/replicated store (the  *)
+(* simulated distributed deployment; DESIGN.md substitutions).  The   *)
+(* real multi-node deployment is the `cluster` experiment below.      *)
 (* ------------------------------------------------------------------ *)
 
-let run_cluster () =
+let run_sharded () =
   header
-    "CLUSTER: ForkBase over a sharded, replicated chunk store\n\
+    "SHARDED: ForkBase over an in-process sharded, replicated chunk store\n\
      (5 members, replication factor 2, consistent-hash placement)";
   let members =
     List.init 5 (fun i -> (Printf.sprintf "node%d" i, Mem_store.create ()))
@@ -911,6 +912,167 @@ let run_cluster () =
     "outage writes accepted; rebalance restored %d replica copies in %.0f \
      ms\n"
     copies heal_ms
+
+(* ------------------------------------------------------------------ *)
+(* Cluster: the real multi-node deployment — chunks routed over TCP   *)
+(* to live server nodes through the cluster store, with a node kill,  *)
+(* failover latency, read repair after restart, and the rebalance     *)
+(* delta vs the ideal ring delta.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_cluster_net ?(quick = false) () =
+  header
+    (if quick then
+       "cluster-quick: 3 live nodes, W=2 — availability under a node kill"
+     else
+       "CLUSTER: 3 live forkbase nodes over TCP, W=2 replication\n\
+        (node kill -> failover reads; restart -> read repair; ring growth \
+        -> rebalance delta)");
+  let module Server = Fb_net.Server in
+  let module Net_cluster = Fb_net.Cluster in
+  let module Cluster = Fb_chunk.Cluster_store in
+  let module Chunk = Fb_chunk.Chunk in
+  let ok_net = function Ok v -> v | Error e -> failwith e in
+  let config = { Server.default_config with port = 0; save_every_s = 0.0 } in
+  let start_node () =
+    ok_net (Server.start ~config (FB.create (Mem_store.create ())))
+  in
+  let servers = Array.init 3 (fun _ -> start_node ()) in
+  let ports = Array.map Server.port servers in
+  let nodes =
+    Array.to_list
+      (Array.map (fun port -> { Net_cluster.host = "127.0.0.1"; port }) ports)
+  in
+  let t = ok_fb (Net_cluster.connect ~replicas:2 ~nodes ()) in
+  let store = Net_cluster.store t in
+  let n_chunks = if quick then 150 else 1_500 in
+  let payload i =
+    let prng = Prng.create (Int64.of_int (7_000 + i)) in
+    String.init 512 (fun _ -> Char.chr (32 + (Prng.next_int prng 95)))
+  in
+  let ids = Array.init n_chunks (fun i ->
+      Store.put store (Chunk.v Chunk.Leaf_blob (payload i)))
+  in
+  let fpercentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else sorted.(min (n - 1) (int_of_float (float_of_int n *. p)))
+  in
+  let read_sweep () =
+    let lat = Array.make n_chunks 0.0 in
+    let served = ref 0 in
+    Array.iteri
+      (fun i id ->
+        let got, ms = time_ms (fun () -> Store.get store id) in
+        lat.(i) <- ms;
+        if got <> None then incr served)
+      ids;
+    Array.sort compare lat;
+    (!served, fpercentile lat 0.5, fpercentile lat 0.99)
+  in
+  let _, healthy_ms = time_ms (fun () -> ignore (read_sweep ())) in
+  let healthy_served, healthy_p50, healthy_p99 = read_sweep () in
+  Printf.printf
+    "healthy: %d/%d reads in %.0f ms  p50 %.2f ms  p99 %.2f ms\n"
+    healthy_served n_chunks healthy_ms healthy_p50 healthy_p99;
+  (* Kill one node outright: W=2 placement must keep everything
+     readable, served by the surviving replica. *)
+  Server.stop servers.(1);
+  let killed_served, kill_p50, kill_p99 = read_sweep () in
+  let availability = float_of_int killed_served /. float_of_int n_chunks in
+  let cs = Cluster.cluster_stats (Net_cluster.cluster t) in
+  Printf.printf
+    "node 1 killed: %d/%d reads served (%.2f%% availability), %d failover \
+     reads\n  p50 %.2f ms  p99 %.2f ms (healthy p99 %.2f ms)\n"
+    killed_served n_chunks (100.0 *. availability)
+    cs.Cluster.failover_reads kill_p50 kill_p99 healthy_p99;
+  if availability < 0.99 then
+    failwith
+      (Printf.sprintf "cluster: availability %.2f%% under a node kill, \
+                       below the 99%% bar" (100.0 *. availability));
+  (* Restart the node empty on the same port: reads that prefer it now
+     miss, fail over, and repair the copy back — replica counts converge
+     under the workload alone. *)
+  servers.(1) <-
+    ok_net
+      (Server.start
+         ~config:{ config with Server.port = ports.(1) }
+         (FB.create (Mem_store.create ())));
+  ignore (Net_cluster.probe t);
+  let repaired_before = (Cluster.cluster_stats (Net_cluster.cluster t)).Cluster.repaired in
+  let (_, _, _), repair_ms = time_ms read_sweep in
+  let repaired =
+    (Cluster.cluster_stats (Net_cluster.cluster t)).Cluster.repaired
+    - repaired_before
+  in
+  Printf.printf
+    "node 1 restarted empty: one read pass repaired %d copies back onto it \
+     (%.0f ms)\n"
+    repaired repair_ms;
+  Net_cluster.close t;
+  Array.iter Server.stop servers;
+  (* Rebalance delta vs the ideal ring delta, on the routing engine
+     alone (mem members — no wire noise): growing 3 -> 4 members must
+     move exactly the chunks whose owner set changed, nothing else. *)
+  let members =
+    List.init 3 (fun i -> (Printf.sprintf "m%d" i, Mem_store.create ()))
+  in
+  let c = Cluster.create ~replicas:2 ~members () in
+  let cstore = Cluster.store c in
+  let sizes =
+    Array.init n_chunks (fun i ->
+        let ch = Chunk.v Chunk.Leaf_blob (payload i) in
+        ignore (Store.put cstore ch);
+        (Chunk.hash ch, Chunk.encoded_size ch))
+  in
+  let owners_before =
+    Array.map (fun (id, _) -> Cluster.owners c id) sizes
+  in
+  Cluster.add_member c ("m3", Mem_store.create ());
+  let ideal_bytes = ref 0 in
+  Array.iteri
+    (fun i (id, size) ->
+      let now = Cluster.owners c id in
+      List.iter
+        (fun o -> if not (List.mem o owners_before.(i)) then
+            ideal_bytes := !ideal_bytes + size)
+        now)
+    sizes;
+  let report, rebalance_ms = time_ms (fun () -> Cluster.rebalance c) in
+  let ratio =
+    float_of_int report.Cluster.moved_bytes
+    /. float_of_int (max 1 !ideal_bytes)
+  in
+  Printf.printf
+    "ring growth 3->4: rebalance moved %d chunks / %.1f KB in %.0f ms; \
+     ideal ring delta %.1f KB (ratio %.2f)\n"
+    report.Cluster.moved_chunks
+    (kb report.Cluster.moved_bytes)
+    rebalance_ms (kb !ideal_bytes) ratio;
+  Cluster.close c;
+  if report.Cluster.moved_bytes <> !ideal_bytes then
+    failwith
+      (Printf.sprintf
+         "cluster: rebalance moved %d bytes, ring delta is %d — movement \
+          must equal the delta exactly"
+         report.Cluster.moved_bytes !ideal_bytes);
+  if not quick then begin
+    let oc = open_out "BENCH_cluster.json" in
+    Printf.fprintf oc
+      "{\"nodes\":3,\"replicas\":2,\"chunks\":%d,\
+       \"healthy\":{\"served\":%d,\"p50_ms\":%.3f,\"p99_ms\":%.3f},\
+       \"node_killed\":{\"served\":%d,\"availability\":%.4f,\
+       \"failover_reads\":%d,\"p50_ms\":%.3f,\"p99_ms\":%.3f},\
+       \"read_repair\":{\"repaired\":%d,\"pass_ms\":%.0f},\
+       \"rebalance\":{\"moved_chunks\":%d,\"moved_bytes\":%d,\
+       \"ideal_bytes\":%d,\"ratio\":%.4f,\"ms\":%.0f}}\n"
+      n_chunks healthy_served healthy_p50 healthy_p99 killed_served
+      availability cs.Cluster.failover_reads kill_p50 kill_p99 repaired
+      repair_ms report.Cluster.moved_chunks report.Cluster.moved_bytes
+      !ideal_bytes ratio rebalance_ms;
+    close_out oc;
+    Printf.printf "machine-readable results written to BENCH_cluster.json\n"
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment.           *)
@@ -2453,7 +2615,9 @@ let experiments =
     ("ablation", run_ablation);
     ("storage", run_storage);
     ("resilience", run_resilience);
-    ("cluster", run_cluster);
+    ("sharded", run_sharded);
+    ("cluster", fun () -> run_cluster_net ());
+    ("cluster-quick", fun () -> run_cluster_net ~quick:true ());
     ("obs", fun () -> run_obs ());
     ("obs-quick", fun () -> run_obs ~quick:true ());
     ("micro", run_micro);

@@ -15,9 +15,15 @@ module Errors = Fb_core.Errors
 module Branch = Fb_repr.Branch
 module Hash = Fb_hash.Hash
 
-let with_instance root f =
+(* Every provider in the registry must be visible before any --backend
+   resolves; the cluster provider lives in Fb_net and registers here
+   rather than at module init so linking order never decides whether
+   "cluster" exists. *)
+let () = Fb_net.Cluster.register_provider ()
+
+let with_instance ?backend ?params root f =
   match
-    Fb_core.Persistent.with_instance ~root (fun fb -> f fb)
+    Fb_core.Persistent.with_instance ?backend ?params ~root (fun fb -> f fb)
   with
   | Ok msg ->
     print_string msg;
@@ -449,15 +455,40 @@ let tags_cmd =
     Term.(ret (const run $ root_arg $ user_arg $ key_pos))
 
 let backend_arg =
-  let backend_conv =
-    Arg.enum [ ("auto", `Auto); ("log", `Log); ("file", `File) ]
-  in
-  Arg.(value & opt backend_conv `Auto
-       & info [ "backend" ] ~docv:"auto|log|file"
-           ~doc:"Chunk engine: $(b,log) is the crash-consistent append-only \
-                 pack log, $(b,file) is one file per chunk, $(b,auto) \
-                 (default) keeps whatever the root already uses and picks \
-                 $(b,log) for fresh roots.")
+  (* A provider name, resolved through the store-provider registry at
+     open time — an unknown name reports the registered set, so the doc
+     here never goes stale as providers register. *)
+  Arg.(value & opt string "auto"
+       & info [ "backend" ] ~docv:"NAME"
+           ~doc:"Chunk engine, by store-provider name: $(b,log) is the \
+                 crash-consistent append-only pack log, $(b,file) is one \
+                 file per chunk, $(b,mem) is ephemeral, $(b,cluster) \
+                 routes chunks to forkbase serve nodes (see $(b,--nodes) \
+                 and $(b,forkbase cluster)), and $(b,auto) (default) keeps \
+                 whatever the root already uses — picking $(b,log) for \
+                 fresh roots.")
+
+let nodes_arg =
+  Arg.(value & opt (some string) None
+       & info [ "nodes" ] ~docv:"HOST:PORT,…"
+           ~doc:"Cluster members for $(b,--backend cluster) (falls back \
+                 to the ROOT/CLUSTER file written by $(b,forkbase cluster \
+                 start)).")
+
+let replicas_arg =
+  Arg.(value & opt (some int) None
+       & info [ "replicas" ] ~docv:"W"
+           ~doc:"Copies of each chunk on the cluster hash ring (default 2, \
+                 clamped to the node count).")
+
+(* --nodes / --replicas travel to the provider as free-form params; only
+   the cluster provider reads them today, and unknown params are ignored
+   by design. *)
+let provider_params nodes replicas =
+  (match nodes with Some n -> [ ("nodes", n) ] | None -> [])
+  @ (match replicas with
+    | Some w -> [ ("replicas", string_of_int w) ]
+    | None -> [])
 
 let fsync_arg =
   Arg.(value & opt bool true
@@ -548,16 +579,19 @@ let serve_cmd =
                    disables.")
   in
   let run root user port host stdio save_every timeout max_frame coarse
-      backend fsync metrics_port slow_ms threaded workers max_outbox
-      write_stall =
+      backend nodes replicas fsync metrics_port slow_ms threaded workers
+      max_outbox write_stall =
     (* The log engine runs its background thread under the daemon: aged
        group-commit batches are flushed and garbage-heavy generations
        compacted without any client on the line. *)
     let log_config =
       { Fb_chunk.Log_store.default_config with compactor = true }
     in
+    let params = provider_params nodes replicas in
     if stdio then
-      match Fb_core.Persistent.open_ ~fsync ~backend ~log_config ~root () with
+      match
+        Fb_core.Persistent.open_ ~fsync ~backend ~log_config ~params ~root ()
+      with
       | Error e -> `Error (false, Errors.to_string e)
       | Ok fb ->
         (* Line-oriented request/response loop on stdin/stdout — the
@@ -578,7 +612,9 @@ let serve_cmd =
     else
       (* Durable daemon: fsync chunk writes and table saves — a SIGTERM
          (or power cut) must leave the branch table intact. *)
-      match Fb_core.Persistent.open_ ~fsync ~backend ~log_config ~root () with
+      match
+        Fb_core.Persistent.open_ ~fsync ~backend ~log_config ~params ~root ()
+      with
       | Error e -> `Error (false, Errors.to_string e)
       | Ok fb ->
         let save () = ignore (Fb_core.Persistent.save ~fsync ~root fb) in
@@ -615,7 +651,8 @@ let serve_cmd =
     Term.(ret (const run $ root_arg $ user_arg $ port_arg
                $ host_arg ~doc:"Address to bind." $ stdio_arg
                $ save_every_arg $ timeout_arg $ max_frame_arg $ coarse_arg
-               $ backend_arg $ fsync_arg $ metrics_port_arg $ slow_ms_arg
+               $ backend_arg $ nodes_arg $ replicas_arg $ fsync_arg
+               $ metrics_port_arg $ slow_ms_arg
                $ threaded_arg $ workers_arg $ max_outbox_arg
                $ write_stall_arg))
 
@@ -792,11 +829,11 @@ let scrub_cmd =
          & info [ "repair-from" ] ~docv:"DIR"
              ~doc:"Another ForkBase root to restore damaged chunks from.")
   in
-  let run root user dry_run repair_from =
-    with_instance root (fun fb ->
+  let run root user backend dry_run repair_from =
+    with_instance ~backend root (fun fb ->
         ignore user;
-        (* The replica root is opened through Persistent so either engine
-           (log or per-file chunks) can donate healthy bytes. *)
+        (* The replica root is opened through Persistent so any provider
+           (log, per-file chunks, …) can donate healthy bytes. *)
         let* replica =
           match repair_from with
           | None -> Ok None
@@ -844,12 +881,12 @@ let scrub_cmd =
              ones (to ROOT/quarantine/), repair from --repair-from when it \
              holds healthy bytes, and report reachable chunks that cannot \
              be served.")
-    Term.(ret (const run $ root_arg $ user_arg $ dry_run_arg
+    Term.(ret (const run $ root_arg $ user_arg $ backend_arg $ dry_run_arg
                $ repair_from_arg))
 
 let gc_cmd =
-  let run root user =
-    with_instance root (fun fb ->
+  let run root user backend =
+    with_instance ~backend root (fun fb ->
         ignore user;
         let r = FB.gc fb in
         (* Under the log engine a sweep only appends tombstones; compaction
@@ -875,7 +912,7 @@ let gc_cmd =
     (Cmd.info "gc"
        ~doc:"Delete chunks unreachable from any branch head (and compact \
              the log engine's active generation).")
-    Term.(ret (const run $ root_arg $ user_arg))
+    Term.(ret (const run $ root_arg $ user_arg $ backend_arg))
 
 let metrics_cmd =
   let json_arg =
@@ -1264,6 +1301,264 @@ let top_cmd =
     Term.(ret (const Top.run $ host_arg ~doc:"Server address." $ port_arg
                $ user_arg $ interval_arg $ once_arg $ demo_arg))
 
+(* ------------------------- cluster tooling -------------------------
+   Spawn/inspect/stop a local set of forkbase serve processes and record
+   the topology in ROOT/CLUSTER — the file the "cluster" store provider
+   auto-detects, so `forkbase serve --backend cluster --root ROOT` (the
+   router) needs no further configuration. *)
+
+module Cluster_cli = struct
+  module C = Fb_net.Cluster
+
+  let node_root root i = Filename.concat root (Printf.sprintf "node-%d" i)
+
+  let mkdir_p dir =
+    let rec go d =
+      if d <> "" && d <> "/" && not (Sys.file_exists d) then begin
+        go (Filename.dirname d);
+        (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+      end
+    in
+    go dir
+
+  let pid_alive pid =
+    match Unix.kill pid 0 with
+    | () -> true
+    | exception Unix.Unix_error _ -> false
+
+  (* One serve child per node, stdio to ROOT/node-<i>.log so crashes
+     leave a trail.  The child is a full daemon: its own root, log
+     engine, periodic table saves. *)
+  let spawn_node root i (node : C.node) fsync =
+    let nroot = node_root root i in
+    mkdir_p nroot;
+    let log_fd =
+      Unix.openfile
+        (nroot ^ ".log")
+        [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+        0o644
+    in
+    let null_fd = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.close log_fd;
+        Unix.close null_fd)
+      (fun () ->
+        Unix.create_process Sys.executable_name
+          [| "forkbase"; "serve"; "--root"; nroot; "--host"; node.C.host;
+             "--port"; string_of_int node.C.port; "--save-every"; "1";
+             "--fsync"; string_of_bool fsync |]
+          null_fd log_fd log_fd)
+
+  let wait_ready ?(timeout_s = 10.0) (node : C.node) =
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec go () =
+      match
+        Fb_net.Remote.connect ~host:node.C.host ~port:node.C.port
+          ~timeout_s:1.0 ()
+      with
+      | Ok r ->
+        Fb_net.Remote.close r;
+        true
+      | Error _ ->
+        if Unix.gettimeofday () > deadline then false
+        else begin
+          Thread.delay 0.05;
+          go ()
+        end
+    in
+    go ()
+
+  let read_topology root =
+    let path = C.cluster_file root in
+    if not (Sys.file_exists path) then
+      Error (Printf.sprintf "no %s — run forkbase cluster start first" path)
+    else C.read_topology path
+
+  let start root count base_port replicas fsync =
+    if count < 1 then `Error (false, "cluster start: --count must be >= 1")
+    else begin
+      mkdir_p root;
+      let nodes =
+        List.init count (fun i ->
+            { C.host = "127.0.0.1"; port = base_port + i })
+      in
+      let pids =
+        List.mapi (fun i node -> spawn_node root i node fsync) nodes
+      in
+      let topo =
+        { C.nodes = List.combine nodes (List.map Option.some pids);
+          t_replicas = Some replicas;
+          t_virtual_nodes = None }
+      in
+      match C.write_topology (C.cluster_file root) topo with
+      | Error e -> `Error (false, "cluster start: " ^ e)
+      | Ok () ->
+        let ready = List.map wait_ready nodes in
+        List.iteri
+          (fun i ((node : C.node), pid) ->
+            Printf.printf "node %d: %s pid=%d %s\n" i (C.render_node node)
+              pid
+              (if List.nth ready i then "up" else "NOT RESPONDING"))
+          (List.combine nodes pids);
+        if List.for_all Fun.id ready then begin
+          Printf.printf
+            "cluster of %d nodes up (replicas=%d); route with: forkbase \
+             serve --backend cluster --root %s\n"
+            count replicas root;
+          `Ok ()
+        end
+        else
+          `Error
+            ( false,
+              "some nodes failed to come up — see ROOT/node-*.log" )
+    end
+
+  let status root =
+    match read_topology root with
+    | Error e -> `Error (false, e)
+    | Ok topo ->
+      let any_down = ref false in
+      List.iteri
+        (fun i ((node : C.node), pid) ->
+          let reachable, detail =
+            match
+              Fb_net.Remote.connect ~host:node.C.host ~port:node.C.port
+                ~timeout_s:2.0 ()
+            with
+            | Error e -> (false, Errors.to_string e)
+            | Ok r ->
+              Fun.protect
+                ~finally:(fun () -> Fb_net.Remote.close r)
+                (fun () ->
+                  match Fb_net.Remote.raw r [ "chunk-stat" ] with
+                  | Ok payload -> (true, payload)
+                  | Error e -> (true, Errors.to_string e))
+          in
+          if not reachable then any_down := true;
+          Printf.printf "node %d: %s %s%s %s\n" i (C.render_node node)
+            (if reachable then "up" else "down")
+            (match pid with
+             | Some pid ->
+               Printf.sprintf " pid=%d%s" pid
+                 (if pid_alive pid then "" else " (dead)")
+             | None -> "")
+            detail)
+        topo.C.nodes;
+      if !any_down then `Error (false, "some nodes are down") else `Ok ()
+
+  let signal_node ~hard ((node : C.node), pid) =
+    match pid with
+    | None ->
+      Printf.printf "%s: no recorded pid (started externally?)\n"
+        (C.render_node node);
+      false
+    | Some pid ->
+      if pid_alive pid then begin
+        (try Unix.kill pid (if hard then Sys.sigkill else Sys.sigterm)
+         with Unix.Unix_error _ -> ());
+        Printf.printf "%s pid=%d: sent %s\n" (C.render_node node) pid
+          (if hard then "SIGKILL" else "SIGTERM");
+        true
+      end
+      else begin
+        Printf.printf "%s pid=%d: already dead\n" (C.render_node node) pid;
+        false
+      end
+
+  let stop root hard =
+    match read_topology root with
+    | Error e -> `Error (false, e)
+    | Ok topo ->
+      List.iter (fun n -> ignore (signal_node ~hard n)) topo.C.nodes;
+      (* Keep the topology (the provider still routes to these
+         addresses on restart) but drop the dead pids. *)
+      let topo =
+        { topo with C.nodes = List.map (fun (n, _) -> (n, None)) topo.C.nodes }
+      in
+      (match C.write_topology (C.cluster_file root) topo with
+      | Ok () -> ()
+      | Error e -> Printf.eprintf "warning: %s\n" e);
+      `Ok ()
+
+  let kill root index hard =
+    match read_topology root with
+    | Error e -> `Error (false, e)
+    | Ok topo -> (
+      match List.nth_opt topo.C.nodes index with
+      | None ->
+        `Error
+          ( false,
+            Printf.sprintf "no node %d (cluster has %d)" index
+              (List.length topo.C.nodes) )
+      | Some n ->
+        ignore (signal_node ~hard n);
+        `Ok ())
+end
+
+let cluster_cmd =
+  let count_arg =
+    Arg.(value & opt int 3
+         & info [ "count" ] ~docv:"N" ~doc:"Nodes to spawn.")
+  in
+  let base_port_arg =
+    Arg.(value & opt int 7461
+         & info [ "base-port" ] ~docv:"PORT"
+             ~doc:"First node port; node $(i,i) listens on $(docv)+$(i,i).")
+  in
+  let hard_arg =
+    Arg.(value & flag
+         & info [ "hard" ]
+             ~doc:"SIGKILL instead of SIGTERM (simulates a crash: no \
+                   final save, recovery exercised on restart).")
+  in
+  let replicas_default_arg =
+    Arg.(value & opt int 2
+         & info [ "replicas" ] ~docv:"W"
+             ~doc:"Copies of each chunk, recorded in the CLUSTER file.")
+  in
+  let index_pos =
+    Arg.(required & pos 0 (some int) None
+         & info [] ~docv:"NODE" ~doc:"Node index (0-based).")
+  in
+  let start =
+    Cmd.v
+      (Cmd.info "start"
+         ~doc:"Spawn N local $(b,forkbase serve) nodes (roots \
+               ROOT/node-$(i,i), logs ROOT/node-$(i,i).log) and record \
+               the topology in ROOT/CLUSTER.")
+      Term.(ret (const Cluster_cli.start $ root_arg $ count_arg
+                 $ base_port_arg $ replicas_default_arg $ fsync_arg))
+  in
+  let status =
+    Cmd.v
+      (Cmd.info "status"
+         ~doc:"Probe every node in ROOT/CLUSTER and print \
+               up/down + physical chunk counts.")
+      Term.(ret (const Cluster_cli.status $ root_arg))
+  in
+  let stop =
+    Cmd.v
+      (Cmd.info "stop"
+         ~doc:"Stop every node recorded in ROOT/CLUSTER (SIGTERM, or \
+               SIGKILL with $(b,--hard)); the topology file is kept for \
+               restarts.")
+      Term.(ret (const Cluster_cli.stop $ root_arg $ hard_arg))
+  in
+  let kill =
+    Cmd.v
+      (Cmd.info "kill"
+         ~doc:"Kill one node by index — the fault-injection lever for \
+               failover drills ($(b,--hard) for SIGKILL).")
+      Term.(ret (const Cluster_cli.kill $ root_arg $ index_pos $ hard_arg))
+  in
+  Cmd.group
+    (Cmd.info "cluster"
+       ~doc:"Manage a local set of $(b,forkbase serve) storage nodes \
+             (spawn, status, stop, kill) behind the $(b,cluster) store \
+             provider.")
+    [ start; status; stop; kill ]
+
 let main =
   let doc = "Git-like, tamper-evident storage for branchable applications" in
   let info = Cmd.info "forkbase" ~version:"1.0.0" ~doc in
@@ -1273,6 +1568,6 @@ let main =
       verify_cmd; export_cmd; bundle_cmd; unbundle_cmd; history_cmd;
       tag_cmd; tags_cmd;
       serve_cmd; client_cmd; watch_cmd; push_cmd; pull_cmd; stat_cmd; gc_cmd;
-      scrub_cmd; metrics_cmd; top_cmd ]
+      scrub_cmd; cluster_cmd; metrics_cmd; top_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -982,6 +982,40 @@ let sync_chunk ?(user = default_user) t id =
   | Some encoded -> Ok encoded
   | None -> Error (Errors.Version_not_found (Hash.to_hex id))
 
+(* Chunk-level ingest for cluster storage nodes.  Unlike [sync_put] this
+   does NOT demand the chunk's children — under consistent-hash routing
+   a chunk's children live on other nodes, so a storage member holds an
+   arbitrary slice of the graph and logical closure is the router's
+   responsibility (the router's branch table only ever advances onto
+   roots whose closure the *cluster* holds).  The tamper-evidence gate
+   is non-negotiable either way: bytes that do not hash to the id are
+   refused.  Content addressing makes this idempotent, so transports may
+   retry it freely.  Chunk ids are not key-scoped: instance-wide write
+   grant. *)
+let chunk_put ?(user = default_user) t id encoded =
+  guard @@ fun () ->
+  let* () = check t ~user ~key:"*" ~branch:"*" Acl.Write in
+  let* chunk = Sync.verify_encoded id encoded in
+  Ok (Store.put t.store chunk)
+
+(* Physical store shape for cluster health/rebalance accounting. *)
+let chunk_stat ?(user = default_user) t =
+  guard @@ fun () ->
+  let* () = check t ~user ~key:"*" ~branch:"*" Acl.Read in
+  Ok (Store.stats t.store)
+
+(* Summarise every chunk held locally as one sized Bloom filter — the
+   whole-store have-exchange that replaces per-wave membership probes.
+   Callers must treat positives as "probably" and confirm before
+   skipping ([Sync.Bloom]); negatives are definitive. *)
+let sync_bloom ?(user = default_user) t =
+  guard @@ fun () ->
+  let* () = check t ~user ~key:"*" ~branch:"*" Acl.Read in
+  let expected = (Store.stats t.store).Store.physical_chunks in
+  let bloom = Sync.Bloom.create ~expected in
+  t.store.Store.iter (fun id _ -> Sync.Bloom.add bloom id);
+  Ok bloom
+
 (* ---------------- bundles ---------------- *)
 
 let export_bundle ?(user = default_user) ?(branch = Branch.default_branch) t

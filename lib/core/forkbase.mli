@@ -323,6 +323,27 @@ val sync_chunk : ?user:string -> t -> uid -> (string, Errors.t) result
     [Error (Version_not_found _)] if absent.  Instance-wide read grant
     required, as for {!sync_have}. *)
 
+val chunk_put : ?user:string -> t -> uid -> string -> (uid, Errors.t) result
+(** Ingest one chunk {e without} the closure check — the verb cluster
+    storage nodes serve: under consistent-hash routing a node holds an
+    arbitrary slice of the graph, and closure is the routing tier's
+    invariant, not the member's.  Bytes are still re-hashed against the
+    id ([Error (Corrupt _)] on mismatch) and the put is idempotent, so
+    transports may retry it.  Needs the instance-wide write grant (key
+    pattern ["*"]) — ordinary key-scoped sync users cannot bypass
+    {!sync_put}'s closure check. *)
+
+val chunk_stat : ?user:string -> t -> (Fb_chunk.Store.stats, Errors.t) result
+(** Physical store shape (chunk/byte counts) — what cluster health and
+    rebalance accounting read from each member.  Instance-wide read
+    grant. *)
+
+val sync_bloom : ?user:string -> t -> (Sync.Bloom.t, Errors.t) result
+(** One sized Bloom filter over every chunk id held locally — the
+    whole-store have-exchange ({!Sync.Bloom}).  Negatives are definitive
+    misses; positives must be confirmed with exact {!sync_have} waves
+    before a sender skips a chunk.  Instance-wide read grant. *)
+
 (** {1 Bundles (data exchange)} *)
 
 val export_bundle :

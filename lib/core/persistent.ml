@@ -1,77 +1,67 @@
 module Branch = Fb_repr.Branch
-module Log_store = Fb_chunk.Log_store
+module Provider = Fb_chunk.Store_provider
 
 let ( let* ) = Result.bind
 
 let branches_file root = Filename.concat root "BRANCHES"
 let tags_file root = Filename.concat root "TAGS"
 let log_dir root = Filename.concat root "log"
-let chunks_dir root = Filename.concat root "chunks"
 
-type backend = [ `Auto | `File | `Log ]
-
-let is_dir p = Sys.file_exists p && Sys.is_directory p
-
-(* An existing layout wins over the default: a root that already holds a
-   log (or a chunk directory) keeps its engine, so upgrading the binary
-   never strands old data.  Only a fresh root gets the log default. *)
-let resolve_backend backend root =
-  match backend with
-  | (`File | `Log) as b -> b
-  | `Auto ->
-    if is_dir (log_dir root) then `Log
-    else if is_dir (chunks_dir root) then `File
-    else `Log
-
-(* Live log engines by root.  [save] must acknowledge (fsync) appended
-   chunks before it publishes a branch table referencing them, and the
-   table writer only knows the root — so every open log registers here.
-   A root can be opened more than once in-process (tests do); all its
-   handles share one underlying file, so they are all synced. *)
+(* Live provider instances by root.  [save] must reach a durability
+   barrier (the instance [sync] hook) before it publishes a branch table
+   referencing freshly appended chunks, and the table writer only knows
+   the root — so every open instance registers here.  A root can be
+   opened more than once in-process (tests do); handles of one root
+   share underlying storage, so all of them are synced. *)
 let registry_lock = Mutex.create ()
-let log_handles : (string, Log_store.t) Hashtbl.t = Hashtbl.create 7
+let instances : (string, Provider.instance) Hashtbl.t = Hashtbl.create 7
 
 let with_registry f =
   Mutex.lock registry_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
 
-let register root h = with_registry (fun () -> Hashtbl.add log_handles root h)
+let register root i = with_registry (fun () -> Hashtbl.add instances root i)
 
-let unregister root h =
+let unregister root i =
   with_registry (fun () ->
       let rest =
-        List.filter (fun h' -> h' != h) (Hashtbl.find_all log_handles root)
+        List.filter (fun i' -> i' != i) (Hashtbl.find_all instances root)
       in
-      while Hashtbl.mem log_handles root do
-        Hashtbl.remove log_handles root
+      while Hashtbl.mem instances root do
+        Hashtbl.remove instances root
       done;
-      List.iter (fun h' -> Hashtbl.add log_handles root h') (List.rev rest))
+      List.iter (fun i' -> Hashtbl.add instances root i') (List.rev rest))
 
-let handles_of root = with_registry (fun () -> Hashtbl.find_all log_handles root)
+let instances_of root = with_registry (fun () -> Hashtbl.find_all instances root)
 
 let log_handle ~root =
-  match handles_of root with [] -> None | h :: _ -> Some h
+  List.find_map
+    (fun (i : Provider.instance) ->
+      match i.Provider.handle with
+      | Some (Provider.Log_handle h) -> Some h
+      | _ -> None)
+    (instances_of root)
 
-(* A closed handle raises from [sync]; racing a concurrent [close] is
-   fine — closing already performed the final sync. *)
-let sync_logs root =
-  List.iter (fun h -> try Log_store.sync h with Failure _ -> ()) (handles_of root)
+(* Providers promise [sync] is a durability barrier and tolerate racing
+   a concurrent [close] — closing already performed the final sync. *)
+let sync_instances root =
+  List.iter (fun (i : Provider.instance) -> i.Provider.sync ()) (instances_of root)
 
-(* Once the last handle of a root is gone, its [log.<dir>.*] gauges read
-   a dead engine's final state forever — retire them.  Obs registration
-   is last-writer-wins, so a reopen re-registers under the same names
-   and simply takes them back. *)
+(* Once the last instance of a root is gone, gauges owned by its engine
+   (the log engine registers [log.<dir>.*]) read a dead engine's final
+   state forever — retire them.  Obs registration is last-writer-wins,
+   so a reopen re-registers under the same names and takes them back. *)
 let retire_gauges_if_last root =
-  if handles_of root = [] then
+  if instances_of root = [] then
     Fb_obs.Obs.unregister_gauges_prefix ("log." ^ log_dir root ^ ".")
 
 let close ~root =
-  let hs = handles_of root in
+  let is = instances_of root in
   with_registry (fun () ->
-      while Hashtbl.mem log_handles root do
-        Hashtbl.remove log_handles root
+      while Hashtbl.mem instances root do
+        Hashtbl.remove instances root
       done);
-  List.iter (fun h -> try Log_store.close h with Failure _ -> ()) hs;
+  List.iter (fun (i : Provider.instance) -> i.Provider.close ()) is;
   retire_gauges_if_last root
 
 let read_table path =
@@ -133,32 +123,34 @@ let write_table ?(fsync = false) path table =
   | exception Unix.Unix_error (err, _, _) ->
     Errors.corrupt "writing %s: %s" path (Unix.error_message err)
 
-(* Returns the log handle alongside the instance so [with_instance] can
-   close exactly what it opened. *)
-let open_handle ?acl ?fsync ?(backend = `Auto) ?log_config ~root () =
+(* Returns the provider instance alongside the Forkbase handle so
+   [with_instance] can close exactly what it opened.  Backend names
+   resolve through the provider registry: an unknown name is a typed
+   [Invalid] listing what is registered; a provider that fails to open
+   its storage is [Corrupt]. *)
+let open_handle ?acl ?fsync ?(backend = "auto") ?log_config ?(params = [])
+    ~root () =
+  let* provider =
+    match Provider.resolve ~backend ~root with
+    | Ok p -> Ok p
+    | Error msg -> Error (Errors.Invalid msg)
+  in
+  let config = Provider.config ?fsync ?log_config ~params ~root () in
   match
-    let raw, handle =
-      match resolve_backend backend root with
-      | `File ->
-        (Fb_chunk.File_store.create ?fsync ~root:(chunks_dir root) (), None)
-      | `Log ->
-        let config =
-          let base =
-            Option.value log_config ~default:Log_store.default_config
-          in
-          match fsync with
-          | None -> base
-          | Some f -> { base with Log_store.fsync = f }
-        in
-        let h = Log_store.create ~config ~root:(log_dir root) () in
-        register root h;
-        (Log_store.store h, Some h)
+    let* instance =
+      match provider.Provider.open_ config with
+      | Ok i -> Ok i
+      | Error msg -> Errors.corrupt "opening %s: %s" root msg
     in
+    register root instance;
     let finish () =
-      (* Disk bytes are untrusted: verify each chunk the first time it is
-         served so media damage is refused (and visible to scrub) instead
-         of flowing out of the API as silently wrong data. *)
-      let store, _violations = Fb_chunk.Verified_store.wrap ~once:true raw in
+      (* Stored bytes are untrusted: verify each chunk the first time it
+         is served so media damage (or a lying remote member) is refused
+         — and visible to scrub — instead of flowing out of the API as
+         silently wrong data. *)
+      let store, _violations =
+        Fb_chunk.Verified_store.wrap ~once:true instance.Provider.store
+      in
       let store = Fb_chunk.Metered_store.wrap store in
       let fb = Forkbase.create ?acl store in
       let* branches = read_table (branches_file root) in
@@ -168,44 +160,42 @@ let open_handle ?acl ?fsync ?(backend = `Auto) ?log_config ~root () =
       Ok fb
     in
     (match finish () with
-    | Ok fb -> Ok (fb, handle)
+    | Ok fb -> Ok (fb, instance)
     | Error _ as e ->
       (* Don't leak a registered engine for an instance that never
          existed (e.g. a corrupt branch table). *)
-      (match handle with
-      | Some h ->
-        unregister root h;
-        Log_store.close h;
-        retire_gauges_if_last root
-      | None -> ());
+      unregister root instance;
+      instance.Provider.close ();
+      retire_gauges_if_last root;
       e)
   with
   | r -> r
   | exception Sys_error e -> Errors.corrupt "opening %s: %s" root e
   | exception Failure e -> Errors.corrupt "opening %s: %s" root e
 
-let open_ ?acl ?fsync ?backend ?log_config ~root () =
-  let* fb, _handle = open_handle ?acl ?fsync ?backend ?log_config ~root () in
+let open_ ?acl ?fsync ?backend ?log_config ?params ~root () =
+  let* fb, _instance =
+    open_handle ?acl ?fsync ?backend ?log_config ?params ~root ()
+  in
   Ok fb
 
 let save ?fsync ~root fb =
   (* Acknowledge every appended chunk before publishing heads that
      reference them: a power cut after this save must never leave a table
      pointing into an unsynced log tail. *)
-  sync_logs root;
+  sync_instances root;
   let* () = write_table ?fsync (branches_file root) (Forkbase.branch_table fb) in
   write_table ?fsync (tags_file root) (Forkbase.tag_table fb)
 
-let with_instance ?acl ?fsync ?backend ?log_config ~root f =
-  let* fb, handle = open_handle ?acl ?fsync ?backend ?log_config ~root () in
+let with_instance ?acl ?fsync ?backend ?log_config ?params ~root f =
+  let* fb, instance =
+    open_handle ?acl ?fsync ?backend ?log_config ?params ~root ()
+  in
   Fun.protect
     ~finally:(fun () ->
-      match handle with
-      | Some h ->
-        unregister root h;
-        (try Log_store.close h with Failure _ -> ());
-        retire_gauges_if_last root
-      | None -> ())
+      unregister root instance;
+      instance.Provider.close ();
+      retire_gauges_if_last root)
     (fun () ->
       let* result = f fb in
       let* () = save ?fsync ~root fb in

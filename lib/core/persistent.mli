@@ -6,20 +6,25 @@
     (the CLI saves after every command); chunk durability depends on the
     engine (see below).
 
-    Two chunk engines are available:
+    Engines are named through the {!Fb_chunk.Store_provider} registry —
+    [?backend] is a provider name, not a closed variant, so anything
+    registered (including the networked ["cluster"] provider from
+    [Fb_net]) opens through the same call:
 
-    - [`Log] (the default for fresh roots) — the crash-consistent
+    - ["log"] (the default for fresh roots) — the crash-consistent
       append-only pack log ({!Fb_chunk.Log_store}) under [root/log].
       Appends group-commit: they reach the OS immediately and are
       acknowledged in fsync batches; {!save} forces the outstanding batch
       down {e before} publishing the tables, so a saved head never
       references a chunk a power cut could take away.
-    - [`File] — one file per chunk under [root/chunks]
+    - ["file"] — one file per chunk under [root/chunks]
       ({!Fb_chunk.File_store}); each put is published by an atomic
       rename (synced when [fsync] is set).
-
-    [`Auto] (the default) keeps whatever engine the root already uses
-    and picks [`Log] for fresh roots, so upgrading never strands data.
+    - ["mem"] — an ephemeral in-memory store (tables still persist).
+    - ["auto"] (the default) keeps whatever engine the root already
+      uses (first registered provider whose [detect] claims the root)
+      and picks ["log"] for fresh roots, so upgrading never strands
+      data.
 
     Layout:
     {v
@@ -32,49 +37,53 @@
       TAGS              serialized tag table
     v} *)
 
-type backend = [ `Auto | `File | `Log ]
-
 val open_ :
-  ?acl:Acl.t -> ?fsync:bool -> ?backend:backend ->
-  ?log_config:Fb_chunk.Log_store.config -> root:string -> unit ->
+  ?acl:Acl.t -> ?fsync:bool -> ?backend:string ->
+  ?log_config:Fb_chunk.Log_store.config ->
+  ?params:(string * string) list -> root:string -> unit ->
   (Forkbase.t, Errors.t) result
 (** Open (creating directories as needed) an instance rooted at [root];
     fails on unreadable or corrupt table files.  Opening also performs
     crash recovery: the file engine removes leftover [*.tmp] write
     artifacts; the log engine replays its tail past the last checkpoint,
     truncates a torn final record and clears generations a crashed
-    compaction left behind.  [fsync] forces chunk writes to stable
-    storage before they are acknowledged (default: on for the log
-    engine, off for the file engine); [log_config] tunes the log engine
-    (group-commit sizes, checkpoint cadence, background compactor) and
-    is ignored by [`File].  Reads are integrity-checked (each chunk is
-    verified against its name the first time it is served), so on-disk
-    damage surfaces as an error — never as silently wrong data; run
-    scrub to quarantine and repair it. *)
+    compaction left behind.  [backend] names a registered store
+    provider; an unknown name is [Error (Invalid _)] listing what is
+    registered.  [fsync] forces chunk writes to stable storage before
+    they are acknowledged (default: on for the log engine, off for the
+    file engine); [log_config] tunes the log engine (group-commit sizes,
+    checkpoint cadence, background compactor) and is ignored by others;
+    [params] carries free-form provider parameters (e.g. [("nodes",
+    "host:port,…")] for ["cluster"]).  Reads are integrity-checked (each
+    chunk is verified against its name the first time it is served), so
+    on-disk damage surfaces as an error — never as silently wrong data;
+    run scrub to quarantine and repair it. *)
 
 val save : ?fsync:bool -> root:string -> Forkbase.t -> (unit, Errors.t) result
 (** Persist the branch and tag tables (atomically: temp file + rename).
-    When [root] runs the log engine, the log is synced {e first}, so the
-    published tables only ever reference acknowledged chunks.  With
-    [fsync] (default [false]) the table temp file is synced before the
-    rename and the directory entry after it, so a crash at any point
-    leaves either the previous table or the new one — never a torn or
-    empty file.  Without it the rename is still atomic against process
-    crashes, but an OS/power failure can lose the most recent heads. *)
+    Every provider instance open on [root] reaches its durability
+    barrier ([sync]) {e first}, so the published tables only ever
+    reference acknowledged chunks.  With [fsync] (default [false]) the
+    table temp file is synced before the rename and the directory entry
+    after it, so a crash at any point leaves either the previous table
+    or the new one — never a torn or empty file.  Without it the rename
+    is still atomic against process crashes, but an OS/power failure can
+    lose the most recent heads. *)
 
 val close : root:string -> unit
-(** Release every log engine opened for [root] in this process: final
-    sync + checkpoint, background thread joined, descriptors closed.
-    No-op for file-engine roots.  Instances opened on [root] must not be
-    used afterwards. *)
+(** Release every provider instance opened for [root] in this process:
+    final sync + checkpoint, background threads joined, descriptors
+    closed.  Instances opened on [root] must not be used afterwards. *)
 
 val log_handle : root:string -> Fb_chunk.Log_store.t option
 (** The most recently opened log engine for [root] (for compaction,
-    counters and test harnesses); [None] for file-engine roots. *)
+    counters and test harnesses); [None] when [root] runs another
+    provider. *)
 
 val with_instance :
-  ?acl:Acl.t -> ?fsync:bool -> ?backend:backend ->
-  ?log_config:Fb_chunk.Log_store.config -> root:string ->
+  ?acl:Acl.t -> ?fsync:bool -> ?backend:string ->
+  ?log_config:Fb_chunk.Log_store.config ->
+  ?params:(string * string) list -> root:string ->
   (Forkbase.t -> ('a, Errors.t) result) -> ('a, Errors.t) result
 (** Open, run, save on success; always closes the engine it opened.
     [fsync] applies to both the chunk engine and the table save. *)

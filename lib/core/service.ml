@@ -60,13 +60,19 @@ let classify tokens =
     | ("put" | "put-csv" | "branch" | "merge" | "rename"), key :: _ ->
       (Write, Key key)
     | ("sync-put" | "sync-advance"), key :: _ -> (Write, Key key)
+    (* Chunk-level ingest is not key-scoped (cluster members hold an
+       arbitrary slice of the graph) — exclude globally.  It stays
+       idempotent (content-addressed), which is why transports may
+       nevertheless retry it on reconnect. *)
+    | "chunk-put", _ -> (Write, Global)
     | "scrub", _ -> (Write, Global)
     | ( ( "get" | "head" | "latest" | "log" | "diff" | "verify" | "prove"
         | "get-json" | "diff-json" | "log-json" | "latest-json" ),
         key :: _ ) ->
       (Read, Key key)
     (* Chunk-addressed sync reads: no key scope, safely retryable. *)
-    | ("sync-have" | "sync-get"), _ -> (Read, Global)
+    | ("sync-have" | "sync-get" | "sync-bloom" | "chunk-stat"), _ ->
+      (Read, Global)
     | _ -> (Read, Global))
 
 let render_value = function
@@ -217,6 +223,25 @@ let dispatch ?user fb tokens =
         in
         let* _id = Forkbase.sync_put ?user ~branch fb ~key id bytes in
         Ok ""
+      (* Chunk-level verbs for cluster storage nodes: verified ingest
+         without the closure check (routing spreads children across
+         nodes), physical stats, and the whole-store Bloom summary. *)
+      | "chunk-put", [ hex; bytes ] ->
+        let* id =
+          match Hash.of_hex hex with
+          | Ok id -> Ok id
+          | Error _ -> Errors.invalid "chunk-put: bad chunk id %S" hex
+        in
+        let* _id = Forkbase.chunk_put ?user fb id bytes in
+        Ok ""
+      | "chunk-stat", [] ->
+        let* s = Forkbase.chunk_stat ?user fb in
+        Ok
+          (Printf.sprintf "chunks=%d bytes=%d" s.Fb_chunk.Store.physical_chunks
+             s.Fb_chunk.Store.physical_bytes)
+      | "sync-bloom", [] ->
+        let* bloom = Forkbase.sync_bloom ?user fb in
+        Ok (Sync.Bloom.encode bloom)
       | "sync-advance", [ key; branch; head ] ->
         let* root = Forkbase.parse_version head in
         let* uid = Forkbase.advance_head ?user ~branch fb ~key root in

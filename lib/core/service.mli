@@ -30,6 +30,12 @@
                                         same queries with JSON bodies
                                         (see {!Webview})
     PROVE <key> <branch> <entry-key>    hex entry proof for light clients
+    SYNC-HAVE <id...> / SYNC-GET <id> / SYNC-PUT <key> <branch> <id> <bytes>
+    SYNC-ADVANCE <key> <branch> <uid>   delta-sync session verbs
+    SYNC-BLOOM                          whole-store Bloom chunk summary
+    CHUNK-PUT <id> <bytes>              verified ingest, no closure check
+                                        (cluster storage members)
+    CHUNK-STAT                          physical chunk/byte counts
     v} *)
 
 type access = Read | Write

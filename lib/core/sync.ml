@@ -7,10 +7,12 @@ type stats = {
   bytes_moved : int;
   chunks_skipped : int;
   rounds : int;
+  bloom_fp : int;
 }
 
 let empty_stats =
-  { chunks_moved = 0; bytes_moved = 0; chunks_skipped = 0; rounds = 0 }
+  { chunks_moved = 0; bytes_moved = 0; chunks_skipped = 0; rounds = 0;
+    bloom_fp = 0 }
 
 (* Batch shaping for the BATCH frames a sync session streams.  Membership
    probes are cheap (one hex id per token); chunk transfers are bounded
@@ -77,3 +79,106 @@ let decode_have s =
   if String.for_all (fun c -> c = '0' || c = '1') s then
     Ok (List.init (String.length s) (fun i -> s.[i] = '1'))
   else Error (Errors.Invalid ("sync: unparsable have reply: " ^ s))
+
+(* Bloom-filter have-exchange: instead of probing the peer's membership
+   256 ids at a time, the peer summarises its whole reachable chunk set
+   in one sized filter and the sender tests locally.  A negative is
+   definitive (the peer certainly lacks the chunk); a positive may be a
+   false positive, so positives are still confirmed with exact sync-have
+   waves before being skipped — a chunk silently skipped on a false
+   positive would leave a hole in the receiver's closure. *)
+module Bloom = struct
+  type t = {
+    bits : Bytes.t;
+    m : int;  (* filter size in bits *)
+    k : int;  (* hash functions *)
+  }
+
+  let bits_per_chunk = 10
+  let hashes = 7
+  let max_bits = 8 * 1024 * 1024 * 8  (* 8 MiB of filter, ~6.7M chunks *)
+
+  let create ~expected =
+    let m =
+      max 64 (min max_bits (bits_per_chunk * max 1 expected))
+    in
+    { bits = Bytes.make ((m + 7) / 8) '\000'; m; k = hashes }
+
+  let m t = t.m
+  let k t = t.k
+
+  (* Double hashing over the id's own SHA-256 bytes: h1 from bytes 0-7,
+     h2 from bytes 8-15, index_i = h1 + i*h2 (mod m).  The id is already
+     a uniform digest, so no further mixing is needed. *)
+  let word id off =
+    let raw = Hash.to_raw id in
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v := Int64.logor (Int64.shift_left !v 8)
+             (Int64.of_int (Char.code raw.[off + i]))
+    done;
+    Int64.to_int (Int64.logand !v Int64.max_int)
+
+  let indices t id =
+    let h1 = word id 0 and h2 = word id 8 in
+    List.init t.k (fun i ->
+        let ix = (h1 + (i * h2)) mod t.m in
+        if ix < 0 then ix + t.m else ix)
+
+  let add t id =
+    List.iter
+      (fun ix ->
+        let b = ix / 8 and bit = ix mod 8 in
+        Bytes.set t.bits b
+          (Char.chr (Char.code (Bytes.get t.bits b) lor (1 lsl bit))))
+      (indices t id)
+
+  let mem t id =
+    List.for_all
+      (fun ix ->
+        let b = ix / 8 and bit = ix mod 8 in
+        Char.code (Bytes.get t.bits b) land (1 lsl bit) <> 0)
+      (indices t id)
+
+  let fill_ratio t =
+    let set = ref 0 in
+    Bytes.iter
+      (fun c ->
+        let c = Char.code c in
+        for bit = 0 to 7 do
+          if c land (1 lsl bit) <> 0 then incr set
+        done)
+      t.bits;
+    float_of_int !set /. float_of_int t.m
+
+  (* Past half-full the false-positive rate climbs steeply (~(1/2)^k only
+     holds near the design load); callers should fall back to exact
+     waves rather than burn round trips confirming noise. *)
+  let saturated t = fill_ratio t > 0.5
+
+  (* Wire form: "m:k:" ++ raw bit bytes.  The prefix makes the geometry
+     explicit so both ends agree without negotiating defaults. *)
+  let encode t =
+    Printf.sprintf "%d:%d:%s" t.m t.k (Bytes.to_string t.bits)
+
+  let decode s =
+    match String.index_opt s ':' with
+    | None -> Error (Errors.Invalid "bloom: missing size prefix")
+    | Some i -> (
+      match String.index_from_opt s (i + 1) ':' with
+      | None -> Error (Errors.Invalid "bloom: missing hash-count prefix")
+      | Some j -> (
+        match
+          ( int_of_string_opt (String.sub s 0 i),
+            int_of_string_opt (String.sub s (i + 1) (j - i - 1)) )
+        with
+        | Some m, Some k when m > 0 && m <= max_bits && k > 0 && k <= 32 ->
+          let bits = String.sub s (j + 1) (String.length s - j - 1) in
+          if String.length bits <> (m + 7) / 8 then
+            Error
+              (Errors.Invalid
+                 (Printf.sprintf "bloom: %d bits need %d bytes, got %d" m
+                    ((m + 7) / 8) (String.length bits)))
+          else Ok { bits = Bytes.of_string bits; m; k }
+        | _ -> Error (Errors.Invalid "bloom: unparsable geometry prefix")))
+end

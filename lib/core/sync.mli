@@ -21,6 +21,10 @@ type stats = {
   bytes_moved : int;    (** their encoded bytes — the delta-sync payoff *)
   chunks_skipped : int; (** frontier cuts: probed chunks the peer already had *)
   rounds : int;         (** request round trips (probes + transfers + advance) *)
+  bloom_fp : int;
+      (** bloom-positive ids the exact confirmation wave revealed absent —
+          each one is a probe the filter failed to save, never a wrongly
+          skipped chunk (positives are always confirmed exactly) *)
 }
 
 val empty_stats : stats
@@ -68,3 +72,42 @@ val encode_have : bool list -> string
 (** One byte per probed id, ['1'] = held, positional. *)
 
 val decode_have : string -> (bool list, Errors.t) result
+
+(** {1 Bloom-filter have-exchange}
+
+    One [sync-bloom] round replaces many 256-id probe waves: the peer
+    summarises every chunk reachable from its branch heads in a sized
+    Bloom filter; the sender tests its frontier locally.  Negatives are
+    definitive misses (send the chunk); positives are only {e probably}
+    held, so they are confirmed with exact {!encode_have} waves before
+    being skipped — correctness never rests on the filter.  When a
+    filter arrives saturated (fill ratio past 1/2) the sender ignores it
+    and falls back to exact waves entirely. *)
+module Bloom : sig
+  type t
+
+  val bits_per_chunk : int
+  (** Filter sizing: 10 bits per expected chunk ⇒ ~1% fp at design load. *)
+
+  val hashes : int
+  (** Double-hashing probe count (7). *)
+
+  val create : expected:int -> t
+  (** A filter sized for [expected] chunks ([bits_per_chunk] each,
+      clamped to \[64 bits, 8 MiB\]). *)
+
+  val add : t -> Fb_hash.Hash.t -> unit
+  val mem : t -> Fb_hash.Hash.t -> bool
+  val m : t -> int
+  val k : t -> int
+
+  val fill_ratio : t -> float
+  val saturated : t -> bool
+  (** Fill ratio past 0.5 — past design load, false positives dominate
+      and exact waves are cheaper than confirmations. *)
+
+  val encode : t -> string
+  (** ["m:k:" ^ bits] — geometry travels with the filter. *)
+
+  val decode : string -> (t, Errors.t) result
+end

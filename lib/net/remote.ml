@@ -211,9 +211,16 @@ let run ~retryable t f =
       | Some mux -> f mux)
 
 let tokens_retryable tokens =
-  match Service.classify tokens with
-  | Service.Read, _ -> true
-  | Service.Write, _ -> false
+  match tokens with
+  (* chunk-put is Write-classified (the server excludes it globally) but
+     content-addressed and therefore idempotent: replaying it after a
+     torn connection cannot double-apply.  The one mutating verb safe to
+     retry across a reconnect. *)
+  | verb :: _ when String.lowercase_ascii verb = "chunk-put" -> true
+  | _ -> (
+    match Service.classify tokens with
+    | Service.Read, _ -> true
+    | Service.Write, _ -> false)
 
 let raw ?user t tokens =
   lift
@@ -441,6 +448,7 @@ let push ?user ?(branch = default_branch) t fb ~key =
     let staged = Hash.Tbl.create 64 in  (* id -> (encoded, children) *)
     let seen = Hash.Tbl.create 64 in
     let skipped = ref 0 and rounds = ref 1 (* head probe *) in
+    let bloom_fp = ref 0 in
     let pending = Queue.create () in
     let enqueue id =
       if not (Hash.Tbl.mem seen id) then begin
@@ -449,44 +457,82 @@ let push ?user ?(branch = default_branch) t fb ~key =
       end
     in
     enqueue local;
+    (* One sync-bloom round buys local membership answers for the whole
+       walk: a Bloom negative is a definitive miss (stage the chunk, no
+       probe), a positive is only probable and is confirmed with an
+       exact sync-have wave before being skipped — correctness never
+       rests on the filter.  A saturated or unparsable filter (or an
+       older server without the verb) degrades to exact waves only. *)
+    let bloom =
+      match raw ?user t [ "sync-bloom" ] with
+      | Ok payload -> (
+        incr rounds;
+        match Sync.Bloom.decode payload with
+        | Ok b when not (Sync.Bloom.saturated b) -> Some b
+        | Ok _ | Error _ -> None)
+      | Error _ -> None
+    in
+    (* Re-hash our own bytes before offering them: a tampered local
+       store must not propagate. *)
+    let stage id =
+      match Store.peek store id with
+      | None ->
+        Error
+          (Errors.Corrupt ("sync: local store lacks chunk " ^ Hash.to_hex id))
+      | Some encoded ->
+        let* chunk = Sync.verify_encoded id encoded in
+        let kids = Sync.children chunk in
+        Hash.Tbl.replace staged id (encoded, kids);
+        List.iter enqueue kids;
+        Ok ()
+    in
     let rec probe () =
       if Queue.is_empty pending then Ok ()
       else begin
         let wave = take_wave Sync.have_batch pending in
-        let* payload =
-          raw ?user t ("sync-have" :: List.map Hash.to_hex wave)
+        let missing_now, to_confirm =
+          match bloom with
+          | None -> ([], wave)
+          | Some b ->
+            List.partition (fun id -> not (Sync.Bloom.mem b id)) wave
         in
-        incr rounds;
-        let* bits = Sync.decode_have payload in
-        if List.length bits <> List.length wave then
-          Errors.invalid "sync-have: %d probes, %d answers"
-            (List.length wave) (List.length bits)
-        else
-          let* () =
-            List.fold_left2
-              (fun acc id have ->
-                let* () = acc in
-                if have then begin
-                  incr skipped;
-                  Ok ()
-                end
-                else
-                  match Store.peek store id with
-                  | None ->
-                    Error
-                      (Errors.Corrupt
-                         ("sync: local store lacks chunk " ^ Hash.to_hex id))
-                  | Some encoded ->
-                    (* Re-hash our own bytes before offering them: a
-                       tampered local store must not propagate. *)
-                    let* chunk = Sync.verify_encoded id encoded in
-                    let kids = Sync.children chunk in
-                    Hash.Tbl.replace staged id (encoded, kids);
-                    List.iter enqueue kids;
-                    Ok ())
-              (Ok ()) wave bits
-          in
-          probe ()
+        let* () =
+          List.fold_left
+            (fun acc id ->
+              let* () = acc in
+              stage id)
+            (Ok ()) missing_now
+        in
+        let* () =
+          if to_confirm = [] then Ok ()
+          else begin
+            let* payload =
+              raw ?user t ("sync-have" :: List.map Hash.to_hex to_confirm)
+            in
+            incr rounds;
+            let* bits = Sync.decode_have payload in
+            if List.length bits <> List.length to_confirm then
+              Errors.invalid "sync-have: %d probes, %d answers"
+                (List.length to_confirm) (List.length bits)
+            else
+              List.fold_left2
+                (fun acc id have ->
+                  let* () = acc in
+                  if have then begin
+                    incr skipped;
+                    Ok ()
+                  end
+                  else begin
+                    (* Bloom said "probably held"; the exact probe says
+                       absent — a false positive the filter failed to
+                       save a confirmation for. *)
+                    if bloom <> None then incr bloom_fp;
+                    stage id
+                  end)
+                (Ok ()) to_confirm bits
+          end
+        in
+        probe ()
       end
     in
     let* () = probe () in
@@ -533,7 +579,7 @@ let push ?user ?(branch = default_branch) t fb ~key =
     Ok
       ( uid,
         { Sync.chunks_moved = Hash.Tbl.length staged; bytes_moved = !bytes;
-          chunks_skipped = !skipped; rounds = !rounds } )
+          chunks_skipped = !skipped; rounds = !rounds; bloom_fp = !bloom_fp } )
 
 let pull ?user ?(branch = default_branch) t fb ~key =
   let store = Forkbase.store fb in
@@ -606,4 +652,104 @@ let pull ?user ?(branch = default_branch) t fb ~key =
     Ok
       ( uid,
         { Sync.chunks_moved = Hash.Tbl.length staged; bytes_moved = !bytes;
-          chunks_skipped = !skipped; rounds = !rounds } )
+          chunks_skipped = !skipped; rounds = !rounds; bloom_fp = 0 } )
+
+(* ---------------------- remote chunk backend ---------------------- *)
+
+module Chunk = Fb_chunk.Chunk
+
+(* A remote node viewed as a plain chunk store: puts ride the
+   closure-free chunk-put verb (storage members hold graph slices),
+   reads ride sync-get, membership rides sync-have.  Transport failures
+   and server-side Transient both surface as [Store.Transient] so
+   Resilient_store / Cluster_store failover treats a dead node like any
+   flaky medium; other typed errors are permanent and raise [Failure].
+   Every get re-hashes the served bytes (Verified_store) — a lying node
+   cannot slip forged chunks into a cluster.  [iter] and [delete] have
+   no wire verbs (a member's physical enumeration and GC belong to the
+   member) and raise [Failure] saying so rather than silently no-oping. *)
+let chunk_store ?user t =
+  let escalate ctx = function
+    | Errors.Transient msg -> raise (Store.Transient msg)
+    | e ->
+      raise
+        (Failure
+           (Printf.sprintf "remote chunk store: %s: %s" ctx
+              (Errors.to_string e)))
+  in
+  let unsupported op =
+    raise
+      (Failure
+         (Printf.sprintf
+            "remote chunk store: %s is not available over the wire" op))
+  in
+  let traffic = Mutex.create () in
+  let local = ref Store.empty_stats in
+  let bump f = Mutex.protect traffic (fun () -> local := f !local) in
+  let read id =
+    match raw ?user t [ "sync-get"; Hash.to_hex id ] with
+    | Ok encoded -> Some encoded
+    | Error (Errors.Version_not_found _) -> None
+    | Error e -> escalate "get" e
+  in
+  let get_raw id =
+    bump (fun s -> { s with Store.gets = s.Store.gets + 1 });
+    read id
+  in
+  let get id =
+    match get_raw id with
+    | None -> None
+    | Some encoded -> (
+      match Chunk.decode encoded with Ok c -> Some c | Error _ -> None)
+  in
+  let put chunk =
+    let id = Chunk.hash chunk in
+    let encoded = Chunk.encode chunk in
+    match raw ?user t [ "chunk-put"; Hash.to_hex id; encoded ] with
+    | Ok _ ->
+      bump (fun s ->
+          { s with
+            Store.puts = s.Store.puts + 1;
+            logical_bytes = s.Store.logical_bytes + String.length encoded });
+      id
+    | Error e -> escalate "put" e
+  in
+  let mem id =
+    match raw ?user t [ "sync-have"; Hash.to_hex id ] with
+    | Ok bits -> String.length bits > 0 && bits.[0] = '1'
+    | Error e -> escalate "mem" e
+  in
+  let stats () =
+    (* Physical shape is the member's truth; this handle only knows its
+       own traffic.  An unreachable member reports zero shape rather
+       than failing a stats poll. *)
+    let chunks, bytes =
+      match raw ?user t [ "chunk-stat" ] with
+      | Ok payload -> (
+        try Scanf.sscanf payload "chunks=%d bytes=%d" (fun a b -> (a, b))
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> (0, 0))
+      | Error _ -> (0, 0)
+    in
+    let s = Mutex.protect traffic (fun () -> !local) in
+    { s with Store.physical_chunks = chunks; physical_bytes = bytes }
+  in
+  let name =
+    Printf.sprintf "remote(%s:%d)"
+      (Option.value t.p.host ~default:"127.0.0.1")
+      (Option.value t.p.port ~default:0)
+  in
+  let store =
+    { Store.name;
+      put;
+      get;
+      get_raw;
+      peek = read;
+      mem;
+      stats;
+      iter = (fun _ -> unsupported "iter");
+      delete = (fun _ -> unsupported "delete") }
+  in
+  (* Tamper rejection on every read: bytes that do not hash to the id
+     never leave the adapter. *)
+  let verified, _violations = Fb_chunk.Verified_store.wrap store in
+  verified

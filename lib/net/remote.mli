@@ -207,6 +207,34 @@ val pull :
     instance.  Nothing reaches the local store until the complete
     missing closure has been fetched and verified. *)
 
+(** {1 Remote chunk backend}
+
+    The inverse adapter: a server viewed as one more {!Fb_chunk.Store.t},
+    so anything that composes stores (above all {!Fb_chunk.Cluster_store})
+    treats a networked node exactly like a local engine. *)
+
+val chunk_store : ?user:string -> t -> Fb_chunk.Store.t
+(** Chunk operations over the wire: [put] rides the idempotent
+    [chunk-put] verb (verified ingest without the closure check — a
+    cluster member holds an arbitrary slice of the graph), [get]/
+    [get_raw]/[peek] ride [sync-get], [mem] rides [sync-have], and
+    [stats] merges this handle's own traffic counters with the member's
+    [chunk-stat] physical shape (an unreachable member reports zero
+    shape rather than failing the poll).
+
+    Error mapping: transport failures and server-side [Transient] raise
+    {!Fb_chunk.Store.Transient} (retry/failover territory); every other
+    typed error is permanent and raises [Failure] with the rendered
+    reason.  Every read is re-hashed against the requested id
+    ({!Fb_chunk.Verified_store}), so a lying server cannot serve forged
+    bytes — a mismatch reads as absent and the caller fails over.
+
+    Unsupported over the wire: [iter] and [delete] raise [Failure]
+    (never a silent no-op) — physical enumeration and GC belong to the
+    member node; composites must skip members whose stores refuse them.
+    The needed grants are instance-wide ([key pattern "*"]): [Read] for
+    gets/membership, [Write] for [chunk-put]. *)
+
 (** {1 Escape hatch} *)
 
 val raw :

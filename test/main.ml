@@ -27,5 +27,6 @@ let () =
       ("obs", Test_obs.suite);
       ("rwlock", Test_rwlock.suite);
       ("net", Test_net.suite);
+      ("cluster", Test_cluster.suite);
       ("pipeline", Test_pipeline.suite);
       ("sync", Test_sync.suite) ]

@@ -561,7 +561,7 @@ let test_persistent_crash_recovery () =
   (* File engine specifically: the crash artifact is a torn per-chunk tmp
      file; the log engine's recovery is exercised in test_log.ml. *)
   with_temp_dir (fun dir ->
-      (match Fb_core.Persistent.open_ ~backend:`File ~root:dir () with
+      (match Fb_core.Persistent.open_ ~backend:"file" ~root:dir () with
        | Error e -> Alcotest.fail (Errors.to_string e)
        | Ok fb ->
          (match FB.put fb ~key:"k" (Value.string "v") with

@@ -595,7 +595,7 @@ let test_persistent_power_cut () =
         | Ok v -> v
         | Error e -> Alcotest.fail (Errors.to_string e)
       in
-      let fb = ok (Persistent.open_ ~fsync:false ~backend:`Log ~root:src ()) in
+      let fb = ok (Persistent.open_ ~fsync:false ~backend:"log" ~root:src ()) in
       let keys = [ "alpha"; "beta"; "gamma" ] in
       List.iter
         (fun k -> ignore (ok (FB.put fb ~key:k (Value.string ("v-" ^ k)))))
@@ -666,7 +666,7 @@ let test_persistent_backend_autodetect () =
       Persistent.close ~root:log_root;
       (* ...an existing chunks/ root keeps the file engine... *)
       let fbf =
-        ok (Persistent.open_ ~backend:`File ~root:file_root ())
+        ok (Persistent.open_ ~backend:"file" ~root:file_root ())
       in
       ignore (ok (FB.put fbf ~key:"k" (Value.string "v")));
       ok (Persistent.save ~root:file_root fbf);

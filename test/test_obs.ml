@@ -442,14 +442,14 @@ let test_persistent_gauge_retirement () =
       Fb_core.Persistent.close ~root;
       ignore (Sys.command ("rm -rf " ^ Filename.quote root)))
     (fun () ->
-      let fb = ok (Fb_core.Persistent.open_ ~backend:`Log ~root ()) in
+      let fb = ok (Fb_core.Persistent.open_ ~backend:"log" ~root ()) in
       ignore (ok (FB.put fb ~key:"k" (Fb_types.Value.string "v")));
       ignore (Fb_core.Persistent.save ~root fb);
       check bool_ "gauges live while open" true (gauge_value gname <> None);
       Fb_core.Persistent.close ~root;
       check bool_ "gauges retired on close" true (gauge_value gname = None);
       (* Reopen takes the same names back. *)
-      let fb2 = ok (Fb_core.Persistent.open_ ~backend:`Log ~root ()) in
+      let fb2 = ok (Fb_core.Persistent.open_ ~backend:"log" ~root ()) in
       ignore fb2;
       check bool_ "gauges return on reopen" true (gauge_value gname <> None))
 
